@@ -1,0 +1,154 @@
+(* Bechamel micro/meso benchmarks: one group per experiment of DESIGN.md §5.
+
+   E1/E2  haft construction, strip, merge
+   E3/E4  healing under attack (per-deletion latency, metric computation)
+   E5     distributed repair replay
+   E6     star-centre heal by size
+   E7/E10 healer comparison on identical attacks
+   E9     cascade simulation
+
+   Prints one table: name, time per run, minor words per run. *)
+
+open Bechamel
+open Toolkit
+
+let rec ints a b = if a > b then [] else a :: ints (a + 1) b
+
+(* ---- E1/E2: hafts ---- *)
+
+let haft_tests =
+  let of_list =
+    Test.make_indexed ~name:"haft.of_list" ~args:[ 64; 1024; 4096 ] (fun n ->
+        let xs = ints 1 n in
+        Staged.stage (fun () -> ignore (Fg_haft.Haft.of_list xs)))
+  in
+  let strip =
+    Test.make_indexed ~name:"haft.strip" ~args:[ 63; 1023; 4095 ] (fun n ->
+        let t = Fg_haft.Haft.of_list (ints 1 n) in
+        Staged.stage (fun () -> ignore (Fg_haft.Haft.strip t)))
+  in
+  let merge =
+    Test.make_indexed ~name:"haft.merge" ~args:[ 8; 64; 512 ] (fun k ->
+        let ts = List.map (fun i -> Fg_haft.Haft.of_list (ints 1 (i + 3))) (ints 1 k) in
+        Staged.stage (fun () -> ignore (Fg_haft.Haft.merge ts)))
+  in
+  [ of_list; strip; merge ]
+
+(* ---- E6 + E3: healing ---- *)
+
+let heal_star =
+  Test.make_indexed ~name:"heal.star-centre" ~args:[ 64; 256; 1024 ] (fun n ->
+      Staged.stage (fun () ->
+          let fg = Fg_core.Forgiving_graph.of_graph (Fg_graph.Generators.star n) in
+          Fg_core.Forgiving_graph.delete fg 0))
+
+let heal_er_sequence =
+  Test.make_indexed ~name:"heal.er-50pct" ~args:[ 64; 256 ] (fun n ->
+      Staged.stage (fun () ->
+          let rng = Fg_graph.Rng.create 42 in
+          let g = Fg_graph.Generators.erdos_renyi rng n (4.0 /. float_of_int n) in
+          let fg = Fg_core.Forgiving_graph.of_graph g in
+          for v = 0 to (n / 2) - 1 do
+            Fg_core.Forgiving_graph.delete fg v
+          done))
+
+(* ---- E5: distributed replay ---- *)
+
+let sim_star =
+  Test.make_indexed ~name:"sim.star-repair" ~args:[ 64; 256; 1024 ] (fun n ->
+      Staged.stage (fun () ->
+          let eng = Fg_sim.Engine.create (Fg_graph.Generators.star n) in
+          ignore (Fg_sim.Engine.delete eng 0)))
+
+(* E7: the Will-based Forgiving Tree baseline *)
+let will_tree_star =
+  Test.make_indexed ~name:"ft.star-root" ~args:[ 64; 256 ] (fun n ->
+      Staged.stage (fun () ->
+          let t = Fg_baselines.Will_tree.create (Fg_graph.Generators.star n) in
+          Fg_baselines.Will_tree.delete t 0))
+
+(* E14: the fully distributed protocol *)
+let dist_star =
+  Test.make_indexed ~name:"dist.star-repair" ~args:[ 64; 256 ] (fun n ->
+      Staged.stage (fun () ->
+          let eng = Fg_sim.Dist_engine.create (Fg_graph.Generators.star n) in
+          ignore (Fg_sim.Dist_engine.delete eng 0)))
+
+(* ---- E4: metrics ---- *)
+
+let stretch_exact =
+  Test.make_indexed ~name:"metrics.stretch-exact" ~args:[ 64; 128 ] (fun n ->
+      let rng = Fg_graph.Rng.create 7 in
+      let g = Fg_graph.Generators.erdos_renyi rng n (4.0 /. float_of_int n) in
+      let fg = Fg_core.Forgiving_graph.of_graph g in
+      for v = 0 to (n / 4) - 1 do
+        Fg_core.Forgiving_graph.delete fg v
+      done;
+      let graph = Fg_core.Forgiving_graph.graph fg in
+      let gp = Fg_core.Forgiving_graph.gprime fg in
+      let nodes = Fg_core.Forgiving_graph.live_nodes fg in
+      Staged.stage (fun () ->
+          ignore (Fg_metrics.Stretch.exact ~graph ~reference:gp ~nodes)))
+
+(* ---- E7/E10: healer comparison ---- *)
+
+let healer_compare =
+  Test.make_grouped ~name:"healer.er128-40pct"
+    (List.map
+       (fun name ->
+         Test.make ~name
+           (Staged.stage (fun () ->
+                let rng = Fg_graph.Rng.create 42 in
+                let g = Fg_graph.Generators.erdos_renyi rng 128 (4.0 /. 128.0) in
+                let h = Fg_baselines.Registry.by_name name g in
+                ignore
+                  (Fg_adversary.Churn.delete_fraction rng h ~fraction:0.4
+                     ~del:Fg_adversary.Adversary.Max_degree))))
+       [ "fg"; "ft"; "cycle"; "clique"; "none" ])
+
+(* ---- E9: cascade ---- *)
+
+let cascade =
+  Test.make ~name:"cascade.ba100-fg"
+    (Staged.stage (fun () ->
+         let rng = Fg_graph.Rng.create 7 in
+         let g = Fg_graph.Generators.barabasi_albert rng 100 2 in
+         let attack = Fg_baselines.Cascade.top_degree_attack g 3 in
+         ignore
+           (Fg_baselines.Cascade.run
+              { Fg_baselines.Cascade.tolerance = 0.5; max_waves = 20 }
+              ~heal:Fg_baselines.Cascade.Forgiving g ~attack)))
+
+let all_tests =
+  Test.make_grouped ~name:"forgiving-graph"
+    (haft_tests
+    @ [ heal_star; heal_er_sequence; sim_star; dist_star; will_tree_star; stretch_exact;
+        healer_compare; cascade ])
+
+let benchmark () =
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.map (fun instance -> Analyze.all ols instance raw) instances
+
+let () =
+  let results = benchmark () in
+  let clock = List.nth results 0 and minor = List.nth results 1 in
+  let name_of h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] in
+  let names = List.sort_uniq compare (name_of clock) in
+  Printf.printf "%-42s  %14s  %14s\n" "benchmark" "ns/run" "minor-w/run";
+  Printf.printf "%s\n" (String.make 76 '-');
+  let value h name =
+    match Hashtbl.find_opt h name with
+    | None -> nan
+    | Some ols -> (
+      match Analyze.OLS.estimates ols with Some [ v ] -> v | _ -> nan)
+  in
+  List.iter
+    (fun name ->
+      Printf.printf "%-42s  %14.1f  %14.1f\n" name (value clock name)
+        (value minor name))
+    names

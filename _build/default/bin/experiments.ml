@@ -1,0 +1,124 @@
+(* Run the full experiment suite (E1-E10) or a subset given on the command
+   line, printing every table. `dune exec bin/experiments.exe -- e3 e4`
+   runs two; no arguments runs all. Pass `--csv` to also emit results/*.csv. *)
+
+open Fg_harness
+
+let experiments : (string * string * (csv:bool -> bool)) list =
+  [
+    ( "e0",
+      "workload characterisation",
+      fun ~csv ->
+        let s = E0_workloads.run ~csv () in
+        s.E0_workloads.all_connected );
+    ( "e1",
+      "Lemma 1: haft structure laws",
+      fun ~csv ->
+        let s = E1_haft_laws.run ~csv () in
+        s.E1_haft_laws.failures = 0 );
+    ( "e2",
+      "Figures 2/3/4/5/7/8 regenerated",
+      fun ~csv:_ ->
+        let s = E2_figures.run () in
+        s.E2_figures.fig3_strip_sizes = [ 4; 2; 1 ]
+        && s.E2_figures.fig5_is_complete && s.E2_figures.fig2_invariants_ok
+        && s.E2_figures.fig7_invariants_ok
+        && s.E2_figures.fig7_anchors > 0 );
+    ( "e3",
+      "Theorem 1.1: degree increase",
+      fun ~csv ->
+        let s = E3_degree.run ~csv () in
+        s.E3_degree.all_within_4x );
+    ( "e4",
+      "Theorem 1.2: stretch",
+      fun ~csv ->
+        let s = E4_stretch.run ~csv () in
+        s.E4_stretch.all_within_bound );
+    ( "e5",
+      "Lemma 4: repair cost (distributed sim)",
+      fun ~csv ->
+        let s = E5_cost.run ~csv () in
+        s.E5_cost.max_msgs_norm < 20. && s.E5_cost.max_rounds_norm < 12. );
+    ( "e6",
+      "Theorem 2: lower-bound sandwich",
+      fun ~csv ->
+        let s = E6_lower_bound.run ~csv () in
+        s.E6_lower_bound.all_sandwiched );
+    ( "e7",
+      "vs Forgiving Tree (PODC'08)",
+      fun ~csv ->
+        let s = E7_vs_forgiving_tree.run ~csv () in
+        s.E7_vs_forgiving_tree.fg_beats_ft_stretch );
+    ( "e8",
+      "insert/delete churn",
+      fun ~csv ->
+        let s = E8_churn.run ~csv () in
+        s.E8_churn.all_ok );
+    ( "e9",
+      "cascading failures under hub attack",
+      fun ~csv ->
+        let s = E9_cascade.run ~csv () in
+        s.E9_cascade.fg_dominates );
+    ( "e10",
+      "ablations: trade-off frontier + merge cost",
+      fun ~csv ->
+        let s = E10_ablation.run ~csv () in
+        s.E10_ablation.fg_on_frontier );
+    ( "e11",
+      "healing-edge span (Section 6 open problem)",
+      fun ~csv ->
+        let s = E11_span.run ~csv () in
+        s.E11_span.expanders_small && s.E11_span.ring_large );
+    ( "e12",
+      "bounds at every instant (timeline)",
+      fun ~csv ->
+        let s = E12_timeline.run ~csv () in
+        s.E12_timeline.violations = 0 );
+    ( "e13",
+      "batch failures vs deletion sequences",
+      fun ~csv ->
+        let s = E13_batch.run ~csv () in
+        s.E13_batch.batch_never_worse );
+    ( "e14",
+      "Lemma 4 on the fully distributed protocol",
+      fun ~csv ->
+        let s = E14_dist_cost.run ~csv () in
+        s.E14_dist_cost.all_verified
+        && s.E14_dist_cost.max_msgs_norm < 30.
+        && s.E14_dist_cost.max_rounds_norm < 20. );
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let csv = List.mem "--csv" args in
+  let wanted = List.filter (fun a -> a <> "--csv") args in
+  let selected =
+    if wanted = [] then experiments
+    else
+      List.filter (fun (id, _, _) -> List.mem id wanted) experiments
+  in
+  if selected = [] then begin
+    prerr_endline "unknown experiment ids; available:";
+    List.iter (fun (id, desc, _) -> Printf.eprintf "  %s  %s\n" id desc) experiments;
+    exit 2
+  end;
+  let t0 = Unix.gettimeofday () in
+  let results =
+    List.map
+      (fun (id, desc, f) ->
+        let start = Unix.gettimeofday () in
+        let ok = f ~csv in
+        (id, desc, ok, Unix.gettimeofday () -. start))
+      selected
+  in
+  print_newline ();
+  print_endline "Summary";
+  print_endline "=======";
+  List.iter
+    (fun (id, desc, ok, dt) ->
+      Printf.printf "%-4s %-45s %s (%.1fs)\n" id desc
+        (if ok then "PASS" else "CHECK FAILED")
+        dt)
+    results;
+  Printf.printf "total %.1fs\n" (Unix.gettimeofday () -. t0);
+  if List.exists (fun (_, _, ok, _) -> not ok) results then exit 1

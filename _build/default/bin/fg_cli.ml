@@ -1,0 +1,245 @@
+(* fg — command-line driver for the Forgiving Graph library.
+
+   Subcommands:
+     generate  emit a graph family as an edge list or DOT
+     attack    run an adversarial deletion sweep under a healer, report metrics
+     simulate  run deletions through the distributed simulator, report costs
+     heal      read an edge list, delete given nodes, print the healed graph *)
+
+open Cmdliner
+module Fg = Fg_core.Forgiving_graph
+module Adjacency = Fg_graph.Adjacency
+
+(* ---- shared args ---- *)
+
+let seed_arg =
+  let doc = "Random seed (experiments are deterministic given the seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let n_arg =
+  let doc = "Target number of nodes." in
+  Arg.(value & opt int 64 & info [ "n" ] ~doc)
+
+let family_arg =
+  let doc =
+    "Graph family: " ^ String.concat ", " Fg_graph.Generators.names ^ "."
+  in
+  Arg.(value & opt string "er" & info [ "family" ] ~doc)
+
+let make_graph family seed n =
+  let rng = Fg_graph.Rng.create seed in
+  try Fg_graph.Generators.by_name family rng n
+  with Not_found ->
+    Printf.eprintf "unknown family %S; available: %s\n" family
+      (String.concat ", " Fg_graph.Generators.names);
+    exit 2
+
+(* ---- generate ---- *)
+
+let generate family seed n dot =
+  let g = make_graph family seed n in
+  if dot then print_string (Fg_graph.Graph_io.to_dot g)
+  else print_string (Fg_graph.Graph_io.to_edge_list g)
+
+let generate_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz DOT instead of an edge list.")
+  in
+  let doc = "Generate a graph family." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const generate $ family_arg $ seed_arg $ n_arg $ dot)
+
+(* ---- attack ---- *)
+
+let attack family seed n healer adversary fraction =
+  let del =
+    try Fg_adversary.Adversary.deletion_of_name adversary
+    with Invalid_argument _ ->
+      Printf.eprintf "unknown adversary %S; available: %s\n" adversary
+        (String.concat ", " Fg_adversary.Adversary.deletion_names);
+      exit 2
+  in
+  let g0 = make_graph family seed n in
+  let h =
+    try Fg_baselines.Registry.by_name healer g0
+    with Not_found ->
+      Printf.eprintf "unknown healer %S; available: %s\n" healer
+        (String.concat ", " Fg_baselines.Registry.names);
+      exit 2
+  in
+  let rng = Fg_graph.Rng.create (seed + 1) in
+  let victims = Fg_adversary.Churn.delete_fraction rng h ~fraction ~del in
+  let live = h.Fg_baselines.Healer.live_nodes () in
+  let graph = h.Fg_baselines.Healer.graph () in
+  let gprime = h.Fg_baselines.Healer.gprime () in
+  let deg = Fg_metrics.Degree_metric.measure ~graph ~gprime ~nodes:live in
+  let str = Fg_metrics.Stretch.exact ~graph ~reference:gprime ~nodes:live in
+  Format.printf "healer %s on %s(n=%d), adversary %s, deleted %d nodes@."
+    healer family n adversary (List.length victims);
+  Format.printf "degree:  %a@." Fg_metrics.Degree_metric.pp_report deg;
+  Format.printf "stretch: %a@." Fg_metrics.Stretch.pp_report str;
+  Format.printf "bound ceil(log2 n_seen) = %d@."
+    (Fg_harness.Exp_common.ceil_log2 (Adjacency.num_nodes gprime))
+
+let attack_cmd =
+  let healer =
+    Arg.(
+      value & opt string "fg"
+      & info [ "healer" ]
+          ~doc:("Healing strategy: " ^ String.concat ", " Fg_baselines.Registry.names ^ "."))
+  in
+  let adversary =
+    Arg.(
+      value & opt string "maxdeg"
+      & info [ "adversary" ]
+          ~doc:
+            ("Deletion strategy: "
+            ^ String.concat ", " Fg_adversary.Adversary.deletion_names
+            ^ "."))
+  in
+  let fraction =
+    Arg.(value & opt float 0.5 & info [ "fraction" ] ~doc:"Fraction of nodes to delete.")
+  in
+  let doc = "Adversarially delete nodes and report degree/stretch metrics." in
+  Cmd.v
+    (Cmd.info "attack" ~doc)
+    Term.(const attack $ family_arg $ seed_arg $ n_arg $ healer $ adversary $ fraction)
+
+(* ---- simulate ---- *)
+
+let simulate family seed n deletions distributed =
+  let g0 = make_graph family seed n in
+  let rng = Fg_graph.Rng.create (seed + 1) in
+  if distributed then begin
+    (* full per-processor protocol, verified after every repair *)
+    let eng = Fg_sim.Dist_engine.create g0 in
+    let count = ref 0 in
+    while !count < deletions do
+      let live = Fg.live_nodes (Fg_sim.Dist_engine.reference eng) in
+      if List.length live <= 2 then count := deletions
+      else begin
+        let v = Fg_graph.Rng.pick rng live in
+        let s = Fg_sim.Dist_engine.delete eng v in
+        Format.printf "del %d: %d rounds, %d msgs, %d bits (verified: %b)@." v
+          s.Fg_sim.Netsim.rounds s.Fg_sim.Netsim.messages s.Fg_sim.Netsim.total_bits
+          (Fg_sim.Dist_engine.verify eng = []);
+        incr count
+      end
+    done
+  end
+  else begin
+  let eng = Fg_sim.Engine.create g0 in
+  let count = ref 0 in
+  while !count < deletions do
+    let fg = Fg_sim.Engine.fg eng in
+    let live = Fg.live_nodes fg in
+    if List.length live <= 2 then count := deletions
+    else begin
+      let v = Fg_graph.Rng.pick rng live in
+      let c = Fg_sim.Engine.delete eng v in
+      Format.printf "%a@." Fg_sim.Engine.pp_cost c;
+      incr count
+    end
+  done;
+  let costs = Fg_sim.Engine.costs eng in
+  if costs <> [] then begin
+    let msgs = List.map (fun c -> c.Fg_sim.Engine.messages) costs in
+    let rounds = List.map (fun c -> c.Fg_sim.Engine.rounds) costs in
+    Format.printf "@.messages: %a@." Fg_metrics.Summary.pp
+      (Fg_metrics.Summary.of_ints msgs);
+    Format.printf "rounds:   %a@." Fg_metrics.Summary.pp
+      (Fg_metrics.Summary.of_ints rounds)
+  end
+  end
+
+let simulate_cmd =
+  let deletions =
+    Arg.(value & opt int 10 & info [ "deletions" ] ~doc:"How many random deletions.")
+  in
+  let distributed =
+    Arg.(
+      value & flag
+      & info [ "distributed" ]
+          ~doc:
+            "Run the full per-processor protocol (Dist_engine) instead of the              trace-replay cost model, verifying each repair.")
+  in
+  let doc = "Run deletions through the distributed simulator and report costs." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(const simulate $ family_arg $ seed_arg $ n_arg $ deletions $ distributed)
+
+(* ---- heal ---- *)
+
+let heal path victims dot =
+  let text = Fg_graph.Graph_io.read_file path in
+  let g0 = Fg_graph.Graph_io.of_edge_list text in
+  let fg = Fg.of_graph g0 in
+  List.iter
+    (fun v ->
+      if Fg.is_alive fg v then Fg.delete fg v
+      else Printf.eprintf "warning: node %d not live, skipped\n" v)
+    victims;
+  let g = Fg.graph fg in
+  if dot then print_string (Fg_graph.Graph_io.to_dot g)
+  else print_string (Fg_graph.Graph_io.to_edge_list g);
+  match Fg_core.Invariants.check fg with
+  | [] -> ()
+  | errs ->
+    List.iter (Printf.eprintf "invariant violation: %s\n") errs;
+    exit 1
+
+let heal_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"EDGELIST" ~doc:"Input graph.")
+  in
+  let victims =
+    Arg.(value & opt (list int) [] & info [ "delete" ] ~doc:"Node ids to delete, in order.")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit DOT.") in
+  let doc = "Heal an explicit graph after deleting the given nodes." in
+  Cmd.v (Cmd.info "heal" ~doc) Term.(const heal $ path $ victims $ dot)
+
+(* ---- route ---- *)
+
+let route_cmd_run family seed n victims src dst =
+  let g0 = make_graph family seed n in
+  let fg = Fg.of_graph g0 in
+  List.iter
+    (fun v ->
+      if Fg.is_alive fg v then Fg.delete fg v
+      else Printf.eprintf "warning: node %d not live, skipped\n" v)
+    victims;
+  if not (Fg.is_alive fg src && Fg.is_alive fg dst) then begin
+    Printf.eprintf "error: route endpoints must be live\n";
+    exit 1
+  end;
+  match Fg_core.Routing.route fg src dst with
+  | None -> Format.printf "%d and %d are not connected in G'@." src dst
+  | Some walk ->
+    Format.printf "route: %s@."
+      (String.concat " -> " (List.map string_of_int walk));
+    let d' = Option.get (Fg_graph.Bfs.distance (Fg.gprime fg) src dst) in
+    let d = Option.get (Fg_graph.Bfs.distance (Fg.graph fg) src dst) in
+    Format.printf "length %d; optimal in G: %d; G' distance: %d; bound: %d@."
+      (List.length walk - 1)
+      d d'
+      (d' * Fg.stretch_bound fg)
+
+let route_cmd =
+  let victims =
+    Arg.(value & opt (list int) [] & info [ "delete" ] ~doc:"Node ids to delete first.")
+  in
+  let src = Arg.(required & pos 0 (some int) None & info [] ~docv:"SRC") in
+  let dst = Arg.(required & pos 1 (some int) None & info [] ~docv:"DST") in
+  let doc = "Stitch a route through the reconstruction trees (Theorem 1.2)." in
+  Cmd.v
+    (Cmd.info "route" ~doc)
+    Term.(const route_cmd_run $ family_arg $ seed_arg $ n_arg $ victims $ src $ dst)
+
+let () =
+  let doc = "The Forgiving Graph: self-healing networks under adversarial attack." in
+  let info = Cmd.info "fg" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ generate_cmd; attack_cmd; simulate_cmd; heal_cmd; route_cmd ]))

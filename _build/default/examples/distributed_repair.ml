@@ -1,0 +1,51 @@
+(* The distributed repair, blow by blow.
+
+   Runs the per-processor protocol on a small network and narrates the
+   coordinator's decisions (fragment collection, strip, merge levels),
+   then verifies the healed per-processor state against the centralized
+   engine and prints the Lemma 4 bill — including a run under an
+   asynchronous network that delays and reorders every message.
+
+   Run with: dune exec examples/distributed_repair.exe *)
+
+module De = Fg_sim.Dist_engine
+module Fg = Fg_core.Forgiving_graph
+
+let () =
+  let g0 = Fg_graph.Generators.complete 9 in
+  Format.printf "K9: delete node 0, then node 1 (an RT leaf), narrated:@.@.";
+  let st = Fg_sim.Dist_state.create () in
+  Fg_graph.Adjacency.iter_nodes (fun v -> Fg_sim.Dist_state.add_processor st v) g0;
+  Fg_graph.Adjacency.iter_edges (fun u v -> Fg_sim.Dist_state.add_edge st u v) g0;
+  let narrate line = Format.printf "  coordinator: %s@." line in
+  Format.printf "-- delete 0@.";
+  let s1 = Fg_sim.Dist_protocol.delete ~debug:narrate st 0 ~n_seen:9 in
+  Format.printf "   cost: %d rounds, %d messages, %d bits@.@." s1.Fg_sim.Netsim.rounds
+    s1.Fg_sim.Netsim.messages s1.Fg_sim.Netsim.total_bits;
+  Format.printf "-- delete 1@.";
+  let s2 = Fg_sim.Dist_protocol.delete ~debug:narrate st 1 ~n_seen:9 in
+  Format.printf "   cost: %d rounds, %d messages, %d bits@.@." s2.Fg_sim.Netsim.rounds
+    s2.Fg_sim.Netsim.messages s2.Fg_sim.Netsim.total_bits;
+  (match Fg_sim.Dist_state.check st with
+  | [] -> Format.printf "per-processor state: structurally valid@."
+  | errs -> List.iter (Format.printf "violation: %s@.") errs);
+
+  (* full engine: same attack, cross-checked against the centralized
+     implementation, then once more under asynchronous delivery *)
+  let eng = De.create (Fg_graph.Adjacency.copy g0) in
+  ignore (De.delete eng 0);
+  ignore (De.delete eng 1);
+  Format.printf "cross-check vs centralized engine: %s@."
+    (match De.verify eng with [] -> "identical healing" | e :: _ -> e);
+
+  let st2 = Fg_sim.Dist_state.create () in
+  Fg_graph.Adjacency.iter_nodes (fun v -> Fg_sim.Dist_state.add_processor st2 v) g0;
+  Fg_graph.Adjacency.iter_edges (fun u v -> Fg_sim.Dist_state.add_edge st2 u v) g0;
+  let discipline = Fg_sim.Netsim.Asynchronous (Fg_graph.Rng.create 3, 5) in
+  let a1 = Fg_sim.Dist_protocol.delete ~discipline st2 0 ~n_seen:9 in
+  let a2 = Fg_sim.Dist_protocol.delete ~discipline st2 1 ~n_seen:9 in
+  Format.printf
+    "asynchronous network (delays 1..5, reordering): still valid: %b;@ rounds \
+     stretch to %d and %d@."
+    (Fg_sim.Dist_state.check st2 = [])
+    a1.Fg_sim.Netsim.rounds a2.Fg_sim.Netsim.rounds

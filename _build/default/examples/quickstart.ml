@@ -1,0 +1,42 @@
+(* Quickstart: the Forgiving Graph in a dozen lines.
+
+   Build a small network, let an adversary delete a node, and watch the
+   structure heal: connectivity is preserved, distances stay within
+   ceil(log2 n) of the insert-only graph G', and no degree more than
+   quadruples (the paper states 3x; see DESIGN.md §6 for the extra edge).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Fg = Fg_core.Forgiving_graph
+module G = Fg_graph.Adjacency
+
+let () =
+  (* a ring of 8 peers, 0-1-2-...-7-0 *)
+  let g0 = Fg_graph.Generators.ring 8 in
+  let fg = Fg.of_graph g0 in
+
+  (* a new peer 8 joins, connected to peers 0 and 4 *)
+  Fg.insert fg 8 [ 0; 4 ];
+  Format.printf "after insert: %d live nodes, %d edges@." (Fg.num_live fg)
+    (G.num_edges (Fg.graph fg));
+
+  (* the adversary deletes peer 0 — the healing kicks in automatically *)
+  Fg.delete fg 0;
+  let healed = Fg.graph fg in
+  Format.printf "after deleting 0: %d live nodes, %d edges, connected: %b@."
+    (Fg.num_live fg) (G.num_edges healed)
+    (Fg_graph.Connectivity.is_connected healed);
+
+  (* peer 0's neighbours (1, 7, 8) are now joined through its
+     reconstruction tree *)
+  List.iter
+    (fun v -> Format.printf "  neighbours of %d: %s@." v
+        (String.concat ", " (List.map string_of_int (G.neighbors healed v))))
+    [ 1; 7; 8 ];
+
+  (* the Theorem 1 guarantees, checked on the live structure *)
+  Format.printf "stretch bound ceil(log2 %d) = %d@." (Fg.num_seen fg)
+    (Fg.stretch_bound fg);
+  match Fg_core.Invariants.check fg with
+  | [] -> Format.printf "all structural invariants hold@."
+  | errs -> List.iter (Format.printf "violation: %s@.") errs

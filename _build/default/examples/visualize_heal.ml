@@ -1,0 +1,58 @@
+(* Visualize a healing sequence.
+
+   Writes Graphviz DOT snapshots of the network before and after each
+   deletion of an adversarial attack, highlighting the processors that are
+   currently simulating helper nodes. Render with e.g.
+     dot -Tpng heal_2.dot -o heal_2.png
+
+   Run with: dune exec examples/visualize_heal.exe -- [outdir] *)
+
+module Fg = Fg_core.Forgiving_graph
+module G = Fg_graph.Adjacency
+
+let helpers_of fg =
+  List.fold_left
+    (fun acc v ->
+      if Fg.helper_load fg v > 0 then Fg_graph.Node_id.Set.add v acc else acc)
+    Fg_graph.Node_id.Set.empty (Fg.live_nodes fg)
+
+let () =
+  let outdir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "heal_snapshots" in
+  if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+  let rng = Fg_graph.Rng.create 11 in
+  let g0 = Fg_graph.Generators.erdos_renyi rng 24 0.14 in
+  let fg = Fg.of_graph g0 in
+  let snapshot name =
+    let path = Filename.concat outdir (name ^ ".dot") in
+    Fg_graph.Graph_io.write_file path
+      (Fg_graph.Graph_io.to_dot ~highlight:(helpers_of fg) (Fg.graph fg));
+    Format.printf "wrote %s (%d nodes, %d edges, %d simulating helpers)@." path
+      (G.num_nodes (Fg.graph fg))
+      (G.num_edges (Fg.graph fg))
+      (Fg_graph.Node_id.Set.cardinal (helpers_of fg))
+  in
+  snapshot "heal_0_initial";
+  (* the adversary takes out the three biggest hubs, one per step *)
+  let steps = 3 in
+  for step = 1 to steps do
+    let g = Fg.graph fg in
+    let hub =
+      List.fold_left
+        (fun acc v ->
+          match acc with
+          | None -> Some v
+          | Some b -> if G.degree g v > G.degree g b then Some v else acc)
+        None (Fg.live_nodes fg)
+    in
+    match hub with
+    | None -> ()
+    | Some v ->
+      Format.printf "step %d: adversary deletes hub %d (degree %d)@." step v
+        (G.degree g v);
+      Fg.delete fg v;
+      snapshot (Printf.sprintf "heal_%d_after_deleting_%d" step v)
+  done;
+  (match Fg_core.Invariants.check fg with
+  | [] -> Format.printf "all invariants hold; red nodes simulate helpers@."
+  | errs -> List.iter (Format.printf "violation: %s@.") errs);
+  Format.printf "render with: dot -Tpng %s/heal_0_initial.dot -o initial.png@." outdir

@@ -1,0 +1,1 @@
+lib/adversary/adversary.ml: Array Fg_baselines Fg_graph List Option

@@ -1,0 +1,1 @@
+lib/adversary/adversary.mli: Fg_baselines Fg_graph

@@ -1,0 +1,1 @@
+lib/adversary/churn.ml: Adversary Fg_baselines Fg_graph Format List

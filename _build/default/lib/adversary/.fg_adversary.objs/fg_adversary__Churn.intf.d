@@ -1,0 +1,1 @@
+lib/adversary/churn.mli: Adversary Fg_baselines Fg_graph Format

@@ -1,0 +1,139 @@
+module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
+module Rng = Fg_graph.Rng
+module Healer = Fg_baselines.Healer
+
+type deletion =
+  | Random
+  | Max_degree
+  | Max_gprime_degree
+  | Articulation
+  | Max_betweenness
+  | Max_healing_degree
+  | Oldest
+
+type insertion =
+  | Attach_random of int
+  | Attach_preferential of int
+  | Attach_chain
+  | Attach_far of int
+  | Attach_hub of Node_id.t
+
+let deletion_name = function
+  | Random -> "random"
+  | Max_degree -> "maxdeg"
+  | Max_gprime_degree -> "maxdeg-gp"
+  | Articulation -> "cutpoint"
+  | Max_betweenness -> "betweenness"
+  | Max_healing_degree -> "healdeg"
+  | Oldest -> "oldest"
+
+let deletion_names =
+  [ "random"; "maxdeg"; "maxdeg-gp"; "cutpoint"; "betweenness"; "healdeg"; "oldest" ]
+
+let deletion_of_name = function
+  | "random" -> Random
+  | "maxdeg" -> Max_degree
+  | "maxdeg-gp" -> Max_gprime_degree
+  | "cutpoint" -> Articulation
+  | "betweenness" -> Max_betweenness
+  | "healdeg" -> Max_healing_degree
+  | "oldest" -> Oldest
+  | s -> invalid_arg ("Adversary.deletion_of_name: " ^ s)
+
+(* deterministic argmax: largest score, then smallest id *)
+let argmax score nodes =
+  let better v = function
+    | None -> Some v
+    | Some best ->
+      let sv = score v and sb = score best in
+      if sv > sb || (sv = sb && v < best) then Some v else Some best
+  in
+  List.fold_left (fun acc v -> better v acc) None nodes
+
+let pick_victim strategy rng (h : Healer.t) =
+  let live = List.sort Node_id.compare (h.Healer.live_nodes ()) in
+  (* never delete below two survivors: the success metrics (stretch over
+     pairs) need at least one pair, and the model's repair phase is
+     meaningless on a single processor *)
+  if List.length live <= 2 then None
+  else
+    match strategy with
+    | Random -> Some (Rng.pick rng live)
+    | Oldest -> ( match live with v :: _ -> Some v | [] -> None)
+    | Max_degree ->
+      let g = h.Healer.graph () in
+      argmax (fun v -> Adjacency.degree g v) live
+    | Max_gprime_degree ->
+      let gp = h.Healer.gprime () in
+      argmax (fun v -> Adjacency.degree gp v) live
+    | Articulation -> (
+      let g = h.Healer.graph () in
+      let cuts = Fg_graph.Connectivity.articulation_points g in
+      match Node_id.Set.min_elt_opt (Node_id.Set.filter h.Healer.is_alive cuts) with
+      | Some v -> Some v
+      | None ->
+        (* 2-connected graph: fall back to the max-degree hub *)
+        argmax (fun v -> Adjacency.degree g v) live)
+    | Max_betweenness ->
+      let g = h.Healer.graph () in
+      let bc = Fg_graph.Centrality.betweenness g in
+      let score v =
+        (* scale to ints for the deterministic argmax *)
+        int_of_float (Option.value (Node_id.Tbl.find_opt bc v) ~default:0. *. 100.)
+      in
+      argmax score live
+    | Max_healing_degree ->
+      let g = h.Healer.graph () in
+      let gp = h.Healer.gprime () in
+      argmax (fun v -> Adjacency.degree g v - Adjacency.degree gp v) live
+
+let pick_neighbors strategy rng (h : Healer.t) ~last_inserted =
+  let live = List.sort Node_id.compare (h.Healer.live_nodes ()) in
+  match live with
+  | [] -> []
+  | first :: _ -> (
+    match strategy with
+    | Attach_random k ->
+      let arr = Array.of_list live in
+      Array.to_list (Rng.sample rng (max 1 k) arr)
+    | Attach_preferential k ->
+      let g = h.Healer.gprime () in
+      (* degree-proportional draws with replacement, deduplicated *)
+      let weighted = List.concat_map (fun v -> List.init (1 + Adjacency.degree g v) (fun _ -> v)) live in
+      let arr = Array.of_list weighted in
+      let chosen = ref Node_id.Set.empty in
+      let wanted = max 1 k in
+      let attempts = ref 0 in
+      while Node_id.Set.cardinal !chosen < wanted && !attempts < 50 * wanted do
+        incr attempts;
+        chosen := Node_id.Set.add (Rng.pick_array rng arr) !chosen
+      done;
+      if Node_id.Set.is_empty !chosen then [ first ] else Node_id.Set.elements !chosen
+    | Attach_chain -> (
+      match last_inserted with
+      | Some v when h.Healer.is_alive v -> [ v ]
+      | _ -> [ first ])
+    | Attach_far k ->
+      (* greedy k-centre-ish spread over the current graph *)
+      let g = h.Healer.graph () in
+      let chosen = ref [ first ] in
+      for _ = 2 to max 1 k do
+        let dist = Fg_graph.Bfs.multi_source_distances g !chosen in
+        let far =
+          List.fold_left
+            (fun acc v ->
+              let dv = Option.value (Node_id.Tbl.find_opt dist v) ~default:0 in
+              match acc with
+              | None -> Some (v, dv)
+              | Some (_, db) when dv > db -> Some (v, dv)
+              | Some _ -> acc)
+            None live
+        in
+        match far with
+        | Some (v, _) when not (List.mem v !chosen) -> chosen := v :: !chosen
+        | _ -> ()
+      done;
+      !chosen
+    | Attach_hub victim ->
+      if h.Healer.is_alive victim then [ victim ] else [ first ])

@@ -1,0 +1,69 @@
+(** Adversarial attack strategies (Section 2 model).
+
+    The adversary is omniscient: it sees the whole current topology and
+    the healing algorithm. These strategies approximate its worst cases —
+    each one is the attack some proof or experiment identifies as most
+    damaging. Strategies act on a {!Fg_baselines.Healer.t} so that every
+    healing algorithm faces the identical adversary. *)
+
+module Node_id := Fg_graph.Node_id
+
+(** Deletion strategies: pick the next victim, [None] when at most two
+    nodes survive (the adversary never deletes below two survivors).
+
+    - [Random]: uniform live node (baseline "failure" model);
+    - [Max_degree]: highest degree in the {e current} graph — repeatedly
+      beheads hubs (the Theorem 2 star attack generalised);
+    - [Max_gprime_degree]: highest degree in [G'] — targets nodes with the
+      largest healing obligations;
+    - [Articulation]: a cut vertex of the current graph when one exists
+      (most damaging against non-healing baselines);
+    - [Max_betweenness]: the node carrying most shortest paths — a greedy
+      proxy for maximising stretch;
+    - [Max_healing_degree]: the node with the largest [deg_G - deg_G'] —
+      it carries the most healing edges (helper simulations), so deleting
+      it attacks the repair mechanism itself;
+    - [Oldest]: smallest id — deterministic sweep, maximises RT merging. *)
+type deletion =
+  | Random
+  | Max_degree
+  | Max_gprime_degree
+  | Articulation
+  | Max_betweenness
+  | Max_healing_degree
+  | Oldest
+
+(** Insertion strategies: pick the neighbour set for a new node.
+
+    - [Attach_random k]: k uniform live nodes;
+    - [Attach_preferential k]: k live nodes degree-proportionally (grows
+      power-law G');
+    - [Attach_chain]: the most recently inserted node (grows a path —
+      maximises G' distances, stressing the stretch bound);
+    - [Attach_far k]: greedily distance-separated targets (first node,
+      then repeatedly the farthest from those chosen) — manufactures
+      long-range shortcuts whose loss is expensive;
+    - [Attach_hub victim]: always the same victim while it lives
+      (manufactures a star for the Theorem 2 attack). *)
+type insertion =
+  | Attach_random of int
+  | Attach_preferential of int
+  | Attach_chain
+  | Attach_far of int
+  | Attach_hub of Node_id.t
+
+val deletion_name : deletion -> string
+val deletion_of_name : string -> deletion
+val deletion_names : string list
+
+(** [pick_victim strategy rng healer] selects a live node to delete. *)
+val pick_victim : deletion -> Fg_graph.Rng.t -> Fg_baselines.Healer.t -> Node_id.t option
+
+(** [pick_neighbors strategy rng healer ~last_inserted] selects attachment
+    targets for the next insertion (non-empty if any node is live). *)
+val pick_neighbors :
+  insertion ->
+  Fg_graph.Rng.t ->
+  Fg_baselines.Healer.t ->
+  last_inserted:Node_id.t option ->
+  Node_id.t list

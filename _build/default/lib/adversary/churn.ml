@@ -1,0 +1,66 @@
+module Node_id = Fg_graph.Node_id
+module Rng = Fg_graph.Rng
+module Healer = Fg_baselines.Healer
+
+type op = Insert of Node_id.t * Node_id.t list | Delete of Node_id.t
+
+let pp_op ppf = function
+  | Insert (v, nbrs) ->
+    Format.fprintf ppf "insert %a -> [%a]" Node_id.pp v
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space Node_id.pp)
+      nbrs
+  | Delete v -> Format.fprintf ppf "delete %a" Node_id.pp v
+
+let drive rng (h : Healer.t) ~steps ~p_delete ~del ~ins ~first_id =
+  let script = ref [] in
+  let next_id = ref first_id in
+  let last_inserted = ref None in
+  let continue_ = ref true in
+  let step () =
+    let live_count = List.length (h.Healer.live_nodes ()) in
+    if live_count < 2 then continue_ := false
+    else if Rng.float rng 1.0 < p_delete then begin
+      match Adversary.pick_victim del rng h with
+      | None -> continue_ := false
+      | Some v ->
+        h.Healer.delete v;
+        script := Delete v :: !script
+    end
+    else begin
+      let nbrs = Adversary.pick_neighbors ins rng h ~last_inserted:!last_inserted in
+      let v = !next_id in
+      incr next_id;
+      h.Healer.insert v nbrs;
+      last_inserted := Some v;
+      script := Insert (v, nbrs) :: !script
+    end
+  in
+  let i = ref 0 in
+  while !continue_ && !i < steps do
+    step ();
+    incr i
+  done;
+  List.rev !script
+
+let delete_fraction rng (h : Healer.t) ~fraction ~del =
+  let n = List.length (h.Healer.live_nodes ()) in
+  let want = max 1 (int_of_float (fraction *. float_of_int n)) in
+  let victims = ref [] in
+  let continue_ = ref true in
+  let k = ref 0 in
+  while !continue_ && !k < want do
+    (match Adversary.pick_victim del rng h with
+    | None -> continue_ := false
+    | Some v ->
+      h.Healer.delete v;
+      victims := v :: !victims);
+    incr k
+  done;
+  List.rev !victims
+
+let replay (h : Healer.t) ops =
+  let apply = function
+    | Insert (v, nbrs) -> h.Healer.insert v nbrs
+    | Delete v -> h.Healer.delete v
+  in
+  List.iter apply ops

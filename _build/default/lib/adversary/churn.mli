@@ -1,0 +1,43 @@
+(** Churn driver: applies adversarial insert/delete sequences to a healer.
+
+    Two modes. [drive] is the {e adaptive} adversary: every step it
+    inspects the healer's current topology and picks its best move — each
+    healing algorithm faces the adversary's best response to {e it}.
+    [replay] re-applies a recorded script verbatim, for experiments that
+    need the identical [G'] across healers. *)
+
+module Node_id := Fg_graph.Node_id
+
+type op = Insert of Node_id.t * Node_id.t list | Delete of Node_id.t
+
+val pp_op : Format.formatter -> op -> unit
+
+(** [drive rng healer ~steps ~p_delete ~del ~ins ~first_id] performs
+    [steps] adversarial moves: with probability [p_delete] a deletion
+    chosen by [del], otherwise an insertion attached per [ins] with fresh
+    ids from [first_id] upwards. Stops early if fewer than two nodes
+    survive. Returns the script applied (chronological). Raises
+    [Fg_baselines.Healer.Unsupported] if an insertion hits a healer
+    without insertion support. *)
+val drive :
+  Fg_graph.Rng.t ->
+  Fg_baselines.Healer.t ->
+  steps:int ->
+  p_delete:float ->
+  del:Adversary.deletion ->
+  ins:Adversary.insertion ->
+  first_id:Node_id.t ->
+  op list
+
+(** [delete_fraction rng healer ~fraction ~del] deletes
+    [fraction * current size] nodes (at least 1, leaving at least 2),
+    adaptively; returns victims in order. *)
+val delete_fraction :
+  Fg_graph.Rng.t ->
+  Fg_baselines.Healer.t ->
+  fraction:float ->
+  del:Adversary.deletion ->
+  Node_id.t list
+
+(** [replay healer ops] applies a recorded script. *)
+val replay : Fg_baselines.Healer.t -> op list -> unit

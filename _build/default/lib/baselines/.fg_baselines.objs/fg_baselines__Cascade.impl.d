@@ -1,0 +1,1 @@
+lib/baselines/cascade.ml: Array Fg_core Fg_graph Int List

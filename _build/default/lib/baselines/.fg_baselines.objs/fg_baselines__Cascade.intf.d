@@ -1,0 +1,1 @@
+lib/baselines/cascade.mli: Fg_graph

@@ -1,0 +1,1 @@
+lib/baselines/forgiving_tree.ml: Fg_graph Healer List Queue Will_tree

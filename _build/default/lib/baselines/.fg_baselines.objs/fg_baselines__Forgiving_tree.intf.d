@@ -1,0 +1,1 @@
+lib/baselines/forgiving_tree.mli: Fg_graph Healer

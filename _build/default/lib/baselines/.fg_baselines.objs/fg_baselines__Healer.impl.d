@@ -1,0 +1,1 @@
+lib/baselines/healer.ml: Fg_core Fg_graph

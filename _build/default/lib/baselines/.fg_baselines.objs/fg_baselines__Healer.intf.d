@@ -1,0 +1,1 @@
+lib/baselines/healer.mli: Fg_graph

@@ -1,0 +1,1 @@
+lib/baselines/naive.ml: Array Fg_graph Healer List

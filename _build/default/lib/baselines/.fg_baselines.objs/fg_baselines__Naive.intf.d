@@ -1,0 +1,1 @@
+lib/baselines/naive.mli: Fg_graph Healer

@@ -1,0 +1,1 @@
+lib/baselines/registry.ml: Forgiving_tree Healer Naive

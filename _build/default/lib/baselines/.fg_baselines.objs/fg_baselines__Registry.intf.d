@@ -1,0 +1,1 @@
+lib/baselines/registry.mli: Fg_graph Healer

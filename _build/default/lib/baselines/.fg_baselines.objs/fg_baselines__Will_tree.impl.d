@@ -1,0 +1,1 @@
+lib/baselines/will_tree.ml: Fg_graph Hashtbl List Option Printf Queue

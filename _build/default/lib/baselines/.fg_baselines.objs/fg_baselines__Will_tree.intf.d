@@ -1,0 +1,1 @@
+lib/baselines/will_tree.mli: Fg_graph

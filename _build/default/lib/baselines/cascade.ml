@@ -1,0 +1,89 @@
+module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
+module Centrality = Fg_graph.Centrality
+module Fg = Fg_core.Forgiving_graph
+
+type params = { tolerance : float; max_waves : int }
+type heal_mode = No_heal | Rewire of Fg_graph.Rng.t | Forgiving
+
+type result = {
+  initial_nodes : int;
+  surviving : int;
+  waves : int;
+  surviving_fraction : float;
+  largest_component_fraction : float;
+}
+
+(* load = betweenness + 1: every node carries at least its own traffic, so
+   leaves are not born at zero capacity *)
+let loads g =
+  let bc = Centrality.betweenness g in
+  let t = Node_id.Tbl.create 64 in
+  Node_id.Tbl.iter (fun v x -> Node_id.Tbl.replace t v (x +. 1.)) bc;
+  t
+
+let top_degree_attack g k =
+  Centrality.top_k (Centrality.degree_centrality g) k ~compare:Int.compare
+
+let run params ~heal g0 ~attack =
+  let initial_nodes = Adjacency.num_nodes g0 in
+  let capacity = Node_id.Tbl.create 64 in
+  Node_id.Tbl.iter
+    (fun v l -> Node_id.Tbl.replace capacity v ((1. +. params.tolerance) *. l))
+    (loads g0);
+  (* the evolving network, behind the chosen healing mode *)
+  let fg = match heal with Forgiving -> Some (Fg.of_graph g0) | _ -> None in
+  let plain = match heal with Forgiving -> None | _ -> Some (Adjacency.copy g0) in
+  let current () =
+    match (fg, plain) with
+    | Some f, None -> Fg.graph f
+    | None, Some g -> g
+    | _ -> assert false
+  in
+  let remove v =
+    match (fg, plain, heal) with
+    | Some f, None, _ -> Fg.delete f v
+    | None, Some g, Rewire rng ->
+      let nbrs = Adjacency.neighbors g v in
+      Adjacency.remove_node g v;
+      (* emergent rewiring: reconnect one random surviving pair *)
+      (match nbrs with
+      | a :: b :: _ as all when List.length all >= 2 ->
+        let arr = Array.of_list all in
+        let x = Fg_graph.Rng.pick_array rng arr and y = Fg_graph.Rng.pick_array rng arr in
+        if Node_id.equal x y then Adjacency.add_edge g a b else Adjacency.add_edge g x y
+      | _ -> ())
+    | None, Some g, _ -> Adjacency.remove_node g v
+    | _ -> assert false
+  in
+  List.iter (fun v -> if Adjacency.mem_node (current ()) v then remove v) attack;
+  let waves = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !waves < params.max_waves do
+    let g = current () in
+    let now = loads g in
+    let failures =
+      Node_id.Tbl.fold
+        (fun v l acc ->
+          match Node_id.Tbl.find_opt capacity v with
+          | Some c when l > c -> v :: acc
+          | _ -> acc)
+        now []
+    in
+    if failures = [] then continue_ := false
+    else begin
+      incr waves;
+      List.iter remove (List.sort Node_id.compare failures)
+    end
+  done;
+  let g = current () in
+  let surviving = Adjacency.num_nodes g in
+  {
+    initial_nodes;
+    surviving;
+    waves = !waves;
+    surviving_fraction = float_of_int surviving /. float_of_int (max 1 initial_nodes);
+    largest_component_fraction =
+      float_of_int (Fg_graph.Connectivity.largest_component_size g)
+      /. float_of_int (max 1 initial_nodes);
+  }

@@ -1,0 +1,45 @@
+(** Motter–Lai cascading-failure model with pluggable healing.
+
+    Reproduces the related-work claim of Section 1: load-based cascade
+    defenses (e.g. Hayashi–Miyazaki "emergent rewirings") work on random
+    failures but "perform very poorly under adversarial attack". A node's
+    load is its betweenness (number of shortest paths through it); its
+    capacity is [(1 + tolerance) * initial load]. Deleting a hub diverts
+    load onto other nodes; overloaded nodes fail in waves until the system
+    stabilises.
+
+    Healing modes applied after every wave:
+    - [No_heal]: plain removal (Motter–Lai);
+    - [Rewire rng]: emergent rewiring — for every failed node, one random
+      edge is added between two of its surviving ex-neighbours
+      (Hayashi–Miyazaki);
+    - [Forgiving]: the network is maintained by the Forgiving Graph, which
+      heals topology after every failure. *)
+
+module Node_id := Fg_graph.Node_id
+
+type params = {
+  tolerance : float;  (** capacity headroom alpha; Motter–Lai use 0..1 *)
+  max_waves : int;  (** safety cut-off for the failure iteration *)
+}
+
+type heal_mode = No_heal | Rewire of Fg_graph.Rng.t | Forgiving
+
+type result = {
+  initial_nodes : int;
+  surviving : int;
+  waves : int;  (** failure waves until stabilisation *)
+  surviving_fraction : float;
+  largest_component_fraction : float;
+      (** size of the largest surviving component over initial size — the
+          G-measure Motter–Lai report *)
+}
+
+(** [run params ~heal g ~attack] removes the attacked nodes, then iterates
+    overload failures under the given healing mode. *)
+val run :
+  params -> heal:heal_mode -> Fg_graph.Adjacency.t -> attack:Node_id.t list -> result
+
+(** [top_degree_attack g k] is the classic adversarial attack: the [k]
+    highest-degree nodes. *)
+val top_degree_attack : Fg_graph.Adjacency.t -> int -> Node_id.t list

@@ -1,0 +1,52 @@
+module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
+
+let spanning_tree g =
+  let tree = Adjacency.create () in
+  Adjacency.iter_nodes (fun v -> Adjacency.add_node tree v) g;
+  let seen = Node_id.Tbl.create 64 in
+  let bfs_from root =
+    let q = Queue.create () in
+    Node_id.Tbl.replace seen root ();
+    Queue.add root q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      let visit u =
+        if not (Node_id.Tbl.mem seen u) then begin
+          Node_id.Tbl.replace seen u ();
+          Adjacency.add_edge tree v u;
+          Queue.add u q
+        end
+      in
+      Adjacency.iter_neighbors visit g v
+    done
+  in
+  let roots = List.sort Node_id.compare (Adjacency.nodes g) in
+  List.iter (fun v -> if not (Node_id.Tbl.mem seen v) then bfs_from v) roots;
+  tree
+
+let ceil_log2 n =
+  let n = max 2 n in
+  let rec go p b = if p >= n then b else go (2 * p) (b + 1) in
+  go 1 0
+
+let healer g0 =
+  let tree = spanning_tree g0 in
+  let ft = Will_tree.create tree in
+  let original_gprime = Adjacency.copy g0 in
+  let n = Adjacency.num_nodes g0 in
+  {
+    Healer.name = "ft";
+    insert =
+      (fun _ _ ->
+        raise
+          (Healer.Unsupported
+             "the Forgiving Tree has no insertion algorithm (PODC'08)"));
+    delete = (fun v -> Will_tree.delete ft v);
+    graph = (fun () -> Will_tree.graph ft);
+    gprime = (fun () -> original_gprime);
+    live_nodes = (fun () -> Will_tree.live_nodes ft);
+    is_alive = (fun v -> Will_tree.is_alive ft v);
+    (* the PODC'08 preprocessing: distributing Wills costs O(n log n) msgs *)
+    init_messages = n * ceil_log2 n;
+  }

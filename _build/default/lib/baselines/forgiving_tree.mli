@@ -1,0 +1,25 @@
+(** The Forgiving Tree (Hayes, Rustagi, Saia, Trehan, PODC 2008) — the
+    predecessor the paper claims three improvements over:
+
+    + the FT bounds only the {e diameter} blow-up (factor O(log Delta)),
+      not per-pair stretch — it heals a spanning tree and ignores non-tree
+      edges, so pairs joined by a non-tree edge in G' can drift far apart;
+    + the FT handles only deletions — {!Healer.Unsupported} is raised on
+      insertion;
+    + the FT requires an initialization phase of O(n log n) messages (the
+      "Will" distribution pass), charged here as [init_messages].
+
+    Implemented by {!Will_tree} over a BFS spanning tree of the initial
+    network, reproducing the PODC'08 guarantees including the {e additive}
+    +3 degree bound (each processor simulates at most one virtual node at
+    a time); see {!Will_tree} for the one recorded deviation (wills are
+    computed at deletion time rather than pre-distributed). *)
+
+(** [healer g] builds the Forgiving Tree over a BFS spanning tree of [g].
+    [gprime ()] returns the {e original} graph's insert-only reference (not
+    the spanning tree), so stretch metrics expose the dropped non-tree
+    edges exactly as the paper argues. *)
+val healer : Fg_graph.Adjacency.t -> Healer.t
+
+(** The spanning tree used (exposed for tests). *)
+val spanning_tree : Fg_graph.Adjacency.t -> Fg_graph.Adjacency.t

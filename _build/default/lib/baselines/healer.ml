@@ -1,0 +1,28 @@
+module Node_id = Fg_graph.Node_id
+module Fg = Fg_core.Forgiving_graph
+
+exception Unsupported of string
+
+type t = {
+  name : string;
+  insert : Node_id.t -> Node_id.t list -> unit;
+  delete : Node_id.t -> unit;
+  graph : unit -> Fg_graph.Adjacency.t;
+  gprime : unit -> Fg_graph.Adjacency.t;
+  live_nodes : unit -> Node_id.t list;
+  is_alive : Node_id.t -> bool;
+  init_messages : int;
+}
+
+let forgiving_graph g0 =
+  let fg = Fg.of_graph g0 in
+  {
+    name = "fg";
+    insert = (fun v nbrs -> Fg.insert fg v nbrs);
+    delete = (fun v -> Fg.delete fg v);
+    graph = (fun () -> Fg.graph fg);
+    gprime = (fun () -> Fg.gprime fg);
+    live_nodes = (fun () -> Fg.live_nodes fg);
+    is_alive = (fun v -> Fg.is_alive fg v);
+    init_messages = 0;
+  }

@@ -1,0 +1,30 @@
+(** Common interface over self-healing strategies, so the comparison
+    experiments (E7, E10) can sweep the Forgiving Graph, the Forgiving
+    Tree, and the naive patch baselines uniformly.
+
+    A healer owns the evolving network: it accepts the same adversarial
+    insert/delete events as {!Fg_core.Forgiving_graph} and exposes the
+    healed graph plus the insert-only reference graph [G'] for metrics. *)
+
+module Node_id := Fg_graph.Node_id
+
+(** Raised by healers that do not support an operation (e.g. the Forgiving
+    Tree has no insertion algorithm — one of the paper's claimed
+    improvements). *)
+exception Unsupported of string
+
+(** First-class healer: a record of operations closed over its state. *)
+type t = {
+  name : string;
+  insert : Node_id.t -> Node_id.t list -> unit;
+  delete : Node_id.t -> unit;
+  graph : unit -> Fg_graph.Adjacency.t;  (** current healed network *)
+  gprime : unit -> Fg_graph.Adjacency.t;  (** insert-only graph *)
+  live_nodes : unit -> Node_id.t list;
+  is_alive : Node_id.t -> bool;
+  init_messages : int;  (** preprocessing cost charged at start-up *)
+}
+
+(** [forgiving_graph g] wraps the paper's structure. No initialization
+    phase: [init_messages = 0]. *)
+val forgiving_graph : Fg_graph.Adjacency.t -> t

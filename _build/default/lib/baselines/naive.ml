@@ -1,0 +1,89 @@
+module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
+
+type pattern = No_repair | Cycle | Line | Clique | Star | Binary_tree
+
+let pattern_name = function
+  | No_repair -> "none"
+  | Cycle -> "cycle"
+  | Line -> "line"
+  | Clique -> "clique"
+  | Star -> "star"
+  | Binary_tree -> "binary"
+
+type state = {
+  g : Adjacency.t;  (* current network *)
+  gp : Adjacency.t;  (* insert-only graph *)
+  alive : unit Node_id.Tbl.t;
+}
+
+let patch pattern g nbrs =
+  let nbrs = List.sort Node_id.compare nbrs in
+  match (pattern, nbrs) with
+  | (No_repair, _ | _, ([] | [ _ ])) -> ()
+  | Cycle, first :: _ ->
+    let rec link = function
+      | a :: (b :: _ as rest) ->
+        Adjacency.add_edge g a b;
+        link rest
+      | [ last ] -> Adjacency.add_edge g last first
+      | [] -> ()
+    in
+    link nbrs
+  | Line, _ ->
+    let rec link = function
+      | a :: (b :: _ as rest) ->
+        Adjacency.add_edge g a b;
+        link rest
+      | [ _ ] | [] -> ()
+    in
+    link nbrs
+  | Clique, _ ->
+    List.iter (fun a -> List.iter (fun b -> if a < b then Adjacency.add_edge g a b) nbrs) nbrs
+  | Star, hub :: rest -> List.iter (fun b -> Adjacency.add_edge g hub b) rest
+  | Binary_tree, _ ->
+    (* heap-shaped balanced binary tree over the neighbours; no simulation
+       bookkeeping, so repeated deletions concentrate degree *)
+    let arr = Array.of_list nbrs in
+    Array.iteri
+      (fun i v -> if i > 0 then Adjacency.add_edge g arr.((i - 1) / 2) v)
+      arr
+
+let healer pattern g0 =
+  let st =
+    { g = Adjacency.copy g0; gp = Adjacency.copy g0; alive = Node_id.Tbl.create 64 }
+  in
+  Adjacency.iter_nodes (fun v -> Node_id.Tbl.replace st.alive v ()) g0;
+  let is_alive v = Node_id.Tbl.mem st.alive v in
+  let insert v nbrs =
+    if Adjacency.mem_node st.gp v then invalid_arg "naive insert: id already seen";
+    let nbrs = List.sort_uniq Node_id.compare nbrs in
+    List.iter
+      (fun u -> if not (is_alive u) then invalid_arg "naive insert: dead neighbour")
+      nbrs;
+    Adjacency.add_node st.gp v;
+    Adjacency.add_node st.g v;
+    Node_id.Tbl.replace st.alive v ();
+    List.iter
+      (fun u ->
+        Adjacency.add_edge st.gp v u;
+        Adjacency.add_edge st.g v u)
+      nbrs
+  in
+  let delete v =
+    if not (is_alive v) then invalid_arg "naive delete: node not live";
+    let nbrs = Adjacency.neighbors st.g v in
+    Adjacency.remove_node st.g v;
+    Node_id.Tbl.remove st.alive v;
+    patch pattern st.g nbrs
+  in
+  {
+    Healer.name = pattern_name pattern;
+    insert;
+    delete;
+    graph = (fun () -> st.g);
+    gprime = (fun () -> st.gp);
+    live_nodes = (fun () -> Node_id.Tbl.fold (fun v () acc -> v :: acc) st.alive []);
+    is_alive;
+    init_messages = 0;
+  }

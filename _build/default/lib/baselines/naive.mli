@@ -1,0 +1,27 @@
+(** Naive repair baselines: on deletion, connect the surviving neighbours
+    of the deleted node with a fixed local pattern.
+
+    These populate the degree/stretch trade-off frontier of experiment E10
+    against the lower bound of Theorem 2:
+
+    - {b none}: no repair — the network fragments (what "self-healing"
+      prevents);
+    - {b cycle}: neighbours joined in a cycle — degree +2 additive per
+      event, but stretch grows linearly under repeated attack;
+    - {b line}: neighbours joined in a path — one fewer edge than cycle;
+    - {b clique}: all-pairs — stretch stays 1-ish but degree explodes
+      (alpha unbounded);
+    - {b star}: lowest-id neighbour becomes hub — small stretch, hub
+      degree explodes (the strategy Theorem 2 says must lose);
+    - {b binary}: neighbours joined in a balanced binary tree (depth
+      log d like the Forgiving Graph's haft) but {e without} the
+      representative mechanism — an ablation showing the mechanism is what
+      keeps degrees bounded under repeated deletions. *)
+
+type pattern = No_repair | Cycle | Line | Clique | Star | Binary_tree
+
+val pattern_name : pattern -> string
+
+(** [healer pattern g] builds the baseline healer. All patterns support
+    insertion (it needs no repair). *)
+val healer : pattern -> Fg_graph.Adjacency.t -> Healer.t

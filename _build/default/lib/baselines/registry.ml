@@ -1,0 +1,13 @@
+let names = [ "fg"; "ft"; "none"; "cycle"; "line"; "clique"; "star"; "binary" ]
+
+let by_name name g0 =
+  match name with
+  | "fg" -> Healer.forgiving_graph g0
+  | "ft" -> Forgiving_tree.healer g0
+  | "none" -> Naive.healer Naive.No_repair g0
+  | "cycle" -> Naive.healer Naive.Cycle g0
+  | "line" -> Naive.healer Naive.Line g0
+  | "clique" -> Naive.healer Naive.Clique g0
+  | "star" -> Naive.healer Naive.Star g0
+  | "binary" -> Naive.healer Naive.Binary_tree g0
+  | _ -> raise Not_found

@@ -1,0 +1,10 @@
+(** Healer factory by harness name. *)
+
+(** [by_name name g0] builds the named healer over initial graph [g0]:
+    ["fg"] (Forgiving Graph), ["ft"] (Forgiving Tree), ["none"],
+    ["cycle"], ["line"], ["clique"], ["star"], ["binary"] (naive
+    patches). Raises [Not_found] for unknown names. *)
+val by_name : string -> Fg_graph.Adjacency.t -> Healer.t
+
+(** Names accepted by {!by_name}. *)
+val names : string list

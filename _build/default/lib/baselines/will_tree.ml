@@ -1,0 +1,277 @@
+module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
+
+type kind = Real of Node_id.t | Virtual of Node_id.t  (* simulator *)
+
+type vnode = {
+  id : int;
+  mutable kind : kind;
+  mutable parent : vnode option;
+  mutable children : vnode list;
+  mutable dissolved : bool;
+}
+
+type t = {
+  nodes : vnode Node_id.Tbl.t;  (* live proc -> its real vnode *)
+  sims : vnode Node_id.Tbl.t;  (* proc -> the virtual vnode it simulates *)
+  orig_deg : int Node_id.Tbl.t;
+  mutable roots : vnode list;
+  mutable next_id : int;
+}
+
+let proc_of v = match v.kind with Real p -> p | Virtual p -> p
+let is_alive t p = Node_id.Tbl.mem t.nodes p
+let live_nodes t = Node_id.Tbl.fold (fun p _ acc -> p :: acc) t.nodes []
+
+let simulates t p =
+  match Node_id.Tbl.find_opt t.sims p with Some _ -> 1 | None -> 0
+
+let original_degree t v =
+  Option.value (Node_id.Tbl.find_opt t.orig_deg v) ~default:0
+
+let fresh t kind =
+  let v = { id = t.next_id; kind; parent = None; children = []; dissolved = false } in
+  t.next_id <- t.next_id + 1;
+  v
+
+let create tree =
+  let t =
+    {
+      nodes = Node_id.Tbl.create 64;
+      sims = Node_id.Tbl.create 64;
+      orig_deg = Node_id.Tbl.create 64;
+      roots = [];
+      next_id = 0;
+    }
+  in
+  Adjacency.iter_nodes
+    (fun p ->
+      Node_id.Tbl.replace t.nodes p (fresh t (Real p));
+      Node_id.Tbl.replace t.orig_deg p (Adjacency.degree tree p))
+    tree;
+  (* root each component at its smallest id; parent links via BFS *)
+  let seen = Node_id.Tbl.create 64 in
+  let bfs root =
+    let rv = Node_id.Tbl.find t.nodes root in
+    t.roots <- rv :: t.roots;
+    let q = Queue.create () in
+    Node_id.Tbl.replace seen root ();
+    Queue.add root q;
+    while not (Queue.is_empty q) do
+      let p = Queue.pop q in
+      let pv = Node_id.Tbl.find t.nodes p in
+      let visit c =
+        if not (Node_id.Tbl.mem seen c) then begin
+          Node_id.Tbl.replace seen c ();
+          let cv = Node_id.Tbl.find t.nodes c in
+          cv.parent <- Some pv;
+          pv.children <- cv :: pv.children;
+          Queue.add c q
+        end
+      in
+      List.iter visit (List.sort Node_id.compare (Adjacency.neighbors tree p))
+    done
+  in
+  List.iter
+    (fun p -> if not (Node_id.Tbl.mem seen p) then bfs p)
+    (List.sort Node_id.compare (Adjacency.nodes tree));
+  t
+
+(* smallest free (non-simulating, live) processor in [x]'s subtree *)
+let find_free_proc t x =
+  let best = ref None in
+  let rec go v =
+    (match v.kind with
+    | Real p when is_alive t p && not (Node_id.Tbl.mem t.sims p) -> (
+      match !best with
+      | Some b when Node_id.compare b p <= 0 -> ()
+      | _ -> best := Some p)
+    | Real _ | Virtual _ -> ());
+    List.iter go v.children
+  in
+  go x;
+  !best
+
+(* replace [old_child] in its parent's child list (or the forest roots) *)
+let replace_child t ~parent ~old_child ~with_ =
+  match parent with
+  | Some pv ->
+    pv.children <-
+      List.concat_map
+        (fun c ->
+          if c.id = old_child.id then match with_ with Some r -> [ r ] | None -> []
+          else [ c ])
+        pv.children;
+    Option.iter (fun r -> r.parent <- Some pv) with_
+  | None ->
+    t.roots <-
+      List.concat_map
+        (fun c ->
+          if c.id = old_child.id then match with_ with Some r -> [ r ] | None -> []
+          else [ c ])
+        t.roots;
+    Option.iter (fun r -> r.parent <- None) with_
+
+(* a virtual node reduced to a single child dissolves: splice it out and
+   free its simulator *)
+let rec normalize t v =
+  match (v.kind, v.children) with
+  | Virtual sim, [ only ] ->
+    Node_id.Tbl.remove t.sims sim;
+    v.dissolved <- true;
+    replace_child t ~parent:v.parent ~old_child:v ~with_:(Some only);
+    (match only.parent with Some p -> normalize t p | None -> ())
+  | Virtual sim, [] ->
+    (* both leaves died: the virtual node vanishes entirely *)
+    Node_id.Tbl.remove t.sims sim;
+    v.dissolved <- true;
+    let parent = v.parent in
+    replace_child t ~parent ~old_child:v ~with_:None;
+    (match parent with Some p -> normalize t p | None -> ())
+  | _ -> ()
+
+(* the will: a balanced binary tree over [v]'s children, internal nodes
+   simulated by free descendants (the representative discipline) *)
+let build_will t children =
+  let rec level = function
+    | [] -> None
+    | [ only ] -> Some only
+    | nodes ->
+      let rec pair = function
+        | a :: b :: rest ->
+          let w = fresh t (Real (-1)) in
+          (* temporary kind; fixed below *)
+          w.children <- [ a; b ];
+          a.parent <- Some w;
+          b.parent <- Some w;
+          let sim =
+            match find_free_proc t w with
+            | Some p -> p
+            | None -> (
+              (* fall back to any free live processor; keeps the <=1
+                 virtual-per-processor invariant (hence +3 degree) at the
+                 cost of locality *)
+              match
+                List.sort Node_id.compare
+                  (List.filter
+                     (fun p -> not (Node_id.Tbl.mem t.sims p))
+                     (live_nodes t))
+              with
+              | p :: _ -> p
+              | [] -> failwith "Will_tree: no free simulator anywhere")
+          in
+          w.kind <- Virtual sim;
+          Node_id.Tbl.replace t.sims sim w;
+          w :: pair rest
+        | rest -> rest
+      in
+      level (pair nodes)
+  in
+  let ordered = List.sort (fun a b -> compare a.id b.id) children in
+  level ordered
+
+let delete t v =
+  let rv =
+    match Node_id.Tbl.find_opt t.nodes v with
+    | Some rv -> rv
+    | None -> invalid_arg "Will_tree.delete: node is not live"
+  in
+  Node_id.Tbl.remove t.nodes v;
+  let orphaned_virtual = Node_id.Tbl.find_opt t.sims v in
+  Node_id.Tbl.remove t.sims v;
+  let parent = rv.parent in
+  let children = rv.children in
+  List.iter (fun c -> c.parent <- None) children;
+  rv.children <- [];
+  (* execute the will *)
+  let replacement = build_will t children in
+  replace_child t ~parent ~old_child:rv ~with_:replacement;
+  (* a virtual parent left with one child dissolves *)
+  (match parent with Some p -> normalize t p | None -> ());
+  (* hand v's virtual node to a free descendant *)
+  match orphaned_virtual with
+  | None -> ()
+  | Some w ->
+    (* w may itself have dissolved during normalization *)
+    if not w.dissolved then begin
+      let p =
+        match find_free_proc t w with
+        | Some p -> Some p
+        | None ->
+          List.find_opt
+            (fun p -> not (Node_id.Tbl.mem t.sims p))
+            (List.sort Node_id.compare (live_nodes t))
+      in
+      match p with
+      | Some p ->
+        w.kind <- Virtual p;
+        Node_id.Tbl.replace t.sims p w
+      | None -> failwith "Will_tree: no free simulator to inherit a virtual node"
+    end
+
+let graph t =
+  let g = Adjacency.create () in
+  Node_id.Tbl.iter (fun p _ -> Adjacency.add_node g p) t.nodes;
+  let rec go v =
+    let pv = proc_of v in
+    List.iter
+      (fun c ->
+        let pc = proc_of c in
+        if not (Node_id.equal pv pc) then Adjacency.add_edge g pv pc;
+        go c)
+      v.children
+  in
+  List.iter go t.roots;
+  g
+
+let check t =
+  let errs = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (* forest structure and arities *)
+  let seen = Hashtbl.create 64 in
+  let rec walk v =
+    if Hashtbl.mem seen v.id then say "vnode #%d reached twice" v.id
+    else begin
+      Hashtbl.replace seen v.id ();
+      (match v.kind with
+      | Virtual sim ->
+        if List.length v.children <> 2 then
+          say "virtual #%d has %d children" v.id (List.length v.children);
+        if not (is_alive t sim) then say "virtual #%d simulated by dead %d" v.id sim;
+        (match Node_id.Tbl.find_opt t.sims sim with
+        | Some w when w.id = v.id -> ()
+        | _ -> say "virtual #%d not registered to its simulator %d" v.id sim)
+      | Real p ->
+        if not (is_alive t p) then say "dead real vnode #%d (%d) in tree" v.id p);
+      List.iter
+        (fun c ->
+          (match c.parent with
+          | Some pp when pp.id = v.id -> ()
+          | _ -> say "child #%d of #%d lacks backlink" c.id v.id);
+          walk c)
+        v.children
+    end
+  in
+  List.iter walk t.roots;
+  (* every live proc's real vnode is in the forest *)
+  Node_id.Tbl.iter
+    (fun p rv -> if not (Hashtbl.mem seen rv.id) then say "live %d not in forest" p)
+    t.nodes;
+  (* simulator injectivity is structural (sims is keyed by proc); check
+     that registered sims point at forest nodes *)
+  Node_id.Tbl.iter
+    (fun p w ->
+      if not (Hashtbl.mem seen w.id) then say "sim of %d points outside the forest" p)
+    t.sims;
+  (* the PODC'08 degree guarantee: original tree degree + 3 *)
+  let g = graph t in
+  Node_id.Tbl.iter
+    (fun p _ ->
+      let d = Adjacency.degree g p and d0 = original_degree t p in
+      if d > d0 + 3 then say "degree of %d: %d > %d + 3" p d d0)
+    t.nodes;
+  (* connectivity: one image component per forest root *)
+  let comps = Fg_graph.Connectivity.num_components g in
+  if Adjacency.num_nodes g > 0 && comps <> List.length t.roots then
+    say "image has %d components, forest has %d roots" comps (List.length t.roots);
+  List.rev !errs

@@ -1,0 +1,1 @@
+lib/core/edge.ml: Fg_graph Format Hashtbl

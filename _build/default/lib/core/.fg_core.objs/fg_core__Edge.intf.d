@@ -1,0 +1,1 @@
+lib/core/edge.mli: Fg_graph Format Hashtbl

@@ -1,0 +1,1 @@
+lib/core/forgiving_graph.ml: Edge Fg_graph Hashtbl Int List Map Option Rt

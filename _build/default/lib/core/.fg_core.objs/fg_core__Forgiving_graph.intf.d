@@ -1,0 +1,1 @@
+lib/core/forgiving_graph.mli: Fg_graph Rt

@@ -1,0 +1,1 @@
+lib/core/history.ml: Fg_graph Forgiving_graph Format List

@@ -1,0 +1,1 @@
+lib/core/history.mli: Fg_graph Forgiving_graph Format

@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Edge Fg_graph Fg_haft Forgiving_graph Hashtbl Int List Map Option Printf Rt

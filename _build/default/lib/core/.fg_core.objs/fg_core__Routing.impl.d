@@ -1,0 +1,1 @@
+lib/core/routing.ml: Edge Fg_graph Forgiving_graph Int List Rt Set

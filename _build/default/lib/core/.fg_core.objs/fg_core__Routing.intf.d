@@ -1,0 +1,1 @@
+lib/core/routing.mli: Fg_graph Forgiving_graph

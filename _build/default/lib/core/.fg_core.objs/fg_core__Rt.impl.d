@@ -1,0 +1,1 @@
+lib/core/rt.ml: Edge Fg_graph Fg_haft Format Fun Hashtbl Int List Map Option Set

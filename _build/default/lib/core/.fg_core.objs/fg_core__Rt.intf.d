@@ -1,0 +1,1 @@
+lib/core/rt.mli: Edge Fg_graph Fg_haft Format

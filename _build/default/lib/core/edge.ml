@@ -1,0 +1,48 @@
+module Node_id = Fg_graph.Node_id
+
+type t = { a : Node_id.t; b : Node_id.t }
+
+let make u v =
+  if Node_id.equal u v then invalid_arg "Edge.make: self-loop";
+  if u < v then { a = u; b = v } else { a = v; b = u }
+
+let other e v =
+  if Node_id.equal e.a v then e.b
+  else if Node_id.equal e.b v then e.a
+  else invalid_arg "Edge.other: not an endpoint"
+
+let incident e v = Node_id.equal e.a v || Node_id.equal e.b v
+let equal e1 e2 = Node_id.equal e1.a e2.a && Node_id.equal e1.b e2.b
+
+let compare e1 e2 =
+  let c = Node_id.compare e1.a e2.a in
+  if c <> 0 then c else Node_id.compare e1.b e2.b
+
+let hash e = Hashtbl.hash (e.a, e.b)
+let pp ppf e = Format.fprintf ppf "(%a,%a)" Node_id.pp e.a Node_id.pp e.b
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+module Half = struct
+  type edge = t
+  type t = { proc : Node_id.t; edge : edge }
+
+  let make proc edge =
+    if not (incident edge proc) then invalid_arg "Edge.Half.make: proc not an endpoint";
+    { proc; edge }
+
+  let equal h1 h2 = Node_id.equal h1.proc h2.proc && equal h1.edge h2.edge
+  let pp ppf h = Format.fprintf ppf "%a@%a" Node_id.pp h.proc pp h.edge
+
+  module Tbl = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash h = Hashtbl.hash (h.proc, h.edge.a, h.edge.b)
+  end)
+end

@@ -1,0 +1,39 @@
+(** Edges of the insert-only graph [G'].
+
+    Every edge ever inserted keeps its identity [(u, v)] forever, even after
+    one or both endpoints die: reconstruction-tree leaves and helper nodes
+    are scoped to a G'-edge ("we still refer to this edge as (v, x) i.e. by
+    its name in G'", Section 4.2). Stored in normalised order. *)
+
+type t = private { a : Fg_graph.Node_id.t; b : Fg_graph.Node_id.t }
+
+(** [make u v] normalises so that [a < b].
+    Raises [Invalid_argument] if [u = v]. *)
+val make : Fg_graph.Node_id.t -> Fg_graph.Node_id.t -> t
+
+(** [other e v] is the endpoint of [e] that is not [v].
+    Raises [Invalid_argument] if [v] is not an endpoint. *)
+val other : t -> Fg_graph.Node_id.t -> Fg_graph.Node_id.t
+
+(** [incident e v] holds iff [v] is an endpoint of [e]. *)
+val incident : t -> Fg_graph.Node_id.t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+
+(** Half-edges: one side of a G'-edge, owned by processor [proc].
+    Reconstruction-tree leaves and helpers are keyed by half-edges. *)
+module Half : sig
+  type edge := t
+  type t = { proc : Fg_graph.Node_id.t; edge : edge }
+
+  val make : Fg_graph.Node_id.t -> edge -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  module Tbl : Hashtbl.S with type key = t
+end

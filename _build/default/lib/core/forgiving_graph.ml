@@ -1,0 +1,178 @@
+module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
+
+type t = {
+  gprime : Adjacency.t;
+  alive : unit Node_id.Tbl.t;
+  rt : Rt.ctx;
+}
+
+let create ?policy () =
+  {
+    gprime = Adjacency.create ();
+    alive = Node_id.Tbl.create 64;
+    rt = Rt.create_ctx ?policy ();
+  }
+
+let is_alive t v = Node_id.Tbl.mem t.alive v
+
+let insert t v nbrs =
+  if Adjacency.mem_node t.gprime v then
+    invalid_arg "Forgiving_graph.insert: node id was already seen";
+  let nbrs = List.sort_uniq Node_id.compare nbrs in
+  let check u =
+    if not (is_alive t u) then
+      invalid_arg "Forgiving_graph.insert: neighbour is not live"
+  in
+  List.iter check nbrs;
+  Adjacency.add_node t.gprime v;
+  Node_id.Tbl.replace t.alive v ();
+  Rt.add_image_node t.rt v;
+  let connect u =
+    Adjacency.add_edge t.gprime v u;
+    Rt.add_direct t.rt v u
+  in
+  List.iter connect nbrs
+
+let of_graph ?policy g =
+  let t = create ?policy () in
+  let nodes = List.sort Node_id.compare (Adjacency.nodes g) in
+  let add v =
+    Adjacency.add_node t.gprime v;
+    Node_id.Tbl.replace t.alive v ();
+    Rt.add_image_node t.rt v
+  in
+  List.iter add nodes;
+  Adjacency.iter_edges
+    (fun u v ->
+      Adjacency.add_edge t.gprime u v;
+      Rt.add_direct t.rt u v)
+    g;
+  t
+
+let delete_traced t v =
+  if not (is_alive t v) then invalid_arg "Forgiving_graph.delete: node is not live";
+  Node_id.Tbl.remove t.alive v;
+  let marked = ref [] and fresh = ref [] in
+  let classify x =
+    let e = Edge.make v x in
+    if is_alive t x then begin
+      (* live neighbour: drop the direct edge, give x a leaf in the new RT *)
+      Rt.remove_direct t.rt v x;
+      fresh := Edge.Half.make x e :: !fresh
+    end
+    else begin
+      (* dead neighbour: v's attachment into that RT disappears *)
+      let mine = Edge.Half.make v e in
+      (match Rt.find_leaf t.rt mine with
+      | Some leaf -> marked := leaf :: !marked
+      | None -> assert false (* a leaf exists for every dead-neighbour edge *));
+      match Rt.find_helper t.rt mine with
+      | Some h -> marked := h :: !marked
+      | None -> ()
+    end
+  in
+  List.iter classify (Adjacency.neighbors t.gprime v);
+  let _root, trace = Rt.heal t.rt ~marked:!marked ~fresh:!fresh in
+  Rt.drop_image_node t.rt v;
+  trace
+
+let delete t v = ignore (delete_traced t v)
+
+(* Simultaneous deletion of a victim set. Victims are partitioned into
+   independent repair groups — two victims interact iff they are adjacent
+   in G' or their attachments live in the same RT — and each group heals
+   with one combined Strip/Merge. Unrelated victims therefore do not get
+   spliced into a common reconstruction tree (matching what the sequential
+   algorithm would produce for them). *)
+let delete_batch_traced t victims =
+  let victims = List.sort_uniq Node_id.compare victims in
+  List.iter
+    (fun v ->
+      if not (is_alive t v) then
+        invalid_arg "Forgiving_graph.delete_batch: node is not live")
+    victims;
+  let dead = List.fold_left (fun s v -> Node_id.Set.add v s) Node_id.Set.empty victims in
+  List.iter (fun v -> Node_id.Tbl.remove t.alive v) victims;
+  (* per-victim marked vnodes and fresh half-edges *)
+  let marked = Node_id.Tbl.create 8 and fresh = Node_id.Tbl.create 8 in
+  let push tbl v x = Node_id.Tbl.replace tbl v (x :: Option.value (Node_id.Tbl.find_opt tbl v) ~default:[]) in
+  let classify v x =
+    let e = Edge.make v x in
+    if Node_id.Set.mem x dead then begin
+      (* victim-victim edge: both were live until now, so it was a direct
+         edge with no attachments; drop it from the image exactly once *)
+      if v < x then Rt.remove_direct t.rt v x
+    end
+    else if is_alive t x then begin
+      Rt.remove_direct t.rt v x;
+      push fresh v (Edge.Half.make x e)
+    end
+    else begin
+      (* x died in an earlier round: v has a leaf (and maybe a helper) *)
+      let mine = Edge.Half.make v e in
+      (match Rt.find_leaf t.rt mine with
+      | Some leaf -> push marked v leaf
+      | None -> assert false);
+      match Rt.find_helper t.rt mine with
+      | Some h -> push marked v h
+      | None -> ()
+    end
+  in
+  List.iter (fun v -> List.iter (classify v) (Adjacency.neighbors t.gprime v)) victims;
+  (* group victims: G'-adjacency within the batch, or a shared RT *)
+  let uf = Fg_graph.Union_find.create () in
+  List.iter (fun v -> ignore (Fg_graph.Union_find.find uf v)) victims;
+  List.iter
+    (fun v ->
+      List.iter
+        (fun x -> if Node_id.Set.mem x dead then ignore (Fg_graph.Union_find.union uf v x))
+        (Adjacency.neighbors t.gprime v))
+    victims;
+  let root_owner = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun (m : Rt.vnode) ->
+          let r = (Rt.root_of m).Rt.id in
+          match Hashtbl.find_opt root_owner r with
+          | None -> Hashtbl.replace root_owner r v
+          | Some u -> ignore (Fg_graph.Union_find.union uf u v))
+        (Option.value (Node_id.Tbl.find_opt marked v) ~default:[]))
+    victims;
+  let module Im = Map.Make (Int) in
+  let groups =
+    List.fold_left
+      (fun m v ->
+        let r = Fg_graph.Union_find.find uf v in
+        Im.update r (fun l -> Some (v :: Option.value l ~default:[])) m)
+      Im.empty victims
+  in
+  let heal_group members =
+    let collect tbl = List.concat_map (fun v -> Option.value (Node_id.Tbl.find_opt tbl v) ~default:[]) members in
+    let _root, trace = Rt.heal t.rt ~marked:(collect marked) ~fresh:(collect fresh) in
+    trace
+  in
+  let traces = Im.fold (fun _ members acc -> heal_group members :: acc) groups [] in
+  List.iter (fun v -> Rt.drop_image_node t.rt v) victims;
+  List.rev traces
+
+let delete_batch t victims = ignore (delete_batch_traced t victims)
+
+let graph t = Rt.image t.rt
+let gprime t = t.gprime
+let live_nodes t = Node_id.Tbl.fold (fun v () acc -> v :: acc) t.alive []
+let num_live t = Node_id.Tbl.length t.alive
+let num_seen t = Adjacency.num_nodes t.gprime
+
+let stretch_bound t =
+  let n = num_seen t in
+  if n <= 1 then 0
+  else begin
+    let rec go p d = if p >= n then d else go (2 * p) (d + 1) in
+    go 1 0
+  end
+
+let degree_bound t v = 3 * Adjacency.degree t.gprime v
+let helper_load t v = Rt.helper_count t.rt v
+let ctx t = t.rt

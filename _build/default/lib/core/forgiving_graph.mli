@@ -1,0 +1,87 @@
+(** The Forgiving Graph: self-healing overlay under adversarial attack.
+
+    Usage mirrors the model of Section 2: start from an arbitrary connected
+    graph ({!of_graph}), then apply an arbitrary interleaving of {!insert}
+    and {!delete}. After every deletion the structure heals itself by adding
+    edges only, maintaining (Theorem 1):
+
+    - [degree v (graph t) <= 3 * degree v (gprime t)] for every live [v];
+    - [dist (graph t) x y <= ceil(log2 n) * dist (gprime t) x y] for live
+      [x, y], where [n] is the number of nodes ever seen and [gprime] is
+      the insert-only graph (no deletions, no healing edges);
+    - connectivity of [graph t] wherever [gprime t] connects live nodes.
+
+    This is the centralized reference implementation: it executes the same
+    Strip/Merge/representative mechanism as the distributed protocol
+    ({!Fg_sim}) but in one address space. The distributed engine is tested
+    against it. *)
+
+module Node_id := Fg_graph.Node_id
+
+type t
+
+(** [create ()] is the empty network. [policy] selects the simulator
+    choice at RT merges (default {!Rt.Paper}; see {!Rt.policy}). *)
+val create : ?policy:Rt.policy -> unit -> t
+
+(** [of_graph g] adopts [g] as the initial graph [G_0]: all nodes live, all
+    edges counted as insertions in [G']. *)
+val of_graph : ?policy:Rt.policy -> Fg_graph.Adjacency.t -> t
+
+(** [insert t v nbrs] is an adversarial insertion: new node [v] joins with
+    edges to the live nodes [nbrs]. Raises [Invalid_argument] if [v] was
+    seen before or some neighbour is not live. Duplicate neighbours are
+    collapsed. *)
+val insert : t -> Node_id.t -> Node_id.t list -> unit
+
+(** [delete t v] is an adversarial deletion followed by the healing repair.
+    Raises [Invalid_argument] if [v] is not live. *)
+val delete : t -> Node_id.t -> unit
+
+(** [delete_traced t v] is {!delete} returning the repair trace (fragment
+    and merge structure), which the distributed simulator converts into
+    message/round/bit costs (Lemma 4). *)
+val delete_traced : t -> Node_id.t -> Rt.heal_trace
+
+(** [delete_batch t victims] deletes a set of nodes {e simultaneously} —
+    an extension beyond the paper's one-per-round adversary. Victims are
+    partitioned into independent repair groups (two victims interact iff
+    G'-adjacent or sharing a reconstruction tree) and each group heals
+    with one combined Strip/Merge, so unrelated failures stay independent
+    exactly as under sequential deletion. All Theorem 1 invariants hold
+    afterwards; grouped repair does no more work than the equivalent
+    deletion sequence. Duplicates are collapsed; raises
+    [Invalid_argument] if any victim is not live. *)
+val delete_batch : t -> Node_id.t list -> unit
+
+(** [delete_batch_traced t victims] also returns one repair trace per
+    independent group. *)
+val delete_batch_traced : t -> Node_id.t list -> Rt.heal_trace list
+
+(** [graph t] is the current actual network (healed). The returned graph is
+    live state — treat as read-only; copy before mutating. *)
+val graph : t -> Fg_graph.Adjacency.t
+
+(** [gprime t] is [G']: every node and edge ever inserted, deletions
+    ignored. Read-only. *)
+val gprime : t -> Fg_graph.Adjacency.t
+
+val is_alive : t -> Node_id.t -> bool
+val live_nodes : t -> Node_id.t list
+val num_live : t -> int
+
+(** [num_seen t] is [n], the number of nodes in [G']. *)
+val num_seen : t -> int
+
+(** [stretch_bound t] is [ceil(log2 (num_seen t))], the multiplicative
+    stretch guarantee of Theorem 1.2 (0 when fewer than 2 nodes seen). *)
+val stretch_bound : t -> int
+
+(** [degree_bound t v] is [3 * degree v (gprime t)] (Theorem 1.1). *)
+val degree_bound : t -> Node_id.t -> int
+
+(** Number of helper vnodes processor [v] currently simulates. *)
+val helper_load : t -> Node_id.t -> int
+
+(** The underlying virtual-graph context, for invariant checks and tests. *)
+val ctx : t -> Rt.ctx

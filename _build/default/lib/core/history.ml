@@ -1,0 +1,42 @@
+module Node_id = Fg_graph.Node_id
+module P = Fg_graph.Persistent_graph
+
+type event = Inserted of Node_id.t * Node_id.t list | Deleted of Node_id.t
+
+let pp_event ppf = function
+  | Inserted (v, nbrs) ->
+    Format.fprintf ppf "insert %a -> [%a]" Node_id.pp v
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space Node_id.pp)
+      nbrs
+  | Deleted v -> Format.fprintf ppf "delete %a" Node_id.pp v
+
+type t = {
+  fg : Forgiving_graph.t;
+  mutable log : (event * P.t) list;  (* reversed *)
+  initial : P.t;
+}
+
+let capture fg = P.of_adjacency (Forgiving_graph.graph fg)
+
+let create g0 =
+  let fg = Forgiving_graph.of_graph g0 in
+  { fg; log = []; initial = capture fg }
+
+let insert t v nbrs =
+  Forgiving_graph.insert t.fg v nbrs;
+  t.log <- (Inserted (v, nbrs), capture t.fg) :: t.log
+
+let delete t v =
+  Forgiving_graph.delete t.fg v;
+  t.log <- (Deleted v, capture t.fg) :: t.log
+
+let fg t = t.fg
+let length t = List.length t.log
+
+let snapshot t k =
+  if k < 0 || k > length t then invalid_arg "History.snapshot: out of range";
+  if k = 0 then t.initial
+  else snd (List.nth t.log (length t - k))
+
+let events t = List.rev_map fst t.log
+let series t f = f t.initial :: List.rev_map (fun (_, s) -> f s) t.log

@@ -1,0 +1,45 @@
+(** Attack-history recorder: the Forgiving Graph with a persistent snapshot
+    of the healed network after every event.
+
+    Theorem 1 is a statement about {e every} moment of an execution;
+    this wrapper makes that checkable after the fact. Snapshots are
+    persistent graphs ({!Fg_graph.Persistent_graph}), so recording an
+    n-event history shares structure instead of copying n adjacency
+    tables. Used by the timeline experiment (E12) and the
+    [examples/p2p_churn.exe] walkthrough; also handy interactively: run an
+    attack, then scrub through the states. *)
+
+module Node_id := Fg_graph.Node_id
+
+type event =
+  | Inserted of Node_id.t * Node_id.t list
+  | Deleted of Node_id.t
+
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+(** [create g0] snapshots the initial network as event 0. *)
+val create : Fg_graph.Adjacency.t -> t
+
+val insert : t -> Node_id.t -> Node_id.t list -> unit
+val delete : t -> Node_id.t -> unit
+
+(** The wrapped structure (current state). *)
+val fg : t -> Forgiving_graph.t
+
+(** [length t] is the number of recorded events (excluding the initial
+    snapshot). *)
+val length : t -> int
+
+(** [snapshot t k] is the healed network after the [k]-th event
+    ([k = 0] is the initial network). Raises [Invalid_argument] when out
+    of range. *)
+val snapshot : t -> int -> Fg_graph.Persistent_graph.t
+
+(** [events t] in chronological order. *)
+val events : t -> event list
+
+(** [series t f] maps [f] over the snapshots chronologically — e.g. edge
+    counts or component counts over time. *)
+val series : t -> (Fg_graph.Persistent_graph.t -> 'a) -> 'a list

@@ -1,0 +1,75 @@
+module Node_id = Fg_graph.Node_id
+module Bfs = Fg_graph.Bfs
+
+let length_bound t dist' = dist' * 2 * Forgiving_graph.stretch_bound t
+
+(* path of vnodes from [v] up to the root, inclusive *)
+let ancestors (v : Rt.vnode) =
+  let rec up (v : Rt.vnode) acc =
+    match v.Rt.parent with None -> List.rev (v :: acc) | Some p -> up p (v :: acc)
+  in
+  up v []
+
+(* tree walk between two vnodes of the same RT: up from [a] to the lowest
+   common ancestor, then down to [b] *)
+let tree_walk a b =
+  let pa = ancestors a and pb = ancestors b in
+  let module Is = Set.Make (Int) in
+  let ids_a = List.fold_left (fun s (v : Rt.vnode) -> Is.add v.Rt.id s) Is.empty pa in
+  let rec find_lca = function
+    | [] -> invalid_arg "Routing.tree_walk: vnodes in different RTs"
+    | (v : Rt.vnode) :: rest ->
+      if Is.mem v.Rt.id ids_a then v else find_lca rest
+  in
+  let lca = find_lca pb in
+  let rec take_until acc = function
+    | [] -> List.rev acc
+    | (v : Rt.vnode) :: rest ->
+      if v.Rt.id = lca.Rt.id then List.rev (v :: acc) else take_until (v :: acc) rest
+  in
+  let up = take_until [] pa in
+  let down = take_until [] pb in
+  up @ List.tl (List.rev down)
+
+let proc_of (v : Rt.vnode) = v.Rt.half.Edge.Half.proc
+
+let route t x y =
+  if not (Forgiving_graph.is_alive t x && Forgiving_graph.is_alive t y) then
+    invalid_arg "Routing.route: endpoints must be live";
+  match Bfs.shortest_path (Forgiving_graph.gprime t) x y with
+  | None -> None
+  | Some gp_path ->
+    let ctx = Forgiving_graph.ctx t in
+    let walk = ref [ x ] in
+    let append p = match !walk with q :: _ when Node_id.equal p q -> () | _ -> walk := p :: !walk in
+    let leaf_for live dead =
+      match Rt.find_leaf ctx (Edge.Half.make live (Edge.make live dead)) with
+      | Some l -> l
+      | None -> invalid_arg "Routing.route: missing attachment leaf"
+    in
+    (* consume the G'-path: u is the last live node emitted; a dead run is
+       accumulated until the next live node closes the segment *)
+    let rec go u dead_run = function
+      | [] ->
+        (* G'-paths end at live y, so any dead run must have been closed *)
+        assert (dead_run = [])
+      | v :: rest ->
+        if Forgiving_graph.is_alive t v then begin
+          (match dead_run with
+          | [] -> append v (* direct live-live edge *)
+          | first_dead :: _ ->
+            let last_dead = List.nth dead_run (List.length dead_run - 1) in
+            let leaf_u = leaf_for u first_dead in
+            let leaf_v = leaf_for v last_dead in
+            List.iter (fun w -> append (proc_of w)) (tree_walk leaf_u leaf_v);
+            append v);
+          go v [] rest
+        end
+        else go u (dead_run @ [ v ]) rest
+    in
+    (match gp_path with
+    | x' :: rest ->
+      assert (Node_id.equal x' x);
+      go x [] rest
+    | [] -> ());
+    Some (List.rev !walk)

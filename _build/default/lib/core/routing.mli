@@ -1,0 +1,31 @@
+(** Constructive routing: Theorem 1.2 as an algorithm.
+
+    The stretch proof observes that any G'-path survives in the healed
+    network if every maximal run of dead nodes is crossed through the
+    reconstruction tree that absorbed it (adjacent dead nodes always merge
+    into one RT). [route] performs exactly that stitching:
+
+    + shortest path [x .. y] in [G'] (which may pass through dead nodes);
+    + live-live edges are taken directly (they are in the image);
+    + for each maximal dead segment between live [u] and [w], walk the RT
+      tree path between [u]'s and [w]'s attachment leaves (up to the LCA
+      and down), mapping every vnode to its simulating processor.
+
+    The returned walk is a real path in [graph t] of length at most
+    [2 * height(RT) <= 2 ceil(log2 n)] per crossed segment — the
+    per-edge expansion bounding the stretch. This gives each node a way to
+    forward messages using only RT-local pointers (parent/children of its
+    own vnodes), no global recomputation. *)
+
+module Node_id := Fg_graph.Node_id
+
+(** [route t x y] is a walk from [x] to [y] in the healed graph obtained
+    by stitching a shortest G'-path, or [None] if [y] is unreachable from
+    [x] in [G']. Raises [Invalid_argument] if [x] or [y] is not live.
+    Consecutive duplicate processors are collapsed; every consecutive pair
+    in the result is an edge of [graph t]. *)
+val route : Forgiving_graph.t -> Node_id.t -> Node_id.t -> Node_id.t list option
+
+(** [length_bound t dist'] is the guaranteed walk length for a pair at
+    G'-distance [dist']: [dist' * 2 * ceil(log2 n)] (loose but certain). *)
+val length_bound : Forgiving_graph.t -> int -> int

@@ -1,0 +1,479 @@
+module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
+
+type kind = Leaf | Helper
+
+type vnode = {
+  id : int;
+  kind : kind;
+  half : Edge.Half.t;
+  mutable parent : vnode option;
+  mutable left : vnode option;
+  mutable right : vnode option;
+  mutable leaves : int;
+  mutable height : int;
+  mutable rep : vnode;
+  mutable live : bool;
+}
+
+module Pair_tbl = Hashtbl.Make (struct
+  type t = Node_id.t * Node_id.t
+
+  let equal (a1, b1) (a2, b2) = Node_id.equal a1 a2 && Node_id.equal b1 b2
+  let hash = Hashtbl.hash
+end)
+
+type policy = Paper | Degree_balanced
+
+type ctx = {
+  leaf_tbl : vnode Edge.Half.Tbl.t;
+  helper_tbl : vnode Edge.Half.Tbl.t;
+  img : Adjacency.t;
+  counts : int Pair_tbl.t;  (* multiplicity of image edges, key (min, max) *)
+  policy : policy;
+  mutable next_id : int;
+}
+
+let create_ctx ?(policy = Paper) () =
+  {
+    leaf_tbl = Edge.Half.Tbl.create 64;
+    helper_tbl = Edge.Half.Tbl.create 64;
+    img = Adjacency.create ();
+    counts = Pair_tbl.create 64;
+    policy;
+    next_id = 0;
+  }
+
+let image ctx = ctx.img
+let add_image_node ctx p = Adjacency.add_node ctx.img p
+
+let drop_image_node ctx p =
+  if Adjacency.degree ctx.img p > 0 then
+    invalid_arg "Rt.drop_image_node: processor still has edges";
+  Adjacency.remove_node ctx.img p
+
+(* ---- image edge reference counting ---- *)
+
+let pair_key u v = if u < v then (u, v) else (v, u)
+
+let img_inc ctx u v =
+  if not (Node_id.equal u v) then begin
+    let key = pair_key u v in
+    let c = Option.value (Pair_tbl.find_opt ctx.counts key) ~default:0 in
+    Pair_tbl.replace ctx.counts key (c + 1);
+    if c = 0 then Adjacency.add_edge ctx.img u v
+  end
+
+let img_dec ctx u v =
+  if not (Node_id.equal u v) then begin
+    let key = pair_key u v in
+    match Pair_tbl.find_opt ctx.counts key with
+    | None | Some 0 -> invalid_arg "Rt.img_dec: edge not present"
+    | Some 1 ->
+      Pair_tbl.remove ctx.counts key;
+      Adjacency.remove_edge ctx.img u v
+    | Some c -> Pair_tbl.replace ctx.counts key (c - 1)
+  end
+
+let add_direct ctx u v = img_inc ctx u v
+let remove_direct ctx u v = img_dec ctx u v
+
+(* ---- vnode structural helpers ---- *)
+
+let proc v = v.half.Edge.Half.proc
+let find_leaf ctx half = Edge.Half.Tbl.find_opt ctx.leaf_tbl half
+let find_helper ctx half = Edge.Half.Tbl.find_opt ctx.helper_tbl half
+let is_complete v = v.leaves = 1 lsl v.height
+
+let rec root_of v = match v.parent with None -> v | Some p -> root_of p
+
+let fresh_leaf ctx half =
+  let rec v =
+    {
+      id = ctx.next_id;
+      kind = Leaf;
+      half;
+      parent = None;
+      left = None;
+      right = None;
+      leaves = 1;
+      height = 0;
+      rep = v;
+      live = true;
+    }
+  in
+  ctx.next_id <- ctx.next_id + 1;
+  assert (not (Edge.Half.Tbl.mem ctx.leaf_tbl half));
+  Edge.Half.Tbl.replace ctx.leaf_tbl half v;
+  v
+
+(* Create a helper simulated by the representative leaf [simulator], with
+   the two given children. Image edges for both child links are added. *)
+let fresh_helper ctx ~simulator ~left ~right ~rep =
+  let half = simulator.half in
+  assert (simulator.kind = Leaf);
+  assert (not (Edge.Half.Tbl.mem ctx.helper_tbl half));
+  let v =
+    {
+      id = ctx.next_id;
+      kind = Helper;
+      half;
+      parent = None;
+      left = Some left;
+      right = Some right;
+      leaves = left.leaves + right.leaves;
+      height = 1 + max left.height right.height;
+      rep;
+      live = true;
+    }
+  in
+  ctx.next_id <- ctx.next_id + 1;
+  Edge.Half.Tbl.replace ctx.helper_tbl half v;
+  left.parent <- Some v;
+  right.parent <- Some v;
+  img_inc ctx (proc v) (proc left);
+  img_inc ctx (proc v) (proc right);
+  v
+
+(* Discard a vnode: remove its child links (with image accounting), its
+   table entry, and mark it dead. The parent link must already be gone
+   (parents are discarded top-down). Returns the orphaned children. *)
+let discard ctx v =
+  assert (v.parent = None);
+  let orphan child =
+    child.parent <- None;
+    img_dec ctx (proc v) (proc child)
+  in
+  Option.iter orphan v.left;
+  Option.iter orphan v.right;
+  let children = List.filter_map Fun.id [ v.left; v.right ] in
+  v.left <- None;
+  v.right <- None;
+  v.live <- false;
+  (match v.kind with
+  | Leaf -> Edge.Half.Tbl.remove ctx.leaf_tbl v.half
+  | Helper -> Edge.Half.Tbl.remove ctx.helper_tbl v.half);
+  children
+
+(* ---- decomposition (Strip over the broken forest) ---- *)
+
+module Int_set = Set.Make (Int)
+
+(* ids of every marked vnode and all of its ancestors *)
+let taint_set marked =
+  let rec add_up acc v =
+    if Int_set.mem v.id acc then acc
+    else
+      let acc = Int_set.add v.id acc in
+      match v.parent with None -> acc | Some p -> add_up acc p
+  in
+  List.fold_left add_up Int_set.empty marked
+
+(* Walk a tree top-down. Untainted complete subtrees go to the pool;
+   everything else is discarded and its children are visited. Roots passed
+   in must have no parent.
+
+   Fragment tagging: a fragment is a maximal connected piece of the broken
+   RT after removing the deleted processor's (marked) vnodes; each fragment
+   is one BT_v anchor. Removing a marked helper separates its two child
+   subtrees from the rest, so children of a *marked* node start fresh
+   fragments; red (non-primary-root) discards stay within the fragment.
+   Returns pool entries tagged with their fragment id, plus the number of
+   red helpers discarded. *)
+let decompose ctx ~marked_ids ~tainted roots =
+  let pool = ref [] in
+  let discarded = ref 0 in
+  let next_fid = ref 0 in
+  let fresh_fid () =
+    let f = !next_fid in
+    incr next_fid;
+    f
+  in
+  let rec visit fid v =
+    if (not (Int_set.mem v.id tainted)) && is_complete v then
+      pool := (fid, v) :: !pool
+    else begin
+      let was_marked = Int_set.mem v.id marked_ids in
+      if (not was_marked) && v.kind = Helper then incr discarded;
+      let children = discard ctx v in
+      let child_fid () = if was_marked then fresh_fid () else fid in
+      List.iter (fun c -> visit (child_fid ()) c) children
+    end
+  in
+  List.iter (fun r -> visit (fresh_fid ()) r) roots;
+  (!pool, !discarded)
+
+(* ---- merge (ComputeHaft, Algorithm A.9) ---- *)
+
+let vnode_order a b =
+  let c = compare a.leaves b.leaves in
+  if c <> 0 then c else compare a.id b.id
+
+(* Policy hook for the A.9 simulator choice. The paper always consumes the
+   designated side's representative; either side is valid (the new helper's
+   rep is inherited from whichever side was not consumed, preserving the
+   free-leaf invariant), so Degree_balanced picks the representative whose
+   processor currently has the smaller image degree — the ablation of
+   DESIGN.md §6 probing whether a smarter choice restores the stated 3x
+   degree bound. *)
+let choose_simulator ctx ~preferred ~other =
+  match ctx.policy with
+  | Paper -> (preferred, other)
+  | Degree_balanced ->
+    let deg v = Adjacency.degree ctx.img (proc v.rep) in
+    if deg other < deg preferred then (other, preferred) else (preferred, other)
+
+(* Join two equal-size complete trees: the first tree's representative
+   simulates the new parent; the second tree's representative is inherited
+   (A.9 lines 5-17). *)
+let join_equal ctx a b =
+  assert (a.leaves = b.leaves);
+  let consumed, inherited = choose_simulator ctx ~preferred:a ~other:b in
+  fresh_helper ctx ~simulator:consumed.rep ~left:a ~right:b ~rep:inherited.rep
+
+(* Join a larger complete tree [big] with the accumulated smaller haft
+   [small]: the larger tree's representative simulates the new parent and
+   becomes the left child (A.9 lines 20-27). *)
+let join_chain ctx ~big ~small =
+  assert (big.leaves > small.leaves);
+  let consumed, inherited = choose_simulator ctx ~preferred:big ~other:small in
+  fresh_helper ctx ~simulator:consumed.rep ~left:big ~right:small ~rep:inherited.rep
+
+(* Merge a set of complete trees into a single haft (ComputeHaft over one
+   root list). Returns the root and the number of helpers created. *)
+let merge_pool ctx pool =
+  match List.sort vnode_order pool with
+  | [] -> None
+  | sorted ->
+    let created = ref 0 in
+    let count f a b =
+      incr created;
+      f a b
+    in
+    let rec add t = function
+      | [] -> [ t ]
+      | hd :: tl ->
+        if t.leaves < hd.leaves then t :: hd :: tl
+        else if t.leaves = hd.leaves then add (count (join_equal ctx) t hd) tl
+        else hd :: add t tl
+    in
+    let summed = List.fold_left (fun acc t -> add t acc) [] sorted in
+    (match summed with
+    | [] -> None
+    | smallest :: rest ->
+      let join acc t =
+        incr created;
+        join_chain ctx ~big:t ~small:acc
+      in
+      Some (List.fold_left join smallest rest, !created))
+
+(* Strip a standalone haft root back into its complete trees, discarding
+   the joining ("red", Fig. 7) helpers. Returns (roots, discarded). *)
+let strip_live ctx root =
+  let roots = ref [] and discarded = ref 0 in
+  let rec go v =
+    if is_complete v then roots := v :: !roots
+    else begin
+      incr discarded;
+      match discard ctx v with
+      | [ l; r ] ->
+        (* the left child of a haft node is complete by definition *)
+        roots := l :: !roots;
+        go r
+      | _ -> assert false
+    end
+  in
+  go root;
+  (!roots, !discarded)
+
+type merge_event = {
+  me_left_sizes : int list;
+  me_right_sizes : int list;
+  me_left_height : int;
+  me_right_height : int;
+  me_created : int;
+  me_discarded : int;
+}
+
+type heal_trace = {
+  ht_anchors : int;
+  ht_notified : int;
+  ht_initial_discarded : int;
+  ht_levels : merge_event list list;
+}
+
+let sizes_of roots = List.map (fun v -> v.leaves) roots
+let max_height roots = List.fold_left (fun m v -> max m v.height) 0 roots
+
+(* One BT_v unit: either a freshly fragmented set of complete trees, or the
+   single haft produced by an earlier level (re-stripped when merged). *)
+type btv_unit = Roots of vnode list | Whole of vnode
+
+let unit_roots ctx = function
+  | Roots rs -> (rs, 0)
+  | Whole v -> strip_live ctx v
+
+let unit_order a b =
+  let key = function
+    | Roots [] -> max_int
+    | Roots (r :: rs) -> List.fold_left (fun m v -> min m v.id) r.id rs
+    | Whole v -> v.id
+  in
+  compare (key a) (key b)
+
+(* Bottom-up pairwise reduction over BT_v (Fig. 7): at every level adjacent
+   units merge in parallel; an odd unit passes through. *)
+let btv_reduce ctx units =
+  let levels = ref [] in
+  let rec loop units =
+    match units with
+    | [] -> None
+    | [ u ] -> (
+      match u with
+      | Whole v -> Some v
+      | Roots rs -> (
+        (* a single fragment still re-merges its own complete trees *)
+        match merge_pool ctx rs with
+        | None -> None
+        | Some (root, created) ->
+          let ev =
+            {
+              me_left_sizes = sizes_of rs;
+              me_right_sizes = [];
+              me_left_height = max_height rs;
+              me_right_height = 0;
+              me_created = created;
+              me_discarded = 0;
+            }
+          in
+          levels := [ ev ] :: !levels;
+          Some root))
+    | _ ->
+      let events = ref [] in
+      let rec pair = function
+        | a :: b :: rest ->
+          let left_roots, dl = unit_roots ctx a in
+          let right_roots, dr = unit_roots ctx b in
+          let merged, created =
+            match merge_pool ctx (left_roots @ right_roots) with
+            | Some r -> r
+            | None -> assert false (* both sides non-empty *)
+          in
+          let ev =
+            {
+              me_left_sizes = sizes_of left_roots;
+              me_right_sizes = sizes_of right_roots;
+              me_left_height = max_height left_roots;
+              me_right_height = max_height right_roots;
+              me_created = created;
+              me_discarded = dl + dr;
+            }
+          in
+          events := ev :: !events;
+          Whole merged :: pair rest
+        | ([ _ ] | []) as rest -> rest
+      in
+      let next = pair units in
+      levels := List.rev !events :: !levels;
+      loop next
+  in
+  let root = loop units in
+  (root, List.rev !levels)
+
+let heal ctx ~marked ~fresh =
+  let tainted = taint_set marked in
+  let marked_ids =
+    List.fold_left (fun acc v -> Int_set.add v.id acc) Int_set.empty marked
+  in
+  let roots =
+    (* distinct tree roots containing marked vnodes *)
+    let seen = Hashtbl.create 8 in
+    let collect acc v =
+      let r = root_of v in
+      if Hashtbl.mem seen r.id then acc
+      else begin
+        Hashtbl.replace seen r.id ();
+        r :: acc
+      end
+    in
+    List.fold_left collect [] marked
+  in
+  (* Nset size: virtual neighbours of the deleted processor's vnodes *)
+  let notified =
+    let count_neighbors acc (v : vnode) =
+      let n = (match v.parent with Some _ -> 1 | None -> 0) in
+      let n = n + (match v.left with Some _ -> 1 | None -> 0) in
+      let n = n + (match v.right with Some _ -> 1 | None -> 0) in
+      acc + n
+    in
+    List.fold_left count_neighbors (List.length fresh) marked
+  in
+  let pool, initial_discarded = decompose ctx ~marked_ids ~tainted roots in
+  (* group pool entries into fragments *)
+  let module Im = Map.Make (Int) in
+  let frags =
+    List.fold_left
+      (fun m (fid, v) -> Im.update fid (fun l -> Some (v :: Option.value l ~default:[])) m)
+      Im.empty pool
+  in
+  let fragment_units = Im.fold (fun _ rs acc -> Roots rs :: acc) frags [] in
+  let fresh_units = List.map (fun h -> Roots [ fresh_leaf ctx h ]) fresh in
+  let units = List.sort unit_order (fragment_units @ fresh_units) in
+  let anchors = List.length units in
+  let root, levels = btv_reduce ctx units in
+  let trace =
+    {
+      ht_anchors = anchors;
+      ht_notified = notified;
+      ht_initial_discarded = initial_discarded;
+      ht_levels = levels;
+    }
+  in
+  (root, trace)
+
+(* ---- traversal / export ---- *)
+
+let iter_tree f root =
+  let rec go v =
+    f v;
+    Option.iter go v.left;
+    Option.iter go v.right
+  in
+  go root
+
+let leaves_of root =
+  let acc = ref [] in
+  iter_tree (fun v -> if v.kind = Leaf then acc := v :: !acc) root;
+  List.rev !acc
+
+let rt_roots ctx =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let record _half leaf =
+    let r = root_of leaf in
+    if not (Hashtbl.mem seen r.id) then begin
+      Hashtbl.replace seen r.id ();
+      acc := r :: !acc
+    end
+  in
+  Edge.Half.Tbl.iter record ctx.leaf_tbl;
+  List.sort (fun a b -> compare a.id b.id) !acc
+
+let rec to_haft v =
+  match (v.left, v.right) with
+  | None, None -> Fg_haft.Haft.Leaf v.half
+  | Some l, Some r -> Fg_haft.Haft.node (to_haft l) (to_haft r)
+  | _ -> invalid_arg "Rt.to_haft: malformed vnode (one child)"
+
+let all_leaves ctx = Edge.Half.Tbl.fold (fun _ v acc -> v :: acc) ctx.leaf_tbl []
+let all_helpers ctx = Edge.Half.Tbl.fold (fun _ v acc -> v :: acc) ctx.helper_tbl []
+
+let helper_count ctx p =
+  Edge.Half.Tbl.fold
+    (fun half _ acc -> if Node_id.equal half.Edge.Half.proc p then acc + 1 else acc)
+    ctx.helper_tbl 0
+
+let pp_vnode ppf v =
+  let k = match v.kind with Leaf -> "leaf" | Helper -> "helper" in
+  Format.fprintf ppf "%s#%d %a (leaves=%d h=%d)" k v.id Edge.Half.pp v.half v.leaves
+    v.height

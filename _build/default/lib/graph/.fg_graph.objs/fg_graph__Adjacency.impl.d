@@ -1,0 +1,1 @@
+lib/graph/adjacency.ml: Format List Node_id

@@ -1,0 +1,1 @@
+lib/graph/bfs.ml: Adjacency List Node_id Queue

@@ -1,0 +1,1 @@
+lib/graph/centrality.ml: Adjacency List Node_id Option Queue

@@ -1,0 +1,1 @@
+lib/graph/centrality.mli: Adjacency Node_id

@@ -1,0 +1,1 @@
+lib/graph/connectivity.ml: Adjacency Bfs List Node_id Queue

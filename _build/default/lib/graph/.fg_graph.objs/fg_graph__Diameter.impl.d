@@ -1,0 +1,1 @@
+lib/graph/diameter.ml: Adjacency Bfs Node_id Option

@@ -1,0 +1,1 @@
+lib/graph/dijkstra.ml: Adjacency Binary_heap Node_id

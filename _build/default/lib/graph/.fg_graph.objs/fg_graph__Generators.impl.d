@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Adjacency Array Connectivity Float List Node_id Rng

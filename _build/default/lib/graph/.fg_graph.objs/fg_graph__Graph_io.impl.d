@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Adjacency Buffer Fun List Node_id Printf String

@@ -1,0 +1,1 @@
+lib/graph/graph_io.mli: Adjacency Node_id

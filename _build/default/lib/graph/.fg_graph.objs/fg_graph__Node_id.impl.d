@@ -1,0 +1,1 @@
+lib/graph/node_id.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/graph/persistent_graph.ml: Adjacency List Node_id Option

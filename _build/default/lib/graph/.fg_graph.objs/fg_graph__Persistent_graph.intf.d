@@ -1,0 +1,1 @@
+lib/graph/persistent_graph.mli: Adjacency Node_id

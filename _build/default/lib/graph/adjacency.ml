@@ -1,0 +1,97 @@
+type t = { adj : Node_id.Set.t ref Node_id.Tbl.t }
+
+let create ?(size = 64) () = { adj = Node_id.Tbl.create size }
+
+let copy g =
+  let adj = Node_id.Tbl.create (Node_id.Tbl.length g.adj) in
+  Node_id.Tbl.iter (fun v s -> Node_id.Tbl.replace adj v (ref !s)) g.adj;
+  { adj }
+
+let mem_node g v = Node_id.Tbl.mem g.adj v
+
+let add_node g v =
+  if not (mem_node g v) then Node_id.Tbl.replace g.adj v (ref Node_id.Set.empty)
+
+let neighbor_set g v =
+  match Node_id.Tbl.find_opt g.adj v with
+  | None -> Node_id.Set.empty
+  | Some s -> !s
+
+let neighbors g v = Node_id.Set.elements (neighbor_set g v)
+let degree g v = Node_id.Set.cardinal (neighbor_set g v)
+
+let add_edge g u v =
+  if not (Node_id.equal u v) then begin
+    add_node g u;
+    add_node g v;
+    let su = Node_id.Tbl.find g.adj u and sv = Node_id.Tbl.find g.adj v in
+    su := Node_id.Set.add v !su;
+    sv := Node_id.Set.add u !sv
+  end
+
+let remove_edge g u v =
+  match (Node_id.Tbl.find_opt g.adj u, Node_id.Tbl.find_opt g.adj v) with
+  | Some su, Some sv ->
+    su := Node_id.Set.remove v !su;
+    sv := Node_id.Set.remove u !sv
+  | _ -> ()
+
+let remove_node g v =
+  match Node_id.Tbl.find_opt g.adj v with
+  | None -> ()
+  | Some sv ->
+    let drop u =
+      match Node_id.Tbl.find_opt g.adj u with
+      | None -> ()
+      | Some su -> su := Node_id.Set.remove v !su
+    in
+    Node_id.Set.iter drop !sv;
+    Node_id.Tbl.remove g.adj v
+
+let mem_edge g u v = Node_id.Set.mem v (neighbor_set g u)
+let num_nodes g = Node_id.Tbl.length g.adj
+
+let num_edges g =
+  let total = Node_id.Tbl.fold (fun _ s acc -> acc + Node_id.Set.cardinal !s) g.adj 0 in
+  total / 2
+
+let nodes g = Node_id.Tbl.fold (fun v _ acc -> v :: acc) g.adj []
+let iter_nodes f g = Node_id.Tbl.iter (fun v _ -> f v) g.adj
+let fold_nodes f g init = Node_id.Tbl.fold (fun v _ acc -> f v acc) g.adj init
+let iter_neighbors f g v = Node_id.Set.iter f (neighbor_set g v)
+let fold_neighbors f g v init = Node_id.Set.fold f (neighbor_set g v) init
+
+let iter_edges f g =
+  Node_id.Tbl.iter
+    (fun u s -> Node_id.Set.iter (fun v -> if u < v then f u v) !s)
+    g.adj
+
+let edges g =
+  let acc = ref [] in
+  iter_edges (fun u v -> acc := (u, v) :: !acc) g;
+  !acc
+
+let max_degree g = Node_id.Tbl.fold (fun _ s m -> max m (Node_id.Set.cardinal !s)) g.adj 0
+
+let equal g1 g2 =
+  num_nodes g1 = num_nodes g2
+  && Node_id.Tbl.fold
+       (fun v s ok -> ok && Node_id.Set.equal !s (neighbor_set g2 v))
+       g1.adj true
+
+let of_edges pairs =
+  let g = create () in
+  List.iter (fun (u, v) -> add_edge g u v) pairs;
+  g
+
+let subgraph g keep =
+  let h = create () in
+  iter_nodes (fun v -> if keep v then add_node h v) g;
+  iter_edges (fun u v -> if keep u && keep v then add_edge h u v) g;
+  h
+
+let pp ppf g =
+  let sorted = List.sort compare (edges g) in
+  Format.fprintf ppf "@[<v>graph: %d nodes, %d edges@," (num_nodes g) (num_edges g);
+  List.iter (fun (u, v) -> Format.fprintf ppf "%d -- %d@," u v) sorted;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,68 @@
+(** Mutable simple undirected graph, the workhorse representation.
+
+    Nodes are {!Node_id.t}s; the structure stores an adjacency set per node.
+    Self-loops and parallel edges are rejected/collapsed: [add_edge g u u]
+    is a no-op and adding an existing edge is a no-op, which matches the
+    semantics of the "actual network" of the paper (the homomorphic image of
+    the virtual graph collapses duplicate virtual edges and drops loops). *)
+
+type t
+
+(** [create ?size ()] returns an empty graph; [size] is a capacity hint. *)
+val create : ?size:int -> unit -> t
+
+(** [copy g] is an independent deep copy. *)
+val copy : t -> t
+
+(** [add_node g v] adds isolated node [v]; no-op if present. *)
+val add_node : t -> Node_id.t -> unit
+
+(** [remove_node g v] deletes [v] and all incident edges; no-op if absent. *)
+val remove_node : t -> Node_id.t -> unit
+
+(** [add_edge g u v] inserts undirected edge [{u,v}], creating missing
+    endpoints. Self-loops are ignored. *)
+val add_edge : t -> Node_id.t -> Node_id.t -> unit
+
+(** [remove_edge g u v] removes the edge if present. *)
+val remove_edge : t -> Node_id.t -> Node_id.t -> unit
+
+val mem_node : t -> Node_id.t -> bool
+val mem_edge : t -> Node_id.t -> Node_id.t -> bool
+
+(** [neighbors g v] is the adjacency list of [v] (unspecified order);
+    [\[\]] if [v] is absent. *)
+val neighbors : t -> Node_id.t -> Node_id.t list
+
+(** [neighbor_set g v] is the adjacency set of [v] (empty if absent). *)
+val neighbor_set : t -> Node_id.t -> Node_id.Set.t
+
+(** [degree g v] is [0] when [v] is absent. *)
+val degree : t -> Node_id.t -> int
+
+val num_nodes : t -> int
+val num_edges : t -> int
+val nodes : t -> Node_id.t list
+
+(** [edges g] lists each undirected edge once, with [fst <= snd]. *)
+val edges : t -> (Node_id.t * Node_id.t) list
+
+val iter_nodes : (Node_id.t -> unit) -> t -> unit
+val iter_edges : (Node_id.t -> Node_id.t -> unit) -> t -> unit
+val iter_neighbors : (Node_id.t -> unit) -> t -> Node_id.t -> unit
+val fold_nodes : (Node_id.t -> 'a -> 'a) -> t -> 'a -> 'a
+val fold_neighbors : (Node_id.t -> 'a -> 'a) -> t -> Node_id.t -> 'a -> 'a
+
+(** [max_degree g] is [0] for the empty graph. *)
+val max_degree : t -> int
+
+(** [equal g1 g2] tests equality of node and edge sets. *)
+val equal : t -> t -> bool
+
+(** [of_edges pairs] builds a graph containing exactly the given edges. *)
+val of_edges : (Node_id.t * Node_id.t) list -> t
+
+(** [subgraph g keep] is the induced subgraph on nodes satisfying [keep]. *)
+val subgraph : t -> (Node_id.t -> bool) -> t
+
+val pp : Format.formatter -> t -> unit

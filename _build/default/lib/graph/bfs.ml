@@ -1,0 +1,71 @@
+let generic_bfs g srcs ~stop_at =
+  let dist = Node_id.Tbl.create 64 in
+  let q = Queue.create () in
+  let enqueue v d =
+    if not (Node_id.Tbl.mem dist v) then begin
+      Node_id.Tbl.replace dist v d;
+      Queue.add v q
+    end
+  in
+  List.iter (fun s -> if Adjacency.mem_node g s then enqueue s 0) srcs;
+  let finished = ref false in
+  while (not !finished) && not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    (match stop_at with
+    | Some target when Node_id.equal v target -> finished := true
+    | _ -> ());
+    if not !finished then
+      let d = Node_id.Tbl.find dist v in
+      Adjacency.iter_neighbors (fun u -> enqueue u (d + 1)) g v
+  done;
+  dist
+
+let distances g src = generic_bfs g [ src ] ~stop_at:None
+let multi_source_distances g srcs = generic_bfs g srcs ~stop_at:None
+
+let distance g src dst =
+  if not (Adjacency.mem_node g src && Adjacency.mem_node g dst) then None
+  else
+    let dist = generic_bfs g [ src ] ~stop_at:(Some dst) in
+    Node_id.Tbl.find_opt dist dst
+
+let shortest_path g src dst =
+  if not (Adjacency.mem_node g src && Adjacency.mem_node g dst) then None
+  else begin
+    let parent = Node_id.Tbl.create 64 in
+    let q = Queue.create () in
+    Node_id.Tbl.replace parent src src;
+    Queue.add src q;
+    let found = ref (Node_id.equal src dst) in
+    while (not !found) && not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      let visit u =
+        if not (Node_id.Tbl.mem parent u) then begin
+          Node_id.Tbl.replace parent u v;
+          if Node_id.equal u dst then found := true;
+          Queue.add u q
+        end
+      in
+      Adjacency.iter_neighbors visit g v
+    done;
+    if not !found then None
+    else begin
+      let rec build v acc =
+        if Node_id.equal v src then src :: acc
+        else build (Node_id.Tbl.find parent v) (v :: acc)
+      in
+      Some (build dst [])
+    end
+  end
+
+let farthest g v =
+  let dist = distances g v in
+  let best = ref (v, 0) in
+  Node_id.Tbl.iter
+    (fun u d ->
+      let _, bd = !best in
+      if d > bd || (d = bd && u < fst !best) then best := (u, d))
+    dist;
+  !best
+
+let eccentricity g v = snd (farthest g v)

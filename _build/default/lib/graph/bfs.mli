@@ -1,0 +1,28 @@
+(** Breadth-first search over {!Adjacency.t} graphs.
+
+    Distances are hop counts; unreachable nodes are simply absent from the
+    returned table, so callers can distinguish "disconnected" from "far". *)
+
+(** [distances g src] maps every node reachable from [src] (including [src]
+    itself, at distance 0) to its hop distance. *)
+val distances : Adjacency.t -> Node_id.t -> int Node_id.Tbl.t
+
+(** [distance g src dst] is [Some d] or [None] when [dst] is unreachable.
+    Early-exits once [dst] is settled. *)
+val distance : Adjacency.t -> Node_id.t -> Node_id.t -> int option
+
+(** [shortest_path g src dst] is the node sequence from [src] to [dst]
+    inclusive, or [None]. *)
+val shortest_path : Adjacency.t -> Node_id.t -> Node_id.t -> Node_id.t list option
+
+(** [multi_source_distances g srcs] is BFS from a set of sources: distance
+    to the nearest source. *)
+val multi_source_distances : Adjacency.t -> Node_id.t list -> int Node_id.Tbl.t
+
+(** [eccentricity g v] is the greatest distance from [v] to any node
+    reachable from [v]; [0] for an isolated node. *)
+val eccentricity : Adjacency.t -> Node_id.t -> int
+
+(** [farthest g v] is [(u, d)] with [u] at maximal distance [d] from [v]
+    (ties broken by smallest id). *)
+val farthest : Adjacency.t -> Node_id.t -> Node_id.t * int

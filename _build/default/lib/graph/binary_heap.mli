@@ -1,0 +1,22 @@
+(** Minimal array-backed binary min-heap of [(priority, value)] pairs.
+
+    Used by Dijkstra and the greedy adversary. Duplicate inserts of the same
+    value are allowed; stale entries are skipped by the caller (lazy
+    deletion), which is simpler and empirically faster than decrease-key for
+    the sparse graphs in this repository. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+(** [push h prio v] inserts [v] with priority [prio]. *)
+val push : 'a t -> int -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum-priority entry.
+    Raises [Not_found] when empty. *)
+val pop_min : 'a t -> int * 'a
+
+(** [peek_min h] returns without removing. Raises [Not_found] when empty. *)
+val peek_min : 'a t -> int * 'a

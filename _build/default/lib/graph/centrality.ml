@@ -1,0 +1,68 @@
+(* Brandes 2001: one BFS per source accumulating pair dependencies. *)
+let betweenness g =
+  let bc = Node_id.Tbl.create 64 in
+  Adjacency.iter_nodes (fun v -> Node_id.Tbl.replace bc v 0.) g;
+  let source s =
+    let dist = Node_id.Tbl.create 64 in
+    let sigma = Node_id.Tbl.create 64 in
+    let preds = Node_id.Tbl.create 64 in
+    let order = ref [] in
+    let q = Queue.create () in
+    Node_id.Tbl.replace dist s 0;
+    Node_id.Tbl.replace sigma s 1.;
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      order := v :: !order;
+      let dv = Node_id.Tbl.find dist v in
+      let sv = Node_id.Tbl.find sigma v in
+      let visit w =
+        (match Node_id.Tbl.find_opt dist w with
+        | None ->
+          Node_id.Tbl.replace dist w (dv + 1);
+          Node_id.Tbl.replace sigma w 0.;
+          Queue.add w q
+        | Some _ -> ());
+        if Node_id.Tbl.find dist w = dv + 1 then begin
+          Node_id.Tbl.replace sigma w (Node_id.Tbl.find sigma w +. sv);
+          let ps = Option.value (Node_id.Tbl.find_opt preds w) ~default:[] in
+          Node_id.Tbl.replace preds w (v :: ps)
+        end
+      in
+      Adjacency.iter_neighbors visit g v
+    done;
+    let delta = Node_id.Tbl.create 64 in
+    let dependency w =
+      let dw = Option.value (Node_id.Tbl.find_opt delta w) ~default:0. in
+      let sw = Node_id.Tbl.find sigma w in
+      let credit v =
+        let sv = Node_id.Tbl.find sigma v in
+        let dv = Option.value (Node_id.Tbl.find_opt delta v) ~default:0. in
+        Node_id.Tbl.replace delta v (dv +. (sv /. sw *. (1. +. dw)))
+      in
+      List.iter credit (Option.value (Node_id.Tbl.find_opt preds w) ~default:[]);
+      if not (Node_id.equal w s) then
+        Node_id.Tbl.replace bc w (Node_id.Tbl.find bc w +. dw)
+    in
+    List.iter dependency !order
+  in
+  Adjacency.iter_nodes source g;
+  (* each unordered pair was counted twice (once per endpoint as source) *)
+  Node_id.Tbl.iter (fun v x -> Node_id.Tbl.replace bc v (x /. 2.)) bc;
+  bc
+
+let degree_centrality g =
+  let t = Node_id.Tbl.create 64 in
+  Adjacency.iter_nodes (fun v -> Node_id.Tbl.replace t v (Adjacency.degree g v)) g;
+  t
+
+let top_k tbl k ~compare:cmp =
+  let all = Node_id.Tbl.fold (fun v x acc -> (v, x) :: acc) tbl [] in
+  let sorted =
+    List.sort
+      (fun (v1, x1) (v2, x2) ->
+        let c = cmp x2 x1 in
+        if c <> 0 then c else Node_id.compare v1 v2)
+      all
+  in
+  List.filteri (fun i _ -> i < k) sorted |> List.map fst

@@ -1,0 +1,18 @@
+(** Betweenness centrality (Brandes' algorithm).
+
+    Used by the cascading-failure baseline (experiment E9): in the
+    Motter–Lai model a vertex's "load" is the number of shortest paths
+    through it, which is exactly unnormalised betweenness. *)
+
+(** [betweenness g] maps every node to the number of shortest paths passing
+    through it (endpoints excluded), counting each unordered pair once.
+    Includes the endpoints' own pair contributions as 0. *)
+val betweenness : Adjacency.t -> float Node_id.Tbl.t
+
+(** [degree_centrality g] maps every node to its degree (convenience for
+    attack-strategy ranking). *)
+val degree_centrality : Adjacency.t -> int Node_id.Tbl.t
+
+(** [top_k tbl k ~compare] returns up to [k] node ids with the largest
+    values, largest first; ties broken by smaller id. *)
+val top_k : 'a Node_id.Tbl.t -> int -> compare:('a -> 'a -> int) -> Node_id.t list

@@ -1,0 +1,40 @@
+let edges_among g vs =
+  let arr = Array.of_list vs in
+  let count = ref 0 in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Adjacency.mem_edge g arr.(i) arr.(j) then incr count
+    done
+  done;
+  !count
+
+let local_triangles g v = edges_among g (Adjacency.neighbors g v)
+
+let triangles g =
+  (* each triangle counted at every corner *)
+  Adjacency.fold_nodes (fun v acc -> acc + local_triangles g v) g 0 / 3
+
+let local_coefficient g v =
+  let d = Adjacency.degree g v in
+  if d < 2 then 0.
+  else
+    2. *. float_of_int (local_triangles g v) /. float_of_int (d * (d - 1))
+
+let average_coefficient g =
+  let n = Adjacency.num_nodes g in
+  if n = 0 then 0.
+  else
+    Adjacency.fold_nodes (fun v acc -> acc +. local_coefficient g v) g 0.
+    /. float_of_int n
+
+let global_coefficient g =
+  let wedges =
+    Adjacency.fold_nodes
+      (fun v acc ->
+        let d = Adjacency.degree g v in
+        acc + (d * (d - 1) / 2))
+      g 0
+  in
+  if wedges = 0 then 0.
+  else 3. *. float_of_int (triangles g) /. float_of_int wedges

@@ -1,0 +1,21 @@
+(** Clustering coefficients and triangle counts.
+
+    Used to characterise the experiment workload families (E0): clustering
+    separates the small-world/caveman families from ER and BA, which
+    matters when interpreting healing-edge spans (E11) and cascade
+    behaviour (E9). *)
+
+(** [triangles g] is the number of distinct triangles in [g]. *)
+val triangles : Adjacency.t -> int
+
+(** [local_coefficient g v] is [2T(v) / (deg(v)(deg(v)-1))] where [T(v)]
+    counts edges among [v]'s neighbours; [0.] when [deg(v) < 2]. *)
+val local_coefficient : Adjacency.t -> Node_id.t -> float
+
+(** [average_coefficient g] is the mean local coefficient over all nodes
+    (Watts–Strogatz definition); [0.] for the empty graph. *)
+val average_coefficient : Adjacency.t -> float
+
+(** [global_coefficient g] is [3 * triangles / open-and-closed wedges]
+    (transitivity); [0.] when the graph has no wedge. *)
+val global_coefficient : Adjacency.t -> float

@@ -1,0 +1,99 @@
+let components g =
+  let seen = Node_id.Tbl.create 64 in
+  let comp_of src =
+    let acc = ref [] in
+    let q = Queue.create () in
+    Node_id.Tbl.replace seen src ();
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      acc := v :: !acc;
+      let visit u =
+        if not (Node_id.Tbl.mem seen u) then begin
+          Node_id.Tbl.replace seen u ();
+          Queue.add u q
+        end
+      in
+      Adjacency.iter_neighbors visit g v
+    done;
+    !acc
+  in
+  Adjacency.fold_nodes
+    (fun v acc -> if Node_id.Tbl.mem seen v then acc else comp_of v :: acc)
+    g []
+
+let num_components g = List.length (components g)
+let is_connected g = num_components g <= 1
+
+let component_of g v =
+  if not (Adjacency.mem_node g v) then []
+  else
+    let dist = Bfs.distances g v in
+    Node_id.Tbl.fold (fun u _ acc -> u :: acc) dist []
+
+let largest_component_size g =
+  List.fold_left (fun m c -> max m (List.length c)) 0 (components g)
+
+(* Iterative Tarjan low-link computation shared by articulation points and
+   bridges. The explicit stack holds (node, parent, neighbor list still to
+   process) frames so deep graphs cannot overflow the OCaml stack. *)
+let lowlink_scan g ~on_articulation ~on_bridge =
+  let disc = Node_id.Tbl.create 64 in
+  let low = Node_id.Tbl.create 64 in
+  let timer = ref 0 in
+  let start root =
+    let root_children = ref 0 in
+    let stack = ref [ (root, -1, Adjacency.neighbors g root) ] in
+    !timer |> Node_id.Tbl.replace disc root;
+    !timer |> Node_id.Tbl.replace low root;
+    incr timer;
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | (v, parent, pending) :: rest -> (
+        match pending with
+        | [] ->
+          stack := rest;
+          (match rest with
+          | (p, _, _) :: _ ->
+            let lp = Node_id.Tbl.find low p and lv = Node_id.Tbl.find low v in
+            if lv < lp then Node_id.Tbl.replace low p lv;
+            if Node_id.equal p root then incr root_children
+            else begin
+              if lv >= Node_id.Tbl.find disc p then on_articulation p;
+              if lv > Node_id.Tbl.find disc p then on_bridge p v
+            end;
+            if Node_id.equal p root && lv > Node_id.Tbl.find disc root then
+              on_bridge root v
+          | [] -> ())
+        | u :: pending' ->
+          stack := (v, parent, pending') :: rest;
+          if Node_id.equal u parent then ()
+          else if Node_id.Tbl.mem disc u then begin
+            let du = Node_id.Tbl.find disc u in
+            if du < Node_id.Tbl.find low v then Node_id.Tbl.replace low v du
+          end
+          else begin
+            Node_id.Tbl.replace disc u !timer;
+            Node_id.Tbl.replace low u !timer;
+            incr timer;
+            stack := (u, v, Adjacency.neighbors g u) :: !stack
+          end)
+    done;
+    if !root_children > 1 then on_articulation root
+  in
+  Adjacency.iter_nodes (fun v -> if not (Node_id.Tbl.mem disc v) then start v) g
+
+let articulation_points g =
+  let points = ref Node_id.Set.empty in
+  lowlink_scan g
+    ~on_articulation:(fun v -> points := Node_id.Set.add v !points)
+    ~on_bridge:(fun _ _ -> ());
+  !points
+
+let bridges g =
+  let acc = ref [] in
+  lowlink_scan g
+    ~on_articulation:(fun _ -> ())
+    ~on_bridge:(fun u v -> acc := (min u v, max u v) :: !acc);
+  !acc

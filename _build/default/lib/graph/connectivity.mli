@@ -1,0 +1,27 @@
+(** Connectivity queries: components, articulation points, bridges.
+
+    Articulation points matter for the adversary library: deleting a cut
+    vertex is the most damaging single move against a non-healing network,
+    so the "omniscient" attack strategies target them. *)
+
+(** [components g] lists the connected components as node lists. *)
+val components : Adjacency.t -> Node_id.t list list
+
+(** [num_components g] avoids materialising the components. *)
+val num_components : Adjacency.t -> int
+
+(** [is_connected g] holds for the empty graph. *)
+val is_connected : Adjacency.t -> bool
+
+(** [component_of g v] is the component containing [v] ([\[\]] if absent). *)
+val component_of : Adjacency.t -> Node_id.t -> Node_id.t list
+
+(** [articulation_points g] are the vertices whose removal increases the
+    number of connected components (Tarjan/Hopcroft low-link). *)
+val articulation_points : Adjacency.t -> Node_id.Set.t
+
+(** [bridges g] are the edges whose removal disconnects their component. *)
+val bridges : Adjacency.t -> (Node_id.t * Node_id.t) list
+
+(** [largest_component_size g] is [0] for the empty graph. *)
+val largest_component_size : Adjacency.t -> int

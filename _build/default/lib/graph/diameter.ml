@@ -1,0 +1,34 @@
+let exact g =
+  Adjacency.fold_nodes (fun v acc -> max acc (Bfs.eccentricity g v)) g 0
+
+let two_sweep g =
+  match Adjacency.nodes g with
+  | [] -> 0
+  | v :: _ ->
+    let u, _ = Bfs.farthest g v in
+    snd (Bfs.farthest g u)
+
+let radius g =
+  let best =
+    Adjacency.fold_nodes
+      (fun v acc ->
+        let e = Bfs.eccentricity g v in
+        match acc with None -> Some e | Some r -> Some (min r e))
+      g None
+  in
+  Option.value best ~default:0
+
+let average_path_length g =
+  let total = ref 0 and pairs = ref 0 in
+  let visit v =
+    let dist = Bfs.distances g v in
+    Node_id.Tbl.iter
+      (fun u d ->
+        if not (Node_id.equal u v) then begin
+          total := !total + d;
+          incr pairs
+        end)
+      dist
+  in
+  Adjacency.iter_nodes visit g;
+  if !pairs = 0 then 0. else float_of_int !total /. float_of_int !pairs

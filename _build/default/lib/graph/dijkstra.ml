@@ -1,0 +1,30 @@
+let run g ~weight src ~stop_at =
+  let dist = Node_id.Tbl.create 64 in
+  let heap = Binary_heap.create () in
+  if Adjacency.mem_node g src then Binary_heap.push heap 0 src;
+  let finished = ref false in
+  while (not !finished) && not (Binary_heap.is_empty heap) do
+    let d, v = Binary_heap.pop_min heap in
+    if not (Node_id.Tbl.mem dist v) then begin
+      Node_id.Tbl.replace dist v d;
+      (match stop_at with
+      | Some target when Node_id.equal v target -> finished := true
+      | _ -> ());
+      if not !finished then
+        let relax u =
+          if not (Node_id.Tbl.mem dist u) then begin
+            let w = weight v u in
+            if w <= 0 then invalid_arg "Dijkstra: weights must be positive";
+            Binary_heap.push heap (d + w) u
+          end
+        in
+        Adjacency.iter_neighbors relax g v
+    end
+  done;
+  dist
+
+let distances g ~weight src = run g ~weight src ~stop_at:None
+
+let distance g ~weight src dst =
+  let dist = run g ~weight src ~stop_at:(Some dst) in
+  Node_id.Tbl.find_opt dist dst

@@ -1,0 +1,18 @@
+(** Single-source shortest paths with per-edge integer weights.
+
+    The self-healing experiments are unweighted, but the harness uses
+    weighted distances for the "edges that span a small distance" variant
+    discussed in the paper's conclusion (locality-constrained healing). *)
+
+(** [distances g ~weight src] maps reachable nodes to weighted distance.
+    [weight u v] must be positive; raises [Invalid_argument] otherwise. *)
+val distances :
+  Adjacency.t -> weight:(Node_id.t -> Node_id.t -> int) -> Node_id.t -> int Node_id.Tbl.t
+
+(** [distance g ~weight src dst] early-exits at [dst]. *)
+val distance :
+  Adjacency.t ->
+  weight:(Node_id.t -> Node_id.t -> int) ->
+  Node_id.t ->
+  Node_id.t ->
+  int option

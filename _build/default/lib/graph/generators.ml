@@ -1,0 +1,241 @@
+let with_nodes n =
+  let g = Adjacency.create ~size:(max 16 n) () in
+  for v = 0 to n - 1 do
+    Adjacency.add_node g v
+  done;
+  g
+
+let path n =
+  let g = with_nodes n in
+  for v = 0 to n - 2 do
+    Adjacency.add_edge g v (v + 1)
+  done;
+  g
+
+let ring n =
+  let g = path n in
+  if n >= 3 then Adjacency.add_edge g (n - 1) 0;
+  g
+
+let star n =
+  let g = with_nodes n in
+  for v = 1 to n - 1 do
+    Adjacency.add_edge g 0 v
+  done;
+  g
+
+let complete n =
+  let g = with_nodes n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Adjacency.add_edge g u v
+    done
+  done;
+  g
+
+let grid rows cols =
+  let g = with_nodes (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then Adjacency.add_edge g (id r c) (id r (c + 1));
+      if r + 1 < rows then Adjacency.add_edge g (id r c) (id (r + 1) c)
+    done
+  done;
+  g
+
+let hypercube dim =
+  let n = 1 lsl dim in
+  let g = with_nodes n in
+  for v = 0 to n - 1 do
+    for b = 0 to dim - 1 do
+      let u = v lxor (1 lsl b) in
+      if u > v then Adjacency.add_edge g v u
+    done
+  done;
+  g
+
+let binary_tree n =
+  let g = with_nodes n in
+  for v = 1 to n - 1 do
+    Adjacency.add_edge g v ((v - 1) / 2)
+  done;
+  g
+
+let random_tree rng n =
+  let g = with_nodes n in
+  for v = 1 to n - 1 do
+    Adjacency.add_edge g v (Rng.int rng v)
+  done;
+  g
+
+let connect_components rng g =
+  let comps = Connectivity.components g in
+  let added = ref 0 in
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+      let u = Rng.pick rng a and v = Rng.pick rng b in
+      Adjacency.add_edge g u v;
+      incr added;
+      link rest
+    | [ _ ] | [] -> ()
+  in
+  link comps;
+  !added
+
+let erdos_renyi_raw rng n p =
+  let g = with_nodes n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng 1.0 < p then Adjacency.add_edge g u v
+    done
+  done;
+  g
+
+let erdos_renyi rng n p =
+  let g = erdos_renyi_raw rng n p in
+  ignore (connect_components rng g);
+  g
+
+let barabasi_albert rng n m =
+  if n <= m || m < 1 then invalid_arg "barabasi_albert: need n > m >= 1";
+  let g = with_nodes n in
+  (* endpoint multiset: each node appears once per incident edge, so a
+     uniform draw from it is degree-proportional. Stored in a growable
+     array so draws stay O(1). *)
+  let cap = ref 1024 in
+  let endpoints = ref (Array.make !cap 0) in
+  let len = ref 0 in
+  let push u =
+    if !len = !cap then begin
+      let bigger = Array.make (2 * !cap) 0 in
+      Array.blit !endpoints 0 bigger 0 !len;
+      endpoints := bigger;
+      cap := 2 * !cap
+    end;
+    (!endpoints).(!len) <- u;
+    incr len
+  in
+  (* seed: clique on the first m+1 nodes *)
+  for u = 0 to m do
+    for v = u + 1 to m do
+      Adjacency.add_edge g u v;
+      push u;
+      push v
+    done
+  done;
+  for v = m + 1 to n - 1 do
+    let chosen = ref Node_id.Set.empty in
+    let attempts = ref 0 in
+    while Node_id.Set.cardinal !chosen < m && !attempts < 50 * m do
+      incr attempts;
+      let u = (!endpoints).(Rng.int rng !len) in
+      if u <> v then chosen := Node_id.Set.add u !chosen
+    done;
+    (* fallback for pathological rng streaks: fill with smallest ids *)
+    let u0 = ref 0 in
+    while Node_id.Set.cardinal !chosen < m do
+      if !u0 <> v then chosen := Node_id.Set.add !u0 !chosen;
+      incr u0
+    done;
+    let attach u =
+      Adjacency.add_edge g v u;
+      push v;
+      push u
+    in
+    Node_id.Set.iter attach !chosen
+  done;
+  g
+
+let watts_strogatz rng n k beta =
+  if k mod 2 <> 0 || k >= n then invalid_arg "watts_strogatz: need even k < n";
+  let g = with_nodes n in
+  for v = 0 to n - 1 do
+    for j = 1 to k / 2 do
+      Adjacency.add_edge g v ((v + j) mod n)
+    done
+  done;
+  let rewire (u, v) =
+    if Rng.float rng 1.0 < beta then begin
+      let w = Rng.int rng n in
+      if w <> u && (not (Adjacency.mem_edge g u w)) && Adjacency.degree g v > 1
+      then begin
+        Adjacency.remove_edge g u v;
+        Adjacency.add_edge g u w
+      end
+    end
+  in
+  List.iter rewire (Adjacency.edges g);
+  ignore (connect_components rng g);
+  g
+
+let random_regular rng n d =
+  if d >= n then invalid_arg "random_regular: need d < n";
+  let g = with_nodes n in
+  let stubs = Array.make (n * d) 0 in
+  for v = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      stubs.((v * d) + j) <- v
+    done
+  done;
+  let shuffled = Rng.shuffle rng stubs in
+  let len = Array.length shuffled in
+  let i = ref 0 in
+  while !i + 1 < len do
+    let u = shuffled.(!i) and v = shuffled.(!i + 1) in
+    if u <> v then Adjacency.add_edge g u v;
+    i := !i + 2
+  done;
+  ignore (connect_components rng g);
+  g
+
+let caveman rng cliques size =
+  let n = cliques * size in
+  let g = with_nodes n in
+  for c = 0 to cliques - 1 do
+    let base = c * size in
+    for u = base to base + size - 1 do
+      for v = u + 1 to base + size - 1 do
+        Adjacency.add_edge g u v
+      done
+    done
+  done;
+  for c = 0 to cliques - 1 do
+    let next = (c + 1) mod cliques in
+    if next <> c then begin
+      let u = (c * size) + Rng.int rng size in
+      let v = (next * size) + Rng.int rng size in
+      if u <> v then Adjacency.add_edge g u v
+    end
+  done;
+  ignore (connect_components rng g);
+  g
+
+let names =
+  [ "ring"; "path"; "star"; "complete"; "grid"; "hypercube"; "tree"; "rtree";
+    "er"; "ba"; "ws"; "regular"; "caveman" ]
+
+let by_name name rng n =
+  match name with
+  | "ring" -> ring n
+  | "path" -> path n
+  | "star" -> star n
+  | "complete" -> complete n
+  | "grid" ->
+    let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+    grid side side
+  | "hypercube" ->
+    let dim = max 1 (int_of_float (Float.round (log (float_of_int n) /. log 2.))) in
+    hypercube dim
+  | "tree" -> binary_tree n
+  | "rtree" -> random_tree rng n
+  | "er" ->
+    let p = 4.0 /. float_of_int (max 2 n) in
+    erdos_renyi rng n p
+  | "ba" -> barabasi_albert rng n (min 3 (max 1 (n - 1)))
+  | "ws" -> watts_strogatz rng n (min 4 (max 2 (n / 2 * 2 - 2))) 0.1
+  | "regular" -> random_regular rng n (min 4 (n - 1))
+  | "caveman" ->
+    let size = 6 in
+    caveman rng (max 2 (n / size)) size
+  | _ -> raise Not_found

@@ -1,0 +1,75 @@
+(** Graph family generators.
+
+    These provide the initial topologies [G_0] for the attack experiments.
+    All generators number nodes [0 .. n-1] and are deterministic given the
+    {!Rng.t}. Random families are post-processed to be connected (extra
+    chain edges between components) so the self-healing invariants are
+    well-defined from the start; the raw variants are exposed where the
+    distinction matters. *)
+
+(** [ring n] is the cycle C_n ([n >= 3]); [n <= 2] degenerates to a path. *)
+val ring : int -> Adjacency.t
+
+(** [path n] is the path P_n. *)
+val path : int -> Adjacency.t
+
+(** [star n] is K_{1,n-1} with centre [0] — the lower-bound topology of
+    Theorem 2. *)
+val star : int -> Adjacency.t
+
+(** [complete n] is K_n. *)
+val complete : int -> Adjacency.t
+
+(** [grid rows cols] is the rows x cols lattice. *)
+val grid : int -> int -> Adjacency.t
+
+(** [hypercube dim] has [2^dim] nodes; ids differ in one bit iff adjacent. *)
+val hypercube : int -> Adjacency.t
+
+(** [binary_tree n] is the complete-binary-tree-shaped tree on n nodes
+    (heap indexing: node i has children 2i+1, 2i+2). *)
+val binary_tree : int -> Adjacency.t
+
+(** [random_tree rng n] is a uniform random recursive tree: node i attaches
+    to a uniform earlier node. *)
+val random_tree : Rng.t -> int -> Adjacency.t
+
+(** [erdos_renyi rng n p] includes each possible edge independently with
+    probability [p], then connects stray components with chain edges. *)
+val erdos_renyi : Rng.t -> int -> float -> Adjacency.t
+
+(** [erdos_renyi_raw rng n p] is the same without the connectivity patch. *)
+val erdos_renyi_raw : Rng.t -> int -> float -> Adjacency.t
+
+(** [barabasi_albert rng n m] grows a preferential-attachment (power-law)
+    graph: each new node attaches to [m] distinct existing nodes chosen
+    proportionally to degree. Requires [n > m >= 1]. *)
+val barabasi_albert : Rng.t -> int -> int -> Adjacency.t
+
+(** [watts_strogatz rng n k beta] is the small-world model: ring lattice
+    with [k] nearest neighbours per side... each edge rewired with
+    probability [beta]. Requires even [k], [n > k]. *)
+val watts_strogatz : Rng.t -> int -> int -> float -> Adjacency.t
+
+(** [random_regular rng n d] samples a d-regular-ish graph by pairing stubs,
+    discarding loops/duplicates (so a few nodes may fall short of [d]);
+    patched to be connected. *)
+val random_regular : Rng.t -> int -> int -> Adjacency.t
+
+(** [caveman rng cliques size] is [cliques] cliques of [size] nodes joined
+    in a ring by single edges — high clustering, long paths. *)
+val caveman : Rng.t -> int -> int -> Adjacency.t
+
+(** [connect_components rng g] mutates [g], adding one random edge between
+    consecutive components until connected; returns number of edges added. *)
+val connect_components : Rng.t -> Adjacency.t -> int
+
+(** [by_name name] looks up a generator by its harness name
+    (e.g. ["ring"], ["star"], ["er"], ["ba"], ["ws"], ["grid"], ["tree"],
+    ["hypercube"], ["complete"], ["caveman"], ["regular"]). The returned
+    function takes the RNG and target size. Raises [Not_found] for unknown
+    names. *)
+val by_name : string -> Rng.t -> int -> Adjacency.t
+
+(** Names accepted by {!by_name}. *)
+val names : string list

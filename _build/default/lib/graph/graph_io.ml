@@ -1,0 +1,48 @@
+let to_edge_list g =
+  let buf = Buffer.create 1024 in
+  let sorted_nodes = List.sort compare (Adjacency.nodes g) in
+  let emit_isolated v =
+    if Adjacency.degree g v = 0 then Buffer.add_string buf (Printf.sprintf "node %d\n" v)
+  in
+  List.iter emit_isolated sorted_nodes;
+  let sorted_edges = List.sort compare (Adjacency.edges g) in
+  List.iter (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v)) sorted_edges;
+  Buffer.contents buf
+
+let of_edge_list text =
+  let g = Adjacency.create () in
+  let parse_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then ()
+    else
+      match String.split_on_char ' ' line with
+      | [ "node"; v ] -> Adjacency.add_node g (int_of_string v)
+      | [ u; v ] -> Adjacency.add_edge g (int_of_string u) (int_of_string v)
+      | _ -> invalid_arg ("Graph_io.of_edge_list: bad line: " ^ line)
+  in
+  List.iter parse_line (String.split_on_char '\n' text);
+  g
+
+let to_dot ?(highlight = Node_id.Set.empty) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph G {\n  node [shape=circle];\n";
+  let node v =
+    if Node_id.Set.mem v highlight then
+      Buffer.add_string buf (Printf.sprintf "  %d [style=filled, fillcolor=red];\n" v)
+    else Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  in
+  List.iter node (List.sort compare (Adjacency.nodes g));
+  let edge (u, v) = Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v) in
+  List.iter edge (List.sort compare (Adjacency.edges g));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,14 @@
+(** Serialisation of graphs: edge lists and Graphviz DOT.
+
+    Edge-list format: one "u v" pair per line, plus "node v" lines for
+    isolated nodes, "#"-prefixed comments ignored. *)
+
+val to_edge_list : Adjacency.t -> string
+val of_edge_list : string -> Adjacency.t
+
+(** [to_dot ?highlight g] renders an undirected DOT graph; nodes in
+    [highlight] are filled red (used to visualise healed regions). *)
+val to_dot : ?highlight:Node_id.Set.t -> Adjacency.t -> string
+
+val write_file : string -> string -> unit
+val read_file : string -> string

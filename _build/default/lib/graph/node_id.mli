@@ -1,0 +1,19 @@
+(** Node identifiers.
+
+    A node id is a small non-negative integer chosen by the network (or the
+    experiment harness) when the node is inserted. Ids are never reused: a
+    deleted node's id stays retired, which is what lets the self-healing
+    layer keep talking about edges of the insert-only graph [G'] whose
+    endpoints are dead. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

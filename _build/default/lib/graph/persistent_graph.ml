@@ -1,0 +1,64 @@
+type t = Node_id.Set.t Node_id.Map.t
+
+let empty = Node_id.Map.empty
+let mem_node v t = Node_id.Map.mem v t
+
+let add_node v t =
+  if mem_node v t then t else Node_id.Map.add v Node_id.Set.empty t
+
+let neighbors v t =
+  Option.value (Node_id.Map.find_opt v t) ~default:Node_id.Set.empty
+
+let add_edge u v t =
+  if Node_id.equal u v then t
+  else begin
+    let t = add_node u (add_node v t) in
+    let t = Node_id.Map.add u (Node_id.Set.add v (neighbors u t)) t in
+    Node_id.Map.add v (Node_id.Set.add u (neighbors v t)) t
+  end
+
+let remove_edge u v t =
+  let drop a b t =
+    match Node_id.Map.find_opt a t with
+    | None -> t
+    | Some s -> Node_id.Map.add a (Node_id.Set.remove b s) t
+  in
+  drop u v (drop v u t)
+
+let remove_node v t =
+  match Node_id.Map.find_opt v t with
+  | None -> t
+  | Some nbrs ->
+    let t = Node_id.Set.fold (fun u acc -> remove_edge u v acc) nbrs t in
+    Node_id.Map.remove v t
+
+let mem_edge u v t = Node_id.Set.mem v (neighbors u t)
+let degree v t = Node_id.Set.cardinal (neighbors v t)
+let num_nodes t = Node_id.Map.cardinal t
+
+let num_edges t =
+  Node_id.Map.fold (fun _ s acc -> acc + Node_id.Set.cardinal s) t 0 / 2
+
+let nodes t = Node_id.Map.fold (fun v _ acc -> v :: acc) t []
+
+let edges t =
+  Node_id.Map.fold
+    (fun u s acc ->
+      Node_id.Set.fold (fun v acc -> if u < v then (u, v) :: acc else acc) s acc)
+    t []
+
+let fold_nodes f t init = Node_id.Map.fold (fun v _ acc -> f v acc) t init
+let equal t1 t2 = Node_id.Map.equal Node_id.Set.equal t1 t2
+
+let of_adjacency g =
+  let t = Adjacency.fold_nodes add_node g empty in
+  List.fold_left (fun acc (u, v) -> add_edge u v acc) t (Adjacency.edges g)
+
+let to_adjacency t =
+  let g = Adjacency.create () in
+  Node_id.Map.iter
+    (fun v s ->
+      Adjacency.add_node g v;
+      Node_id.Set.iter (fun u -> Adjacency.add_edge g v u) s)
+    t;
+  g

@@ -1,0 +1,33 @@
+(** Immutable undirected simple graph.
+
+    A functional counterpart to {!Adjacency}: every operation returns a new
+    graph sharing structure with the old one. Used where snapshots matter —
+    the experiment harness keeps timeline snapshots ({!Fg_harness}), and
+    tests compare healing histories without defensive copying. Semantics
+    match {!Adjacency}: no self-loops, no parallel edges. *)
+
+type t
+
+val empty : t
+val add_node : Node_id.t -> t -> t
+val remove_node : Node_id.t -> t -> t
+
+(** [add_edge u v t] creates missing endpoints; ignores self-loops. *)
+val add_edge : Node_id.t -> Node_id.t -> t -> t
+
+val remove_edge : Node_id.t -> Node_id.t -> t -> t
+val mem_node : Node_id.t -> t -> bool
+val mem_edge : Node_id.t -> Node_id.t -> t -> bool
+val neighbors : Node_id.t -> t -> Node_id.Set.t
+val degree : Node_id.t -> t -> int
+val num_nodes : t -> int
+val num_edges : t -> int
+val nodes : t -> Node_id.t list
+val edges : t -> (Node_id.t * Node_id.t) list
+val fold_nodes : (Node_id.t -> 'a -> 'a) -> t -> 'a -> 'a
+val equal : t -> t -> bool
+
+(** Conversions to/from the mutable representation. *)
+val of_adjacency : Adjacency.t -> t
+
+val to_adjacency : t -> Adjacency.t

@@ -1,0 +1,40 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5bd1e995 |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; a lxor (b lsl 7) |]
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t bound
+
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let pick_array t xs =
+  if Array.length xs = 0 then invalid_arg "Rng.pick_array: empty array";
+  xs.(int t (Array.length xs))
+
+let shuffle t xs =
+  let a = Array.copy xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let sample t k xs =
+  let n = Array.length xs in
+  if k >= n then shuffle t xs
+  else begin
+    let a = shuffle t xs in
+    Array.sub a 0 k
+  end

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random source used by generators and adversaries.
+
+    Every randomized component in this repository takes an explicit [Rng.t]
+    so that experiments are reproducible from a single integer seed. The
+    implementation is splittable: [split t] yields an independent stream,
+    which lets parallel experiment arms stay deterministic regardless of
+    evaluation order. *)
+
+type t
+
+(** [create seed] returns a fresh generator determined entirely by [seed]. *)
+val create : int -> t
+
+(** [split t] derives a new independent generator from [t], advancing [t]. *)
+val split : t -> t
+
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] is uniform in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [pick t xs] selects a uniform element of [xs].
+    Raises [Invalid_argument] on the empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [pick_array t xs] selects a uniform element of array [xs].
+    Raises [Invalid_argument] on the empty array. *)
+val pick_array : t -> 'a array -> 'a
+
+(** [shuffle t xs] returns a fresh uniformly shuffled copy of [xs]. *)
+val shuffle : t -> 'a array -> 'a array
+
+(** [sample t k xs] draws [k] distinct positions from [xs] uniformly
+    (reservoir sampling); returns all of [xs] shuffled if [k >= length]. *)
+val sample : t -> int -> 'a array -> 'a array

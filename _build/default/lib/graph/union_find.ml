@@ -1,0 +1,39 @@
+type t = {
+  parent : Node_id.t Node_id.Tbl.t;
+  rank : int Node_id.Tbl.t;
+  mutable sets : int;
+}
+
+let create () = { parent = Node_id.Tbl.create 64; rank = Node_id.Tbl.create 64; sets = 0 }
+
+let ensure t v =
+  if not (Node_id.Tbl.mem t.parent v) then begin
+    Node_id.Tbl.replace t.parent v v;
+    Node_id.Tbl.replace t.rank v 0;
+    t.sets <- t.sets + 1
+  end
+
+let rec find t v =
+  ensure t v;
+  let p = Node_id.Tbl.find t.parent v in
+  if Node_id.equal p v then v
+  else begin
+    let root = find t p in
+    Node_id.Tbl.replace t.parent v root;
+    root
+  end
+
+let union t u v =
+  let ru = find t u and rv = find t v in
+  if Node_id.equal ru rv then false
+  else begin
+    let ku = Node_id.Tbl.find t.rank ru and kv = Node_id.Tbl.find t.rank rv in
+    let small, big = if ku < kv then (ru, rv) else (rv, ru) in
+    Node_id.Tbl.replace t.parent small big;
+    if ku = kv then Node_id.Tbl.replace t.rank big (ku + 1);
+    t.sets <- t.sets - 1;
+    true
+  end
+
+let same t u v = Node_id.equal (find t u) (find t v)
+let count_sets t = t.sets

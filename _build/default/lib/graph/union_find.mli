@@ -1,0 +1,18 @@
+(** Disjoint-set forest with path compression and union by rank, keyed by
+    {!Node_id.t}. Elements are created lazily on first use. *)
+
+type t
+
+val create : unit -> t
+
+(** [find t v] is the canonical representative of [v]'s set. *)
+val find : t -> Node_id.t -> Node_id.t
+
+(** [union t u v] merges the sets of [u] and [v]; returns [true] if they
+    were previously distinct. *)
+val union : t -> Node_id.t -> Node_id.t -> bool
+
+val same : t -> Node_id.t -> Node_id.t -> bool
+
+(** [count_sets t] is the number of distinct sets among elements seen. *)
+val count_sets : t -> int

@@ -1,0 +1,1 @@
+lib/haft/haft.ml: Format List

@@ -1,0 +1,138 @@
+type 'a t =
+  | Leaf of 'a
+  | Node of { left : 'a t; right : 'a t; leaves : int; height : int }
+
+let leaf_count = function Leaf _ -> 1 | Node { leaves; _ } -> leaves
+let height = function Leaf _ -> 0 | Node { height; _ } -> height
+
+let node left right =
+  Node
+    {
+      left;
+      right;
+      leaves = leaf_count left + leaf_count right;
+      height = 1 + max (height left) (height right);
+    }
+
+let is_complete t = leaf_count t = 1 lsl height t
+
+let rec is_haft = function
+  | Leaf _ -> true
+  | Node { left; right; leaves; _ } ->
+    is_complete left
+    && 2 * leaf_count left >= leaves
+    && is_haft right
+    && (match left with Leaf _ -> true | Node _ -> is_haft left)
+
+let leaves t =
+  let rec collect t acc =
+    match t with
+    | Leaf x -> x :: acc
+    | Node { left; right; _ } -> collect left (collect right acc)
+  in
+  collect t []
+
+let popcount n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go n 0
+
+let depth_bound l =
+  if l <= 0 then invalid_arg "Haft.depth_bound";
+  let rec go p d = if p >= l then d else go (2 * p) (d + 1) in
+  go 1 0
+
+(* largest power of two <= l *)
+let high_bit l =
+  let rec go p = if 2 * p > l then p else go (2 * p) in
+  go 1
+
+let of_list xs =
+  if xs = [] then invalid_arg "Haft.of_list: empty";
+  (* complete tree over exactly (a power of two) leaves, returning rest *)
+  let rec complete k xs =
+    if k = 1 then
+      match xs with
+      | x :: rest -> (Leaf x, rest)
+      | [] -> assert false
+    else begin
+      let l, rest = complete (k / 2) xs in
+      let r, rest = complete (k / 2) rest in
+      (node l r, rest)
+    end
+  in
+  let rec build l xs =
+    let k = high_bit l in
+    if k = l then fst (complete k xs)
+    else begin
+      let left, rest = complete k xs in
+      node left (build (l - k) rest)
+    end
+  in
+  build (List.length xs) xs
+
+let rec strip t =
+  if is_complete t then [ t ]
+  else
+    match t with
+    | Leaf _ -> [ t ]
+    | Node { left; right; _ } -> left :: strip right
+
+(* binary-addition insert: keep ascending by size, combine equal sizes into
+   a carry of double size. *)
+let rec add_sorted t = function
+  | [] -> [ t ]
+  | hd :: tl ->
+    let st = leaf_count t and sh = leaf_count hd in
+    if st < sh then t :: hd :: tl
+    else if st = sh then add_sorted (node t hd) tl
+    else hd :: add_sorted t tl
+
+let merge ts =
+  if ts = [] then invalid_arg "Haft.merge: empty";
+  let completes = List.concat_map strip ts in
+  let summed = List.fold_left (fun acc t -> add_sorted t acc) [] completes in
+  (* ascending, all sizes distinct: join with the larger tree on the left *)
+  match summed with
+  | [] -> assert false
+  | smallest :: rest -> List.fold_left (fun acc t -> node t acc) smallest rest
+
+let primary_roots t = popcount (leaf_count t)
+
+let rec iter f = function
+  | Leaf x -> f x
+  | Node { left; right; _ } ->
+    iter f left;
+    iter f right
+
+let rec fold f acc = function
+  | Leaf x -> f acc x
+  | Node { left; right; _ } -> fold f (fold f acc left) right
+
+let rec map f = function
+  | Leaf x -> Leaf (f x)
+  | Node { left; right; leaves; height } ->
+    Node { left = map f left; right = map f right; leaves; height }
+
+let nth_leaf t i =
+  if i < 0 || i >= leaf_count t then invalid_arg "Haft.nth_leaf: out of range";
+  let rec go t i =
+    match t with
+    | Leaf x -> x
+    | Node { left; right; _ } ->
+      let lc = leaf_count left in
+      if i < lc then go left i else go right (i - lc)
+  in
+  go t i
+
+let mem eq x t = fold (fun acc y -> acc || eq x y) false t
+
+let rec equal_shape t1 t2 =
+  match (t1, t2) with
+  | Leaf _, Leaf _ -> true
+  | Node n1, Node n2 -> equal_shape n1.left n2.left && equal_shape n1.right n2.right
+  | Leaf _, Node _ | Node _, Leaf _ -> false
+
+let rec pp pp_leaf ppf = function
+  | Leaf x -> Format.fprintf ppf "%a" pp_leaf x
+  | Node { left; right; _ } ->
+    Format.fprintf ppf "(@[%a@ %a@])" (pp pp_leaf) left (pp pp_leaf) right

@@ -1,0 +1,81 @@
+(** Half-full trees (hafts), Section 4 of the paper.
+
+    A haft is a rooted binary tree in which every internal node has exactly
+    two children and the left child roots a {e complete} subtree containing
+    at least half of the node's leaf descendants. Lemma 1 shows the shape of
+    a haft is unique given its number of leaves [l], its depth is
+    [ceil(log2 l)], and stripping [popcount l - 1] nodes decomposes it into
+    the complete trees of [l]'s binary representation.
+
+    This module is the pure, value-level form used for specification,
+    property tests and experiments E1/E2. The self-healing core
+    ({!Fg_core.Rt}) uses a mutable, identity-carrying variant of the same
+    structure, and its tests cross-check shapes against this module. *)
+
+type 'a t =
+  | Leaf of 'a
+  | Node of { left : 'a t; right : 'a t; leaves : int; height : int }
+
+(** [leaf_count t] is the number of leaves. *)
+val leaf_count : 'a t -> int
+
+(** [height t] is the edge-length of the longest root-to-leaf path. *)
+val height : 'a t -> int
+
+(** [node l r] joins two trees under a fresh root (no haft check). *)
+val node : 'a t -> 'a t -> 'a t
+
+(** [is_complete t] holds iff [t] is a perfect binary tree
+    ([leaf_count = 2^height]). *)
+val is_complete : 'a t -> bool
+
+(** [is_haft t] checks the haft property at every internal node. *)
+val is_haft : 'a t -> bool
+
+(** [leaves t] lists leaf values left to right. *)
+val leaves : 'a t -> 'a list
+
+(** [of_list xs] builds haft(l) over the given leaves in order.
+    Raises [Invalid_argument] on the empty list. *)
+val of_list : 'a list -> 'a t
+
+(** [strip t] is the Strip operation: the forest of complete trees rooted
+    at the primary roots of [t], in descending size — one tree per one-bit
+    of [leaf_count t] (Lemma 2). *)
+val strip : 'a t -> 'a t list
+
+(** [merge ts] is the Merge operation: strips every input and recombines
+    the complete trees into a single haft, exactly as binary addition of
+    the leaf counts (Section 4.1.2). Raises [Invalid_argument] on []. *)
+val merge : 'a t list -> 'a t
+
+(** [primary_roots t] is the number of primary roots
+    (= popcount of [leaf_count t]). *)
+val primary_roots : 'a t -> int
+
+(** [equal_shape t1 t2] ignores leaf values and compares structure. *)
+val equal_shape : 'a t -> 'b t -> bool
+
+(** [iter f t] applies [f] to each leaf, left to right. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [fold f init t] folds over leaves left to right. *)
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+(** [map f t] rebuilds the same shape with transformed leaves. *)
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [nth_leaf t i] is the [i]-th leaf from the left (0-based), in
+    O(depth). Raises [Invalid_argument] when out of range. *)
+val nth_leaf : 'a t -> int -> 'a
+
+(** [mem eq x t] tests leaf membership. *)
+val mem : ('a -> 'a -> bool) -> 'a -> 'a t -> bool
+
+(** [depth_bound l] is [ceil(log2 l)], the depth claimed by Lemma 1.3. *)
+val depth_bound : int -> int
+
+(** [popcount n] is the number of one bits — the strip forest size. *)
+val popcount : int -> int
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

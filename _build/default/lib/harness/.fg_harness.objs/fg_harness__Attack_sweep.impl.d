@@ -1,0 +1,1 @@
+lib/harness/attack_sweep.ml: Exp_common Fg_adversary Fg_baselines Fg_graph Fg_metrics List

@@ -1,0 +1,1 @@
+lib/harness/attack_sweep.mli: Fg_adversary Fg_baselines Fg_metrics

@@ -1,0 +1,1 @@
+lib/harness/e0_workloads.ml: Exp_common Fg_graph List Printf Table

@@ -1,0 +1,1 @@
+lib/harness/e0_workloads.mli:

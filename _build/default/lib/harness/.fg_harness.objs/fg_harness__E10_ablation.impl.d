@@ -1,0 +1,1 @@
+lib/harness/e10_ablation.ml: Attack_sweep Exp_common Fg_adversary Fg_baselines Fg_core Fg_graph Fg_metrics Fg_sim List Option Table

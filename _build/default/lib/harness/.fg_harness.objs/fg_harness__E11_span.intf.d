@@ -1,0 +1,1 @@
+lib/harness/e11_span.mli:

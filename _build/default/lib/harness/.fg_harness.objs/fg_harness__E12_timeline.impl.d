@@ -1,0 +1,1 @@
+lib/harness/e12_timeline.ml: Array Exp_common Fg_core Fg_graph Fg_metrics List Printf Table

@@ -1,0 +1,1 @@
+lib/harness/e12_timeline.mli:

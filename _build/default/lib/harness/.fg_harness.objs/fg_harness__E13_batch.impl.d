@@ -1,0 +1,1 @@
+lib/harness/e13_batch.ml: Array Exp_common Fg_core Fg_graph Fg_metrics List Table

@@ -1,0 +1,1 @@
+lib/harness/e13_batch.mli:

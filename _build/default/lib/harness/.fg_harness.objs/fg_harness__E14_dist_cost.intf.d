@@ -1,0 +1,1 @@
+lib/harness/e14_dist_cost.mli:

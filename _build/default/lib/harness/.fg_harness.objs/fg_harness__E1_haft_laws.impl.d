@@ -1,0 +1,1 @@
+lib/harness/e1_haft_laws.ml: Exp_common Fg_haft Haft List Printf Table

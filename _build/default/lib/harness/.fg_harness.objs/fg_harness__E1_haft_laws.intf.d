@@ -1,0 +1,1 @@
+lib/harness/e1_haft_laws.mli:

@@ -1,0 +1,1 @@
+lib/harness/e2_figures.ml: Buffer Fg_core Fg_graph Fg_haft Haft List Printf String

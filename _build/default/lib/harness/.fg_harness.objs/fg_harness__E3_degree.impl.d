@@ -1,0 +1,1 @@
+lib/harness/e3_degree.ml: Attack_sweep Exp_common Fg_adversary Fg_baselines Fg_metrics List Table

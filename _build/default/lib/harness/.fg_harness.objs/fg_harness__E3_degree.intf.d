@@ -1,0 +1,1 @@
+lib/harness/e3_degree.mli:

@@ -1,0 +1,1 @@
+lib/harness/e4_stretch.mli:

@@ -1,0 +1,1 @@
+lib/harness/e5_cost.ml: Exp_common Fg_core Fg_graph Fg_sim List Table

@@ -1,0 +1,1 @@
+lib/harness/e5_cost.mli:

@@ -1,0 +1,1 @@
+lib/harness/e6_lower_bound.ml: Exp_common Fg_core Fg_graph Fg_metrics List Table

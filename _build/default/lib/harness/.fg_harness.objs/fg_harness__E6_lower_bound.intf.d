@@ -1,0 +1,1 @@
+lib/harness/e6_lower_bound.mli:

@@ -1,0 +1,1 @@
+lib/harness/e7_vs_forgiving_tree.ml: Attack_sweep Exp_common Fg_adversary Fg_baselines Fg_graph Fg_metrics List Table

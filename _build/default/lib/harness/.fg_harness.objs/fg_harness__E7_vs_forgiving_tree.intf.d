@@ -1,0 +1,1 @@
+lib/harness/e7_vs_forgiving_tree.mli:

@@ -1,0 +1,1 @@
+lib/harness/e8_churn.ml: Exp_common Fg_adversary Fg_baselines Fg_core Fg_graph Fg_metrics Hashtbl List Table

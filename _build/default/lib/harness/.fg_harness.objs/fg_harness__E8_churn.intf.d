@@ -1,0 +1,1 @@
+lib/harness/e8_churn.mli:

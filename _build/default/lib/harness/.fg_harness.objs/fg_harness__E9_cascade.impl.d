@@ -1,0 +1,1 @@
+lib/harness/e9_cascade.ml: Exp_common Fg_baselines Fg_graph List Printf Table

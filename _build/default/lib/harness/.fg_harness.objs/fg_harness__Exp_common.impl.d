@@ -1,0 +1,1 @@
+lib/harness/exp_common.ml: Fg_graph Filename Fun Sys Table

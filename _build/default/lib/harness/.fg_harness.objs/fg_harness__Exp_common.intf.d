@@ -1,0 +1,1 @@
+lib/harness/exp_common.mli: Fg_graph Table

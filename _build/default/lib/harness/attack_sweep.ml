@@ -1,0 +1,28 @@
+module Rng = Fg_graph.Rng
+module Healer = Fg_baselines.Healer
+
+let run ~seed ~family ~n ~del ~fraction ~healer =
+  let rng = Rng.create seed in
+  let gen =
+    match List.assoc_opt family Exp_common.families with
+    | Some g -> g
+    | None -> invalid_arg ("Attack_sweep.run: unknown family " ^ family)
+  in
+  let g0 = gen rng n in
+  let h = Fg_baselines.Registry.by_name healer g0 in
+  ignore (Fg_adversary.Churn.delete_fraction rng h ~fraction ~del);
+  h
+
+let measure_both ?(seed = Exp_common.default_seed) ?(exact_limit = 400) (h : Healer.t) =
+  let graph = h.Healer.graph () in
+  let gprime = h.Healer.gprime () in
+  let live = h.Healer.live_nodes () in
+  let degree = Fg_metrics.Degree_metric.measure ~graph ~gprime ~nodes:live in
+  let stretch =
+    if List.length live <= exact_limit then
+      Fg_metrics.Stretch.exact ~graph ~reference:gprime ~nodes:live
+    else
+      Fg_metrics.Stretch.sampled (Rng.create (seed + 1)) ~k:48 ~graph ~reference:gprime
+        ~nodes:live
+  in
+  (degree, stretch)

@@ -1,0 +1,23 @@
+(** Shared attack runner for the sweep experiments (E3, E4, E7, E10). *)
+
+(** [run ~seed ~family ~n ~del ~fraction ~healer] builds the family graph,
+    wraps it in the named healer, adaptively deletes [fraction] of the
+    nodes with strategy [del], and returns the healer for measurement.
+    [family] is a key of {!Exp_common.families}. *)
+val run :
+  seed:int ->
+  family:string ->
+  n:int ->
+  del:Fg_adversary.Adversary.deletion ->
+  fraction:float ->
+  healer:string ->
+  Fg_baselines.Healer.t
+
+(** [measure_both healer] = (degree report, exact or sampled stretch
+    report): exact all-pairs when at most [exact_limit] nodes survive
+    (default 400), sampled with 48 sources otherwise. *)
+val measure_both :
+  ?seed:int ->
+  ?exact_limit:int ->
+  Fg_baselines.Healer.t ->
+  Fg_metrics.Degree_metric.report * Fg_metrics.Stretch.report

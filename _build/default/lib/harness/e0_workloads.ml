@@ -1,0 +1,61 @@
+module Adjacency = Fg_graph.Adjacency
+
+type row = {
+  family : string;
+  n : int;
+  m : int;
+  mean_degree : float;
+  max_degree : int;
+  diameter : int;
+  avg_path_length : float;
+  clustering : float;
+  connected : bool;
+}
+
+type summary = { rows : row list; all_connected : bool }
+
+let one ~n (family, gen) =
+  let rng = Fg_graph.Rng.create Exp_common.default_seed in
+  let g = gen rng n in
+  let nodes = Adjacency.num_nodes g in
+  let m = Adjacency.num_edges g in
+  {
+    family;
+    n = nodes;
+    m;
+    mean_degree = 2. *. float_of_int m /. float_of_int (max 1 nodes);
+    max_degree = Adjacency.max_degree g;
+    diameter = Fg_graph.Diameter.exact g;
+    avg_path_length = Fg_graph.Diameter.average_path_length g;
+    clustering = Fg_graph.Clustering.average_coefficient g;
+    connected = Fg_graph.Connectivity.is_connected g;
+  }
+
+let run ?(verbose = true) ?(csv = false) ?(n = 256) () =
+  let rows = List.map (one ~n) Exp_common.families in
+  let table =
+    Table.make
+      [
+        "family"; "n"; "m"; "mean deg"; "max deg"; "diameter"; "avg path";
+        "clustering"; "connected";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.family;
+          Table.cell_int r.n;
+          Table.cell_int r.m;
+          Table.cell_float r.mean_degree;
+          Table.cell_int r.max_degree;
+          Table.cell_int r.diameter;
+          Table.cell_float r.avg_path_length;
+          Table.cell_float ~decimals:3 r.clustering;
+          Table.cell_bool r.connected;
+        ])
+    rows;
+  if verbose then
+    Table.print ~title:(Printf.sprintf "E0 - workload families at n=%d (seed 42)" n) table;
+  if csv then ignore (Exp_common.write_csv ~name:"e0_workloads" table);
+  { rows; all_connected = List.for_all (fun r -> r.connected) rows }

@@ -1,0 +1,24 @@
+(** Experiment E0 — workload characterisation.
+
+    Every attack experiment runs over the same graph families; this table
+    records their structural profile (size, density, diameter, degree
+    distribution, clustering, connectivity), both to document the
+    workloads and as a regression anchor: the generators are seeded, so
+    any row change signals a generator change that would silently shift
+    every other experiment. *)
+
+type row = {
+  family : string;
+  n : int;
+  m : int;
+  mean_degree : float;
+  max_degree : int;
+  diameter : int;
+  avg_path_length : float;
+  clustering : float;  (** average local coefficient *)
+  connected : bool;
+}
+
+type summary = { rows : row list; all_connected : bool }
+
+val run : ?verbose:bool -> ?csv:bool -> ?n:int -> unit -> summary

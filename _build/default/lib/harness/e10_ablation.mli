@@ -1,0 +1,53 @@
+(** Experiment E10 — ablations and the degree/stretch trade-off frontier.
+
+    (a) {b Frontier}: every healer (FG, FT, and the naive patches) faces
+    the same adversary (40% max-degree deletions on an ER graph); we plot
+    each at (max degree ratio, max stretch). Theorem 2 says no point can
+    be in the "both small" corner: clique/star buy stretch with unbounded
+    degree, cycle/line buy degree with unbounded stretch, no-repair
+    disconnects, and FG sits at (<= 4, <= log n) — the optimal trade-off.
+    The ["binary"] patch is the representative-mechanism ablation: same
+    balanced-tree repair as FG but without simulation bookkeeping, so its
+    degree drifts upward under repeated attack.
+
+    (b) {b Merge-cost ablation}: per deletion, the haft merge touches
+    O(d log n) nodes, while rebuilding each reconstruction tree from its
+    leaves would touch every leaf of the merged RT. We report both along a
+    deletion sequence; the ratio grows as RTs accumulate. *)
+
+type frontier_row = {
+  healer : string;
+  max_degree_ratio : float;
+  max_abs_increase : int;
+  max_stretch : float;
+  disconnected_pairs : int;
+}
+
+type cost_row = {
+  step : int;
+  degree : int;
+  merge_messages : int;  (** measured on the simulator *)
+  rebuild_touches : int;  (** leaves of the post-heal RT, the naive cost *)
+}
+
+(** (c) Simulator-choice policy ablation (DESIGN.md §6): does picking the
+    lower-degree representative at merges restore the paper's stated 3x
+    degree bound? Measured on star heals and an ER hub attack. *)
+type policy_row = {
+  scenario : string;
+  paper_max_ratio : float;
+  balanced_max_ratio : float;
+  paper_over_3x : int;
+  balanced_over_3x : int;
+}
+
+type summary = {
+  frontier : frontier_row list;
+  costs : cost_row list;
+  policies : policy_row list;
+  fg_on_frontier : bool;
+      (** FG's degree ratio <= 4 while its stretch <= log n, and every
+          baseline violates one of the two *)
+}
+
+val run : ?verbose:bool -> ?csv:bool -> unit -> summary

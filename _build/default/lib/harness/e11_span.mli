@@ -1,0 +1,35 @@
+(** Experiment E11 — healing-edge span (the paper's concluding open
+    problem).
+
+    "What if the only edges we can add are those that span a small
+    distance in the original network?" (Section 6). We measure, after each
+    attack sweep, the {e span} of every healing edge the Forgiving Graph
+    currently maintains — the endpoints' distance in [G'] — and report the
+    distribution. Small spans would mean the algorithm is already usable
+    in locality-constrained networks (e.g. sensor networks); growing spans
+    quantify how much the open problem actually demands.
+
+    {b Finding.} Span stays within ~2 ceil(log2 n) on expander-like
+    families (ER, BA, WS, random trees) but is Theta(diameter) on the ring
+    and grid — the one healing edge closing a half-deleted ring must span
+    the surviving arc. So locality-constrained healing genuinely requires
+    a different algorithm, which is exactly why the authors leave it open. *)
+
+type row = {
+  family : string;
+  n : int;
+  healing_edges : int;  (** edges of G absent from G' *)
+  max_span : int;
+  mean_span : float;
+  p95_span : float;
+  span_bound_2log : bool;  (** max span <= 2 ceil(log2 n)? *)
+}
+
+type summary = {
+  rows : row list;
+  expanders_small : bool;
+      (** ER/BA/WS/tree max spans within 2 ceil(log2 n) *)
+  ring_large : bool;  (** ring spans Theta(n): >= n/4 *)
+}
+
+val run : ?verbose:bool -> ?csv:bool -> unit -> summary

@@ -1,0 +1,125 @@
+module Fg = Fg_core.Forgiving_graph
+module Rng = Fg_graph.Rng
+
+type row = {
+  step : int;
+  event : string;
+  live : int;
+  n_seen : int;
+  max_stretch : float;
+  bound : int;
+  max_degree_ratio : float;
+  ok : bool;
+}
+
+type summary = { rows : row list; steps_checked : int; violations : int }
+
+let measure_now fg =
+  let live = Fg.live_nodes fg in
+  let stretch =
+    Fg_metrics.Stretch.exact ~graph:(Fg.graph fg) ~reference:(Fg.gprime fg) ~nodes:live
+  in
+  let degree =
+    Fg_metrics.Degree_metric.measure ~graph:(Fg.graph fg) ~gprime:(Fg.gprime fg)
+      ~nodes:live
+  in
+  let bound = Fg.stretch_bound fg in
+  let ok =
+    stretch.Fg_metrics.Stretch.max_stretch <= float_of_int bound
+    && stretch.Fg_metrics.Stretch.disconnected = 0
+    && degree.Fg_metrics.Degree_metric.over_4x = 0
+    && Fg_core.Invariants.check fg = []
+  in
+  ( stretch.Fg_metrics.Stretch.max_stretch,
+    bound,
+    degree.Fg_metrics.Degree_metric.max_ratio,
+    ok )
+
+let run ?(verbose = true) ?(csv = false) ?(steps = 120) () =
+  let rng = Rng.create Exp_common.default_seed in
+  let n0 = 48 in
+  let g0 = Fg_graph.Generators.erdos_renyi rng n0 (4.0 /. float_of_int n0) in
+  let fg = Fg.of_graph g0 in
+  let next_id = ref n0 in
+  let rows = ref [] in
+  let violations = ref 0 in
+  let checked = ref 0 in
+  for step = 1 to steps do
+    let live = Fg.live_nodes fg in
+    let event =
+      (* bursty adversary: three deletions then one insertion *)
+      if step mod 4 <> 0 && List.length live > 8 then begin
+        let g = Fg.graph fg in
+        let hub =
+          List.fold_left
+            (fun acc v ->
+              match acc with
+              | None -> Some v
+              | Some b ->
+                if Fg_graph.Adjacency.degree g v > Fg_graph.Adjacency.degree g b then
+                  Some v
+                else acc)
+            None live
+        in
+        match hub with
+        | Some v ->
+          Fg.delete fg v;
+          Printf.sprintf "del %d" v
+        | None -> "noop"
+      end
+      else begin
+        let v = !next_id in
+        incr next_id;
+        let k = 1 + Rng.int rng 3 in
+        let nbrs = Array.to_list (Rng.sample rng k (Array.of_list live)) in
+        Fg.insert fg v nbrs;
+        Printf.sprintf "ins %d" v
+      end
+    in
+    let max_stretch, bound, max_ratio, ok = measure_now fg in
+    incr checked;
+    if not ok then incr violations;
+    if step mod 10 = 0 || not ok then
+      rows :=
+        {
+          step;
+          event;
+          live = Fg.num_live fg;
+          n_seen = Fg.num_seen fg;
+          max_stretch;
+          bound;
+          max_degree_ratio = max_ratio;
+          ok;
+        }
+        :: !rows
+  done;
+  let rows = List.rev !rows in
+  let table =
+    Table.make
+      [ "step"; "event"; "live"; "n seen"; "max stretch"; "bound"; "max deg ratio"; "ok" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          Table.cell_int r.step;
+          r.event;
+          Table.cell_int r.live;
+          Table.cell_int r.n_seen;
+          Table.cell_float r.max_stretch;
+          Table.cell_int r.bound;
+          Table.cell_float r.max_degree_ratio;
+          Table.cell_bool r.ok;
+        ])
+    rows;
+  if verbose then begin
+    Table.print
+      ~title:
+        "E12 - bounds at every instant (ER n=48, bursty hub-deletion adversary; \
+         sampled rows)"
+      table;
+    Printf.printf "checked after every one of %d events: %d violations\n" !checked
+      !violations
+  end;
+  if csv then ignore (Exp_common.write_csv ~name:"e12_timeline" table);
+  { rows; steps_checked = !checked; violations = !violations }

@@ -1,0 +1,27 @@
+(** Experiment E12 — "at any point in the algorithm": bounds as a time
+    series.
+
+    Theorem 1 is stated for every moment, not just after the attack ends.
+    We run one long adversarial scenario (ER graph, hub-deletion adversary
+    with bursts of insertions) and check the stretch and degree bounds,
+    plus the full structural invariant suite, after {e every single
+    event}, reporting sampled rows of the timeline. *)
+
+type row = {
+  step : int;
+  event : string;  (** "del v" or "ins v" *)
+  live : int;
+  n_seen : int;
+  max_stretch : float;
+  bound : int;
+  max_degree_ratio : float;
+  ok : bool;  (** bounds + invariants at this instant *)
+}
+
+type summary = {
+  rows : row list;  (** sampled steps *)
+  steps_checked : int;
+  violations : int;  (** expected 0 *)
+}
+
+val run : ?verbose:bool -> ?csv:bool -> ?steps:int -> unit -> summary

@@ -1,0 +1,25 @@
+(** Experiment E13 — batch failures (extension beyond the paper's model).
+
+    The paper's adversary deletes one node per round; real failures come
+    in bursts (rack outages, partitions). The Forgiving Graph's repair
+    machinery handles a simultaneous batch natively: all victims' vnodes
+    fragment together and merge once. We compare batch vs the equivalent
+    deletion sequence: identical survivors and guarantees, strictly less
+    repair work (helpers created, anchors contacted). *)
+
+type row = {
+  n : int;
+  batch_size : int;
+  batch_helpers : int;  (** helpers created by the single combined repair *)
+  seq_helpers : int;  (** total helpers created by the k sequential repairs *)
+  batch_anchors : int;
+  seq_anchors : int;
+  batch_stretch : float;
+  seq_stretch : float;
+  bound : int;
+  both_within : bool;
+}
+
+type summary = { rows : row list; batch_never_worse : bool }
+
+val run : ?verbose:bool -> ?csv:bool -> unit -> summary

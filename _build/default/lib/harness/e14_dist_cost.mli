@@ -1,0 +1,29 @@
+(** Experiment E14 — Lemma 4 on the {e fully distributed} protocol.
+
+    E5 measures the cost model by replaying centrally computed repair
+    traces. Here the repair itself runs as per-processor state machines
+    exchanging real messages ({!Fg_sim.Dist_protocol}) — corrections,
+    strip DFS, root-list exchange, helper instantiation — and we measure
+    the same quantities. Both engines must exhibit the Lemma 4 shape;
+    the distributed protocol pays small constant-factor overheads
+    (acknowledgements, coordination). *)
+
+type row = {
+  n : int;
+  degree : int;
+  messages : int;
+  msgs_norm : float;  (** messages / (d log2 n) *)
+  rounds : int;
+  rounds_norm : float;  (** rounds / (log2 d log2 n) *)
+  replay_messages : int;  (** E5's trace-replay count on the same attack *)
+  verified : bool;  (** full cross-check vs centralized passed *)
+}
+
+type summary = {
+  rows : row list;
+  all_verified : bool;
+  max_msgs_norm : float;
+  max_rounds_norm : float;
+}
+
+val run : ?verbose:bool -> ?csv:bool -> unit -> summary

@@ -1,0 +1,52 @@
+open Fg_haft
+
+type summary = { max_l : int; checked : int; failures : int }
+
+let rec ints a b = if a > b then [] else a :: ints (a + 1) b
+
+let binary_string l =
+  let rec go l acc = if l = 0 then acc else go (l / 2) (string_of_int (l mod 2) ^ acc) in
+  if l = 0 then "0" else go l ""
+
+let check_one l =
+  let t = Haft.of_list (ints 1 l) in
+  let forest = Haft.strip t in
+  let sizes = List.map Haft.leaf_count forest in
+  let expected_sizes =
+    List.filter (fun k -> l land k <> 0) (List.rev_map (fun i -> 1 lsl i) (ints 0 30))
+  in
+  let singles = Haft.merge (List.map (fun x -> Haft.Leaf x) (ints 1 l)) in
+  Haft.is_haft t
+  && Haft.height t = Haft.depth_bound l
+  && sizes = expected_sizes
+  && List.for_all Haft.is_complete forest
+  && List.length forest = Haft.popcount l
+  && Haft.equal_shape t singles
+  && Haft.leaves t = ints 1 l
+
+let run ?(verbose = true) ?(csv = false) ?(max_l = 4096) () =
+  let failures = ref 0 in
+  List.iter (fun l -> if not (check_one l) then incr failures) (ints 1 max_l);
+  let table =
+    Table.make [ "l"; "binary"; "depth"; "ceil(log2 l)"; "primary roots"; "popcount"; "ok" ]
+  in
+  let show l =
+    let t = Haft.of_list (ints 1 l) in
+    Table.add_row table
+      [
+        Table.cell_int l;
+        binary_string l;
+        Table.cell_int (Haft.height t);
+        Table.cell_int (Haft.depth_bound l);
+        Table.cell_int (List.length (Haft.strip t));
+        Table.cell_int (Haft.popcount l);
+        Table.cell_bool (check_one l);
+      ]
+  in
+  List.iter show [ 1; 2; 3; 5; 7; 8; 15; 16; 21; 64; 100; 255; 256; 1000; 2048; 4095; 4096 ];
+  if verbose then begin
+    Table.print ~title:"E1 - Lemma 1: haft structure laws (spot rows of exhaustive check)" table;
+    Printf.printf "checked l = 1..%d exhaustively: %d failures\n" max_l !failures
+  end;
+  if csv then ignore (Exp_common.write_csv ~name:"e1_haft_laws" table);
+  { max_l; checked = max_l; failures = !failures }

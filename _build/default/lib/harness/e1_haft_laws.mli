@@ -1,0 +1,14 @@
+(** Experiment E1 — Lemma 1 (haft structure laws), executed exhaustively.
+
+    For every leaf count [l] up to the configured maximum: build haft(l),
+    verify the haft predicate, depth = ceil(log2 l), strip forest =
+    complete trees of the binary representation of [l], uniqueness of the
+    shape under an alternative construction (merging singletons). *)
+
+type summary = {
+  max_l : int;
+  checked : int;
+  failures : int;  (** 0 expected *)
+}
+
+val run : ?verbose:bool -> ?csv:bool -> ?max_l:int -> unit -> summary

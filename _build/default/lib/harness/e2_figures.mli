@@ -1,0 +1,24 @@
+(** Experiment E2 — the paper's worked figures, regenerated.
+
+    - Fig. 3(a): the unique haft over 7 leaves and its strip into complete
+      trees of sizes 4, 2, 1;
+    - Fig. 5: merging hafts of 5, 2 and 1 leaves = binary addition
+      0101 + 0010 + 0001 = 1000, a complete tree over 8 leaves;
+    - Fig. 2: deleting the centre of a star replaces it by a
+      reconstruction tree over its neighbours (8-satellite instance);
+    - Figs. 4, 7, 8: deleting a node adjacent to an existing RT fragments
+      it; the fragments and the fresh leaves merge bottom-up through BT_v
+      (the trace records the per-level merges). *)
+
+type summary = {
+  fig3_strip_sizes : int list;  (** expect [4; 2; 1] *)
+  fig5_total_leaves : int;  (** expect 8 *)
+  fig5_is_complete : bool;
+  fig2_rt_depth : int;  (** expect 3 = ceil(log2 8) *)
+  fig2_invariants_ok : bool;
+  fig7_anchors : int;  (** BT_v size of the second deletion *)
+  fig7_levels : int list;  (** merges per level, bottom-up *)
+  fig7_invariants_ok : bool;
+}
+
+val run : ?verbose:bool -> unit -> summary

@@ -1,0 +1,80 @@
+module Adversary = Fg_adversary.Adversary
+module Adjacency = Fg_graph.Adjacency
+
+type row = {
+  family : string;
+  adversary : string;
+  n : int;
+  n_seen : int;
+  max_stretch : float;
+  mean_stretch : float;
+  bound : int;
+  within_bound : bool;
+  disconnected_pairs : int;
+}
+
+type summary = { rows : row list; all_within_bound : bool }
+
+let adversaries =
+  [ Adversary.Random; Adversary.Max_degree; Adversary.Max_healing_degree; Adversary.Oldest ]
+
+let run ?(verbose = true) ?(csv = false) ?(sizes = [ 64; 256 ]) () =
+  let rows = ref [] in
+  let do_cell family n adv =
+    let h =
+      Attack_sweep.run ~seed:Exp_common.default_seed ~family ~n ~del:adv ~fraction:0.5
+        ~healer:"fg"
+    in
+    let _, stretch = Attack_sweep.measure_both h in
+    let n_seen = Adjacency.num_nodes (h.Fg_baselines.Healer.gprime ()) in
+    let bound = Exp_common.ceil_log2 n_seen in
+    rows :=
+      {
+        family;
+        adversary = Adversary.deletion_name adv;
+        n;
+        n_seen;
+        max_stretch = stretch.Fg_metrics.Stretch.max_stretch;
+        mean_stretch = stretch.Fg_metrics.Stretch.mean_stretch;
+        bound;
+        within_bound = stretch.Fg_metrics.Stretch.max_stretch <= float_of_int bound;
+        disconnected_pairs = stretch.Fg_metrics.Stretch.disconnected;
+      }
+      :: !rows
+  in
+  List.iter
+    (fun (family, _) ->
+      List.iter (fun n -> List.iter (do_cell family n) adversaries) sizes)
+    Exp_common.families;
+  let rows = List.rev !rows in
+  let table =
+    Table.make
+      [
+        "family"; "adversary"; "n"; "max stretch"; "mean"; "bound log n"; "within";
+        "disconn";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.family;
+          r.adversary;
+          Table.cell_int r.n;
+          Table.cell_float r.max_stretch;
+          Table.cell_float ~decimals:3 r.mean_stretch;
+          Table.cell_int r.bound;
+          Table.cell_bool r.within_bound;
+          Table.cell_int r.disconnected_pairs;
+        ])
+    rows;
+  if verbose then
+    Table.print
+      ~title:"E4 - Theorem 1.2: stretch under 50% adversarial deletion (FG healer)"
+      table;
+  if csv then ignore (Exp_common.write_csv ~name:"e4_stretch" table);
+  {
+    rows;
+    all_within_bound =
+      List.for_all (fun r -> r.within_bound && r.disconnected_pairs = 0) rows;
+  }

@@ -1,0 +1,18 @@
+(** Experiment E4 — Theorem 1.2 (stretch <= ceil(log2 n)) under the same
+    adversarial deletion sweeps as E3. *)
+
+type row = {
+  family : string;
+  adversary : string;
+  n : int;
+  n_seen : int;
+  max_stretch : float;
+  mean_stretch : float;
+  bound : int;  (** ceil(log2 n_seen) *)
+  within_bound : bool;
+  disconnected_pairs : int;  (** must be 0 *)
+}
+
+type summary = { rows : row list; all_within_bound : bool }
+
+val run : ?verbose:bool -> ?csv:bool -> ?sizes:int list -> unit -> summary

@@ -1,0 +1,33 @@
+(** Experiment E5 — Lemma 4 / Theorem 1.3: repair cost measured on the
+    distributed simulator.
+
+    Two series: (a) star centres of growing degree (worst-case single
+    repair); (b) a deletion sequence through an ER graph (repeated RT
+    merging). For each deletion the simulator reports messages, recovery
+    rounds and message sizes; the normalised columns divide by the
+    Lemma 4 bounds — flat normalised values confirm the claimed shape
+    O(d log n) messages, O(log d log n) rounds, O(log n)-reference
+    messages. *)
+
+type row = {
+  label : string;
+  n : int;
+  degree : int;
+  anchors : int;
+  messages : int;
+  msgs_norm : float;  (** messages / (d log2 n) *)
+  rounds : int;
+  rounds_norm : float;  (** rounds / (log2 d log2 n) *)
+  max_msg_refs : float;  (** largest message in node references *)
+  refs_norm : float;  (** max_msg_refs / log2 n *)
+}
+
+type summary = {
+  star_rows : row list;
+  er_rows : row list;
+  max_msgs_norm : float;
+  max_rounds_norm : float;
+  max_refs_norm : float;
+}
+
+val run : ?verbose:bool -> ?csv:bool -> unit -> summary

@@ -1,0 +1,22 @@
+(** Experiment E6 — Theorem 2: the degree/stretch trade-off lower bound.
+
+    The proof's construction: a star K_{1,n-1} whose centre is deleted.
+    Any healer with degree factor alpha >= 3 must suffer stretch
+    beta >= (1/2) log_{alpha-1}(n-1). We run the Forgiving Graph on
+    exactly this attack and report the measured stretch between the lower
+    bound (alpha = 3, i.e. (1/2) log2(n-1)) and the upper bound of
+    Theorem 1.2 (ceil(log2 n)) — confirming the trade-off is matched up
+    to a constant factor, i.e. the structure is asymptotically optimal. *)
+
+type row = {
+  n : int;
+  measured_stretch : float;  (** max over satellite pairs after healing *)
+  lower_bound : float;  (** (1/2) log2 (n-1) *)
+  upper_bound : int;  (** ceil(log2 n) *)
+  max_degree_ratio : float;
+  sandwiched : bool;  (** lower/2 <= measured <= upper? (constant slack) *)
+}
+
+type summary = { rows : row list; all_sandwiched : bool }
+
+val run : ?verbose:bool -> ?csv:bool -> unit -> summary

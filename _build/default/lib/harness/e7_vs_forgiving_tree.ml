@@ -1,0 +1,97 @@
+module Healer = Fg_baselines.Healer
+module Adversary = Fg_adversary.Adversary
+
+type row = {
+  healer : string;
+  family : string;
+  n : int;
+  max_stretch : float;
+  mean_stretch : float;
+  diameter_factor : float;
+  max_degree_ratio : float;
+  supports_insert : bool;
+  init_messages : int;
+}
+
+type summary = { rows : row list; fg_beats_ft_stretch : bool }
+
+let one ~healer ~family ~n =
+  let h =
+    Attack_sweep.run ~seed:Exp_common.default_seed ~family ~n ~del:Adversary.Max_degree
+      ~fraction:0.3 ~healer
+  in
+  let degree, stretch = Attack_sweep.measure_both h in
+  let g = h.Healer.graph () and gp = h.Healer.gprime () in
+  let diam_g = Fg_graph.Diameter.two_sweep g in
+  let diam_gp = Fg_graph.Diameter.two_sweep gp in
+  let supports_insert =
+    let fresh = 1_000_000 + n in
+    match h.Healer.live_nodes () with
+    | [] -> false
+    | anchor :: _ -> (
+      try
+        h.Healer.insert fresh [ anchor ];
+        true
+      with Healer.Unsupported _ -> false)
+  in
+  {
+    healer = h.Healer.name;
+    family;
+    n;
+    max_stretch = stretch.Fg_metrics.Stretch.max_stretch;
+    mean_stretch = stretch.Fg_metrics.Stretch.mean_stretch;
+    diameter_factor =
+      float_of_int diam_g /. float_of_int (max 1 diam_gp);
+    max_degree_ratio = degree.Fg_metrics.Degree_metric.max_ratio;
+    supports_insert;
+    init_messages = h.Healer.init_messages;
+  }
+
+let families = [ "er"; "ba"; "ws" ]
+let n = 256
+
+let run ?(verbose = true) ?(csv = false) () =
+  let rows =
+    List.concat_map
+      (fun family ->
+        [ one ~healer:"fg" ~family ~n; one ~healer:"ft" ~family ~n ])
+      families
+  in
+  let table =
+    Table.make
+      [
+        "healer"; "family"; "n"; "max stretch"; "mean stretch"; "diam factor";
+        "max deg ratio"; "inserts"; "init msgs";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.healer;
+          r.family;
+          Table.cell_int r.n;
+          Table.cell_float r.max_stretch;
+          Table.cell_float ~decimals:3 r.mean_stretch;
+          Table.cell_float r.diameter_factor;
+          Table.cell_float r.max_degree_ratio;
+          Table.cell_bool r.supports_insert;
+          Table.cell_int r.init_messages;
+        ])
+    rows;
+  if verbose then
+    Table.print
+      ~title:
+        "E7 - Forgiving Graph vs Forgiving Tree (30% max-degree deletions)"
+      table;
+  if csv then ignore (Exp_common.write_csv ~name:"e7_vs_ft" table);
+  let beats =
+    List.for_all
+      (fun family ->
+        let find h =
+          List.find (fun r -> r.healer = h && r.family = family) rows
+        in
+        (find "fg").max_stretch <= (find "ft").max_stretch)
+      families
+  in
+  { rows; fg_beats_ft_stretch = beats }

@@ -1,0 +1,28 @@
+(** Experiment E7 — the paper's three claimed improvements over the
+    Forgiving Tree (PODC'08), §1:
+
+    + {b stretch vs diameter}: FG bounds per-pair stretch against G'; FT
+      heals a spanning tree and ignores non-tree G'-edges, so its per-pair
+      stretch degrades while its diameter factor stays bounded;
+    + {b insertions}: FG handles them, FT raises Unsupported;
+    + {b initialization}: FT charges O(n log n) preprocessing messages,
+      FG none. *)
+
+type row = {
+  healer : string;
+  family : string;
+  n : int;
+  max_stretch : float;  (** vs the original G' *)
+  mean_stretch : float;
+  diameter_factor : float;  (** diam(G)/diam(G') *)
+  max_degree_ratio : float;
+  supports_insert : bool;
+  init_messages : int;
+}
+
+type summary = {
+  rows : row list;
+  fg_beats_ft_stretch : bool;  (** FG max stretch < FT max stretch on every family *)
+}
+
+val run : ?verbose:bool -> ?csv:bool -> unit -> summary

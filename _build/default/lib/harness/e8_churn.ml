@@ -1,0 +1,111 @@
+module Adversary = Fg_adversary.Adversary
+module Healer = Fg_baselines.Healer
+module Fg = Fg_core.Forgiving_graph
+
+type row = {
+  mix : string;
+  insertion : string;
+  steps : int;
+  n_seen : int;
+  live : int;
+  max_stretch : float;
+  stretch_bound : int;
+  max_degree_ratio : float;
+  invariants_ok : bool;
+}
+
+type summary = { rows : row list; all_ok : bool }
+
+let insertions =
+  [
+    ("random3", Adversary.Attach_random 3);
+    ("preferential3", Adversary.Attach_preferential 3);
+    ("chain", Adversary.Attach_chain);
+    ("far2", Adversary.Attach_far 2);
+  ]
+
+let mixes = [ ("2:1", 1. /. 3.); ("1:1", 0.5); ("1:2", 2. /. 3.) ]
+
+let one ~steps ~mix_name ~p_delete ~ins_name ~ins =
+  let rng = Fg_graph.Rng.create (Exp_common.default_seed + Hashtbl.hash (mix_name, ins_name)) in
+  (* size the initial population so delete-heavy mixes keep a healthy
+     survivor pool: expected net deletions = steps * (2p - 1) *)
+  let expected_net = int_of_float (float_of_int steps *. ((2. *. p_delete) -. 1.)) in
+  let n0 = 64 + max 0 expected_net in
+  let g0 = Fg_graph.Generators.erdos_renyi rng n0 (4.0 /. float_of_int n0) in
+  let fg = Fg.of_graph g0 in
+  (* hand-rolled healer wrapper so the underlying fg stays accessible for
+     the invariant checks below *)
+  let healer =
+    {
+      Healer.name = "fg";
+      insert = (fun v nbrs -> Fg.insert fg v nbrs);
+      delete = (fun v -> Fg.delete fg v);
+      graph = (fun () -> Fg.graph fg);
+      gprime = (fun () -> Fg.gprime fg);
+      live_nodes = (fun () -> Fg.live_nodes fg);
+      is_alive = (fun v -> Fg.is_alive fg v);
+      init_messages = 0;
+    }
+  in
+  ignore
+    (Fg_adversary.Churn.drive rng healer ~steps ~p_delete ~del:Adversary.Max_degree
+       ~ins ~first_id:n0);
+  let live = Fg.live_nodes fg in
+  let stretch =
+    Fg_metrics.Stretch.exact ~graph:(Fg.graph fg) ~reference:(Fg.gprime fg) ~nodes:live
+  in
+  let degree =
+    Fg_metrics.Degree_metric.measure ~graph:(Fg.graph fg) ~gprime:(Fg.gprime fg)
+      ~nodes:live
+  in
+  let invariants_ok = Fg_core.Invariants.check fg = [] in
+  {
+    mix = mix_name;
+    insertion = ins_name;
+    steps;
+    n_seen = Fg.num_seen fg;
+    live = List.length live;
+    max_stretch = stretch.Fg_metrics.Stretch.max_stretch;
+    stretch_bound = Fg.stretch_bound fg;
+    max_degree_ratio = degree.Fg_metrics.Degree_metric.max_ratio;
+    invariants_ok =
+      invariants_ok && stretch.Fg_metrics.Stretch.disconnected = 0
+      && stretch.Fg_metrics.Stretch.max_stretch <= float_of_int (Fg.stretch_bound fg);
+  }
+
+let run ?(verbose = true) ?(csv = false) ?(steps = 200) () =
+  let rows =
+    List.concat_map
+      (fun (mix_name, p_delete) ->
+        List.map
+          (fun (ins_name, ins) -> one ~steps ~mix_name ~p_delete ~ins_name ~ins)
+          insertions)
+      mixes
+  in
+  let table =
+    Table.make
+      [
+        "ins:del"; "insertion"; "steps"; "n seen"; "live"; "max stretch";
+        "bound"; "max deg ratio"; "all bounds+invariants";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.mix;
+          r.insertion;
+          Table.cell_int r.steps;
+          Table.cell_int r.n_seen;
+          Table.cell_int r.live;
+          Table.cell_float r.max_stretch;
+          Table.cell_int r.stretch_bound;
+          Table.cell_float r.max_degree_ratio;
+          Table.cell_bool r.invariants_ok;
+        ])
+    rows;
+  if verbose then
+    Table.print ~title:"E8 - adversarial insert/delete churn (FG healer)" table;
+  if csv then ignore (Exp_common.write_csv ~name:"e8_churn" table);
+  { rows; all_ok = List.for_all (fun r -> r.invariants_ok) rows }

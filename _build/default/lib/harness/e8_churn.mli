@@ -1,0 +1,23 @@
+(** Experiment E8 — mixed adversarial insertions and deletions.
+
+    The Forgiving Graph's second headline improvement: it handles
+    arbitrary interleavings of insertions and deletions (the Forgiving
+    Tree handles neither insertions nor an uninitialised start). We sweep
+    insert:delete mixes x insertion strategies, then verify the Theorem 1
+    bounds and the full structural invariant suite on the survivor. *)
+
+type row = {
+  mix : string;  (** e.g. "1:1" = p_delete 0.5 *)
+  insertion : string;
+  steps : int;
+  n_seen : int;
+  live : int;
+  max_stretch : float;
+  stretch_bound : int;
+  max_degree_ratio : float;
+  invariants_ok : bool;
+}
+
+type summary = { rows : row list; all_ok : bool }
+
+val run : ?verbose:bool -> ?csv:bool -> ?steps:int -> unit -> summary

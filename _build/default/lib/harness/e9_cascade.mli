@@ -1,0 +1,25 @@
+(** Experiment E9 — §1 related-work claim: cascade defenses "perform very
+    poorly under adversarial attack"; responsive healing survives.
+
+    Motter–Lai cascading failures on a Barabási–Albert power-law network
+    under a top-degree (hub) attack, sweeping the capacity tolerance
+    alpha. Three defences: none, Hayashi–Miyazaki emergent rewiring, and
+    the Forgiving Graph. Reported: surviving fraction and largest
+    component fraction (the G measure). *)
+
+type row = {
+  tolerance : float;
+  heal : string;
+  surviving_fraction : float;
+  largest_component_fraction : float;
+  waves : int;
+}
+
+type summary = {
+  rows : row list;
+  fg_dominates : bool;
+      (** FG's largest-component fraction >= both baselines at every
+          tolerance *)
+}
+
+val run : ?verbose:bool -> ?csv:bool -> ?n:int -> unit -> summary

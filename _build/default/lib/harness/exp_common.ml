@@ -1,0 +1,31 @@
+let ceil_log2 n =
+  if n <= 1 then 0
+  else begin
+    let rec go p b = if p >= n then b else go (2 * p) (b + 1) in
+    go 1 0
+  end
+
+let log2f n = log (float_of_int (max 2 n)) /. log 2.
+let default_seed = 42
+
+let families =
+  [
+    ("ring", fun _rng n -> Fg_graph.Generators.ring n);
+    ("er", fun rng n -> Fg_graph.Generators.erdos_renyi rng n (4.0 /. float_of_int (max 2 n)));
+    ("ba", fun rng n -> Fg_graph.Generators.barabasi_albert rng n 3);
+    ("ws", fun rng n -> Fg_graph.Generators.watts_strogatz rng n 4 0.1);
+    ("grid", fun _rng n ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Fg_graph.Generators.grid side side);
+    ("tree", fun _rng n -> Fg_graph.Generators.binary_tree n);
+  ]
+
+let write_csv ~name table =
+  let dir = "results" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".csv") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Table.to_csv table));
+  path

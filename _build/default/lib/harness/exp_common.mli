@@ -1,0 +1,16 @@
+(** Shared helpers for the experiment modules. *)
+
+(** [ceil_log2 n] = ceil(log2 n), 0 for n <= 1. *)
+val ceil_log2 : int -> int
+
+(** [log2f x] in floating point, of [max 2 x]. *)
+val log2f : int -> float
+
+(** Default seed used by all experiments (override per call site). *)
+val default_seed : int
+
+(** The graph families used by the attack sweeps: name, generator. *)
+val families : (string * (Fg_graph.Rng.t -> int -> Fg_graph.Adjacency.t)) list
+
+(** Emit a CSV file under [results/] (created on demand); returns path. *)
+val write_csv : name:string -> Table.t -> string

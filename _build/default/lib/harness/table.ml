@@ -1,0 +1,54 @@
+type t = { headers : string list; mutable rows : string list list (* reversed *) }
+
+let make headers = { headers; rows = [] }
+let add_row t cells = t.rows <- cells :: t.rows
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_bool b = if b then "yes" else "no"
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width i =
+    List.fold_left
+      (fun m r -> match List.nth_opt r i with Some c -> max m (String.length c) | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let buf = Buffer.create 512 in
+  let emit_row r =
+    List.iteri
+      (fun i w ->
+        let c = Option.value (List.nth_opt r i) ~default:"" in
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (w - String.length c) ' ');
+        if i < cols - 1 then Buffer.add_string buf "  ")
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.headers;
+  let total = List.fold_left ( + ) 0 widths + (2 * (cols - 1)) in
+  Buffer.add_string buf (String.make (max 1 total) '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | Some s ->
+    print_newline ();
+    print_endline s;
+    print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_string (render t)
+
+let quote_csv c =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' c) ^ "\""
+  else c
+
+let to_csv t =
+  let rows = t.headers :: List.rev t.rows in
+  String.concat "\n" (List.map (fun r -> String.concat "," (List.map quote_csv r)) rows)
+  ^ "\n"

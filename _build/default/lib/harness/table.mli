@@ -1,0 +1,24 @@
+(** Plain-text table rendering for experiment output. *)
+
+type t
+
+(** [make headers] starts a table. *)
+val make : string list -> t
+
+(** [add_row t cells] appends a row; extra/missing cells are tolerated. *)
+val add_row : t -> string list -> unit
+
+(** Convenience cell formatters. *)
+val cell_int : int -> string
+
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string
+
+(** [render t] lays out the table with padded columns and a separator. *)
+val render : t -> string
+
+(** [print ?title t] renders to stdout with an optional underlined title. *)
+val print : ?title:string -> t -> unit
+
+(** [to_csv t] emits the same data as CSV (quoted where needed). *)
+val to_csv : t -> string

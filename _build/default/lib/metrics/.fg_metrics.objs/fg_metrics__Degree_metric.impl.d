@@ -1,0 +1,1 @@
+lib/metrics/degree_metric.ml: Fg_graph Format List

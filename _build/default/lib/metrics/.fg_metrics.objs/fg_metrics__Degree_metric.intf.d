@@ -1,0 +1,1 @@
+lib/metrics/degree_metric.mli: Fg_graph Format

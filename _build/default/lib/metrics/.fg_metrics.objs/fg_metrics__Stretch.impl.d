@@ -1,0 +1,1 @@
+lib/metrics/stretch.ml: Array Fg_graph Format List

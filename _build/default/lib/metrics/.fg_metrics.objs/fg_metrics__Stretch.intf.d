@@ -1,0 +1,1 @@
+lib/metrics/stretch.mli: Fg_graph Format

@@ -1,0 +1,55 @@
+module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
+
+type report = {
+  max_ratio : float;
+  witness : Node_id.t option;
+  mean_ratio : float;
+  max_absolute_increase : int;
+  over_3x : int;
+  over_4x : int;
+}
+
+let measure ~graph ~gprime ~nodes =
+  let max_ratio = ref 0. in
+  let witness = ref None in
+  let sum = ref 0. in
+  let count = ref 0 in
+  let max_abs = ref 0 in
+  let over3 = ref 0 in
+  let over4 = ref 0 in
+  let visit v =
+    let d = Adjacency.degree graph v in
+    let d' = Adjacency.degree gprime v in
+    if d' > 0 then begin
+      let r = float_of_int d /. float_of_int d' in
+      incr count;
+      sum := !sum +. r;
+      if r > !max_ratio then begin
+        max_ratio := r;
+        witness := Some v
+      end;
+      if d - d' > !max_abs then max_abs := d - d';
+      if d > 3 * d' then incr over3;
+      if d > 4 * d' then incr over4
+    end
+  in
+  List.iter visit nodes;
+  {
+    max_ratio = !max_ratio;
+    witness = !witness;
+    mean_ratio = (if !count = 0 then 0. else !sum /. float_of_int !count);
+    max_absolute_increase = !max_abs;
+    over_3x = !over3;
+    over_4x = !over4;
+  }
+
+let pp_report ppf r =
+  let pp_wit ppf = function
+    | None -> Format.fprintf ppf "-"
+    | Some v -> Node_id.pp ppf v
+  in
+  Format.fprintf ppf
+    "max ratio %.2f at %a, mean %.3f, max +%d, >3x: %d nodes, >4x: %d nodes"
+    r.max_ratio pp_wit r.witness r.mean_ratio r.max_absolute_increase r.over_3x
+    r.over_4x

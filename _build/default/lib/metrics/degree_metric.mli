@@ -1,0 +1,22 @@
+(** Degree increase: the paper's success metric 1 —
+    [max_v deg(v, G) / deg(v, G')] over live nodes with positive
+    G'-degree. *)
+
+module Node_id := Fg_graph.Node_id
+
+type report = {
+  max_ratio : float;
+  witness : Node_id.t option;
+  mean_ratio : float;
+  max_absolute_increase : int;  (** max over v of deg_G(v) - deg_G'(v) *)
+  over_3x : int;  (** nodes exceeding the paper's stated 3x bound *)
+  over_4x : int;  (** nodes exceeding the provable 4x bound (expect 0) *)
+}
+
+val measure :
+  graph:Fg_graph.Adjacency.t ->
+  gprime:Fg_graph.Adjacency.t ->
+  nodes:Node_id.t list ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

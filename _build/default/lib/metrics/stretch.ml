@@ -1,0 +1,93 @@
+module Node_id = Fg_graph.Node_id
+module Bfs = Fg_graph.Bfs
+
+type report = {
+  max_stretch : float;
+  witness : (Node_id.t * Node_id.t) option;
+  mean_stretch : float;
+  pairs : int;
+  disconnected : int;
+}
+
+let measure ~graph ~reference ~sources ~targets =
+  let max_stretch = ref 0. in
+  let witness = ref None in
+  let sum = ref 0. in
+  let pairs = ref 0 in
+  let disconnected = ref 0 in
+  let from x =
+    let dg = Bfs.distances graph x in
+    let dr = Bfs.distances reference x in
+    let check y =
+      if not (Node_id.equal x y) then
+        match (Node_id.Tbl.find_opt dg y, Node_id.Tbl.find_opt dr y) with
+        | Some d, Some d' when d' > 0 ->
+          let s = float_of_int d /. float_of_int d' in
+          incr pairs;
+          sum := !sum +. s;
+          if s > !max_stretch then begin
+            max_stretch := s;
+            witness := Some (x, y)
+          end
+        | None, Some _ -> incr disconnected
+        | _ -> ()
+    in
+    List.iter check targets
+  in
+  List.iter from sources;
+  {
+    max_stretch = !max_stretch;
+    witness = !witness;
+    mean_stretch = (if !pairs = 0 then 0. else !sum /. float_of_int !pairs);
+    pairs = !pairs;
+    disconnected = !disconnected;
+  }
+
+let exact ~graph ~reference ~nodes =
+  let sorted = List.sort Node_id.compare nodes in
+  (* avoid double-counting: source x only measures targets y > x *)
+  let max_stretch = ref 0. in
+  let witness = ref None in
+  let sum = ref 0. in
+  let pairs = ref 0 in
+  let disconnected = ref 0 in
+  let from x =
+    let dg = Bfs.distances graph x in
+    let dr = Bfs.distances reference x in
+    let check y =
+      if y > x then
+        match (Node_id.Tbl.find_opt dg y, Node_id.Tbl.find_opt dr y) with
+        | Some d, Some d' when d' > 0 ->
+          let s = float_of_int d /. float_of_int d' in
+          incr pairs;
+          sum := !sum +. s;
+          if s > !max_stretch then begin
+            max_stretch := s;
+            witness := Some (x, y)
+          end
+        | None, Some _ -> incr disconnected
+        | _ -> ()
+    in
+    List.iter check sorted
+  in
+  List.iter from sorted;
+  {
+    max_stretch = !max_stretch;
+    witness = !witness;
+    mean_stretch = (if !pairs = 0 then 0. else !sum /. float_of_int !pairs);
+    pairs = !pairs;
+    disconnected = !disconnected;
+  }
+
+let sampled rng ~k ~graph ~reference ~nodes =
+  let arr = Array.of_list (List.sort Node_id.compare nodes) in
+  let sources = Array.to_list (Fg_graph.Rng.sample rng k arr) in
+  measure ~graph ~reference ~sources ~targets:(Array.to_list arr)
+
+let pp_report ppf r =
+  let pp_wit ppf = function
+    | None -> Format.fprintf ppf "-"
+    | Some (x, y) -> Format.fprintf ppf "(%a,%a)" Node_id.pp x Node_id.pp y
+  in
+  Format.fprintf ppf "max %.2f at %a, mean %.3f over %d pairs, %d disconnected"
+    r.max_stretch pp_wit r.witness r.mean_stretch r.pairs r.disconnected

@@ -1,0 +1,39 @@
+(** Stretch: the paper's central quality metric (Section 2, success
+    metric 2).
+
+    [stretch(x, y) = dist(x, y, G) / dist(x, y, G')] over live pairs,
+    where [G] is the healed network and [G'] the insert-only reference
+    (which may route through dead nodes). Theorem 1.2 bounds the maximum
+    by [ceil(log2 n)]. *)
+
+module Node_id := Fg_graph.Node_id
+
+type report = {
+  max_stretch : float;
+  witness : (Node_id.t * Node_id.t) option;  (** pair attaining the max *)
+  mean_stretch : float;
+  pairs : int;  (** connected live pairs measured *)
+  disconnected : int;  (** pairs connected in G' but not in G (0 if the
+                           healer preserves connectivity) *)
+}
+
+(** [exact ~graph ~reference ~nodes] measures every unordered pair of
+    [nodes] (one BFS per node on each graph). *)
+val exact :
+  graph:Fg_graph.Adjacency.t ->
+  reference:Fg_graph.Adjacency.t ->
+  nodes:Node_id.t list ->
+  report
+
+(** [sampled rng ~k ~graph ~reference ~nodes] measures BFS from [k] sampled
+    sources against all of [nodes] — an unbiased under-estimate of the max,
+    for large sweeps. *)
+val sampled :
+  Fg_graph.Rng.t ->
+  k:int ->
+  graph:Fg_graph.Adjacency.t ->
+  reference:Fg_graph.Adjacency.t ->
+  nodes:Node_id.t list ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

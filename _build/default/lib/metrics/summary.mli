@@ -1,0 +1,21 @@
+(** Small statistics helpers for experiment tables. *)
+
+type t = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  stddev : float;
+}
+
+(** [of_floats xs] — raises [Invalid_argument] on the empty list. *)
+val of_floats : float list -> t
+
+val of_ints : int list -> t
+
+(** [quantile q xs] with [0 <= q <= 1], nearest-rank on sorted values. *)
+val quantile : float -> float list -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/dist_engine.ml: Dist_protocol Dist_state Fg_core Fg_graph List Printf

@@ -1,0 +1,1 @@
+lib/sim/dist_engine.mli: Dist_state Fg_core Fg_graph Netsim

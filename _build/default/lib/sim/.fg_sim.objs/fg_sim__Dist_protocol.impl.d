@@ -1,0 +1,1 @@
+lib/sim/dist_protocol.ml: Dist_state Fg_core Fg_graph Format Hashtbl List Netsim Option Printf Protocol Vref

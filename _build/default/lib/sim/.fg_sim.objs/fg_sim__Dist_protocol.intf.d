@@ -1,0 +1,1 @@
+lib/sim/dist_protocol.mli: Dist_state Fg_graph Netsim

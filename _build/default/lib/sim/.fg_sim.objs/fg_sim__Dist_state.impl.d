@@ -1,0 +1,1 @@
+lib/sim/dist_state.ml: Fg_core Fg_graph Format List Option Printf Vref

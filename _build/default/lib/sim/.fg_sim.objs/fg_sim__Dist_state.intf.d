@@ -1,0 +1,1 @@
+lib/sim/dist_state.mli: Fg_core Fg_graph Vref

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Fg_core Fg_graph Format List Netsim Protocol

@@ -1,0 +1,1 @@
+lib/sim/flood.ml: Fg_graph List Netsim

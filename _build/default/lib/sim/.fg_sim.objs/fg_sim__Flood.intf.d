@@ -1,0 +1,1 @@
+lib/sim/flood.mli: Fg_graph

@@ -1,0 +1,1 @@
+lib/sim/netsim.ml: Fg_graph Hashtbl List Option Printf

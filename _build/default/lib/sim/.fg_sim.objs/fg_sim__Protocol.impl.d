@@ -1,0 +1,1 @@
+lib/sim/protocol.ml: Array Fg_core List Netsim Option

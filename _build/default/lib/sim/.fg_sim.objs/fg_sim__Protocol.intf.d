@@ -1,0 +1,1 @@
+lib/sim/protocol.mli: Fg_core Netsim

@@ -1,0 +1,1 @@
+lib/sim/table1.ml: Fg_core Fg_graph Hashtbl List Option Printf Set String Vref

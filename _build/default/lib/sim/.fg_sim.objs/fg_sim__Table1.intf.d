@@ -1,0 +1,1 @@
+lib/sim/table1.mli: Fg_core Fg_graph Format Vref

@@ -1,0 +1,1 @@
+lib/sim/vref.ml: Fg_core Fg_graph Format Hashtbl Set

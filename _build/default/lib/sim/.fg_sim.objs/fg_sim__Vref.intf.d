@@ -1,0 +1,1 @@
+lib/sim/vref.mli: Fg_core Fg_graph Format Hashtbl Set

@@ -1,0 +1,67 @@
+module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
+module Fg = Fg_core.Forgiving_graph
+module Rt = Fg_core.Rt
+
+type t = { st : Dist_state.t; fg : Fg.t }
+
+let create g0 =
+  let st = Dist_state.create () in
+  Adjacency.iter_nodes (fun v -> Dist_state.add_processor st v) g0;
+  Adjacency.iter_edges (fun u v -> Dist_state.add_edge st u v) g0;
+  { st; fg = Fg.of_graph g0 }
+
+let insert t v nbrs =
+  Fg.insert t.fg v nbrs;
+  Dist_state.add_processor t.st v;
+  List.iter (fun u -> Dist_state.add_edge t.st v u) (List.sort_uniq Node_id.compare nbrs)
+
+let delete t v =
+  let n_seen = Fg.num_seen t.fg in
+  let stats = Dist_protocol.delete t.st v ~n_seen in
+  Fg.delete t.fg v;
+  stats
+
+let graph t = Dist_state.derived_graph t.st
+let state t = t.st
+let reference t = t.fg
+
+let leaf_partition_of_fg fg =
+  let ctx = Fg.ctx fg in
+  let classes =
+    List.map
+      (fun root ->
+        Rt.leaves_of root
+        |> List.map (fun (l : Rt.vnode) ->
+               (l.Rt.half.Fg_core.Edge.Half.proc, l.Rt.half.Fg_core.Edge.Half.edge))
+        |> List.sort compare)
+      (Rt.rt_roots ctx)
+  in
+  List.sort compare classes
+
+let verify t =
+  let errs = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (* distributed structural validity *)
+  List.iter (fun e -> say "dist: %s" e) (Dist_state.check t.st);
+  (* leaf partitions agree with the centralized reference *)
+  let dist_part = List.sort compare (Dist_state.leaf_partition t.st) in
+  let ref_part = leaf_partition_of_fg t.fg in
+  if dist_part <> ref_part then
+    say "leaf partition differs: %d distributed classes vs %d centralized"
+      (List.length dist_part) (List.length ref_part);
+  (* bounds on the derived network *)
+  let g = graph t in
+  let gp = Fg.gprime t.fg in
+  List.iter
+    (fun v ->
+      let d = Adjacency.degree g v and d' = Adjacency.degree gp v in
+      if d > 4 * d' then say "degree: node %d has %d > 4*%d" v d d')
+    (Fg.live_nodes t.fg);
+  (* connectivity mirrors the centralized image *)
+  let ref_g = Fg.graph t.fg in
+  let ref_comp = List.length (Fg_graph.Connectivity.components ref_g) in
+  let dist_comp = List.length (Fg_graph.Connectivity.components g) in
+  if ref_comp <> dist_comp then
+    say "connectivity: %d components distributed vs %d centralized" dist_comp ref_comp;
+  List.rev !errs

@@ -1,0 +1,33 @@
+(** Public driver for the fully distributed Forgiving Graph.
+
+    Maintains the per-processor Table-1 state ({!Dist_state}) and runs
+    every deletion through the message-level protocol
+    ({!Dist_protocol.delete}). A centralized {!Fg_core.Forgiving_graph}
+    shadows the same operation sequence so tests can compare: the RT leaf
+    partitions must be identical (they are determined by the merge {e
+    sets}, not the tie-breaks), while helper placement may differ — both
+    must satisfy all bounds. *)
+
+module Node_id := Fg_graph.Node_id
+
+type t
+
+val create : Fg_graph.Adjacency.t -> t
+val insert : t -> Node_id.t -> Node_id.t list -> unit
+
+(** [delete t v] runs the distributed repair; returns the measured cost. *)
+val delete : t -> Node_id.t -> Netsim.stats
+
+(** The healed network derived from the distributed fields. *)
+val graph : t -> Fg_graph.Adjacency.t
+
+val state : t -> Dist_state.t
+
+(** The shadowing centralized structure (same operation history). *)
+val reference : t -> Fg_core.Forgiving_graph.t
+
+(** Full cross-checks: distributed structural validity
+    ({!Dist_state.check}), leaf-partition equality with the centralized
+    reference, and degree/connectivity bounds on the derived graph.
+    Returns violations ([] = ok). *)
+val verify : t -> string list

@@ -1,0 +1,546 @@
+module Node_id = Fg_graph.Node_id
+module Edge = Fg_core.Edge
+module St = Dist_state
+
+(* a primary-root entry as exchanged in root lists: address, leaf count,
+   height, representative *)
+type entry = { e_root : Vref.t; e_size : int; e_height : int; e_rep : Vref.t }
+
+type msg =
+  | Notify_new_leaf of { edge : Edge.t }
+  | Notify_removed_parent of { at : Vref.t }
+  | Notify_removed_child of { at : Vref.t; child : Vref.t; delta : int }
+  | Correct of { at : Vref.t; delta : int }
+  | Fragment_ready of { root : Vref.t }
+  | Strip_cmd of { uid : int; root : Vref.t }
+  | Strip_visit of { uid : int; at : Vref.t; anchor : Node_id.t }
+  | Primary_root of { uid : int; entry : entry }
+  | Send_list_to of { uid : int; parent_uid : int; parent_anchor : Node_id.t }
+  | Self_merge of { uid : int }
+  | Root_list of { parent_uid : int; entries : entry list }
+  | Make_helper of {
+      at : Vref.t;  (* the helper to instantiate: Helper (proc, edge) *)
+      parent : Vref.t option;
+          (* known at blueprint time when the consuming join is in the same
+             burst; None for the final root. Carrying it here removes the
+             Set_parent/Make_helper reordering race under asynchrony. *)
+      left : Vref.t;
+      right : Vref.t;
+      height : int;
+      count : int;
+      rep : Vref.t;
+      reply_to : Node_id.t;
+      uid : int;
+    }
+  | Set_parent of { at : Vref.t; parent : Vref.t option; reply_to : Node_id.t; uid : int }
+  | Ack of { uid : int }
+  | Merge_done of { uid : int; new_root : Vref.t }
+
+(* ---- ComputeHaft blueprint (A.9), computed locally by a parent anchor
+   from the sorted entry list; pure function of the entries ---- *)
+
+type join = {
+  j_new : Vref.t;
+  j_left : entry;
+  j_right : entry;
+  j_height : int;
+  j_count : int;
+  j_rep : Vref.t;
+}
+
+let entry_order a b =
+  let c = compare a.e_size b.e_size in
+  if c <> 0 then c else Vref.compare a.e_root b.e_root
+
+let compute_haft entries =
+  let joins = ref [] in
+  let join_equal a b =
+    (* simulator = rep of the first; rep inherited from the second *)
+    let sim = a.e_rep in
+    let j =
+      {
+        j_new = Vref.helper sim.Vref.proc sim.Vref.edge;
+        j_left = a;
+        j_right = b;
+        j_height = 1 + max a.e_height b.e_height;
+        j_count = a.e_size + b.e_size;
+        j_rep = b.e_rep;
+      }
+    in
+    joins := j :: !joins;
+    { e_root = j.j_new; e_size = j.j_count; e_height = j.j_height; e_rep = j.j_rep }
+  in
+  let join_chain ~big ~small =
+    let sim = big.e_rep in
+    let j =
+      {
+        j_new = Vref.helper sim.Vref.proc sim.Vref.edge;
+        j_left = big;
+        j_right = small;
+        j_height = 1 + max big.e_height small.e_height;
+        j_count = big.e_size + small.e_size;
+        j_rep = small.e_rep;
+      }
+    in
+    joins := j :: !joins;
+    { e_root = j.j_new; e_size = j.j_count; e_height = j.j_height; e_rep = j.j_rep }
+  in
+  let sorted = List.sort entry_order entries in
+  (* binary-addition fold with carries *)
+  let rec add t = function
+    | [] -> [ t ]
+    | hd :: tl ->
+      if t.e_size < hd.e_size then t :: hd :: tl
+      else if t.e_size = hd.e_size then add (join_equal t hd) tl
+      else hd :: add t tl
+  in
+  let summed = List.fold_left (fun acc t -> add t acc) [] sorted in
+  let root =
+    match summed with
+    | [] -> invalid_arg "compute_haft: empty"
+    | smallest :: rest ->
+      List.fold_left (fun acc t -> join_chain ~big:t ~small:acc) smallest rest
+  in
+  (List.rev !joins, root)
+
+(* ---- coordinator ---- *)
+
+type unit_status =
+  | Fragment of Vref.t  (** a level-0 fragment root: strip before anything *)
+  | Merged of Vref.t  (** a proper haft from a completed merge *)
+  | Listed  (** root list ready at the anchor *)
+
+type cunit = { uid : int; anchor : Node_id.t; mutable status : unit_status }
+
+type coord_phase =
+  | Collecting
+  | Stripping
+  | Merging of { mutable pending : int }
+  | Done
+
+type coord = {
+  mutable units : cunit list;  (* current level *)
+  mutable phase : coord_phase;
+  mutable next_uid : int;
+  mutable seen_roots : Vref.Set.t;  (* fragment-root dedup *)
+}
+
+let phase_name = function
+  | Collecting -> "collect"
+  | Stripping -> "strip"
+  | Merging m -> Printf.sprintf "merge(%d)" m.pending
+  | Done -> "done"
+
+(* ---- the deletion protocol ---- *)
+
+let delete ?(debug = fun (_ : string) -> ()) ?discipline st v ~n_seen =
+  if not (St.is_alive st v) then invalid_arg "Dist_protocol.delete: not alive";
+  let rb = Protocol.ref_bits n_seen in
+  let net = Netsim.create ?discipline () in
+  let send ~bits ~src ~dst m = Netsim.send net ~bits ~src ~dst m in
+  (* ---- oracle: notifications from v's own rows (distance-1 facts) ---- *)
+  let v_rows = St.rows st v in
+  let nset = ref Node_id.Set.empty in
+  let notifications = ref [] in
+  let notify target m =
+    if not (Node_id.equal target v) then begin
+      nset := Node_id.Set.add target !nset;
+      notifications := (target, m) :: !notifications
+    end
+  in
+  let scan (f : St.fields) =
+    let other = Edge.other f.St.edge v in
+    if not f.St.other_dead then notify other (Notify_new_leaf { edge = f.St.edge })
+    else begin
+      (* v's leaf for this edge disappears *)
+      match f.St.endpoint with
+      | Some p when not (Node_id.equal p.Vref.proc v) ->
+        notify p.Vref.proc
+          (Notify_removed_child { at = p; child = Vref.real v f.St.edge; delta = 1 })
+      | _ -> ()
+    end;
+    if f.St.has_helper then begin
+      (match f.St.h_parent with
+      | Some p when not (Node_id.equal p.Vref.proc v) ->
+        notify p.Vref.proc
+          (Notify_removed_child
+             { at = p; child = Vref.helper v f.St.edge; delta = f.St.h_count })
+      | _ -> ());
+      let orphan = function
+        | Some (c : Vref.t) when not (Node_id.equal c.Vref.proc v) ->
+          notify c.Vref.proc (Notify_removed_parent { at = c })
+        | _ -> ()
+      in
+      orphan f.St.h_left;
+      orphan f.St.h_right
+    end
+  in
+  List.iter scan v_rows;
+  St.drop_processor st v;
+  if !notifications = [] then
+    (* isolated node: nothing to repair *)
+    Netsim.run net ~handler:(fun ~src:_ ~dst:_ ~bits:_ _ -> ()) ~max_rounds:1
+  else begin
+    let coordinator = Node_id.Set.min_elt !nset in
+    let coord =
+      { units = []; phase = Collecting; next_uid = 0; seen_roots = Vref.Set.empty }
+    in
+    (* per-unit anchor scratch, keyed by the opaque unit id (a unit's root
+       vref is NOT a stable identifier: a later merge may re-create a
+       helper in a previously discarded (proc, edge) slot) *)
+    let lists : (int, entry list ref) Hashtbl.t = Hashtbl.create 8 in
+    let list_of uid =
+      match Hashtbl.find_opt lists uid with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace lists uid l;
+        l
+    in
+    let acks : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    let new_roots : (int, Vref.t) Hashtbl.t = Hashtbl.create 8 in
+    (* ---- helpers over local rows ---- *)
+    let local_node (r : Vref.t) =
+      match St.find st r.Vref.proc r.Vref.edge with
+      | None -> None
+      | Some f -> (
+        match r.Vref.kind with
+        | Vref.Real -> if f.St.other_dead then Some f else None
+        | Vref.Helper -> if f.St.has_helper then Some f else None)
+    in
+    let node_parent (r : Vref.t) (f : St.fields) =
+      match r.Vref.kind with Vref.Real -> f.St.endpoint | Vref.Helper -> f.St.h_parent
+    in
+    let set_node_parent (r : Vref.t) (f : St.fields) p =
+      match r.Vref.kind with
+      | Vref.Real -> f.St.endpoint <- p
+      | Vref.Helper -> f.St.h_parent <- p
+    in
+    let node_complete (r : Vref.t) (f : St.fields) =
+      match r.Vref.kind with
+      | Vref.Real -> true
+      | Vref.Helper -> f.St.h_count = 1 lsl f.St.h_height
+    in
+    let node_entry (r : Vref.t) (f : St.fields) =
+      match r.Vref.kind with
+      | Vref.Real -> { e_root = r; e_size = 1; e_height = 0; e_rep = r }
+      | Vref.Helper ->
+        {
+          e_root = r;
+          e_size = f.St.h_count;
+          e_height = f.St.h_height;
+          e_rep = Option.get f.St.h_rep;
+        }
+    in
+    let fragment_ready root =
+      send ~bits:(3 * rb) ~src:root.Vref.proc ~dst:coordinator (Fragment_ready { root })
+    in
+    (* the ComputeHaft instantiation burst shared by Root_list/Self_merge *)
+    let instantiate ~anchor ~uid entries =
+      match entries with
+      | [ single ] ->
+        send ~bits:(6 * rb) ~src:anchor ~dst:coordinator
+          (Merge_done { uid; new_root = single.e_root })
+      | _ ->
+        let joins, root = compute_haft entries in
+        Hashtbl.replace new_roots uid root.e_root;
+        (* a join child that is itself a join's product gets its parent via
+           its own Make_helper; only pre-existing roots need Set_parent *)
+        let made = Vref.Tbl.create 8 in
+        List.iter (fun j -> Vref.Tbl.replace made j.j_new ()) joins;
+        let parent_tbl = Vref.Tbl.create 8 in
+        List.iter
+          (fun j ->
+            Vref.Tbl.replace parent_tbl j.j_left.e_root j.j_new;
+            Vref.Tbl.replace parent_tbl j.j_right.e_root j.j_new)
+          joins;
+        let pending = ref 0 in
+        let messages = ref [] in
+        List.iter
+          (fun j ->
+            incr pending;
+            messages :=
+              ( j.j_new.Vref.proc,
+                13 * rb,
+                Make_helper
+                  {
+                    at = j.j_new;
+                    parent = Vref.Tbl.find_opt parent_tbl j.j_new;
+                    left = j.j_left.e_root;
+                    right = j.j_right.e_root;
+                    height = j.j_height;
+                    count = j.j_count;
+                    rep = j.j_rep;
+                    reply_to = anchor;
+                    uid;
+                  } )
+              :: !messages;
+            let set_parent_for child =
+              if not (Vref.Tbl.mem made child) then begin
+                incr pending;
+                messages :=
+                  ( child.Vref.proc,
+                    7 * rb,
+                    Set_parent { at = child; parent = Some j.j_new; reply_to = anchor; uid }
+                  )
+                  :: !messages
+              end
+            in
+            set_parent_for j.j_left.e_root;
+            set_parent_for j.j_right.e_root)
+          joins;
+        Hashtbl.replace acks uid !pending;
+        List.iter (fun (dst, bits, m) -> send ~bits ~src:anchor ~dst m) (List.rev !messages)
+    in
+    (* ---- per-processor message handlers ---- *)
+    let handle_proc ~dst msg =
+      match msg with
+      | Notify_new_leaf { edge } ->
+        let f = St.get st dst edge in
+        f.St.other_dead <- true;
+        f.St.endpoint <- None;
+        fragment_ready (Vref.real dst edge)
+      | Notify_removed_parent { at } -> (
+        match local_node at with
+        | None -> ()
+        | Some f ->
+          set_node_parent at f None;
+          fragment_ready at)
+      | Notify_removed_child { at; child; delta } -> (
+        match local_node at with
+        | None -> ()
+        | Some f ->
+          (match f.St.h_left with
+          | Some c when Vref.equal c child -> f.St.h_left <- None
+          | _ -> ());
+          (match f.St.h_right with
+          | Some c when Vref.equal c child -> f.St.h_right <- None
+          | _ -> ());
+          f.St.h_count <- f.St.h_count - delta;
+          (match node_parent at f with
+          | None -> fragment_ready at
+          | Some p when Node_id.equal p.Vref.proc v -> () (* parent dying too *)
+          | Some p ->
+            send ~bits:(4 * rb) ~src:dst ~dst:p.Vref.proc (Correct { at = p; delta })))
+      | Correct { at; delta } -> (
+        match local_node at with
+        | None -> ()
+        | Some f ->
+          f.St.h_count <- f.St.h_count - delta;
+          (match node_parent at f with
+          | None -> fragment_ready at
+          | Some p when Node_id.equal p.Vref.proc v -> ()
+          | Some p ->
+            send ~bits:(4 * rb) ~src:dst ~dst:p.Vref.proc (Correct { at = p; delta })))
+      | Strip_cmd { uid; root } ->
+        (list_of uid) := [];
+        send ~bits:(4 * rb) ~src:dst ~dst:root.Vref.proc
+          (Strip_visit { uid; at = root; anchor = dst })
+      | Strip_visit { uid; at; anchor } -> (
+        match local_node at with
+        | None -> ()
+        | Some f ->
+          (* detach from the (red or absent) parent *)
+          set_node_parent at f None;
+          if node_complete at f then
+            send ~bits:(7 * rb) ~src:dst ~dst:anchor
+              (Primary_root { uid; entry = node_entry at f })
+          else begin
+            (* red helper: discard and descend *)
+            let l = f.St.h_left and r = f.St.h_right in
+            f.St.has_helper <- false;
+            f.St.h_parent <- None;
+            f.St.h_left <- None;
+            f.St.h_right <- None;
+            f.St.h_height <- 0;
+            f.St.h_count <- 0;
+            f.St.h_rep <- None;
+            let visit = function
+              | Some (c : Vref.t) ->
+                send ~bits:(4 * rb) ~src:dst ~dst:c.Vref.proc
+                  (Strip_visit { uid; at = c; anchor })
+              | None -> ()
+            in
+            visit l;
+            visit r
+          end)
+      | Primary_root { uid; entry } ->
+        let l = list_of uid in
+        l := entry :: !l
+      | Send_list_to { uid; parent_uid; parent_anchor } ->
+        let entries = !(list_of uid) in
+        send
+          ~bits:((1 + (3 * List.length entries)) * 2 * rb)
+          ~src:dst ~dst:parent_anchor
+          (Root_list { parent_uid; entries })
+      | Self_merge { uid } -> instantiate ~anchor:dst ~uid !(list_of uid)
+      | Root_list { parent_uid; entries } ->
+        (* I am the parent anchor: combine with my own list *)
+        instantiate ~anchor:dst ~uid:parent_uid (!(list_of parent_uid) @ entries)
+      | Make_helper { at; parent; left; right; height; count; rep; reply_to; uid } ->
+        let f = St.get st at.Vref.proc at.Vref.edge in
+        assert (not f.St.has_helper);
+        f.St.has_helper <- true;
+        f.St.h_parent <- parent;
+        f.St.h_left <- Some left;
+        f.St.h_right <- Some right;
+        f.St.h_height <- height;
+        f.St.h_count <- count;
+        f.St.h_rep <- Some rep;
+        send ~bits:rb ~src:dst ~dst:reply_to (Ack { uid })
+      | Set_parent { at; parent; reply_to; uid } ->
+        (match local_node at with
+        | Some f -> set_node_parent at f parent
+        | None -> ());
+        send ~bits:rb ~src:dst ~dst:reply_to (Ack { uid })
+      | Ack { uid } -> (
+        match Hashtbl.find_opt acks uid with
+        | None -> ()
+        | Some 1 ->
+          Hashtbl.remove acks uid;
+          let new_root = Hashtbl.find new_roots uid in
+          send ~bits:(6 * rb) ~src:dst ~dst:coordinator (Merge_done { uid; new_root })
+        | Some k -> Hashtbl.replace acks uid (k - 1))
+      | Fragment_ready _ | Merge_done _ -> assert false (* coordinator messages *)
+    in
+    let handle_coord msg =
+      match msg with
+      | Fragment_ready { root } ->
+        debug
+          (Format.asprintf "fragment_ready %a (phase %s)" Vref.pp root
+             (phase_name coord.phase));
+        if not (Vref.Set.mem root coord.seen_roots) then begin
+          coord.seen_roots <- Vref.Set.add root coord.seen_roots;
+          let uid = coord.next_uid in
+          coord.next_uid <- uid + 1;
+          let status =
+            (* a Real-rooted fragment is necessarily a singleton complete
+               tree; the coordinator seeds its entry list itself *)
+            if root.Vref.kind = Vref.Real then begin
+              (list_of uid) :=
+                [ { e_root = root; e_size = 1; e_height = 0; e_rep = root } ];
+              Listed
+            end
+            else Fragment root
+          in
+          coord.units <- { uid; anchor = root.Vref.proc; status } :: coord.units
+        end
+      | Merge_done { uid; new_root } -> (
+        debug (Format.asprintf "merge_done uid %d -> %a" uid Vref.pp new_root);
+        (match coord.phase with
+        | Merging m -> m.pending <- m.pending - 1
+        | _ -> ());
+        match List.find_opt (fun u -> u.uid = uid) coord.units with
+        | Some u -> u.status <- Merged new_root
+        | None -> assert false)
+      | _ -> assert false
+    in
+    let handler ~src:_ ~dst ~bits:_ msg =
+      if Node_id.equal dst coordinator then begin
+        match msg with
+        | Fragment_ready _ | Merge_done _ -> handle_coord msg
+        | _ -> handle_proc ~dst msg
+      end
+      else handle_proc ~dst msg
+    in
+    (* ---- coordinator phase machine, advanced at quiescence ----
+
+       Fragments always strip before participating. Merged units are
+       proper hafts: alone they end the repair; paired they are stripped
+       again first (removing the red joining helpers, Fig. 7). *)
+    let issue_strips units =
+      let stripped = ref false in
+      List.iter
+        (fun u ->
+          match u.status with
+          | Fragment root | Merged root ->
+            stripped := true;
+            u.status <- Listed;
+            send ~bits:(4 * rb) ~src:coordinator ~dst:u.anchor
+              (Strip_cmd { uid = u.uid; root })
+          | Listed -> ())
+        units;
+      !stripped
+    in
+    let advance () =
+      debug
+        (Printf.sprintf "advance: %d units, phase %s" (List.length coord.units)
+           (phase_name coord.phase));
+      match coord.phase with
+      | Done -> false
+      | Stripping ->
+        (* strips quiesced: plan merges next *)
+        coord.phase <- Collecting;
+        true
+      | Collecting | Merging _ -> (
+        (match coord.phase with
+        | Merging m -> assert (m.pending = 0)
+        | _ -> ());
+        let units = List.sort (fun a b -> compare a.uid b.uid) coord.units in
+        coord.units <- units;
+        match units with
+        | [] ->
+          coord.phase <- Done;
+          false
+        | [ u ] -> (
+          match u.status with
+          | Merged _ ->
+            (* a single proper haft: healing complete *)
+            coord.phase <- Done;
+            false
+          | Fragment _ ->
+            ignore (issue_strips [ u ]);
+            coord.phase <- Stripping;
+            true
+          | Listed ->
+            let entries = !(list_of u.uid) in
+            if List.length entries <= 1 then begin
+              coord.phase <- Done;
+              false
+            end
+            else begin
+              coord.phase <- Merging { pending = 1 };
+              send ~bits:(4 * rb) ~src:coordinator ~dst:u.anchor
+                (Self_merge { uid = u.uid });
+              true
+            end)
+        | _ ->
+          if issue_strips units then begin
+            coord.phase <- Stripping;
+            true
+          end
+          else begin
+            (* all Listed: issue pairwise merges *)
+            let rec pair acc = function
+              | a :: b :: rest -> pair ((a, b) :: acc) rest
+              | _ -> List.rev acc
+            in
+            let pairs = pair [] units in
+            coord.phase <- Merging { pending = List.length pairs };
+            List.iter
+              (fun (p, c) ->
+                send ~bits:(6 * rb) ~src:coordinator ~dst:c.anchor
+                  (Send_list_to
+                     { uid = c.uid; parent_uid = p.uid; parent_anchor = p.anchor });
+                (* the child unit dissolves into the parent *)
+                coord.units <- List.filter (fun w -> w.uid <> c.uid) coord.units)
+              pairs;
+            true
+          end)
+    in
+    (* kick off: notifications; then alternate (run to quiescence, let the
+       coordinator advance) until the repair completes *)
+    List.iter
+      (fun (target, m) -> send ~bits:(4 * rb) ~src:v ~dst:target m)
+      (List.rev !notifications);
+    let stats = ref (Netsim.run net ~handler ~max_rounds:200_000) in
+    let guard = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      incr guard;
+      if !guard > 10_000 then failwith "Dist_protocol.delete: no progress";
+      continue_ := advance ();
+      if !continue_ then stats := Netsim.run net ~handler ~max_rounds:200_000
+    done;
+    !stats
+  end

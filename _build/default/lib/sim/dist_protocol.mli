@@ -1,0 +1,51 @@
+(** The fully distributed repair (Algorithms A.1–A.9), executed by
+    per-processor state machines over the synchronous kernel.
+
+    Unlike {!Protocol} (which replays a centrally computed trace for cost
+    accounting), here every structural decision is taken inside a message
+    handler using only the receiving processor's Table-1 fields plus the
+    message contents:
+
+    + {b notify} — the dying processor's direct virtual neighbours learn
+      of the deletion, with the one-hop facts they already mirror
+      (neighbour-of-neighbour maintenance, Section 2): which shared vnode
+      died and its subtree count. Orphaned vnodes clear their parent
+      pointers and become fragment roots; parents of removed vnodes clear
+      the child pointer and launch a {b correction wave} that walks to
+      their fragment root subtracting the lost childrencount (the
+      Breakflag bookkeeping of A.5);
+    + every fragment root reports to the {b coordinator} — the smallest
+      notified processor, which all of Nset can name locally; it arranges
+      the fragments and fresh leaves into BT_v and drives the bottom-up
+      pairwise reduction of Fig. 7;
+    + per merge: {b strip} — a message-driven DFS from the unit root
+      discards red helpers and reports the maximal complete subtrees
+      (correct by construction: counts only ever decrease, so a stale
+      height can never make a broken subtree look complete);
+      {b exchange} — the child anchor ships its primary-root list to the
+      parent anchor, which computes the ComputeHaft blueprint locally and
+      sends one instantiation message per new helper and parent-pointer
+      update, acknowledged by the owners.
+
+    The only simulation artifact is phase advancement: the engine starts
+    the next sub-phase when the network is quiescent, standing in for a
+    standard echo-based termination detection (constant-factor cost). The
+    resulting per-processor fields are verified by {!Dist_state.check} and
+    compared against the centralized implementation's leaf partition. *)
+
+module Node_id := Fg_graph.Node_id
+
+(** [delete st v ~n_seen] runs the distributed repair for the deletion of
+    [v], mutating the per-processor fields, and returns the kernel's
+    measured cost. [n_seen] sizes message references. [discipline] selects
+    delivery semantics — the protocol is correct under asynchronous,
+    order-scrambling delivery too (messages within a repair commute:
+    corrections are additive, strip is tree-structured, instantiation is
+    acknowledged). Raises [Invalid_argument] if [v] is not alive. *)
+val delete :
+  ?debug:(string -> unit) ->
+  ?discipline:Netsim.discipline ->
+  Dist_state.t ->
+  Node_id.t ->
+  n_seen:int ->
+  Netsim.stats

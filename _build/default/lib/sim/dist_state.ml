@@ -1,0 +1,250 @@
+module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
+module Edge = Fg_core.Edge
+
+type fields = {
+  owner : Node_id.t;
+  edge : Edge.t;
+  mutable other_dead : bool;
+  mutable endpoint : Vref.t option;
+  mutable has_helper : bool;
+  mutable h_parent : Vref.t option;
+  mutable h_left : Vref.t option;
+  mutable h_right : Vref.t option;
+  mutable h_height : int;
+  mutable h_count : int;
+  mutable h_rep : Vref.t option;
+}
+
+type t = { procs : fields Edge.Tbl.t Node_id.Tbl.t }
+
+let create () = { procs = Node_id.Tbl.create 64 }
+
+let add_processor t p =
+  if not (Node_id.Tbl.mem t.procs p) then Node_id.Tbl.replace t.procs p (Edge.Tbl.create 8)
+
+let is_alive t p = Node_id.Tbl.mem t.procs p
+let live_procs t = Node_id.Tbl.fold (fun p _ acc -> p :: acc) t.procs []
+let drop_processor t p = Node_id.Tbl.remove t.procs p
+
+let fresh_row owner edge ~other_dead =
+  {
+    owner;
+    edge;
+    other_dead;
+    endpoint = (if other_dead then None else Some (Vref.real (Edge.other edge owner) edge));
+    has_helper = false;
+    h_parent = None;
+    h_left = None;
+    h_right = None;
+    h_height = 0;
+    h_count = 0;
+    h_rep = None;
+  }
+
+let ensure_row t p e ~other_dead =
+  let tbl = Node_id.Tbl.find t.procs p in
+  match Edge.Tbl.find_opt tbl e with
+  | Some f -> f
+  | None ->
+    let f = fresh_row p e ~other_dead in
+    Edge.Tbl.replace tbl e f;
+    f
+
+let add_edge t u v =
+  add_processor t u;
+  add_processor t v;
+  let e = Edge.make u v in
+  ignore (ensure_row t u e ~other_dead:false);
+  ignore (ensure_row t v e ~other_dead:false)
+
+let get t p e = Edge.Tbl.find (Node_id.Tbl.find t.procs p) e
+
+let find t p e =
+  match Node_id.Tbl.find_opt t.procs p with
+  | None -> None
+  | Some tbl -> Edge.Tbl.find_opt tbl e
+
+let rows t p =
+  match Node_id.Tbl.find_opt t.procs p with
+  | None -> []
+  | Some tbl -> Edge.Tbl.fold (fun _ f acc -> f :: acc) tbl []
+
+let derived_graph t =
+  let g = Adjacency.create () in
+  Node_id.Tbl.iter (fun p _ -> Adjacency.add_node g p) t.procs;
+  let link p (r : Vref.t) = if not (Node_id.equal p r.Vref.proc) then Adjacency.add_edge g p r.Vref.proc in
+  let visit_row (f : fields) =
+    (match f.endpoint with
+    | Some ({ Vref.kind = Vref.Real; _ } as r) when not f.other_dead ->
+      (* live-live direct edge *)
+      link f.owner r
+    | Some r when f.other_dead -> link f.owner r (* leaf -> RT parent *)
+    | _ -> ());
+    if f.has_helper then begin
+      Option.iter (link f.owner) f.h_parent;
+      Option.iter (link f.owner) f.h_left;
+      Option.iter (link f.owner) f.h_right
+    end
+  in
+  Node_id.Tbl.iter (fun _ tbl -> Edge.Tbl.iter (fun _ f -> visit_row f) tbl) t.procs;
+  g
+
+(* ---- reconstruction and verification ---- *)
+
+(* a reconstructed virtual node *)
+type rnode = {
+  me : Vref.t;
+  parent : Vref.t option;
+  left : Vref.t option;
+  right : Vref.t option;
+  height : int;
+  count : int;
+  rep : Vref.t option;
+}
+
+let reconstruct t =
+  let nodes = Vref.Tbl.create 64 in
+  let visit_row (f : fields) =
+    if f.other_dead then
+      Vref.Tbl.replace nodes (Vref.real f.owner f.edge)
+        {
+          me = Vref.real f.owner f.edge;
+          parent = f.endpoint;
+          left = None;
+          right = None;
+          height = 0;
+          count = 1;
+          rep = Some (Vref.real f.owner f.edge);
+        };
+    if f.has_helper then
+      Vref.Tbl.replace nodes (Vref.helper f.owner f.edge)
+        {
+          me = Vref.helper f.owner f.edge;
+          parent = f.h_parent;
+          left = f.h_left;
+          right = f.h_right;
+          height = f.h_height;
+          count = f.h_count;
+          rep = f.h_rep;
+        }
+  in
+  Node_id.Tbl.iter (fun _ tbl -> Edge.Tbl.iter (fun _ f -> visit_row f) tbl) t.procs;
+  nodes
+
+let check t =
+  let errs = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let nodes = reconstruct t in
+  let lookup r = Vref.Tbl.find_opt nodes r in
+  let str r = Format.asprintf "%a" Vref.pp r in
+  (* symmetry: every named neighbour exists and names back *)
+  let check_node (n : rnode) =
+    (match n.parent with
+    | None -> ()
+    | Some p -> (
+      match lookup p with
+      | None -> say "%s names missing parent %s" (str n.me) (str p)
+      | Some pn ->
+        let names_me =
+          (match pn.left with Some l -> Vref.equal l n.me | None -> false)
+          || match pn.right with Some r -> Vref.equal r n.me | None -> false
+        in
+        if not names_me then say "%s's parent %s does not name it" (str n.me) (str p)));
+    let check_child side = function
+      | None -> ()
+      | Some c -> (
+        match lookup c with
+        | None -> say "%s names missing %s child %s" (str n.me) side (str c)
+        | Some cn -> (
+          match cn.parent with
+          | Some p when Vref.equal p n.me -> ()
+          | _ -> say "%s's %s child %s does not name it as parent" (str n.me) side (str c)))
+    in
+    check_child "left" n.left;
+    check_child "right" n.right;
+    match (n.left, n.right) with
+    | Some _, None | None, Some _ -> say "%s has exactly one child" (str n.me)
+    | _ -> ()
+  in
+  Vref.Tbl.iter (fun _ n -> check_node n) nodes;
+  if !errs <> [] then List.rev !errs
+  else begin
+    (* per-tree structural checks *)
+    let rec subtree (n : rnode) =
+      (* returns (count, height, leaves, ok) recomputed *)
+      match (n.left, n.right) with
+      | None, None ->
+        if n.me.Vref.kind <> Vref.Real then say "%s is a childless helper" (str n.me);
+        (1, 0, [ n.me ], true)
+      | Some l, Some r ->
+        let ln = Vref.Tbl.find nodes l and rn = Vref.Tbl.find nodes r in
+        let lc, lh, ll, lok = subtree ln in
+        let rc, rh, rl, rok = subtree rn in
+        let count = lc + rc and height = 1 + max lh rh in
+        if count <> n.count then
+          say "%s caches count %d, actual %d" (str n.me) n.count count;
+        if height <> n.height then
+          say "%s caches height %d, actual %d" (str n.me) n.height height;
+        (* haft property: left child complete with at least half *)
+        if lc <> 1 lsl lh then say "%s: left child not complete" (str n.me);
+        if 2 * lc < count then say "%s: left child below half" (str n.me);
+        (count, height, ll @ rl, lok && rok)
+      | _ -> (0, 0, [], false)
+    in
+    let roots = Vref.Tbl.fold (fun _ n acc -> if n.parent = None then n :: acc else acc) nodes [] in
+    let seen_leaves = Vref.Tbl.create 64 in
+    List.iter
+      (fun root ->
+        let _, _, leaves, _ = subtree root in
+        List.iter
+          (fun l ->
+            if Vref.Tbl.mem seen_leaves l then say "leaf %s in two trees" (str l)
+            else Vref.Tbl.replace seen_leaves l ())
+          leaves;
+        (* the root's rep must be a free leaf of its subtree: a leaf whose
+           helper either does not exist or lies outside the subtree *)
+        match root.rep with
+        | None -> if root.me.Vref.kind = Vref.Helper then say "root %s lacks a rep" (str root.me)
+        | Some rep ->
+          if not (List.exists (Vref.equal rep) leaves) then
+            say "root %s's rep %s is not among its leaves" (str root.me) (str rep))
+      roots;
+    (* no orphan leaf vnodes outside any tree *)
+    Vref.Tbl.iter
+      (fun vr (n : rnode) ->
+        if n.me.Vref.kind = Vref.Real && n.parent = None && not (Vref.Tbl.mem seen_leaves vr)
+        then
+          (* a singleton leaf is its own RT: fine *)
+          ())
+      nodes;
+    List.rev !errs
+  end
+
+let leaf_partition t =
+  let nodes = reconstruct t in
+  let parent_of (n : rnode) = n.parent in
+  let rec root_of n =
+    match parent_of n with
+    | None -> n.me
+    | Some p -> root_of (Vref.Tbl.find nodes p)
+  in
+  let classes = Vref.Tbl.create 16 in
+  Vref.Tbl.iter
+    (fun vr n ->
+      if vr.Vref.kind = Vref.Real then begin
+        let r = root_of n in
+        let existing = Option.value (Vref.Tbl.find_opt classes r) ~default:[] in
+        Vref.Tbl.replace classes r ((vr.Vref.proc, vr.Vref.edge) :: existing)
+      end)
+    nodes;
+  let cmp_leaf (p1, e1) (p2, e2) =
+    let c = Node_id.compare p1 p2 in
+    if c <> 0 then c else Edge.compare e1 e2
+  in
+  Vref.Tbl.fold (fun _ ls acc -> List.sort cmp_leaf ls :: acc) classes []
+  |> List.sort (fun a b ->
+         match (a, b) with
+         | x :: _, y :: _ -> cmp_leaf x y
+         | [], _ -> -1
+         | _, [] -> 1)

@@ -1,0 +1,77 @@
+(** Per-processor local state for the fully distributed implementation.
+
+    Each live processor holds, for every incident G'-edge, the Table-1
+    fields — nothing else. The repair protocol ({!Dist_protocol}) mutates
+    these fields only from within message handlers, so the final network
+    is assembled with strictly distance-1 knowledge. The derived actual
+    network and the virtual forest are reconstructed from the union of
+    the fields for verification. *)
+
+module Node_id := Fg_graph.Node_id
+module Edge := Fg_core.Edge
+
+(** Table-1 row held by [owner] for edge [(owner, x)]. *)
+type fields = {
+  owner : Node_id.t;
+  edge : Edge.t;
+  mutable other_dead : bool;
+      (** the other endpoint died; my side is a leaf in an RT *)
+  mutable endpoint : Vref.t option;
+      (** live real other end, or my leaf's RT parent; [None] while the
+          leaf is the root of its RT *)
+  mutable has_helper : bool;
+  mutable h_parent : Vref.t option;
+  mutable h_left : Vref.t option;
+  mutable h_right : Vref.t option;
+  mutable h_height : int;
+  mutable h_count : int;
+  mutable h_rep : Vref.t option;
+}
+
+type t
+
+val create : unit -> t
+
+(** [add_processor t p] registers a live processor. *)
+val add_processor : t -> Node_id.t -> unit
+
+(** [add_edge t u v] records a new live-live G'-edge on both sides. *)
+val add_edge : t -> Node_id.t -> Node_id.t -> unit
+
+(** [drop_processor t p] removes a dead processor's state entirely. *)
+val drop_processor : t -> Node_id.t -> unit
+
+val is_alive : t -> Node_id.t -> bool
+val live_procs : t -> Node_id.t list
+
+(** [get t p e] is processor [p]'s row for edge [e]; raises [Not_found]
+    if absent. *)
+val get : t -> Node_id.t -> Edge.t -> fields
+
+val find : t -> Node_id.t -> Edge.t -> fields option
+
+(** [rows t p] lists all of [p]'s rows. *)
+val rows : t -> Node_id.t -> fields list
+
+(** [ensure_row t p e ~other_dead] creates a fresh row if missing. *)
+val ensure_row : t -> Node_id.t -> Edge.t -> other_dead:bool -> fields
+
+(** The actual network derived from local fields: live-live direct edges
+    plus the image of every parent/child virtual link (self-loops
+    dropped). *)
+val derived_graph : t -> Fg_graph.Adjacency.t
+
+(** Structural verification of the distributed state:
+    - cross-processor symmetry (every parent/child link is named by both
+      sides);
+    - every RT reconstructed from the fields is a well-formed haft with
+      consistent heights/counts;
+    - representative validity per subtree root.
+    Returns human-readable violations. *)
+val check : t -> string list
+
+(** The partition of leaf vnodes into RTs, as sorted lists of sorted
+    [(proc, edge)] leaves — used to compare against the centralized
+    implementation (the partition is deterministic even when tie-breaks
+    differ). Leaves whose RT is a singleton appear as singleton classes. *)
+val leaf_partition : t -> (Node_id.t * Edge.t) list list

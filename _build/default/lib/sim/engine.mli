@@ -1,0 +1,42 @@
+(** Distributed Forgiving Graph: the self-healing structure driven through
+    the message-passing substrate, with per-deletion cost measurement.
+
+    Wraps a {!Fg_core.Forgiving_graph.t}; every {!delete} performs the
+    repair and replays it through the synchronous network
+    ({!Protocol.replay}), returning the measured cost — the quantities
+    bounded by Theorem 1.3: recovery rounds, message count, total and
+    per-message bits, and the maximum per-node communication. *)
+
+module Node_id := Fg_graph.Node_id
+
+type t
+
+(** Measured cost of one deletion's repair. *)
+type cost = {
+  deleted : Node_id.t;
+  deleted_degree : int;  (** degree of the deleted node in [G'] *)
+  n_seen : int;  (** nodes ever seen at deletion time *)
+  anchors : int;  (** BT_v size (fragments + fresh leaves) *)
+  rounds : int;  (** recovery time, unit edge latency *)
+  messages : int;
+  total_bits : int;
+  max_message_bits : int;
+  max_agent_bits : int;  (** communication per node (bits) *)
+  max_agent_messages : int;
+}
+
+(** [create g] starts from initial network [g] (all nodes live). *)
+val create : Fg_graph.Adjacency.t -> t
+
+val insert : t -> Node_id.t -> Node_id.t list -> unit
+
+(** [delete t v] deletes, heals, and measures. *)
+val delete : t -> Node_id.t -> cost
+
+(** The underlying structure (graph, G', invariants...). *)
+val fg : t -> Fg_core.Forgiving_graph.t
+
+(** All deletion costs so far, in chronological order. *)
+val costs : t -> cost list
+
+val pp_cost : Format.formatter -> cost -> unit

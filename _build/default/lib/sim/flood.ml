@@ -1,0 +1,67 @@
+module Adjacency = Fg_graph.Adjacency
+module Node_id = Fg_graph.Node_id
+
+type result = {
+  reached : int;
+  broadcast_rounds : int;
+  total_rounds : int;
+  messages : int;
+  total_bits : int;
+}
+
+type msg = Token | Echo
+
+let broadcast ?(payload_bits = 32) g ~root =
+  if not (Adjacency.mem_node g root) then invalid_arg "Flood.broadcast: unknown root";
+  let net = Netsim.create () in
+  let parent = Node_id.Tbl.create 64 in
+  let pending_echo = Node_id.Tbl.create 64 in
+  let reached = ref 0 in
+  let send_token ~src ~dst = Netsim.send net ~bits:payload_bits ~src ~dst Token in
+  let send_echo ~src ~dst = Netsim.send net ~bits:1 ~src ~dst Echo in
+  let complete v =
+    (* all children echoed: echo to parent; the root just finishes *)
+    match Node_id.Tbl.find_opt parent v with
+    | Some p when not (Node_id.equal p v) -> send_echo ~src:v ~dst:p
+    | _ -> ()
+  in
+  let adopt ~src v =
+    Node_id.Tbl.replace parent v src;
+    incr reached;
+    let children =
+      List.filter (fun u -> not (Node_id.equal u src || Node_id.equal u v))
+        (Adjacency.neighbors g v)
+    in
+    if children = [] then complete v
+    else begin
+      Node_id.Tbl.replace pending_echo v (List.length children);
+      List.iter (fun u -> send_token ~src:v ~dst:u) children
+    end
+  in
+  let handler ~src ~dst ~bits:_ msg =
+    match msg with
+    | Token ->
+      if not (Node_id.Tbl.mem parent dst) then adopt ~src dst
+      else send_echo ~src:dst ~dst:src (* duplicate: immediate refusal echo *)
+    | Echo -> (
+      match Node_id.Tbl.find_opt pending_echo dst with
+      | None -> ()
+      | Some 1 ->
+        Node_id.Tbl.remove pending_echo dst;
+        complete dst
+      | Some k -> Node_id.Tbl.replace pending_echo dst (k - 1))
+  in
+  adopt ~src:root root;
+  let stats = Netsim.run net ~handler ~max_rounds:100_000 in
+  (* synchronous flooding reaches each node at its BFS depth *)
+  let broadcast_rounds =
+    let d = Fg_graph.Bfs.distances g root in
+    Node_id.Tbl.fold (fun _ x acc -> max x acc) d 0
+  in
+  {
+    reached = !reached;
+    broadcast_rounds;
+    total_rounds = stats.Netsim.rounds;
+    messages = stats.Netsim.messages;
+    total_bits = stats.Netsim.total_bits;
+  }

@@ -1,0 +1,20 @@
+(** Flooding broadcast with echo over an arbitrary topology — a demo
+    protocol exercising the {!Netsim} kernel on real graphs, and the
+    building block the repair protocol's notification phase abstracts.
+
+    The root sends a token to its neighbours; every node forwards on first
+    receipt and then echoes completion up the induced BFS tree. Costs are
+    the classic ones: broadcast takes [eccentricity(root)] rounds and one
+    message per directed edge; echo doubles the rounds. *)
+
+type result = {
+  reached : int;  (** nodes that received the token *)
+  broadcast_rounds : int;  (** rounds until the last node was reached *)
+  total_rounds : int;  (** including the echo phase *)
+  messages : int;
+  total_bits : int;
+}
+
+(** [broadcast ?payload_bits g ~root] floods from [root]; raises
+    [Invalid_argument] if [root] is not in [g]. *)
+val broadcast : ?payload_bits:int -> Fg_graph.Adjacency.t -> root:Fg_graph.Node_id.t -> result

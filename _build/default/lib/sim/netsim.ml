@@ -1,0 +1,96 @@
+type agent = int
+
+type 'msg envelope = { src : agent; dst : agent; bits : int; msg : 'msg }
+
+type discipline = Synchronous | Asynchronous of Fg_graph.Rng.t * int
+
+type stats = {
+  rounds : int;
+  messages : int;
+  total_bits : int;
+  max_message_bits : int;
+  max_agent_bits : int;
+  max_agent_messages : int;
+}
+
+type 'msg t = {
+  discipline : discipline;
+  (* due round -> envelopes (reversed); delivery scans min due round *)
+  queue : (int, 'msg envelope list) Hashtbl.t;
+  mutable in_flight : int;
+  mutable now : int;  (* current round *)
+  mutable rounds : int;  (* last round with a delivery *)
+  mutable messages : int;
+  mutable total_bits : int;
+  mutable max_message_bits : int;
+  agent_bits : (agent, int) Hashtbl.t;
+  agent_msgs : (agent, int) Hashtbl.t;
+}
+
+let create ?(discipline = Synchronous) () =
+  {
+    discipline;
+    queue = Hashtbl.create 64;
+    in_flight = 0;
+    now = 0;
+    rounds = 0;
+    messages = 0;
+    total_bits = 0;
+    max_message_bits = 0;
+    agent_bits = Hashtbl.create 64;
+    agent_msgs = Hashtbl.create 64;
+  }
+
+let bump tbl agent delta =
+  let c = Option.value (Hashtbl.find_opt tbl agent) ~default:0 in
+  Hashtbl.replace tbl agent (c + delta)
+
+let send t ~bits ~src ~dst msg =
+  if bits < 0 then invalid_arg "Netsim.send: negative bits";
+  let delay =
+    match t.discipline with
+    | Synchronous -> 1
+    | Asynchronous (rng, max_delay) -> 1 + Fg_graph.Rng.int rng (max 1 max_delay)
+  in
+  let due = t.now + delay in
+  let existing = Option.value (Hashtbl.find_opt t.queue due) ~default:[] in
+  Hashtbl.replace t.queue due ({ src; dst; bits; msg } :: existing);
+  t.in_flight <- t.in_flight + 1
+
+let deliver t handler env =
+  t.messages <- t.messages + 1;
+  t.total_bits <- t.total_bits + env.bits;
+  if env.bits > t.max_message_bits then t.max_message_bits <- env.bits;
+  bump t.agent_bits env.src env.bits;
+  bump t.agent_msgs env.src 1;
+  if env.dst <> env.src then begin
+    bump t.agent_bits env.dst env.bits;
+    bump t.agent_msgs env.dst 1
+  end;
+  handler ~src:env.src ~dst:env.dst ~bits:env.bits env.msg
+
+let run t ~handler ~max_rounds =
+  let start = t.now in
+  while t.in_flight > 0 do
+    if t.now - start >= max_rounds then
+      failwith
+        (Printf.sprintf "Netsim.run: protocol still active after %d rounds" max_rounds);
+    t.now <- t.now + 1;
+    match Hashtbl.find_opt t.queue t.now with
+    | None -> ()
+    | Some batch ->
+      Hashtbl.remove t.queue t.now;
+      let batch = List.rev batch in
+      t.in_flight <- t.in_flight - List.length batch;
+      t.rounds <- t.now;
+      List.iter (deliver t handler) batch
+  done;
+  let max_tbl tbl = Hashtbl.fold (fun _ v m -> max v m) tbl 0 in
+  {
+    rounds = t.rounds;
+    messages = t.messages;
+    total_bits = t.total_bits;
+    max_message_bits = t.max_message_bits;
+    max_agent_bits = max_tbl t.agent_bits;
+    max_agent_messages = max_tbl t.agent_msgs;
+  }

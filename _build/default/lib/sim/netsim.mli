@@ -1,0 +1,46 @@
+(** Generic synchronous message-passing kernel.
+
+    Models the network of Fig. 1: messages sent in round [r] are delivered
+    at round [r + 1] (unit edge latency), never lost or corrupted.
+    Handlers run with unlimited local computation and may send further
+    messages, which are delivered the following round. The kernel accounts
+    every message's payload size in bits, per sender and receiver, which is
+    exactly the cost model of Lemma 4 ("communication per node" and
+    "recovery time"). Agents are plain integers. *)
+
+type agent = int
+
+type 'msg t
+
+(** Message-delivery discipline. [Synchronous] is the default unit-latency
+    model of Fig. 1. [Asynchronous (rng, max_delay)] delays each message
+    uniformly by 1..max_delay rounds — messages may overtake each other,
+    which is how we test that a protocol does not depend on delivery
+    order. Quiescence detection and cost accounting are unchanged. *)
+type discipline = Synchronous | Asynchronous of Fg_graph.Rng.t * int
+
+type stats = {
+  rounds : int;  (** rounds until quiescence *)
+  messages : int;  (** total messages delivered *)
+  total_bits : int;
+  max_message_bits : int;
+  max_agent_bits : int;  (** largest per-agent sent+received bit count *)
+  max_agent_messages : int;  (** largest per-agent sent+received count *)
+}
+
+(** [create ()] is a synchronous network; pass [discipline] for delays. *)
+val create : ?discipline:discipline -> unit -> 'msg t
+
+(** [send t ~bits ~src ~dst msg] enqueues a message for delivery next
+    round. [bits] is the payload size ([Invalid_argument] if negative). *)
+val send : 'msg t -> bits:int -> src:agent -> dst:agent -> 'msg -> unit
+
+(** [run t ~handler ~max_rounds] delivers messages round by round, invoking
+    [handler ~src ~dst ~bits msg] for each; handlers may {!send}. Stops when
+    no messages are in flight, or raises [Failure] after [max_rounds]
+    (protocol divergence guard). Returns the accumulated statistics. *)
+val run :
+  'msg t ->
+  handler:(src:agent -> dst:agent -> bits:int -> 'msg -> unit) ->
+  max_rounds:int ->
+  stats

@@ -1,0 +1,244 @@
+module Rt = Fg_core.Rt
+
+let ref_bits n =
+  let n = max 2 n in
+  let rec go p b = if p >= n then b else go (2 * p) (b + 1) in
+  max 1 (go 1 0)
+
+(* ---- agent naming ---- *)
+
+let oracle = 0
+let anchor_agent i = 1 + i
+let neighbor_agent k j = 1 + k + j
+let tree_agent i = 100_000 + i
+let helper_agent ~level ~event = 1_000_000 + (level * 1_000) + event
+
+(* ---- messages ---- *)
+
+type msg =
+  | Notify  (** deletion announcement *)
+  | Connect  (** BT_v link-up *)
+  | Probe of { level : int; event : int; side : [ `P | `C ]; remaining : int }
+  | Confirm of { level : int; event : int; side : [ `P | `C ] }
+      (** a primary root reporting back to its anchor *)
+  | Root_list of { level : int; event : int; entries : int }
+  | Merge_plan of { level : int; event : int }
+  | Make_helper of { level : int; event : int }
+  | Helper_ack of { level : int; event : int }
+  | Discard  (** remove a red helper *)
+  | Inform_root  (** A-to-R: tell a new primary root its role *)
+
+(* ---- replay bookkeeping (the simulated "omniscient scheduler": all
+   decisions were taken in Rt.heal; here we only route the corresponding
+   messages and wait for causality) ---- *)
+
+type event_state = {
+  ev : Rt.merge_event;
+  parent : int;  (* anchor index *)
+  child : int option;
+  mutable parent_confirms : int;  (* confirmations still awaited *)
+  mutable child_confirms : int;
+  mutable child_list : bool;  (* parent received child's root list *)
+  mutable merge_sent : bool;  (* plan/instantiation messages dispatched *)
+  mutable acks : int;  (* helper instantiation acks awaited *)
+  mutable finished : bool;
+}
+
+type level_state = {
+  events : event_state array;
+  mutable unfinished : int;
+}
+
+let popcount n =
+  let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+  go n 0
+
+(* Build the per-level pairing of anchors exactly as Rt.btv_reduce does:
+   adjacent pairs merge, an odd trailing unit passes through. *)
+let build_levels (trace : Rt.heal_trace) =
+  let anchors0 = List.init trace.ht_anchors (fun i -> i) in
+  let rec build anchors levels =
+    match levels with
+    | [] -> []
+    | evs :: rest ->
+      let evs = Array.of_list evs in
+      let paired = ref [] and next = ref [] in
+      let make_state ev ~parent ~child =
+        {
+          ev;
+          parent;
+          child;
+          parent_confirms = List.length ev.Rt.me_left_sizes;
+          child_confirms = List.length ev.Rt.me_right_sizes;
+          child_list = ev.Rt.me_right_sizes = [];
+          merge_sent = false;
+          acks = ev.Rt.me_created;
+          finished = false;
+        }
+      in
+      let rec pair idx = function
+        | a :: b :: tl ->
+          assert (idx < Array.length evs);
+          let ev = evs.(idx) in
+          let child = if ev.Rt.me_right_sizes = [] then None else Some b in
+          paired := make_state ev ~parent:a ~child :: !paired;
+          next := a :: !next;
+          pair (idx + 1) tl
+        | [ a ] ->
+          (* trailing odd unit: passthrough, or a self-merge event when it
+             is the only unit (single-fragment repair) *)
+          if idx < Array.length evs then
+            paired := make_state evs.(idx) ~parent:a ~child:None :: !paired;
+          next := a :: !next
+        | [] -> ()
+      in
+      pair 0 anchors;
+      let lvl = { events = Array.of_list (List.rev !paired); unfinished = 0 } in
+      lvl.unfinished <- Array.length lvl.events;
+      lvl :: build (List.rev !next) rest
+  in
+  build anchors0 trace.ht_levels
+
+let replay ~(trace : Rt.heal_trace) ~n_seen =
+  let rb = ref_bits n_seen in
+  let net = Netsim.create () in
+  let levels = Array.of_list (build_levels trace) in
+  let k = trace.ht_anchors in
+  let send = Netsim.send net in
+
+  (* probe phase for one side of one event *)
+  let start_probe ~level ~event ~side =
+    let st = levels.(level).events.(event) in
+    let anchor_idx, height =
+      match side with
+      | `P -> (st.parent, st.ev.Rt.me_left_height)
+      | `C -> (Option.get st.child, st.ev.Rt.me_right_height)
+    in
+    send ~bits:(2 * rb) ~src:(anchor_agent anchor_idx) ~dst:(tree_agent anchor_idx)
+      (Probe { level; event; side; remaining = height })
+  in
+
+  let start_level level =
+    if level < Array.length levels then begin
+      let lvl = levels.(level) in
+      if Array.length lvl.events = 0 then ()
+      else
+        Array.iteri
+          (fun event st ->
+            start_probe ~level ~event ~side:`P;
+            if st.child <> None then start_probe ~level ~event ~side:`C)
+          lvl.events
+    end
+  in
+
+  let maybe_finish_level level =
+    let lvl = levels.(level) in
+    if lvl.unfinished = 0 then start_level (level + 1)
+  in
+
+  (* parent proceeds once its own probe is done and the child list arrived *)
+  let maybe_merge ~level ~event =
+    let st = levels.(level).events.(event) in
+    if st.parent_confirms = 0 && st.child_list && not st.merge_sent then begin
+      st.merge_sent <- true;
+      let p = anchor_agent st.parent in
+      (* plan back to the child anchor *)
+      (match st.child with
+      | Some c ->
+        let entries =
+          List.length st.ev.Rt.me_left_sizes + List.length st.ev.Rt.me_right_sizes
+        in
+        send ~bits:((1 + entries) * 2 * rb) ~src:p ~dst:(anchor_agent c)
+          (Merge_plan { level; event })
+      | None -> ());
+      (* instantiate helpers at their representatives *)
+      for _ = 1 to st.ev.Rt.me_created do
+        send ~bits:(4 * rb) ~src:p
+          ~dst:(helper_agent ~level ~event)
+          (Make_helper { level; event })
+      done;
+      (* discard red helpers *)
+      for _ = 1 to st.ev.Rt.me_discarded do
+        send ~bits:rb ~src:p ~dst:(tree_agent st.parent) Discard
+      done;
+      (* A-to-R: inform the new primary roots *)
+      let total =
+        List.fold_left ( + ) 0 st.ev.Rt.me_left_sizes
+        + List.fold_left ( + ) 0 st.ev.Rt.me_right_sizes
+      in
+      let new_roots = if total = 0 then 0 else popcount total in
+      for _ = 1 to new_roots do
+        send ~bits:(new_roots * 2 * rb) ~src:p ~dst:(tree_agent st.parent) Inform_root
+      done;
+      if st.ev.Rt.me_created = 0 then begin
+        st.finished <- true;
+        levels.(level).unfinished <- levels.(level).unfinished - 1;
+        maybe_finish_level level
+      end
+    end
+  in
+
+  let handler ~src ~dst ~bits:_ msg =
+    match msg with
+    | Notify | Connect | Merge_plan _ | Discard | Inform_root -> ()
+    | Probe { level; event; side; remaining } ->
+      if remaining > 0 then
+        (* walk one more hop down the right spine *)
+        send ~bits:(2 * rb) ~src:dst ~dst
+          (Probe { level; event; side; remaining = remaining - 1 })
+      else begin
+        (* primary roots confirm back to the anchor *)
+        let st = levels.(level).events.(event) in
+        let anchor_idx, confirms =
+          match side with
+          | `P -> (st.parent, st.parent_confirms)
+          | `C -> (Option.get st.child, st.child_confirms)
+        in
+        for _ = 1 to max 1 confirms do
+          send ~bits:rb ~src:dst ~dst:(anchor_agent anchor_idx)
+            (Confirm { level; event; side })
+        done
+      end
+    | Confirm { level; event; side } -> (
+      let st = levels.(level).events.(event) in
+      match side with
+      | `P ->
+        st.parent_confirms <- max 0 (st.parent_confirms - 1);
+        if st.parent_confirms = 0 then maybe_merge ~level ~event
+      | `C ->
+        st.child_confirms <- max 0 (st.child_confirms - 1);
+        if st.child_confirms = 0 then begin
+          (* child ships its primary-root list up to the parent *)
+          let c = Option.get st.child in
+          let entries = List.length st.ev.Rt.me_right_sizes in
+          send
+            ~bits:((1 + entries) * 2 * rb)
+            ~src:(anchor_agent c) ~dst:(anchor_agent st.parent)
+            (Root_list { level; event; entries })
+        end)
+    | Root_list { level; event; _ } ->
+      let st = levels.(level).events.(event) in
+      st.child_list <- true;
+      maybe_merge ~level ~event
+    | Make_helper { level; event } ->
+      send ~bits:rb ~src:dst ~dst:src (Helper_ack { level; event })
+    | Helper_ack { level; event } ->
+      let st = levels.(level).events.(event) in
+      st.acks <- st.acks - 1;
+      if st.acks = 0 && not st.finished then begin
+        st.finished <- true;
+        levels.(level).unfinished <- levels.(level).unfinished - 1;
+        maybe_finish_level level
+      end
+  in
+
+  (* round 1: notification of all virtual neighbours; the first k notified
+     are the anchors, which then link up BT_v and start probing *)
+  for j = 0 to trace.ht_notified - 1 do
+    send ~bits:rb ~src:oracle ~dst:(neighbor_agent k j) Notify
+  done;
+  for i = 0 to k - 2 do
+    send ~bits:rb ~src:(anchor_agent i) ~dst:(anchor_agent (i + 1)) Connect
+  done;
+  start_level 0;
+  Netsim.run net ~handler ~max_rounds:100_000

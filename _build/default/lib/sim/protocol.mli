@@ -1,0 +1,31 @@
+(** Distributed repair protocol replay (Algorithms A.3–A.9).
+
+    [replay ~trace ~n_seen] re-executes one deletion's repair as real
+    message cascades through the synchronous kernel ({!Netsim}) and returns
+    the measured costs. The message schedule follows the paper's phases:
+
+    + {b notify}: every virtual neighbour of the deleted processor's vnodes
+      learns of the deletion (Fig. 1 model);
+    + {b BT_v formation}: the anchors (one per RT fragment plus one per
+      fresh singleton leaf) link up into the merge tree — O(1) rounds;
+    + per BT_v level, in parallel over sibling pairs: {b probe} — each
+      anchor walks the right spine of its RT to find primary roots
+      (FindPrRoots; one message per hop, one confirmation per primary
+      root); {b exchange} — the child anchor ships its primary-root list
+      to the parent, which computes ComputeHaft locally and replies with
+      the merge plan; {b instantiate} — one message plus acknowledgement
+      per helper created at a representative, one message per red helper
+      discarded, and the new primary roots are informed (A-to-R messages).
+
+    The structural decisions themselves were already taken by
+    {!Fg_core.Rt.heal} (the trace records fragment sizes, spine heights,
+    helpers created/discarded per merge); the replay turns them into the
+    exact message/round/bit counts of the cost model in Lemma 4. Message
+    payload sizes are multiples of [ceil(log2 n_seen)] bits — a vnode
+    reference. *)
+
+val replay : trace:Fg_core.Rt.heal_trace -> n_seen:int -> Netsim.stats
+
+(** [ref_bits n] is the size of one vnode reference: [ceil(log2 n)],
+    at least 1. *)
+val ref_bits : int -> int

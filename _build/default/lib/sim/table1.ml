@@ -1,0 +1,184 @@
+module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
+module Edge = Fg_core.Edge
+module Rt = Fg_core.Rt
+module Fg = Fg_core.Forgiving_graph
+
+type vref = Vref.t
+
+let vref_equal = Vref.equal
+let pp_vref = Vref.pp
+let vref_of_vnode = Vref.of_vnode
+
+type fields = {
+  owner : Node_id.t;
+  edge : Edge.t;
+  endpoint : vref option;
+  has_helper : bool;
+  hparent : vref option;
+  hleftchild : vref option;
+  hrightchild : vref option;
+  h_height : int;
+  h_childrencount : int;
+  h_representative : vref option;
+}
+
+type t = { by_proc : fields list Node_id.Tbl.t }
+
+let fields_of fg ~owner ~other =
+  let edge = Edge.make owner other in
+  let ctx = Fg.ctx fg in
+  let half = Edge.Half.make owner edge in
+  let endpoint =
+    if Fg.is_alive fg other then Some (Vref.real other edge)
+    else
+      match Rt.find_leaf ctx half with
+      | None -> None
+      | Some leaf -> Option.map vref_of_vnode leaf.Rt.parent
+  in
+  match Rt.find_helper ctx half with
+  | None ->
+    {
+      owner;
+      edge;
+      endpoint;
+      has_helper = false;
+      hparent = None;
+      hleftchild = None;
+      hrightchild = None;
+      h_height = 0;
+      h_childrencount = 0;
+      h_representative = None;
+    }
+  | Some h ->
+    {
+      owner;
+      edge;
+      endpoint;
+      has_helper = true;
+      hparent = Option.map vref_of_vnode h.Rt.parent;
+      hleftchild = Option.map vref_of_vnode h.Rt.left;
+      hrightchild = Option.map vref_of_vnode h.Rt.right;
+      h_height = h.Rt.height;
+      h_childrencount = h.Rt.leaves;
+      h_representative = Some (vref_of_vnode h.Rt.rep);
+    }
+
+let of_fg fg =
+  let by_proc = Node_id.Tbl.create 64 in
+  let gp = Fg.gprime fg in
+  let add owner =
+    let rows =
+      List.map (fun other -> fields_of fg ~owner ~other) (Adjacency.neighbors gp owner)
+    in
+    Node_id.Tbl.replace by_proc owner rows
+  in
+  List.iter add (Fg.live_nodes fg);
+  { by_proc }
+
+let rows t p = Option.value (Node_id.Tbl.find_opt t.by_proc p) ~default:[]
+
+(* canonical string key for a directed (parent, child) virtual edge *)
+let key parent child =
+  let one (r : Vref.t) =
+    Printf.sprintf "%d:%d-%d:%s" r.Vref.proc r.Vref.edge.Edge.a r.Vref.edge.Edge.b
+      (match r.Vref.kind with Vref.Real -> "r" | Vref.Helper -> "h")
+  in
+  one parent ^ ">" ^ one child
+
+module Ss = Set.Make (String)
+
+(* tree edges as seen from the parent side (helper rows name children) and
+   from the child side (leaf endpoints and helper hparents) *)
+let edge_sets t =
+  let from_parent = ref Ss.empty in
+  let from_child = ref Ss.empty in
+  let edge_tbl = Hashtbl.create 64 in
+  let record_parent p c =
+    from_parent := Ss.add (key p c) !from_parent;
+    Hashtbl.replace edge_tbl (key p c) (p, c)
+  in
+  let record_child p c =
+    from_child := Ss.add (key p c) !from_child;
+    Hashtbl.replace edge_tbl (key p c) (p, c)
+  in
+  let visit_row (f : fields) =
+    let real = Vref.real f.owner f.edge in
+    let helper = Vref.helper f.owner f.edge in
+    (* child side: my leaf's parent, when the edge leads into an RT *)
+    (match f.endpoint with
+    | Some ({ Vref.kind = Vref.Helper; _ } as p) -> record_child p real
+    | Some { Vref.kind = Vref.Real; _ } | None -> ());
+    if f.has_helper then begin
+      (match f.hparent with Some p -> record_child p helper | None -> ());
+      match (f.hleftchild, f.hrightchild) with
+      | Some l, Some r ->
+        record_parent helper l;
+        record_parent helper r
+      | _ -> ()
+    end
+  in
+  Node_id.Tbl.iter (fun _ rows -> List.iter visit_row rows) t.by_proc;
+  (!from_parent, !from_child, edge_tbl)
+
+let reconstruct_tree_edges t =
+  let from_parent, from_child, edge_tbl = edge_sets t in
+  Ss.elements (Ss.union from_parent from_child)
+  |> List.map (fun k -> Hashtbl.find edge_tbl k)
+
+let actual_tree_edges fg =
+  let acc = ref Ss.empty in
+  let visit_root root =
+    Rt.iter_tree
+      (fun v ->
+        let pv = vref_of_vnode v in
+        let link c = acc := Ss.add (key pv (vref_of_vnode c)) !acc in
+        Option.iter link v.Rt.left;
+        Option.iter link v.Rt.right)
+      root
+  in
+  List.iter visit_root (Rt.rt_roots (Fg.ctx fg));
+  !acc
+
+let check_complete t fg =
+  let errs = ref [] in
+  let from_parent, from_child, _ = edge_sets t in
+  let say fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (* symmetry: both sides of every tree edge name each other *)
+  Ss.iter
+    (fun k ->
+      if not (Ss.mem k from_child) then say "edge %s known only to the parent" k)
+    from_parent;
+  Ss.iter
+    (fun k ->
+      if not (Ss.mem k from_parent) then say "edge %s known only to the child" k)
+    from_child;
+  (* completeness: the union reconstructs exactly the virtual forest *)
+  let reconstructed = Ss.union from_parent from_child in
+  let actual = actual_tree_edges fg in
+  Ss.iter
+    (fun k -> if not (Ss.mem k actual) then say "reconstructed extra edge %s" k)
+    reconstructed;
+  Ss.iter
+    (fun k -> if not (Ss.mem k reconstructed) then say "missing edge %s" k)
+    actual;
+  (* field accuracy: helper caches match the structure *)
+  let ctx = Fg.ctx fg in
+  let check_row (f : fields) =
+    if f.has_helper then begin
+      match Rt.find_helper ctx (Edge.Half.make f.owner f.edge) with
+      | None -> say "row %d/(%d,%d): has_helper but no helper" f.owner f.edge.Edge.a f.edge.Edge.b
+      | Some h ->
+        if h.Rt.height <> f.h_height then
+          say "row %d/(%d,%d): height %d <> %d" f.owner f.edge.Edge.a f.edge.Edge.b
+            f.h_height h.Rt.height;
+        if h.Rt.leaves <> f.h_childrencount then
+          say "row %d/(%d,%d): childrencount %d <> %d" f.owner f.edge.Edge.a
+            f.edge.Edge.b f.h_childrencount h.Rt.leaves;
+        match f.h_representative with
+        | Some r when vref_equal r (vref_of_vnode h.Rt.rep) -> ()
+        | _ -> say "row %d/(%d,%d): representative mismatch" f.owner f.edge.Edge.a f.edge.Edge.b
+    end
+  in
+  Node_id.Tbl.iter (fun _ rows -> List.iter check_row rows) t.by_proc;
+  List.rev !errs

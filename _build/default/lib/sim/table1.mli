@@ -1,0 +1,56 @@
+(** Table 1 of the paper: the per-processor, per-edge local state.
+
+    Each processor [v] keeps, for every G'-edge [(v, x)], a record of
+    fields (endpoint, hashelper, RTparent, and the helper's parent /
+    children / height / childrencount / representative). The paper's
+    algorithm runs on exactly this local state; this module materialises
+    the fields from the centralized structure and proves — executable-ly —
+    that they are {e complete}: the entire virtual forest can be
+    reconstructed from the union of the local views alone
+    ({!reconstruct_tree_edges} = the real forest, checked by
+    {!check_complete}). The distributed tests run this after arbitrary
+    churn, so any information the centralized implementation uses beyond
+    Table 1 would be caught. *)
+
+module Node_id := Fg_graph.Node_id
+module Edge := Fg_core.Edge
+
+(** Virtual-node addresses are shared with the distributed protocol. *)
+type vref = Vref.t
+
+val vref_equal : vref -> vref -> bool
+val pp_vref : Format.formatter -> vref -> unit
+
+(** One row of Table 1: processor [proc]'s fields for edge [(proc, x)]. *)
+type fields = {
+  owner : Node_id.t;
+  edge : Edge.t;
+  endpoint : vref option;
+      (** other end: real [x] if alive, the RT parent vnode otherwise;
+          [None] while no attachment exists (both endpoints live). *)
+  has_helper : bool;
+  hparent : vref option;
+  hleftchild : vref option;
+  hrightchild : vref option;
+  h_height : int;
+  h_childrencount : int;
+  h_representative : vref option;  (** a [`Real] vref *)
+}
+
+type t
+
+(** [of_fg fg] captures every live processor's Table-1 rows. *)
+val of_fg : Fg_core.Forgiving_graph.t -> t
+
+(** [rows t p] lists processor [p]'s rows (one per incident G'-edge). *)
+val rows : t -> Node_id.t -> fields list
+
+(** [reconstruct_tree_edges t] rebuilds the set of virtual tree edges
+    (parent, child) purely from the local views, deduplicated. *)
+val reconstruct_tree_edges : t -> (vref * vref) list
+
+(** [check_complete t fg] verifies the reconstruction matches the actual
+    virtual forest exactly, and that symmetric fields agree across
+    processors (a child's [hparent]/[endpoint] names the parent that names
+    it). Returns human-readable violations ([] = complete & consistent). *)
+val check_complete : t -> Fg_core.Forgiving_graph.t -> string list

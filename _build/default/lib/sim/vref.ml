@@ -1,0 +1,44 @@
+module Node_id = Fg_graph.Node_id
+module Edge = Fg_core.Edge
+module Rt = Fg_core.Rt
+
+type kind = Real | Helper
+
+type t = { proc : Node_id.t; edge : Edge.t; kind : kind }
+
+let real proc edge = { proc; edge; kind = Real }
+let helper proc edge = { proc; edge; kind = Helper }
+
+let equal a b =
+  Node_id.equal a.proc b.proc && Edge.equal a.edge b.edge && a.kind = b.kind
+
+let compare a b =
+  let c = Node_id.compare a.proc b.proc in
+  if c <> 0 then c
+  else
+    let c = Edge.compare a.edge b.edge in
+    if c <> 0 then c
+    else compare (a.kind = Helper) (b.kind = Helper)
+
+let pp ppf r =
+  Format.fprintf ppf "%s(%a@%a)"
+    (match r.kind with Real -> "real" | Helper -> "helper")
+    Node_id.pp r.proc Edge.pp r.edge
+
+let of_vnode (v : Rt.vnode) =
+  {
+    proc = v.Rt.half.Edge.Half.proc;
+    edge = v.Rt.half.Edge.Half.edge;
+    kind = (match v.Rt.kind with Rt.Leaf -> Real | Rt.Helper -> Helper);
+  }
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash r = Hashtbl.hash (r.proc, r.edge.Edge.a, r.edge.Edge.b, r.kind = Helper)
+  let compare = compare
+end
+
+module Tbl = Hashtbl.Make (Key)
+module Set = Set.Make (Key)

@@ -1,0 +1,25 @@
+(** Virtual-node addresses, as processors name them in messages.
+
+    A virtual node is identified by its owning processor, the G'-edge it
+    is scoped to, and whether it is the real (leaf) node or the helper for
+    that edge — exactly the information Table 1 fields carry. One address
+    costs three node references (O(log n) bits). *)
+
+module Node_id := Fg_graph.Node_id
+module Edge := Fg_core.Edge
+
+type kind = Real | Helper
+
+type t = { proc : Node_id.t; edge : Edge.t; kind : kind }
+
+val real : Node_id.t -> Edge.t -> t
+val helper : Node_id.t -> Edge.t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [of_vnode v] addresses a centralized vnode. *)
+val of_vnode : Fg_core.Rt.vnode -> t
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adjacency Alcotest Fg_adversary Fg_baselines Fg_graph Generators List Rng

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Adjacency Alcotest Cascade Connectivity Diameter Fg_baselines Fg_core Fg_graph Forgiving_tree Generators Healer List Naive Printf Registry Rng

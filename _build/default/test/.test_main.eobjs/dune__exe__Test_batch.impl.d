@@ -1,0 +1,1 @@
+test/test_batch.ml: Adjacency Alcotest Array Connectivity Fg_core Fg_graph Fg_sim Generators List Printf QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_dist.ml: Adjacency Alcotest Connectivity Fg_core Fg_graph Fg_sim Generators List Printf QCheck2 QCheck_alcotest Rng

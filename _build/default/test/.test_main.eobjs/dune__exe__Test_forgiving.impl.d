@@ -1,0 +1,1 @@
+test/test_forgiving.ml: Adjacency Alcotest Array Connectivity Fg_core Fg_graph Forgiving_graph Generators Invariants List Printf QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_haft.ml: Alcotest Fg_haft Haft Int List Printf QCheck2 QCheck_alcotest

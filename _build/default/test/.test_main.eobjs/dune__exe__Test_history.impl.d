@@ -1,0 +1,1 @@
+test/test_history.ml: Adjacency Alcotest Connectivity Fg_core Fg_graph Format Generators List Persistent_graph String

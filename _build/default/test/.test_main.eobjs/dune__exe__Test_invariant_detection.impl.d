@@ -1,0 +1,1 @@
+test/test_invariant_detection.ml: Adjacency Alcotest Fg_core Fg_graph Fg_sim Forgiving_graph Generators Invariants List Rt

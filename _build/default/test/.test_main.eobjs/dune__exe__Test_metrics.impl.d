@@ -1,0 +1,1 @@
+test/test_metrics.ml: Adjacency Alcotest Degree_metric Fg_graph Fg_metrics Generators List Rng Stretch Summary

@@ -1,0 +1,1 @@
+test/test_persistent.ml: Adjacency Alcotest Fg_graph Fg_sim Generators List Persistent_graph QCheck2 QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_routing.ml: Adjacency Alcotest Bfs Fg_core Fg_graph Forgiving_graph Generators List Printf Rng Routing

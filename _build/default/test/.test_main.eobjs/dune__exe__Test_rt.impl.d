@@ -1,0 +1,1 @@
+test/test_rt.ml: Adjacency Alcotest Fg_core Fg_graph Fg_haft Forgiving_graph Fun Generators Invariants List Printf Rng Rt

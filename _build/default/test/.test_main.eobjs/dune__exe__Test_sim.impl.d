@@ -1,0 +1,1 @@
+test/test_sim.ml: Adjacency Alcotest Engine Fg_core Fg_graph Fg_sim Generators List Netsim Printf Protocol Rng

@@ -1,0 +1,1 @@
+test/test_soak.ml: Adjacency Alcotest Array Bfs Connectivity Fg_core Fg_graph Fg_metrics Fg_sim Generators List Option Printf QCheck2 QCheck_alcotest Rng

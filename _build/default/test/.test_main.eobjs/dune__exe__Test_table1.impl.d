@@ -1,0 +1,1 @@
+test/test_table1.ml: Alcotest Array Fg_core Fg_graph Fg_sim Generators List Printf Rng

@@ -1,0 +1,1 @@
+test/test_will_tree.ml: Adjacency Alcotest Connectivity Diameter Fg_adversary Fg_baselines Fg_graph Generators List Printf QCheck2 QCheck_alcotest Rng

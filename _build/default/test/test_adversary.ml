@@ -1,0 +1,187 @@
+(* Tests for the adversary strategies and churn drivers. *)
+
+open Fg_graph
+module Adversary = Fg_adversary.Adversary
+module Churn = Fg_adversary.Churn
+module Healer = Fg_baselines.Healer
+
+let fg_healer g = Healer.forgiving_graph g
+
+let test_pick_random_live () =
+  let h = fg_healer (Generators.ring 8) in
+  let rng = Rng.create 1 in
+  match Adversary.pick_victim Adversary.Random rng h with
+  | None -> Alcotest.fail "expected a victim"
+  | Some v -> Alcotest.(check bool) "live" true (h.Healer.is_alive v)
+
+let test_pick_none_when_tiny () =
+  let g = Adjacency.of_edges [ (0, 1) ] in
+  let h = fg_healer g in
+  h.Healer.delete 0;
+  Alcotest.(check (option int)) "refuses last node" None
+    (Adversary.pick_victim Adversary.Random (Rng.create 1) h)
+
+let test_pick_max_degree () =
+  let h = fg_healer (Generators.star 10) in
+  Alcotest.(check (option int)) "the hub" (Some 0)
+    (Adversary.pick_victim Adversary.Max_degree (Rng.create 1) h)
+
+let test_pick_oldest () =
+  let h = fg_healer (Generators.ring 5) in
+  Alcotest.(check (option int)) "smallest id" (Some 0)
+    (Adversary.pick_victim Adversary.Oldest (Rng.create 1) h);
+  h.Healer.delete 0;
+  Alcotest.(check (option int)) "next" (Some 1)
+    (Adversary.pick_victim Adversary.Oldest (Rng.create 1) h)
+
+let test_pick_articulation () =
+  (* path: interior nodes are cut vertices; smallest is 1 *)
+  let h = fg_healer (Generators.path 5) in
+  Alcotest.(check (option int)) "cut vertex" (Some 1)
+    (Adversary.pick_victim Adversary.Articulation (Rng.create 1) h)
+
+let test_pick_articulation_fallback () =
+  (* ring has no cut vertex: falls back to max degree (all equal -> min id) *)
+  let h = fg_healer (Generators.ring 6) in
+  Alcotest.(check (option int)) "fallback" (Some 0)
+    (Adversary.pick_victim Adversary.Articulation (Rng.create 1) h)
+
+let test_pick_betweenness () =
+  let h = fg_healer (Generators.star 8) in
+  Alcotest.(check (option int)) "the centre" (Some 0)
+    (Adversary.pick_victim Adversary.Max_betweenness (Rng.create 1) h)
+
+let test_pick_max_gprime_degree () =
+  let h = fg_healer (Generators.star 8) in
+  (* after deleting satellite 1, the centre still dominates G' *)
+  h.Healer.delete 1;
+  Alcotest.(check (option int)) "centre" (Some 0)
+    (Adversary.pick_victim Adversary.Max_gprime_degree (Rng.create 1) h)
+
+let test_attach_chain () =
+  let h = fg_healer (Generators.ring 4) in
+  let rng = Rng.create 1 in
+  let nbrs = Adversary.pick_neighbors Adversary.Attach_chain rng h ~last_inserted:None in
+  Alcotest.(check (list int)) "falls back to first" [ 0 ] nbrs;
+  h.Healer.insert 50 nbrs;
+  let nbrs2 =
+    Adversary.pick_neighbors Adversary.Attach_chain rng h ~last_inserted:(Some 50)
+  in
+  Alcotest.(check (list int)) "chains to last" [ 50 ] nbrs2
+
+let test_attach_hub () =
+  let h = fg_healer (Generators.ring 4) in
+  let rng = Rng.create 1 in
+  let nbrs =
+    Adversary.pick_neighbors (Adversary.Attach_hub 2) rng h ~last_inserted:None
+  in
+  Alcotest.(check (list int)) "targets the victim" [ 2 ] nbrs;
+  h.Healer.delete 2;
+  let nbrs2 =
+    Adversary.pick_neighbors (Adversary.Attach_hub 2) rng h ~last_inserted:None
+  in
+  Alcotest.(check bool) "falls back when dead" true (nbrs2 <> [ 2 ] && nbrs2 <> [])
+
+let test_attach_random_distinct_live () =
+  let h = fg_healer (Generators.ring 10) in
+  let rng = Rng.create 1 in
+  let nbrs =
+    Adversary.pick_neighbors (Adversary.Attach_random 4) rng h ~last_inserted:None
+  in
+  Alcotest.(check int) "four" 4 (List.length (List.sort_uniq compare nbrs));
+  Alcotest.(check bool) "all live" true (List.for_all h.Healer.is_alive nbrs)
+
+let test_attach_preferential_live () =
+  let h = fg_healer (Generators.star 10) in
+  let rng = Rng.create 1 in
+  let nbrs =
+    Adversary.pick_neighbors (Adversary.Attach_preferential 2) rng h ~last_inserted:None
+  in
+  Alcotest.(check bool) "non-empty" true (nbrs <> []);
+  Alcotest.(check bool) "all live" true (List.for_all h.Healer.is_alive nbrs)
+
+let test_pick_healing_degree () =
+  (* after a star heal, the node with the most healing edges is a satellite
+     that simulates a high helper *)
+  let h = fg_healer (Generators.star 17) in
+  h.Healer.delete 0;
+  match Adversary.pick_victim Adversary.Max_healing_degree (Rng.create 1) h with
+  | None -> Alcotest.fail "expected a victim"
+  | Some v ->
+    let g = h.Healer.graph () and gp = h.Healer.gprime () in
+    let gain u = Adjacency.degree g u - Adjacency.degree gp u in
+    Alcotest.(check bool) "maximal healing degree" true
+      (List.for_all (fun u -> gain u <= gain v) (h.Healer.live_nodes ()))
+
+let test_attach_far_spread () =
+  let h = fg_healer (Generators.path 20) in
+  let rng = Rng.create 1 in
+  let nbrs = Adversary.pick_neighbors (Adversary.Attach_far 2) rng h ~last_inserted:None in
+  (* on a path starting from node 0, the farthest node is the other end *)
+  Alcotest.(check (list int)) "ends of the path" [ 19; 0 ] nbrs
+
+let test_deletion_name_roundtrip () =
+  List.iter
+    (fun name ->
+      Alcotest.(check string) "roundtrip" name
+        (Adversary.deletion_name (Adversary.deletion_of_name name)))
+    Adversary.deletion_names
+
+let test_drive_script_replayable () =
+  let rng = Rng.create 17 in
+  let g0 = Generators.ring 16 in
+  let h1 = fg_healer g0 in
+  let script =
+    Churn.drive rng h1 ~steps:40 ~p_delete:0.5 ~del:Adversary.Random
+      ~ins:(Adversary.Attach_random 2) ~first_id:16
+  in
+  Alcotest.(check int) "full length" 40 (List.length script);
+  (* replay on a fresh healer must produce the identical G' *)
+  let h2 = fg_healer (Generators.ring 16) in
+  Churn.replay h2 script;
+  Alcotest.(check bool) "same gprime" true
+    (Adjacency.equal (h1.Healer.gprime ()) (h2.Healer.gprime ()));
+  Alcotest.(check bool) "same graph" true
+    (Adjacency.equal (h1.Healer.graph ()) (h2.Healer.graph ()))
+
+let test_drive_stops_at_two () =
+  let rng = Rng.create 3 in
+  let h = fg_healer (Generators.path 4) in
+  let script =
+    Churn.drive rng h ~steps:100 ~p_delete:1.0 ~del:Adversary.Random
+      ~ins:(Adversary.Attach_random 1) ~first_id:100
+  in
+  Alcotest.(check bool) "stopped early" true (List.length script < 100);
+  Alcotest.(check int) "two survivors" 2 (List.length (h.Healer.live_nodes ()))
+
+let test_delete_fraction () =
+  let rng = Rng.create 5 in
+  let h = fg_healer (Generators.ring 20) in
+  let victims = Churn.delete_fraction rng h ~fraction:0.25 ~del:Adversary.Random in
+  Alcotest.(check int) "five victims" 5 (List.length victims);
+  Alcotest.(check int) "fifteen live" 15 (List.length (h.Healer.live_nodes ()))
+
+let suite =
+  [
+    Alcotest.test_case "pick: random live" `Quick test_pick_random_live;
+    Alcotest.test_case "pick: none below two nodes" `Quick test_pick_none_when_tiny;
+    Alcotest.test_case "pick: max degree hub" `Quick test_pick_max_degree;
+    Alcotest.test_case "pick: oldest" `Quick test_pick_oldest;
+    Alcotest.test_case "pick: articulation" `Quick test_pick_articulation;
+    Alcotest.test_case "pick: articulation fallback" `Quick
+      test_pick_articulation_fallback;
+    Alcotest.test_case "pick: betweenness" `Quick test_pick_betweenness;
+    Alcotest.test_case "pick: max G' degree" `Quick test_pick_max_gprime_degree;
+    Alcotest.test_case "attach: chain" `Quick test_attach_chain;
+    Alcotest.test_case "attach: hub" `Quick test_attach_hub;
+    Alcotest.test_case "attach: random distinct live" `Quick
+      test_attach_random_distinct_live;
+    Alcotest.test_case "attach: preferential live" `Quick test_attach_preferential_live;
+    Alcotest.test_case "pick: max healing degree" `Quick test_pick_healing_degree;
+    Alcotest.test_case "attach: far spread" `Quick test_attach_far_spread;
+    Alcotest.test_case "deletion names roundtrip" `Quick test_deletion_name_roundtrip;
+    Alcotest.test_case "churn: script replay reproduces state" `Quick
+      test_drive_script_replayable;
+    Alcotest.test_case "churn: stops at two survivors" `Quick test_drive_stops_at_two;
+    Alcotest.test_case "churn: delete fraction" `Quick test_delete_fraction;
+  ]

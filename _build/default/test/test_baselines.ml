@@ -1,0 +1,229 @@
+(* Tests for the healer baselines: naive patches, Forgiving Tree, cascade. *)
+
+open Fg_graph
+open Fg_baselines
+
+(* ---- edge module (fg_core) ---- *)
+
+let test_edge_normalised () =
+  let e = Fg_core.Edge.make 7 3 in
+  Alcotest.(check int) "a" 3 e.Fg_core.Edge.a;
+  Alcotest.(check int) "b" 7 e.Fg_core.Edge.b;
+  Alcotest.(check bool) "equal" true Fg_core.Edge.(equal e (make 3 7));
+  Alcotest.(check int) "other" 7 (Fg_core.Edge.other e 3);
+  Alcotest.(check int) "other'" 3 (Fg_core.Edge.other e 7);
+  Alcotest.(check bool) "incident" true (Fg_core.Edge.incident e 3);
+  Alcotest.(check bool) "not incident" false (Fg_core.Edge.incident e 5)
+
+let test_edge_rejects_loop () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Fg_core.Edge.make 4 4);
+       false
+     with Invalid_argument _ -> true)
+
+let test_half_edge () =
+  let e = Fg_core.Edge.make 1 2 in
+  let h = Fg_core.Edge.Half.make 1 e in
+  Alcotest.(check int) "proc" 1 h.Fg_core.Edge.Half.proc;
+  Alcotest.(check bool) "reject non-endpoint" true
+    (try
+       ignore (Fg_core.Edge.Half.make 9 e);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- naive patches ---- *)
+
+let star_then_delete pattern =
+  let h = Naive.healer pattern (Generators.star 8) in
+  h.Healer.delete 0;
+  h
+
+let test_cycle_patch () =
+  let h = star_then_delete Naive.Cycle in
+  let g = h.Healer.graph () in
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g);
+  Alcotest.(check int) "cycle edges" 7 (Adjacency.num_edges g);
+  List.iter
+    (fun v -> Alcotest.(check int) (Printf.sprintf "deg %d" v) 2 (Adjacency.degree g v))
+    (Adjacency.nodes g)
+
+let test_line_patch () =
+  let h = star_then_delete Naive.Line in
+  let g = h.Healer.graph () in
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g);
+  Alcotest.(check int) "path edges" 6 (Adjacency.num_edges g)
+
+let test_clique_patch () =
+  let h = star_then_delete Naive.Clique in
+  let g = h.Healer.graph () in
+  Alcotest.(check int) "complete" 21 (Adjacency.num_edges g);
+  Alcotest.(check int) "diameter 1" 1 (Diameter.exact g)
+
+let test_star_patch () =
+  let h = star_then_delete Naive.Star in
+  let g = h.Healer.graph () in
+  Alcotest.(check int) "hub degree" 6 (Adjacency.degree g 1);
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g)
+
+let test_binary_patch () =
+  let h = star_then_delete Naive.Binary_tree in
+  let g = h.Healer.graph () in
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g);
+  Alcotest.(check int) "tree edges" 6 (Adjacency.num_edges g);
+  Alcotest.(check bool) "max degree 3" true (Adjacency.max_degree g <= 3)
+
+let test_no_repair_disconnects () =
+  let h = star_then_delete Naive.No_repair in
+  Alcotest.(check int) "isolated satellites" 7
+    (Connectivity.num_components (h.Healer.graph ()))
+
+let test_naive_insert () =
+  let h = Naive.healer Naive.Cycle (Generators.ring 4) in
+  h.Healer.insert 10 [ 0; 2 ];
+  Alcotest.(check bool) "edge added" true (Adjacency.mem_edge (h.Healer.graph ()) 10 0);
+  Alcotest.(check bool) "in gprime" true (Adjacency.mem_edge (h.Healer.gprime ()) 10 2);
+  Alcotest.(check bool) "alive" true (h.Healer.is_alive 10)
+
+let test_naive_rejects_bad_ops () =
+  let h = Naive.healer Naive.Cycle (Generators.ring 4) in
+  h.Healer.delete 1;
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "reused id" true (raises (fun () -> h.Healer.insert 1 [ 0 ]));
+  Alcotest.(check bool) "dead neighbour" true (raises (fun () -> h.Healer.insert 9 [ 1 ]));
+  Alcotest.(check bool) "dead delete" true (raises (fun () -> h.Healer.delete 1))
+
+(* ---- forgiving tree ---- *)
+
+let test_spanning_tree () =
+  let g = Generators.complete 6 in
+  let t = Forgiving_tree.spanning_tree g in
+  Alcotest.(check int) "n-1 edges" 5 (Adjacency.num_edges t);
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected t);
+  (* every tree edge is a graph edge *)
+  Alcotest.(check bool) "subgraph" true
+    (List.for_all (fun (u, v) -> Adjacency.mem_edge g u v) (Adjacency.edges t))
+
+let test_spanning_tree_disconnected () =
+  let g = Adjacency.of_edges [ (0, 1); (2, 3) ] in
+  let t = Forgiving_tree.spanning_tree g in
+  Alcotest.(check int) "forest" 2 (Adjacency.num_edges t);
+  Alcotest.(check int) "two comps" 2 (Connectivity.num_components t)
+
+let test_ft_heals_deletion () =
+  let h = Forgiving_tree.healer (Generators.erdos_renyi (Rng.create 2) 32 0.15) in
+  h.Healer.delete 5;
+  h.Healer.delete 11;
+  Alcotest.(check bool) "connected" true
+    (Connectivity.is_connected (h.Healer.graph ()))
+
+let test_ft_rejects_insert () =
+  let h = Forgiving_tree.healer (Generators.ring 8) in
+  Alcotest.(check bool) "unsupported" true
+    (try
+       h.Healer.insert 99 [ 0 ];
+       false
+     with Healer.Unsupported _ -> true)
+
+let test_ft_init_cost () =
+  let h = Forgiving_tree.healer (Generators.ring 64) in
+  Alcotest.(check int) "n log n" (64 * 6) h.Healer.init_messages
+
+let test_fg_healer_wrapper () =
+  let h = Healer.forgiving_graph (Generators.ring 8) in
+  Alcotest.(check int) "no init" 0 h.Healer.init_messages;
+  h.Healer.delete 0;
+  h.Healer.insert 100 [ 4 ];
+  Alcotest.(check bool) "connected" true
+    (Connectivity.is_connected (h.Healer.graph ()));
+  Alcotest.(check int) "live" 8 (List.length (h.Healer.live_nodes ()))
+
+let test_registry () =
+  List.iter
+    (fun name ->
+      let h = Registry.by_name name (Generators.ring 6) in
+      Alcotest.(check string) "name matches" name h.Healer.name)
+    Registry.names;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Registry.by_name "bogus" (Generators.ring 4)))
+
+(* ---- cascade ---- *)
+
+let test_cascade_no_attack_stable () =
+  let g = Generators.ring 20 in
+  let r =
+    Cascade.run { Cascade.tolerance = 0.1; max_waves = 10 } ~heal:Cascade.No_heal g
+      ~attack:[]
+  in
+  Alcotest.(check int) "no failures" 20 r.Cascade.surviving;
+  Alcotest.(check int) "no waves" 0 r.Cascade.waves
+
+let test_cascade_hub_attack_no_heal () =
+  let rng = Rng.create 4 in
+  let g = Generators.barabasi_albert rng 100 2 in
+  let attack = Cascade.top_degree_attack g 3 in
+  Alcotest.(check int) "three victims" 3 (List.length attack);
+  let r =
+    Cascade.run { Cascade.tolerance = 0.05; max_waves = 30 } ~heal:Cascade.No_heal g
+      ~attack
+  in
+  Alcotest.(check bool) "cascade happened" true (r.Cascade.surviving < 97);
+  Alcotest.(check bool) "fractions consistent" true
+    (r.Cascade.largest_component_fraction <= r.Cascade.surviving_fraction +. 1e-9)
+
+let test_cascade_fg_keeps_one_component () =
+  let rng = Rng.create 4 in
+  let g = Generators.barabasi_albert rng 80 2 in
+  let attack = Cascade.top_degree_attack g 2 in
+  let r =
+    Cascade.run { Cascade.tolerance = 0.3; max_waves = 30 } ~heal:Cascade.Forgiving g
+      ~attack
+  in
+  (* the FG preserves connectivity: survivors = largest component *)
+  Alcotest.(check (float 1e-9))
+    "connected survivors" r.Cascade.surviving_fraction
+    r.Cascade.largest_component_fraction
+
+let test_cascade_high_tolerance_no_cascade () =
+  let rng = Rng.create 4 in
+  let g = Generators.barabasi_albert rng 60 2 in
+  let r =
+    Cascade.run { Cascade.tolerance = 1000.0; max_waves = 10 } ~heal:Cascade.No_heal g
+      ~attack:[ 0 ]
+  in
+  Alcotest.(check int) "only the attacked node dies" 59 r.Cascade.surviving
+
+let test_top_degree_attack_order () =
+  let g = Generators.star 10 in
+  Alcotest.(check (list int)) "centre first" [ 0; 1 ] (Cascade.top_degree_attack g 2)
+
+let suite =
+  [
+    Alcotest.test_case "edge: normalisation" `Quick test_edge_normalised;
+    Alcotest.test_case "edge: rejects loops" `Quick test_edge_rejects_loop;
+    Alcotest.test_case "edge: half-edges" `Quick test_half_edge;
+    Alcotest.test_case "naive: cycle patch" `Quick test_cycle_patch;
+    Alcotest.test_case "naive: line patch" `Quick test_line_patch;
+    Alcotest.test_case "naive: clique patch" `Quick test_clique_patch;
+    Alcotest.test_case "naive: star patch" `Quick test_star_patch;
+    Alcotest.test_case "naive: binary patch" `Quick test_binary_patch;
+    Alcotest.test_case "naive: no repair disconnects" `Quick test_no_repair_disconnects;
+    Alcotest.test_case "naive: insert" `Quick test_naive_insert;
+    Alcotest.test_case "naive: rejects bad ops" `Quick test_naive_rejects_bad_ops;
+    Alcotest.test_case "ft: spanning tree" `Quick test_spanning_tree;
+    Alcotest.test_case "ft: spanning forest" `Quick test_spanning_tree_disconnected;
+    Alcotest.test_case "ft: heals deletions" `Quick test_ft_heals_deletion;
+    Alcotest.test_case "ft: rejects insert" `Quick test_ft_rejects_insert;
+    Alcotest.test_case "ft: init cost n log n" `Quick test_ft_init_cost;
+    Alcotest.test_case "healer: fg wrapper" `Quick test_fg_healer_wrapper;
+    Alcotest.test_case "registry: all names" `Quick test_registry;
+    Alcotest.test_case "cascade: stable without attack" `Quick
+      test_cascade_no_attack_stable;
+    Alcotest.test_case "cascade: hub attack cascades" `Quick
+      test_cascade_hub_attack_no_heal;
+    Alcotest.test_case "cascade: fg keeps one component" `Quick
+      test_cascade_fg_keeps_one_component;
+    Alcotest.test_case "cascade: high tolerance is stable" `Quick
+      test_cascade_high_tolerance_no_cascade;
+    Alcotest.test_case "cascade: attack ordering" `Quick test_top_degree_attack_order;
+  ]

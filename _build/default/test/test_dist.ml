@@ -1,0 +1,186 @@
+(* Tests for the fully distributed protocol: per-processor state machines
+   must reproduce the centralized healing exactly (leaf partitions), keep
+   all structural invariants, and stay within the Lemma 4 cost bounds. *)
+
+open Fg_graph
+module De = Fg_sim.Dist_engine
+
+let check_ok label eng =
+  match De.verify eng with
+  | [] -> ()
+  | errs -> Alcotest.failf "%s: %d violations, first: %s" label (List.length errs) (List.hd errs)
+
+let test_fresh () =
+  let eng = De.create (Generators.ring 8) in
+  check_ok "fresh" eng;
+  Alcotest.(check bool) "same graph" true
+    (Adjacency.equal (De.graph eng) (Fg_core.Forgiving_graph.graph (De.reference eng)))
+
+let test_star () =
+  let eng = De.create (Generators.star 17) in
+  let stats = De.delete eng 0 in
+  check_ok "star" eng;
+  Alcotest.(check bool) "messages flowed" true (stats.Fg_sim.Netsim.messages > 0);
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected (De.graph eng))
+
+let test_degree_one () =
+  let eng = De.create (Generators.path 2) in
+  ignore (De.delete eng 1);
+  check_ok "degree one" eng
+
+let test_isolated () =
+  let g = Adjacency.create () in
+  Adjacency.add_node g 0;
+  Adjacency.add_node g 1;
+  let eng = De.create g in
+  let stats = De.delete eng 1 in
+  Alcotest.(check int) "no messages" 0 stats.Fg_sim.Netsim.messages;
+  check_ok "isolated" eng
+
+let test_path_middle () =
+  let eng = De.create (Generators.path 3) in
+  ignore (De.delete eng 1);
+  check_ok "path middle" eng;
+  Alcotest.(check bool) "healed edge" true (Adjacency.mem_edge (De.graph eng) 0 2)
+
+let test_consecutive_merges () =
+  let eng = De.create (Generators.path 12) in
+  List.iter
+    (fun v ->
+      ignore (De.delete eng v);
+      check_ok (Printf.sprintf "after %d" v) eng)
+    [ 5; 6; 4; 7; 3; 8 ]
+
+let test_insert_then_delete () =
+  let eng = De.create (Generators.ring 6) in
+  De.insert eng 100 [ 0; 3 ];
+  ignore (De.delete eng 0);
+  check_ok "insert then delete" eng
+
+let test_whole_clique () =
+  let eng = De.create (Generators.complete 10) in
+  for v = 0 to 7 do
+    ignore (De.delete eng v);
+    check_ok (Printf.sprintf "K10 after %d" v) eng
+  done
+
+let test_er_random_sequence () =
+  let rng = Rng.create 91 in
+  let eng = De.create (Generators.erdos_renyi rng 48 0.12) in
+  for step = 1 to 30 do
+    let live = Fg_core.Forgiving_graph.live_nodes (De.reference eng) in
+    if List.length live > 3 then begin
+      ignore (De.delete eng (Rng.pick rng live));
+      check_ok (Printf.sprintf "er step %d" step) eng
+    end
+  done
+
+let test_lemma4_costs () =
+  let log2 x = log (float_of_int (max 2 x)) /. log 2. in
+  List.iter
+    (fun n ->
+      let eng = De.create (Generators.star n) in
+      let c = De.delete eng 0 in
+      let d = float_of_int (n - 1) in
+      let lg = log2 n in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d messages %d = O(d log n)" n c.Fg_sim.Netsim.messages)
+        true
+        (float_of_int c.Fg_sim.Netsim.messages <= 25. *. d *. lg);
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d rounds %d = O(log d log n)" n c.Fg_sim.Netsim.rounds)
+        true
+        (float_of_int c.Fg_sim.Netsim.rounds <= 16. *. log2 (n - 1) *. lg))
+    [ 16; 64; 256; 1024 ]
+
+(* asynchronous delivery: messages delayed 1..k rounds, arbitrary
+   reordering. The repair must still produce the identical healing. *)
+let test_async_star () =
+  let st = Fg_sim.Dist_state.create () in
+  let g = Generators.star 17 in
+  Adjacency.iter_nodes (fun v -> Fg_sim.Dist_state.add_processor st v) g;
+  Adjacency.iter_edges (fun u v -> Fg_sim.Dist_state.add_edge st u v) g;
+  let discipline = Fg_sim.Netsim.Asynchronous (Rng.create 5, 4) in
+  ignore (Fg_sim.Dist_protocol.delete ~discipline st 0 ~n_seen:17);
+  Alcotest.(check (list string)) "structure ok" [] (Fg_sim.Dist_state.check st);
+  Alcotest.(check bool) "connected" true
+    (Connectivity.is_connected (Fg_sim.Dist_state.derived_graph st))
+
+let prop_async_matches_centralized =
+  QCheck2.Test.make ~name:"asynchronous delivery heals identically" ~count:20
+    QCheck2.Gen.(tup3 (int_range 0 99999) (int_range 8 24) (int_range 2 6))
+    (fun (seed, n, max_delay) ->
+      let rng = Rng.create seed in
+      let g = Generators.erdos_renyi rng n (3.0 /. float_of_int n) in
+      (* distributed under async delivery *)
+      let st = Fg_sim.Dist_state.create () in
+      Adjacency.iter_nodes (fun v -> Fg_sim.Dist_state.add_processor st v) g;
+      Adjacency.iter_edges (fun u v -> Fg_sim.Dist_state.add_edge st u v) g;
+      (* centralized shadow *)
+      let fg = Fg_core.Forgiving_graph.of_graph g in
+      let ok = ref true in
+      for _ = 1 to n / 2 do
+        let live = Fg_core.Forgiving_graph.live_nodes fg in
+        if List.length live > 3 && !ok then begin
+          let victim = Rng.pick rng live in
+          let discipline = Fg_sim.Netsim.Asynchronous (Rng.split rng, max_delay) in
+          ignore
+            (Fg_sim.Dist_protocol.delete ~discipline st victim
+               ~n_seen:(Fg_core.Forgiving_graph.num_seen fg));
+          Fg_core.Forgiving_graph.delete fg victim;
+          if Fg_sim.Dist_state.check st <> [] then ok := false;
+          (* leaf partitions still identical under reordering *)
+          let dist_part = List.sort compare (Fg_sim.Dist_state.leaf_partition st) in
+          let ref_part =
+            let ctx = Fg_core.Forgiving_graph.ctx fg in
+            List.sort compare
+              (List.map
+                 (fun root ->
+                   Fg_core.Rt.leaves_of root
+                   |> List.map (fun (l : Fg_core.Rt.vnode) ->
+                          ( l.Fg_core.Rt.half.Fg_core.Edge.Half.proc,
+                            l.Fg_core.Rt.half.Fg_core.Edge.Half.edge ))
+                   |> List.sort compare)
+                 (Fg_core.Rt.rt_roots ctx))
+          in
+          if dist_part <> ref_part then ok := false
+        end
+      done;
+      !ok)
+
+let prop_dist_matches_centralized =
+  QCheck2.Test.make ~name:"distributed = centralized after random attacks" ~count:25
+    QCheck2.Gen.(tup2 (int_range 0 99999) (int_range 8 28))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Generators.erdos_renyi rng n (3.0 /. float_of_int n) in
+      let eng = De.create g in
+      let ok = ref true in
+      for _ = 1 to n / 2 do
+        let live = Fg_core.Forgiving_graph.live_nodes (De.reference eng) in
+        if List.length live > 3 && !ok then begin
+          ignore (De.delete eng (Rng.pick rng live));
+          if De.verify eng <> [] then ok := false
+        end
+      done;
+      !ok)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_dist_matches_centralized; prop_async_matches_centralized ]
+
+let suite =
+  [
+    Alcotest.test_case "dist: fresh graph" `Quick test_fresh;
+    Alcotest.test_case "dist: star heal" `Quick test_star;
+    Alcotest.test_case "dist: degree one" `Quick test_degree_one;
+    Alcotest.test_case "dist: isolated" `Quick test_isolated;
+    Alcotest.test_case "dist: path middle" `Quick test_path_middle;
+    Alcotest.test_case "dist: consecutive merges" `Quick test_consecutive_merges;
+    Alcotest.test_case "dist: insert then delete" `Quick test_insert_then_delete;
+    Alcotest.test_case "dist: whole clique" `Quick test_whole_clique;
+    Alcotest.test_case "dist: random ER sequence" `Quick test_er_random_sequence;
+    Alcotest.test_case "dist: lemma 4 costs" `Quick test_lemma4_costs;
+    Alcotest.test_case "dist: async star heal" `Quick test_async_star;
+  ]
+  @ props

@@ -1,0 +1,243 @@
+(* Behavioural and invariant tests for the centralized Forgiving Graph. *)
+
+open Fg_graph
+open Fg_core
+
+let check_ok label t =
+  match Invariants.check t with
+  | [] -> ()
+  | errs ->
+    Alcotest.failf "%s: %d invariant violations, first: %s" label (List.length errs)
+      (List.hd errs)
+
+let test_of_graph_identity () =
+  let g = Generators.ring 8 in
+  let t = Forgiving_graph.of_graph g in
+  Alcotest.(check bool) "image = G0" true (Adjacency.equal g (Forgiving_graph.graph t));
+  Alcotest.(check int) "seen" 8 (Forgiving_graph.num_seen t);
+  check_ok "identity" t
+
+let test_delete_star_center () =
+  (* deleting the centre of a star must reconnect the satellites as a haft:
+     n-1 leaves, depth ceil(log2 (n-1)). Degrees stay <= 4 = 3d'+1; the
+     paper's stated 3x is exceeded by exactly one edge on some simulator
+     once the RT has >= 16 leaves (see DESIGN.md §6). *)
+  let n = 17 in
+  let t = Forgiving_graph.of_graph (Generators.star n) in
+  Forgiving_graph.delete t 0;
+  check_ok "star heal" t;
+  let g = Forgiving_graph.graph t in
+  Alcotest.(check int) "nodes" (n - 1) (Adjacency.num_nodes g);
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g);
+  Alcotest.(check bool)
+    "degrees bounded by 3x1 + 1" true
+    (List.for_all (fun v -> Adjacency.degree g v <= 4) (Adjacency.nodes g))
+
+let test_small_star_meets_paper_bound () =
+  (* for < 16 satellites every simulator gets a collapse, so the paper's
+     stated 3x holds exactly *)
+  let t = Forgiving_graph.of_graph (Generators.star 9) in
+  Forgiving_graph.delete t 0;
+  check_ok "small star heal" t;
+  Alcotest.(check (list string)) "3x holds" [] (Invariants.paper_degree_violations t)
+
+let test_delete_isolated () =
+  let g = Adjacency.create () in
+  Adjacency.add_node g 1;
+  Adjacency.add_node g 2;
+  Adjacency.add_edge g 1 2;
+  Adjacency.add_node g 3;
+  let t = Forgiving_graph.of_graph g in
+  Forgiving_graph.delete t 3;
+  check_ok "isolated deletion" t;
+  Alcotest.(check int) "two live" 2 (Forgiving_graph.num_live t)
+
+let test_delete_degree_one () =
+  let t = Forgiving_graph.of_graph (Generators.path 3) in
+  Forgiving_graph.delete t 2;
+  check_ok "leaf node deletion" t;
+  let g = Forgiving_graph.graph t in
+  Alcotest.(check bool) "edge 0-1 remains" true (Adjacency.mem_edge g 0 1);
+  Alcotest.(check int) "nodes" 2 (Adjacency.num_nodes g)
+
+let test_delete_path_middle () =
+  let t = Forgiving_graph.of_graph (Generators.path 3) in
+  Forgiving_graph.delete t 1;
+  check_ok "path middle" t;
+  let g = Forgiving_graph.graph t in
+  Alcotest.(check bool) "healed edge 0-2" true (Adjacency.mem_edge g 0 2)
+
+let test_insert_then_delete () =
+  let t = Forgiving_graph.of_graph (Generators.ring 6) in
+  Forgiving_graph.insert t 100 [ 0; 3 ];
+  check_ok "after insert" t;
+  Alcotest.(check bool) "direct edge" true
+    (Adjacency.mem_edge (Forgiving_graph.graph t) 100 0);
+  Forgiving_graph.delete t 0;
+  check_ok "after delete" t;
+  Alcotest.(check bool) "still connected" true
+    (Connectivity.is_connected (Forgiving_graph.graph t))
+
+let test_insert_rejects_dead_neighbor () =
+  let t = Forgiving_graph.of_graph (Generators.ring 6) in
+  Forgiving_graph.delete t 2;
+  Alcotest.(check bool) "raises" true
+    (try
+       Forgiving_graph.insert t 50 [ 2 ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_insert_rejects_reused_id () =
+  let t = Forgiving_graph.of_graph (Generators.ring 6) in
+  Forgiving_graph.delete t 2;
+  Alcotest.(check bool) "raises" true
+    (try
+       Forgiving_graph.insert t 2 [ 0 ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_delete_rejects_dead () =
+  let t = Forgiving_graph.of_graph (Generators.ring 6) in
+  Forgiving_graph.delete t 2;
+  Alcotest.(check bool) "raises" true
+    (try
+       Forgiving_graph.delete t 2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_repeated_adjacent_deletions () =
+  (* delete a chain of adjacent nodes so RTs must merge repeatedly *)
+  let t = Forgiving_graph.of_graph (Generators.path 12) in
+  List.iter
+    (fun v ->
+      Forgiving_graph.delete t v;
+      check_ok (Printf.sprintf "after deleting %d" v) t)
+    [ 5; 6; 4; 7; 3; 8 ];
+  let g = Forgiving_graph.graph t in
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g)
+
+let test_delete_all_but_one () =
+  let n = 16 in
+  let t = Forgiving_graph.of_graph (Generators.complete n) in
+  for v = 0 to n - 2 do
+    Forgiving_graph.delete t v;
+    check_ok (Printf.sprintf "complete, deleted 0..%d" v) t
+  done;
+  Alcotest.(check int) "one survivor" 1 (Forgiving_graph.num_live t)
+
+let test_stretch_after_star () =
+  let n = 65 in
+  let t = Forgiving_graph.of_graph (Generators.star n) in
+  Forgiving_graph.delete t 0;
+  match Invariants.check_stretch_bound t with
+  | [] -> ()
+  | e :: _ -> Alcotest.fail e
+
+let test_helper_load_bounded () =
+  let t = Forgiving_graph.of_graph (Generators.complete 10) in
+  List.iter (fun v -> Forgiving_graph.delete t v) [ 0; 1; 2; 3 ];
+  check_ok "helper load" t;
+  List.iter
+    (fun v ->
+      let load = Forgiving_graph.helper_load t v in
+      let deg = Adjacency.degree (Forgiving_graph.gprime t) v in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d: %d helpers <= %d" v load deg)
+        true (load <= deg))
+    (Forgiving_graph.live_nodes t)
+
+(* ---- randomized attack property ---- *)
+
+(* run a random insert/delete mix over a random graph, checking the full
+   invariant suite after every step. This is the main correctness net. *)
+let random_churn ~seed ~n ~steps ~p_delete =
+  let rng = Rng.create seed in
+  let g = Generators.erdos_renyi rng n (3.0 /. float_of_int n) in
+  let t = Forgiving_graph.of_graph g in
+  let next_id = ref n in
+  let ok = ref true in
+  let first_err = ref "" in
+  for step = 1 to steps do
+    if !ok then begin
+      let live = Forgiving_graph.live_nodes t in
+      let do_delete = Rng.float rng 1.0 < p_delete && List.length live > 2 in
+      if do_delete then Forgiving_graph.delete t (Rng.pick rng live)
+      else begin
+        let k = 1 + Rng.int rng (min 4 (List.length live)) in
+        let nbrs = Array.to_list (Rng.sample rng k (Array.of_list live)) in
+        Forgiving_graph.insert t !next_id nbrs;
+        incr next_id
+      end;
+      match Invariants.check t with
+      | [] -> ()
+      | errs ->
+        ok := false;
+        first_err := Printf.sprintf "step %d: %s" step (List.hd errs)
+    end
+  done;
+  (!ok, !first_err, t)
+
+let test_random_churn_small () =
+  let ok, err, _ = random_churn ~seed:7 ~n:24 ~steps:60 ~p_delete:0.5 in
+  if not ok then Alcotest.fail err
+
+let test_random_churn_delete_heavy () =
+  let ok, err, _ = random_churn ~seed:13 ~n:40 ~steps:38 ~p_delete:0.9 in
+  if not ok then Alcotest.fail err
+
+let test_random_churn_insert_heavy () =
+  let ok, err, _ = random_churn ~seed:21 ~n:10 ~steps:80 ~p_delete:0.25 in
+  if not ok then Alcotest.fail err
+
+let test_stretch_bound_after_churn () =
+  let _, _, t = random_churn ~seed:42 ~n:30 ~steps:40 ~p_delete:0.6 in
+  match Invariants.check_stretch_bound t with
+  | [] -> ()
+  | e :: _ -> Alcotest.fail e
+
+let prop_churn_invariants =
+  QCheck2.Test.make ~name:"invariants hold under random churn" ~count:25
+    QCheck2.Gen.(
+      tup3 (int_range 0 10_000) (int_range 8 32) (int_range 5 40))
+    (fun (seed, n, steps) ->
+      let ok, _, _ = random_churn ~seed ~n ~steps ~p_delete:0.55 in
+      ok)
+
+let prop_stretch_after_churn =
+  QCheck2.Test.make ~name:"stretch bound holds after random churn" ~count:10
+    QCheck2.Gen.(tup2 (int_range 0 10_000) (int_range 8 24))
+    (fun (seed, n) ->
+      let _, _, t = random_churn ~seed ~n ~steps:20 ~p_delete:0.6 in
+      Invariants.check_stretch_bound t = [])
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_churn_invariants; prop_stretch_after_churn ]
+
+let suite =
+  [
+    Alcotest.test_case "of_graph is identity" `Quick test_of_graph_identity;
+    Alcotest.test_case "star centre deletion" `Quick test_delete_star_center;
+    Alcotest.test_case "small star meets paper 3x bound" `Quick
+      test_small_star_meets_paper_bound;
+    Alcotest.test_case "isolated node deletion" `Quick test_delete_isolated;
+    Alcotest.test_case "degree-1 deletion" `Quick test_delete_degree_one;
+    Alcotest.test_case "path middle deletion" `Quick test_delete_path_middle;
+    Alcotest.test_case "insert then delete" `Quick test_insert_then_delete;
+    Alcotest.test_case "insert rejects dead neighbour" `Quick
+      test_insert_rejects_dead_neighbor;
+    Alcotest.test_case "insert rejects reused id" `Quick test_insert_rejects_reused_id;
+    Alcotest.test_case "delete rejects dead node" `Quick test_delete_rejects_dead;
+    Alcotest.test_case "repeated adjacent deletions" `Quick
+      test_repeated_adjacent_deletions;
+    Alcotest.test_case "delete all but one (K16)" `Quick test_delete_all_but_one;
+    Alcotest.test_case "stretch bound after star heal" `Quick test_stretch_after_star;
+    Alcotest.test_case "helper load bounded by degree" `Quick test_helper_load_bounded;
+    Alcotest.test_case "random churn invariants (seed 7)" `Quick test_random_churn_small;
+    Alcotest.test_case "random churn delete-heavy (seed 13)" `Quick
+      test_random_churn_delete_heavy;
+    Alcotest.test_case "random churn insert-heavy (seed 21)" `Quick
+      test_random_churn_insert_heavy;
+    Alcotest.test_case "stretch bound after churn (seed 42)" `Quick
+      test_stretch_bound_after_churn;
+  ]
+  @ props

@@ -1,0 +1,184 @@
+(* Unit and property tests for half-full trees (Lemma 1, Lemma 2, Merge). *)
+
+open Fg_haft
+
+let rec ints a b = if a > b then [] else a :: ints (a + 1) b
+
+let test_leaf_singleton () =
+  let t = Haft.of_list [ 42 ] in
+  Alcotest.(check int) "leaf count" 1 (Haft.leaf_count t);
+  Alcotest.(check int) "height" 0 (Haft.height t);
+  Alcotest.(check bool) "haft" true (Haft.is_haft t);
+  Alcotest.(check bool) "complete" true (Haft.is_complete t)
+
+let test_of_list_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Haft.of_list: empty") (fun () ->
+      ignore (Haft.of_list []))
+
+let test_figure_3a () =
+  (* the paper's example: a haft with 7 leaves decomposes as 4 + 2 + 1 *)
+  let t = Haft.of_list (ints 1 7) in
+  Alcotest.(check bool) "haft" true (Haft.is_haft t);
+  Alcotest.(check int) "depth" 3 (Haft.height t);
+  let forest = Haft.strip t in
+  Alcotest.(check (list int)) "strip sizes" [ 4; 2; 1 ]
+    (List.map Haft.leaf_count forest);
+  List.iter
+    (fun c -> Alcotest.(check bool) "complete" true (Haft.is_complete c))
+    forest
+
+let test_figure_5_merge_is_binary_addition () =
+  (* 0101 + 0010 + 0001 = 1000: hafts of 5, 2 and 1 leaves merge into a
+     complete tree with 8 leaves *)
+  let h5 = Haft.of_list (ints 1 5) in
+  let h2 = Haft.of_list (ints 6 7) in
+  let h1 = Haft.of_list [ 8 ] in
+  let merged = Haft.merge [ h5; h2; h1 ] in
+  Alcotest.(check int) "leaves" 8 (Haft.leaf_count merged);
+  Alcotest.(check bool) "complete" true (Haft.is_complete merged);
+  Alcotest.(check bool) "haft" true (Haft.is_haft merged);
+  Alcotest.(check int) "height" 3 (Haft.height merged)
+
+let test_depth_bound_table () =
+  (* Lemma 1.3 exactly: depth = ceil(log2 l) for every l up to 512 *)
+  List.iter
+    (fun l ->
+      let t = Haft.of_list (ints 1 l) in
+      Alcotest.(check int)
+        (Printf.sprintf "depth of haft(%d)" l)
+        (Haft.depth_bound l) (Haft.height t))
+    (ints 1 512)
+
+let test_strip_matches_binary_representation () =
+  List.iter
+    (fun l ->
+      let t = Haft.of_list (ints 1 l) in
+      let forest = Haft.strip t in
+      Alcotest.(check int)
+        (Printf.sprintf "popcount %d" l)
+        (Haft.popcount l) (List.length forest);
+      (* descending powers of two, exactly the set bits of l *)
+      let sizes = List.map Haft.leaf_count forest in
+      let expected =
+        List.filter (fun k -> l land k <> 0) (List.rev_map (fun i -> 1 lsl i) (ints 0 30))
+      in
+      Alcotest.(check (list int)) "bit sizes" expected sizes)
+    (ints 1 256)
+
+let test_uniqueness () =
+  (* Lemma 1.1: building via of_list and via repeated merge of singletons
+     yields the same shape *)
+  List.iter
+    (fun l ->
+      let direct = Haft.of_list (ints 1 l) in
+      let singles = List.map (fun x -> Haft.Leaf x) (ints 1 l) in
+      let merged = Haft.merge singles in
+      Alcotest.(check bool)
+        (Printf.sprintf "shape l=%d" l)
+        true
+        (Haft.equal_shape direct merged))
+    (ints 1 128)
+
+let test_leaves_preserved () =
+  let t = Haft.of_list (ints 1 11) in
+  Alcotest.(check (list int)) "in order" (ints 1 11) (Haft.leaves t)
+
+let test_merge_preserves_leaf_multiset () =
+  let h3 = Haft.of_list [ 1; 2; 3 ] in
+  let h6 = Haft.of_list (ints 4 9) in
+  let merged = Haft.merge [ h3; h6 ] in
+  let sorted = List.sort compare (Haft.leaves merged) in
+  Alcotest.(check (list int)) "leaf multiset" (ints 1 9) sorted
+
+let test_iterators () =
+  let t = Haft.of_list (ints 1 11) in
+  let seen = ref [] in
+  Haft.iter (fun x -> seen := x :: !seen) t;
+  Alcotest.(check (list int)) "iter order" (ints 1 11) (List.rev !seen);
+  Alcotest.(check int) "fold sum" 66 (Haft.fold ( + ) 0 t);
+  let doubled = Haft.map (fun x -> 2 * x) t in
+  Alcotest.(check bool) "map keeps shape" true (Haft.equal_shape t doubled);
+  Alcotest.(check (list int)) "map values" (List.map (fun x -> 2 * x) (ints 1 11))
+    (Haft.leaves doubled)
+
+let test_nth_leaf () =
+  let t = Haft.of_list (ints 10 21) in
+  List.iteri
+    (fun i expected -> Alcotest.(check int) (Printf.sprintf "leaf %d" i) expected
+        (Haft.nth_leaf t i))
+    (ints 10 21);
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (Haft.nth_leaf t 12);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mem () =
+  let t = Haft.of_list [ 3; 1; 4; 1; 5 ] in
+  Alcotest.(check bool) "present" true (Haft.mem Int.equal 4 t);
+  Alcotest.(check bool) "absent" false (Haft.mem Int.equal 9 t)
+
+(* ---- property tests ---- *)
+
+let gen_size = QCheck2.Gen.int_range 1 600
+
+let prop_of_list_is_haft =
+  QCheck2.Test.make ~name:"of_list builds a haft" ~count:200 gen_size (fun l ->
+      Haft.is_haft (Haft.of_list (ints 1 l)))
+
+let prop_merge_is_haft =
+  QCheck2.Test.make ~name:"merge of random hafts is a haft" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 8) (int_range 1 64))
+    (fun sizes ->
+      let ts = List.map (fun l -> Haft.of_list (ints 1 l)) sizes in
+      let merged = Haft.merge ts in
+      Haft.is_haft merged
+      && Haft.leaf_count merged = List.fold_left ( + ) 0 sizes)
+
+let prop_merge_depth =
+  QCheck2.Test.make ~name:"merged depth = ceil(log2 total)" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 8) (int_range 1 64))
+    (fun sizes ->
+      let ts = List.map (fun l -> Haft.of_list (ints 1 l)) sizes in
+      let merged = Haft.merge ts in
+      Haft.height merged = Haft.depth_bound (List.fold_left ( + ) 0 sizes))
+
+let prop_strip_then_merge_identity_shape =
+  QCheck2.Test.make ~name:"merge (strip t) has shape of t" ~count:200 gen_size
+    (fun l ->
+      let t = Haft.of_list (ints 1 l) in
+      Haft.equal_shape t (Haft.merge (Haft.strip t)))
+
+let prop_primary_roots =
+  QCheck2.Test.make ~name:"primary roots = popcount" ~count:200 gen_size (fun l ->
+      let t = Haft.of_list (ints 1 l) in
+      Haft.primary_roots t = List.length (Haft.strip t))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_of_list_is_haft;
+      prop_merge_is_haft;
+      prop_merge_depth;
+      prop_strip_then_merge_identity_shape;
+      prop_primary_roots;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "singleton leaf" `Quick test_leaf_singleton;
+    Alcotest.test_case "of_list rejects empty" `Quick test_of_list_empty;
+    Alcotest.test_case "figure 3a: haft(7)" `Quick test_figure_3a;
+    Alcotest.test_case "figure 5: merge = binary addition" `Quick
+      test_figure_5_merge_is_binary_addition;
+    Alcotest.test_case "lemma 1.3: depth table to 512" `Quick test_depth_bound_table;
+    Alcotest.test_case "lemma 1.2/2: strip = binary rep" `Quick
+      test_strip_matches_binary_representation;
+    Alcotest.test_case "lemma 1.1: uniqueness" `Quick test_uniqueness;
+    Alcotest.test_case "leaves in order" `Quick test_leaves_preserved;
+    Alcotest.test_case "merge preserves leaves" `Quick test_merge_preserves_leaf_multiset;
+    Alcotest.test_case "iter/fold/map" `Quick test_iterators;
+    Alcotest.test_case "nth_leaf" `Quick test_nth_leaf;
+    Alcotest.test_case "mem" `Quick test_mem;
+  ]
+  @ props

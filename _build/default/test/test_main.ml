@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "forgiving_graph"
+    [
+      ("graph", Test_graph.suite);
+      ("haft", Test_haft.suite);
+      ("forgiving", Test_forgiving.suite);
+      ("sim", Test_sim.suite);
+      ("table1", Test_table1.suite);
+      ("dist", Test_dist.suite);
+      ("baselines", Test_baselines.suite);
+      ("will-tree", Test_will_tree.suite);
+      ("adversary", Test_adversary.suite);
+      ("metrics", Test_metrics.suite);
+      ("persistent", Test_persistent.suite);
+      ("rt", Test_rt.suite);
+      ("invariant-detection", Test_invariant_detection.suite);
+      ("routing", Test_routing.suite);
+      ("history", Test_history.suite);
+      ("batch", Test_batch.suite);
+      ("harness", Test_harness.suite);
+      ("soak", Test_soak.suite);
+    ]

@@ -1,0 +1,125 @@
+(* Tests for the persistent graph and the flooding demo protocol. *)
+
+open Fg_graph
+module P = Persistent_graph
+
+let test_persistent_basics () =
+  let g = P.(empty |> add_edge 1 2 |> add_edge 2 3) in
+  Alcotest.(check int) "nodes" 3 (P.num_nodes g);
+  Alcotest.(check int) "edges" 2 (P.num_edges g);
+  Alcotest.(check bool) "mem" true (P.mem_edge 1 2 g);
+  Alcotest.(check bool) "sym" true (P.mem_edge 2 1 g);
+  Alcotest.(check int) "degree" 2 (P.degree 2 g)
+
+let test_persistent_sharing () =
+  let g1 = P.(empty |> add_edge 1 2 |> add_edge 2 3) in
+  let g2 = P.remove_edge 1 2 g1 in
+  Alcotest.(check bool) "old unchanged" true (P.mem_edge 1 2 g1);
+  Alcotest.(check bool) "new changed" false (P.mem_edge 1 2 g2)
+
+let test_persistent_remove_node () =
+  let g = P.(empty |> add_edge 0 1 |> add_edge 0 2 |> remove_node 0) in
+  Alcotest.(check int) "nodes" 2 (P.num_nodes g);
+  Alcotest.(check int) "edges" 0 (P.num_edges g)
+
+let test_persistent_no_self_loop () =
+  let g = P.(empty |> add_edge 4 4) in
+  Alcotest.(check int) "empty" 0 (P.num_nodes g)
+
+let test_persistent_roundtrip () =
+  let a = Generators.erdos_renyi (Rng.create 3) 30 0.15 in
+  let p = P.of_adjacency a in
+  Alcotest.(check int) "node count" (Adjacency.num_nodes a) (P.num_nodes p);
+  Alcotest.(check int) "edge count" (Adjacency.num_edges a) (P.num_edges p);
+  Alcotest.(check bool) "roundtrip" true (Adjacency.equal a (P.to_adjacency p))
+
+let test_persistent_equal () =
+  let g1 = P.(empty |> add_edge 1 2) in
+  let g2 = P.(empty |> add_edge 2 1) in
+  Alcotest.(check bool) "equal" true (P.equal g1 g2);
+  Alcotest.(check bool) "not equal" false (P.equal g1 (P.add_node 9 g2))
+
+let prop_persistent_matches_mutable =
+  QCheck2.Test.make ~name:"persistent mirrors mutable under random ops" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 60) (tup3 (int_range 0 2) (int_range 0 12) (int_range 0 12)))
+    (fun ops ->
+      let a = Adjacency.create () in
+      let p = ref P.empty in
+      let apply (op, u, v) =
+        match op with
+        | 0 ->
+          Adjacency.add_edge a u v;
+          p := P.add_edge u v !p
+        | 1 ->
+          Adjacency.remove_edge a u v;
+          p := P.remove_edge u v !p
+        | _ ->
+          Adjacency.remove_node a u;
+          p := P.remove_node u !p
+      in
+      List.iter apply ops;
+      (* mutable keeps isolated endpoint nodes after remove_edge; both do *)
+      Adjacency.num_edges a = P.num_edges !p
+      && List.for_all
+           (fun (u, v) -> P.mem_edge u v !p)
+           (Adjacency.edges a))
+
+(* ---- flood ---- *)
+
+let test_flood_reaches_all () =
+  let g = Generators.erdos_renyi (Rng.create 5) 40 0.12 in
+  let r = Fg_sim.Flood.broadcast g ~root:0 in
+  Alcotest.(check int) "all reached" (Adjacency.num_nodes g) r.Fg_sim.Flood.reached
+
+let test_flood_rounds_path () =
+  let g = Generators.path 10 in
+  let r = Fg_sim.Flood.broadcast g ~root:0 in
+  Alcotest.(check int) "depth" 9 r.Fg_sim.Flood.broadcast_rounds;
+  Alcotest.(check int) "all" 10 r.Fg_sim.Flood.reached;
+  (* echo doubles the path depth *)
+  Alcotest.(check int) "echo rounds" 18 r.Fg_sim.Flood.total_rounds
+
+let test_flood_messages_tree () =
+  (* on a tree: one token per edge, one echo per edge *)
+  let g = Generators.binary_tree 15 in
+  let r = Fg_sim.Flood.broadcast g ~root:0 in
+  Alcotest.(check int) "2 per edge" 28 r.Fg_sim.Flood.messages
+
+let test_flood_partial_on_disconnected () =
+  let g = Adjacency.of_edges [ (0, 1); (2, 3) ] in
+  let r = Fg_sim.Flood.broadcast g ~root:0 in
+  Alcotest.(check int) "only own component" 2 r.Fg_sim.Flood.reached
+
+let test_flood_unknown_root () =
+  let g = Generators.ring 4 in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Fg_sim.Flood.broadcast g ~root:99);
+       false
+     with Invalid_argument _ -> true)
+
+let test_flood_singleton () =
+  let g = Adjacency.create () in
+  Adjacency.add_node g 7;
+  let r = Fg_sim.Flood.broadcast g ~root:7 in
+  Alcotest.(check int) "self only" 1 r.Fg_sim.Flood.reached;
+  Alcotest.(check int) "no messages" 0 r.Fg_sim.Flood.messages
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_persistent_matches_mutable ]
+
+let suite =
+  [
+    Alcotest.test_case "persistent: basics" `Quick test_persistent_basics;
+    Alcotest.test_case "persistent: structural sharing" `Quick test_persistent_sharing;
+    Alcotest.test_case "persistent: remove node" `Quick test_persistent_remove_node;
+    Alcotest.test_case "persistent: no self-loops" `Quick test_persistent_no_self_loop;
+    Alcotest.test_case "persistent: adjacency roundtrip" `Quick test_persistent_roundtrip;
+    Alcotest.test_case "persistent: equal" `Quick test_persistent_equal;
+    Alcotest.test_case "flood: reaches all" `Quick test_flood_reaches_all;
+    Alcotest.test_case "flood: rounds on a path" `Quick test_flood_rounds_path;
+    Alcotest.test_case "flood: messages on a tree" `Quick test_flood_messages_tree;
+    Alcotest.test_case "flood: disconnected" `Quick test_flood_partial_on_disconnected;
+    Alcotest.test_case "flood: unknown root" `Quick test_flood_unknown_root;
+    Alcotest.test_case "flood: singleton" `Quick test_flood_singleton;
+  ]
+  @ props

@@ -1,0 +1,113 @@
+(* Tests for the constructive router (Theorem 1.2 as an algorithm). *)
+
+open Fg_graph
+open Fg_core
+
+let is_valid_walk g = function
+  | [] -> false
+  | walk ->
+    let rec ok = function
+      | a :: (b :: _ as rest) -> Adjacency.mem_edge g a b && ok rest
+      | [ _ ] | [] -> true
+    in
+    ok walk
+
+let check_route fg x y =
+  match Routing.route fg x y with
+  | None -> Alcotest.failf "no route %d -> %d" x y
+  | Some walk ->
+    let g = Forgiving_graph.graph fg in
+    Alcotest.(check int) "starts at x" x (List.hd walk);
+    Alcotest.(check int) "ends at y" y (List.nth walk (List.length walk - 1));
+    Alcotest.(check bool)
+      (Printf.sprintf "valid walk %d->%d" x y)
+      true
+      (x = y || is_valid_walk g walk);
+    let d' =
+      match Bfs.distance (Forgiving_graph.gprime fg) x y with
+      | Some d -> d
+      | None -> Alcotest.fail "G' disconnected"
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "length %d within bound" (List.length walk - 1))
+      true
+      (List.length walk - 1 <= max 1 (Routing.length_bound fg d'));
+    walk
+
+let test_route_identity () =
+  let fg = Forgiving_graph.of_graph (Generators.ring 6) in
+  let walk = check_route fg 2 2 in
+  Alcotest.(check (list int)) "self" [ 2 ] walk
+
+let test_route_no_deletions () =
+  let fg = Forgiving_graph.of_graph (Generators.ring 8) in
+  let walk = check_route fg 0 3 in
+  Alcotest.(check (list int)) "direct G' path" [ 0; 1; 2; 3 ] walk
+
+let test_route_through_one_rt () =
+  let fg = Forgiving_graph.of_graph (Generators.star 9) in
+  Forgiving_graph.delete fg 0;
+  (* every satellite pair must route through the RT *)
+  List.iter
+    (fun y -> ignore (check_route fg 1 y))
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_route_through_merged_rts () =
+  (* delete a whole middle segment of a path: one merged RT spans it *)
+  let fg = Forgiving_graph.of_graph (Generators.path 10) in
+  List.iter (Forgiving_graph.delete fg) [ 3; 4; 5; 6 ];
+  let walk = check_route fg 0 9 in
+  Alcotest.(check bool) "skips the dead" true
+    (List.for_all (fun v -> Forgiving_graph.is_alive fg v) walk)
+
+let test_route_unreachable () =
+  let g = Adjacency.of_edges [ (0, 1); (2, 3) ] in
+  let fg = Forgiving_graph.of_graph g in
+  Alcotest.(check bool) "none" true (Routing.route fg 0 3 = None)
+
+let test_route_rejects_dead_endpoint () =
+  let fg = Forgiving_graph.of_graph (Generators.ring 6) in
+  Forgiving_graph.delete fg 2;
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Routing.route fg 2 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_route_all_pairs_after_churn () =
+  let rng = Rng.create 23 in
+  let g = Generators.erdos_renyi rng 40 0.12 in
+  let fg = Forgiving_graph.of_graph g in
+  (* delete 15 random nodes *)
+  for _ = 1 to 15 do
+    let live = Forgiving_graph.live_nodes fg in
+    if List.length live > 2 then Forgiving_graph.delete fg (Rng.pick rng live)
+  done;
+  Forgiving_graph.insert fg 100 [ List.hd (Forgiving_graph.live_nodes fg) ];
+  let live = List.sort compare (Forgiving_graph.live_nodes fg) in
+  List.iter
+    (fun x -> List.iter (fun y -> if x < y then ignore (check_route fg x y)) live)
+    live
+
+let test_route_length_near_optimal_on_star () =
+  (* after a star heal, routed walks are within 2*height of optimal *)
+  let n = 65 in
+  let fg = Forgiving_graph.of_graph (Generators.star n) in
+  Forgiving_graph.delete fg 0;
+  let walk = check_route fg 1 64 in
+  Alcotest.(check bool) "short" true (List.length walk - 1 <= 2 * 6)
+
+let suite =
+  [
+    Alcotest.test_case "route: identity" `Quick test_route_identity;
+    Alcotest.test_case "route: no deletions" `Quick test_route_no_deletions;
+    Alcotest.test_case "route: through one RT" `Quick test_route_through_one_rt;
+    Alcotest.test_case "route: through merged RTs" `Quick test_route_through_merged_rts;
+    Alcotest.test_case "route: unreachable" `Quick test_route_unreachable;
+    Alcotest.test_case "route: rejects dead endpoints" `Quick
+      test_route_rejects_dead_endpoint;
+    Alcotest.test_case "route: all pairs after churn" `Quick
+      test_route_all_pairs_after_churn;
+    Alcotest.test_case "route: near-optimal on star" `Quick
+      test_route_length_near_optimal_on_star;
+  ]

@@ -1,0 +1,87 @@
+(* Table-1 completeness: the union of per-processor local states determines
+   the entire virtual forest, after any attack history. *)
+
+open Fg_graph
+module Fg = Fg_core.Forgiving_graph
+module Table1 = Fg_sim.Table1
+
+let check fg label =
+  let t = Table1.of_fg fg in
+  match Table1.check_complete t fg with
+  | [] -> ()
+  | e :: _ as errs ->
+    Alcotest.failf "%s: %d Table-1 violations, first: %s" label (List.length errs) e
+
+let test_fresh_graph () =
+  let fg = Fg.of_graph (Generators.ring 8) in
+  check fg "fresh ring";
+  let t = Table1.of_fg fg in
+  (* every row of a fresh graph points at the live real endpoint *)
+  List.iter
+    (fun (f : Table1.fields) ->
+      match f.Table1.endpoint with
+      | Some { Fg_sim.Vref.kind = Fg_sim.Vref.Real; proc; _ } ->
+        Alcotest.(check bool) "endpoint alive" true (Fg.is_alive fg proc);
+        Alcotest.(check bool) "no helper" false f.Table1.has_helper
+      | _ -> Alcotest.fail "expected a live real endpoint")
+    (Table1.rows t 0)
+
+let test_star_heal () =
+  let fg = Fg.of_graph (Generators.star 17) in
+  Fg.delete fg 0;
+  check fg "star heal";
+  let t = Table1.of_fg fg in
+  (* 16 leaves + 15 helpers -> 30 tree edges *)
+  Alcotest.(check int) "tree edges" 30 (List.length (Table1.reconstruct_tree_edges t));
+  (* every satellite's single row now points into the RT *)
+  List.iter
+    (fun v ->
+      match Table1.rows t v with
+      | [ f ] -> (
+        match f.Table1.endpoint with
+        | Some { Fg_sim.Vref.kind = Fg_sim.Vref.Helper; _ } -> ()
+        | Some { Fg_sim.Vref.kind = Fg_sim.Vref.Real; _ } ->
+          Alcotest.fail "should point at a helper"
+        | None -> Alcotest.fail "missing endpoint")
+      | rows -> Alcotest.failf "satellite %d has %d rows" v (List.length rows))
+    [ 1; 5; 16 ]
+
+let test_after_churn () =
+  let rng = Rng.create 31 in
+  let g = Generators.erdos_renyi rng 32 0.15 in
+  let fg = Fg.of_graph g in
+  let next = ref 32 in
+  for step = 1 to 40 do
+    let live = Fg.live_nodes fg in
+    if Rng.bool rng && List.length live > 3 then Fg.delete fg (Rng.pick rng live)
+    else begin
+      let k = 1 + Rng.int rng 3 in
+      Fg.insert fg !next (Array.to_list (Rng.sample rng k (Array.of_list live)));
+      incr next
+    end;
+    check fg (Printf.sprintf "churn step %d" step)
+  done
+
+let test_degree_one_rt () =
+  (* deleting a leaf leaves its neighbour's edge dangling: endpoint None *)
+  let fg = Fg.of_graph (Generators.path 2) in
+  Fg.delete fg 1;
+  check fg "dangling edge";
+  let t = Table1.of_fg fg in
+  match Table1.rows t 0 with
+  | [ f ] -> Alcotest.(check bool) "no endpoint" true (f.Table1.endpoint = None)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_balanced_policy_table1 () =
+  let fg = Fg.of_graph ~policy:Fg_core.Rt.Degree_balanced (Generators.star 33) in
+  Fg.delete fg 0;
+  check fg "balanced policy"
+
+let suite =
+  [
+    Alcotest.test_case "table1: fresh graph" `Quick test_fresh_graph;
+    Alcotest.test_case "table1: star heal" `Quick test_star_heal;
+    Alcotest.test_case "table1: complete after churn" `Quick test_after_churn;
+    Alcotest.test_case "table1: dangling edge" `Quick test_degree_one_rt;
+    Alcotest.test_case "table1: balanced policy" `Quick test_balanced_policy_table1;
+  ]

@@ -1,0 +1,144 @@
+(* Tests for the Will-based Forgiving Tree (PODC'08 baseline). *)
+
+open Fg_graph
+module Wt = Fg_baselines.Will_tree
+
+let check_ok label t =
+  match Wt.check t with
+  | [] -> ()
+  | errs -> Alcotest.failf "%s: %d violations, first: %s" label (List.length errs) (List.hd errs)
+
+let test_fresh_tree () =
+  let tree = Generators.binary_tree 15 in
+  let t = Wt.create tree in
+  check_ok "fresh" t;
+  Alcotest.(check bool) "image = tree" true (Adjacency.equal tree (Wt.graph t));
+  Alcotest.(check int) "nobody simulates" 0
+    (List.fold_left (fun a p -> a + Wt.simulates t p) 0 (Wt.live_nodes t))
+
+let test_delete_leaf () =
+  let t = Wt.create (Generators.path 5) in
+  Wt.delete t 4;
+  check_ok "leaf" t;
+  Alcotest.(check int) "four live" 4 (List.length (Wt.live_nodes t));
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected (Wt.graph t))
+
+let test_delete_internal () =
+  (* path rooted at 0: deleting 2 reconnects 1-3 via the will *)
+  let t = Wt.create (Generators.path 5) in
+  Wt.delete t 2;
+  check_ok "internal" t;
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected (Wt.graph t))
+
+let test_delete_root_of_star () =
+  let n = 17 in
+  let t = Wt.create (Generators.star n) in
+  Wt.delete t 0;
+  check_ok "star root" t;
+  let g = Wt.graph t in
+  Alcotest.(check bool) "connected" true (Connectivity.is_connected g);
+  (* additive degree: original satellites had degree 1 -> at most 4 *)
+  Alcotest.(check bool) "degrees <= 1 + 3" true
+    (List.for_all (fun v -> Adjacency.degree g v <= 4) (Adjacency.nodes g));
+  (* depth log: diameter of the replacement ~ 2 ceil(log2 16) *)
+  Alcotest.(check bool) "diameter logarithmic" true (Diameter.exact g <= 2 * 4 + 2)
+
+let test_simulator_injective_under_attack () =
+  let rng = Rng.create 7 in
+  let t = Wt.create (Fg_baselines.Forgiving_tree.spanning_tree
+                       (Generators.erdos_renyi rng 48 0.12)) in
+  for _ = 1 to 24 do
+    let live = Wt.live_nodes t in
+    if List.length live > 3 then begin
+      Wt.delete t (Rng.pick rng live);
+      (match Wt.check t with
+      | [] -> ()
+      | e :: _ -> Alcotest.fail e);
+      (* the PODC'08 invariant: <= 1 virtual node per processor *)
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "at most one" true (Wt.simulates t p <= 1))
+        (Wt.live_nodes t)
+    end
+  done
+
+let test_degree_additive_bound () =
+  (* kill half a BA graph's spanning tree hub-first: every survivor stays
+     within original tree degree + 3 (checked inside Wt.check, asserted
+     explicitly here against the full graph degree too) *)
+  let rng = Rng.create 11 in
+  let g0 = Generators.barabasi_albert rng 64 2 in
+  let h = Fg_baselines.Forgiving_tree.healer g0 in
+  ignore
+    (Fg_adversary.Churn.delete_fraction rng h ~fraction:0.5
+       ~del:Fg_adversary.Adversary.Max_degree);
+  let g = h.Fg_baselines.Healer.graph () in
+  let gp = h.Fg_baselines.Healer.gprime () in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d: %d <= %d + 3" v (Adjacency.degree g v)
+           (Adjacency.degree gp v))
+        true
+        (Adjacency.degree g v <= Adjacency.degree gp v + 3))
+    (h.Fg_baselines.Healer.live_nodes ())
+
+let test_delete_all_but_two () =
+  let t = Wt.create (Generators.binary_tree 16) in
+  for v = 0 to 13 do
+    Wt.delete t v;
+    check_ok (Printf.sprintf "after %d" v) t
+  done;
+  Alcotest.(check int) "two left" 2 (List.length (Wt.live_nodes t))
+
+let test_delete_rejects_dead () =
+  let t = Wt.create (Generators.path 4) in
+  Wt.delete t 1;
+  Alcotest.(check bool) "raises" true
+    (try
+       Wt.delete t 1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_forest_input () =
+  let g = Adjacency.of_edges [ (0, 1); (2, 3) ] in
+  let t = Wt.create g in
+  check_ok "forest" t;
+  Wt.delete t 0;
+  check_ok "forest after delete" t;
+  Alcotest.(check int) "two components" 2
+    (Connectivity.num_components (Wt.graph t))
+
+let prop_will_tree_invariants =
+  QCheck2.Test.make ~name:"will tree keeps PODC'08 invariants" ~count:40
+    QCheck2.Gen.(tup2 (int_range 0 9999) (int_range 6 40))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let tree = Generators.random_tree rng n in
+      let t = Wt.create tree in
+      let ok = ref true in
+      for _ = 1 to n / 2 do
+        let live = Wt.live_nodes t in
+        if List.length live > 2 && !ok then begin
+          Wt.delete t (Rng.pick rng live);
+          if Wt.check t <> [] then ok := false
+        end
+      done;
+      !ok)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_will_tree_invariants ]
+
+let suite =
+  [
+    Alcotest.test_case "fresh tree" `Quick test_fresh_tree;
+    Alcotest.test_case "delete leaf" `Quick test_delete_leaf;
+    Alcotest.test_case "delete internal" `Quick test_delete_internal;
+    Alcotest.test_case "delete star root" `Quick test_delete_root_of_star;
+    Alcotest.test_case "simulator injectivity under attack" `Quick
+      test_simulator_injective_under_attack;
+    Alcotest.test_case "degree additive +3" `Quick test_degree_additive_bound;
+    Alcotest.test_case "delete all but two" `Quick test_delete_all_but_two;
+    Alcotest.test_case "rejects dead victims" `Quick test_delete_rejects_dead;
+    Alcotest.test_case "forest input" `Quick test_forest_input;
+  ]
+  @ props
