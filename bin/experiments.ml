@@ -1,6 +1,8 @@
 (* Run the full experiment suite (E1-E10) or a subset given on the command
    line, printing every table. `dune exec bin/experiments.exe -- e3 e4`
-   runs two; no arguments runs all. Pass `--csv` to also emit results/*.csv. *)
+   runs two; no arguments runs all. Pass `--csv` to also emit results/*.csv,
+   `--trace FILE.jsonl` to stream a telemetry trace of the whole run, and
+   `--metrics` to print the global heal-path counters at the end. *)
 
 open Fg_harness
 
@@ -91,7 +93,17 @@ let experiments : (string * string * (csv:bool -> bool)) list =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let csv = List.mem "--csv" args in
-  let wanted = List.filter (fun a -> a <> "--csv") args in
+  let metrics = List.mem "--metrics" args in
+  let rec split_trace acc = function
+    | "--trace" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | "--trace" :: [] ->
+      prerr_endline "--trace requires a FILE argument";
+      exit 2
+    | a :: rest -> split_trace (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let trace, args = split_trace [] args in
+  let wanted = List.filter (fun a -> a <> "--csv" && a <> "--metrics") args in
   let selected =
     if wanted = [] then experiments
     else
@@ -104,12 +116,17 @@ let () =
   end;
   let t0 = Unix.gettimeofday () in
   let results =
-    List.map
-      (fun (id, desc, f) ->
-        let start = Unix.gettimeofday () in
-        let ok = f ~csv in
-        (id, desc, ok, Unix.gettimeofday () -. start))
-      selected
+    Fg_harness.Exp_common.with_observability ?trace ~metrics (fun () ->
+        List.map
+          (fun (id, desc, f) ->
+            let start = Unix.gettimeofday () in
+            let ok =
+              Fg_obs.Trace.with_span id (fun sp ->
+                  Fg_obs.Trace.attr sp "desc" (Fg_obs.Event.Str desc);
+                  f ~csv)
+            in
+            (id, desc, ok, Unix.gettimeofday () -. start))
+          selected)
   in
   print_newline ();
   print_endline "Summary";

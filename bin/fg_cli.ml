@@ -34,6 +34,22 @@ let make_graph family seed n =
       (String.concat ", " Fg_graph.Generators.names);
     exit 2
 
+(* ---- observability flags (attack / simulate / heal) ---- *)
+
+let trace_arg =
+  let doc =
+    "Stream a JSONL trace (one span/counter event per line) to $(docv); \
+     replay it with the $(b,trace) subcommand."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Record and print the global heal-path counters and histograms." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let with_obs trace metrics f =
+  Fg_harness.Exp_common.with_observability ?trace ~metrics f
+
 (* ---- generate ---- *)
 
 let generate family seed n dot =
@@ -52,7 +68,8 @@ let generate_cmd =
 
 (* ---- attack ---- *)
 
-let attack family seed n healer adversary fraction =
+let attack family seed n healer adversary fraction trace metrics =
+  with_obs trace metrics @@ fun () ->
   let del =
     try Fg_adversary.Adversary.deletion_of_name adversary
     with Invalid_argument _ ->
@@ -104,11 +121,14 @@ let attack_cmd =
   let doc = "Adversarially delete nodes and report degree/stretch metrics." in
   Cmd.v
     (Cmd.info "attack" ~doc)
-    Term.(const attack $ family_arg $ seed_arg $ n_arg $ healer $ adversary $ fraction)
+    Term.(
+      const attack $ family_arg $ seed_arg $ n_arg $ healer $ adversary $ fraction
+      $ trace_arg $ metrics_arg)
 
 (* ---- simulate ---- *)
 
-let simulate family seed n deletions distributed =
+let simulate family seed n deletions distributed trace metrics =
+  with_obs trace metrics @@ fun () ->
   let g0 = make_graph family seed n in
   let rng = Fg_graph.Rng.create (seed + 1) in
   if distributed then begin
@@ -121,8 +141,7 @@ let simulate family seed n deletions distributed =
       else begin
         let v = Fg_graph.Rng.pick rng live in
         let s = Fg_sim.Dist_engine.delete eng v in
-        Format.printf "del %d: %d rounds, %d msgs, %d bits (verified: %b)@." v
-          s.Fg_sim.Netsim.rounds s.Fg_sim.Netsim.messages s.Fg_sim.Netsim.total_bits
+        Format.printf "del %d: %a (verified: %b)@." v Fg_sim.Netsim.pp_stats s
           (Fg_sim.Dist_engine.verify eng = []);
         incr count
       end
@@ -143,14 +162,14 @@ let simulate family seed n deletions distributed =
     end
   done;
   let costs = Fg_sim.Engine.costs eng in
-  if costs <> [] then begin
-    let msgs = List.map (fun c -> c.Fg_sim.Engine.messages) costs in
-    let rounds = List.map (fun c -> c.Fg_sim.Engine.rounds) costs in
-    Format.printf "@.messages: %a@." Fg_metrics.Summary.pp
-      (Fg_metrics.Summary.of_ints msgs);
-    Format.printf "rounds:   %a@." Fg_metrics.Summary.pp
-      (Fg_metrics.Summary.of_ints rounds)
-  end
+  let summarize name field =
+    match Fg_metrics.Summary.of_ints_opt (List.map field costs) with
+    | Some s -> Format.printf "%s %a@." name Fg_metrics.Summary.pp s
+    | None -> ()
+  in
+  Format.printf "@.";
+  summarize "messages:" (fun c -> c.Fg_sim.Engine.messages);
+  summarize "rounds:  " (fun c -> c.Fg_sim.Engine.rounds)
   end
 
 let simulate_cmd =
@@ -167,11 +186,14 @@ let simulate_cmd =
   let doc = "Run deletions through the distributed simulator and report costs." in
   Cmd.v
     (Cmd.info "simulate" ~doc)
-    Term.(const simulate $ family_arg $ seed_arg $ n_arg $ deletions $ distributed)
+    Term.(
+      const simulate $ family_arg $ seed_arg $ n_arg $ deletions $ distributed
+      $ trace_arg $ metrics_arg)
 
 (* ---- heal ---- *)
 
-let heal path victims dot =
+let heal path victims dot trace metrics =
+  with_obs trace metrics @@ fun () ->
   let text = Fg_graph.Graph_io.read_file path in
   let g0 = Fg_graph.Graph_io.of_edge_list text in
   let fg = Fg.of_graph g0 in
@@ -198,7 +220,30 @@ let heal_cmd =
   in
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit DOT.") in
   let doc = "Heal an explicit graph after deleting the given nodes." in
-  Cmd.v (Cmd.info "heal" ~doc) Term.(const heal $ path $ victims $ dot)
+  Cmd.v
+    (Cmd.info "heal" ~doc)
+    Term.(const heal $ path $ victims $ dot $ trace_arg $ metrics_arg)
+
+(* ---- trace (replay a JSONL telemetry file) ---- *)
+
+let trace_report path =
+  match Fg_obs.Replay.table_of_file path with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    exit 1
+  | Ok rows ->
+    if rows = [] then print_endline "(no spans in trace)"
+    else Format.printf "%a" Fg_obs.Replay.pp_table rows
+
+let trace_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE.jsonl" ~doc:"JSONL trace written by --trace.")
+  in
+  let doc = "Replay a JSONL trace into a per-phase cost table." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace_report $ path)
 
 (* ---- route ---- *)
 
@@ -240,6 +285,10 @@ let route_cmd =
 let () =
   let doc = "The Forgiving Graph: self-healing networks under adversarial attack." in
   let info = Cmd.info "fg" ~version:"1.0.0" ~doc in
+  (* cmdliner only knows single-char names as short options; accept the
+     common [--n 256] spelling too *)
+  let argv = Array.map (fun a -> if a = "--n" then "-n" else a) Sys.argv in
   exit
-    (Cmd.eval
-       (Cmd.group info [ generate_cmd; attack_cmd; simulate_cmd; heal_cmd; route_cmd ]))
+    (Cmd.eval ~argv
+       (Cmd.group info
+          [ generate_cmd; attack_cmd; simulate_cmd; heal_cmd; route_cmd; trace_cmd ]))

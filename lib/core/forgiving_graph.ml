@@ -52,30 +52,40 @@ let of_graph ?policy g =
 
 let delete_traced t v =
   if not (is_alive t v) then invalid_arg "Forgiving_graph.delete: node is not live";
-  Node_id.Tbl.remove t.alive v;
-  let marked = ref [] and fresh = ref [] in
-  let classify x =
-    let e = Edge.make v x in
-    if is_alive t x then begin
-      (* live neighbour: drop the direct edge, give x a leaf in the new RT *)
-      Rt.remove_direct t.rt v x;
-      fresh := Edge.Half.make x e :: !fresh
-    end
-    else begin
-      (* dead neighbour: v's attachment into that RT disappears *)
-      let mine = Edge.Half.make v e in
-      (match Rt.find_leaf t.rt mine with
-      | Some leaf -> marked := leaf :: !marked
-      | None -> assert false (* a leaf exists for every dead-neighbour edge *));
-      match Rt.find_helper t.rt mine with
-      | Some h -> marked := h :: !marked
-      | None -> ()
-    end
-  in
-  List.iter classify (Adjacency.neighbors t.gprime v);
-  let _root, trace = Rt.heal t.rt ~marked:!marked ~fresh:!fresh in
-  Rt.drop_image_node t.rt v;
-  trace
+  let degree = Adjacency.degree t.gprime v in
+  Fg_obs.Trace.with_span "fg.delete"
+    ~attrs:[ ("node", Fg_obs.Event.Int v); ("degree", Fg_obs.Event.Int degree) ]
+    (fun sp ->
+      Node_id.Tbl.remove t.alive v;
+      let marked = ref [] and fresh = ref [] in
+      let classify x =
+        let e = Edge.make v x in
+        if is_alive t x then begin
+          (* live neighbour: drop the direct edge, give x a leaf in the new RT *)
+          Rt.remove_direct t.rt v x;
+          fresh := Edge.Half.make x e :: !fresh
+        end
+        else begin
+          (* dead neighbour: v's attachment into that RT disappears *)
+          let mine = Edge.Half.make v e in
+          (match Rt.find_leaf t.rt mine with
+          | Some leaf -> marked := leaf :: !marked
+          | None -> assert false (* a leaf exists for every dead-neighbour edge *));
+          match Rt.find_helper t.rt mine with
+          | Some h -> marked := h :: !marked
+          | None -> ()
+        end
+      in
+      Fg_obs.Trace.with_span "fg.collect" (fun _ ->
+          List.iter classify (Adjacency.neighbors t.gprime v));
+      let _root, trace = Rt.heal t.rt ~marked:!marked ~fresh:!fresh in
+      Fg_obs.Trace.with_span "fg.image" (fun _ -> Rt.drop_image_node t.rt v);
+      Fg_obs.Trace.attr sp "anchors" (Fg_obs.Event.Int trace.Rt.ht_anchors);
+      Fg_obs.Trace.attr sp "notified" (Fg_obs.Event.Int trace.Rt.ht_notified);
+      Fg_obs.Metrics.incr "fg.deletions";
+      Fg_obs.Metrics.observe "fg.anchors" (float_of_int trace.Rt.ht_anchors);
+      Fg_obs.Metrics.observe "fg.notified" (float_of_int trace.Rt.ht_notified);
+      trace)
 
 let delete t v = ignore (delete_traced t v)
 
@@ -92,6 +102,9 @@ let delete_batch_traced t victims =
       if not (is_alive t v) then
         invalid_arg "Forgiving_graph.delete_batch: node is not live")
     victims;
+  Fg_obs.Trace.with_span "fg.delete_batch"
+    ~attrs:[ ("victims", Fg_obs.Event.Int (List.length victims)) ]
+    (fun sp ->
   let dead = List.fold_left (fun s v -> Node_id.Set.add v s) Node_id.Set.empty victims in
   List.iter (fun v -> Node_id.Tbl.remove t.alive v) victims;
   (* per-victim marked vnodes and fresh half-edges *)
@@ -119,7 +132,8 @@ let delete_batch_traced t victims =
       | None -> ()
     end
   in
-  List.iter (fun v -> List.iter (classify v) (Adjacency.neighbors t.gprime v)) victims;
+  Fg_obs.Trace.with_span "fg.collect" (fun _ ->
+      List.iter (fun v -> List.iter (classify v) (Adjacency.neighbors t.gprime v)) victims);
   (* group victims: G'-adjacency within the batch, or a shared RT *)
   let uf = Fg_graph.Union_find.create () in
   List.iter (fun v -> ignore (Fg_graph.Union_find.find uf v)) victims;
@@ -154,8 +168,12 @@ let delete_batch_traced t victims =
     trace
   in
   let traces = Im.fold (fun _ members acc -> heal_group members :: acc) groups [] in
-  List.iter (fun v -> Rt.drop_image_node t.rt v) victims;
-  List.rev traces
+  Fg_obs.Trace.with_span "fg.image" (fun _ ->
+      List.iter (fun v -> Rt.drop_image_node t.rt v) victims);
+  Fg_obs.Trace.attr sp "groups" (Fg_obs.Event.Int (Im.cardinal groups));
+  Fg_obs.Metrics.incr "fg.batch_deletions";
+  Fg_obs.Metrics.incr ~n:(List.length victims) "fg.deletions";
+  List.rev traces)
 
 let delete_batch t victims = ignore (delete_batch_traced t victims)
 

@@ -61,7 +61,11 @@ let img_inc ctx u v =
     let key = pair_key u v in
     let c = Option.value (Pair_tbl.find_opt ctx.counts key) ~default:0 in
     Pair_tbl.replace ctx.counts key (c + 1);
-    if c = 0 then Adjacency.add_edge ctx.img u v
+    if c = 0 then begin
+      Adjacency.add_edge ctx.img u v;
+      Fg_obs.Trace.count "image.edges_added" 1;
+      Fg_obs.Metrics.incr "image.edges_added"
+    end
   end
 
 let img_dec ctx u v =
@@ -71,7 +75,9 @@ let img_dec ctx u v =
     | None | Some 0 -> invalid_arg "Rt.img_dec: edge not present"
     | Some 1 ->
       Pair_tbl.remove ctx.counts key;
-      Adjacency.remove_edge ctx.img u v
+      Adjacency.remove_edge ctx.img u v;
+      Fg_obs.Trace.count "image.edges_removed" 1;
+      Fg_obs.Metrics.incr "image.edges_removed"
     | Some c -> Pair_tbl.replace ctx.counts key (c - 1)
   end
 
@@ -408,7 +414,16 @@ let heal ctx ~marked ~fresh =
     in
     List.fold_left count_neighbors (List.length fresh) marked
   in
-  let pool, initial_discarded = decompose ctx ~marked_ids ~tainted roots in
+  let pool, initial_discarded =
+    Fg_obs.Trace.with_span "rt.strip" (fun sp ->
+        let pool, discarded = decompose ctx ~marked_ids ~tainted roots in
+        Fg_obs.Trace.attr sp "trees" (Fg_obs.Event.Int (List.length roots));
+        Fg_obs.Trace.attr sp "pool" (Fg_obs.Event.Int (List.length pool));
+        Fg_obs.Trace.count_span sp "rt.helpers_discarded" discarded;
+        (pool, discarded))
+  in
+  Fg_obs.Metrics.incr "rt.strip_calls";
+  Fg_obs.Metrics.incr ~n:initial_discarded "rt.helpers_discarded";
   (* group pool entries into fragments *)
   let module Im = Map.Make (Int) in
   let frags =
@@ -420,7 +435,31 @@ let heal ctx ~marked ~fresh =
   let fresh_units = List.map (fun h -> Roots [ fresh_leaf ctx h ]) fresh in
   let units = List.sort unit_order (fragment_units @ fresh_units) in
   let anchors = List.length units in
-  let root, levels = btv_reduce ctx units in
+  let root, levels =
+    Fg_obs.Trace.with_span "rt.merge" (fun sp ->
+        let root, levels = btv_reduce ctx units in
+        let created, restripped =
+          List.fold_left
+            (List.fold_left (fun (c, d) ev -> (c + ev.me_created, d + ev.me_discarded)))
+            (0, 0) levels
+        in
+        Fg_obs.Trace.attr sp "anchors" (Fg_obs.Event.Int anchors);
+        Fg_obs.Trace.attr sp "levels" (Fg_obs.Event.Int (List.length levels));
+        (match root with
+        | Some r -> Fg_obs.Trace.attr sp "haft_leaves" (Fg_obs.Event.Int r.leaves)
+        | None -> ());
+        Fg_obs.Trace.count_span sp "rt.helpers_created" created;
+        Fg_obs.Trace.count_span sp "rt.reps_consumed" created;
+        Fg_obs.Trace.count_span sp "rt.helpers_discarded" restripped;
+        Fg_obs.Metrics.incr "rt.merge_calls";
+        Fg_obs.Metrics.incr ~n:created "rt.helpers_created";
+        Fg_obs.Metrics.incr ~n:created "rt.reps_consumed";
+        Fg_obs.Metrics.incr ~n:restripped "rt.helpers_discarded";
+        (match root with
+        | Some r -> Fg_obs.Metrics.observe "rt.haft_leaves" (float_of_int r.leaves)
+        | None -> ());
+        (root, levels))
+  in
   let trace =
     {
       ht_anchors = anchors;

@@ -35,8 +35,8 @@ let one family n =
   let spans = spans_of h in
   let n_seen = Adjacency.num_nodes (h.Healer.gprime ()) in
   let bound = 2 * Exp_common.ceil_log2 n_seen in
-  match spans with
-  | [] ->
+  match Fg_metrics.Summary.of_ints_opt spans with
+  | None ->
     {
       family;
       n;
@@ -46,8 +46,7 @@ let one family n =
       p95_span = 0.;
       span_bound_2log = true;
     }
-  | _ ->
-    let s = Fg_metrics.Summary.of_ints spans in
+  | Some s ->
     {
       family;
       n;

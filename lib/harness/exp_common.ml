@@ -20,6 +20,35 @@ let families =
     ("tree", fun _rng n -> Fg_graph.Generators.binary_tree n);
   ]
 
+(* Observability wrapper used by the CLI and the experiment driver: stream
+   a JSONL trace of the run to [trace], and/or record the global heal-path
+   metrics and print them (then reset the registry) when [metrics]. *)
+let with_observability ?trace ?(metrics = false) f =
+  let oc =
+    Option.map
+      (fun path ->
+        try open_out path
+        with Sys_error e ->
+          Printf.eprintf "error: cannot open trace file: %s\n" e;
+          exit 1)
+      trace
+  in
+  Option.iter (fun oc -> Fg_obs.Trace.install (Fg_obs.Sink.jsonl oc)) oc;
+  if metrics then Fg_obs.Metrics.set_recording true;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun oc ->
+          Fg_obs.Trace.uninstall ();
+          close_out oc)
+        oc;
+      if metrics then begin
+        Fg_obs.Metrics.set_recording false;
+        Format.printf "@.%a" Fg_obs.Metrics.pp Fg_obs.Metrics.global;
+        Fg_obs.Metrics.reset Fg_obs.Metrics.global
+      end)
+    f
+
 let write_csv ~name table =
   let dir = "results" in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;

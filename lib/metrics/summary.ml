@@ -34,6 +34,8 @@ let of_floats xs =
   }
 
 let of_ints xs = of_floats (List.map float_of_int xs)
+let of_floats_opt xs = if xs = [] then None else Some (of_floats xs)
+let of_ints_opt xs = if xs = [] then None else Some (of_ints xs)
 
 let pp ppf s =
   Format.fprintf ppf "n=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f sd=%.2f" s.n

@@ -1,0 +1,150 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type attrs = (string * value) list
+
+type t =
+  | Span_start of {
+      id : int;
+      parent : int option;
+      name : string;
+      ts : float;
+      attrs : attrs;
+    }
+  | Span_end of {
+      id : int;
+      name : string;
+      ts : float;
+      dur : float;
+      attrs : attrs;
+      counters : (string * int) list;
+    }
+  | Point of { name : string; ts : float; attrs : attrs }
+
+let value_to_json = function
+  | Int i -> Json.Int i
+  | Float x -> Json.Float x
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let value_of_json = function
+  | Json.Int i -> Some (Int i)
+  | Json.Float x -> Some (Float x)
+  | Json.Str s -> Some (Str s)
+  | Json.Bool b -> Some (Bool b)
+  | _ -> None
+
+let attrs_to_json attrs =
+  Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) attrs)
+
+let to_json = function
+  | Span_start { id; parent; name; ts; attrs } ->
+    let base =
+      [ ("ev", Json.Str "start"); ("id", Json.Int id); ("name", Json.Str name);
+        ("ts", Json.Float ts) ]
+    in
+    let parent =
+      match parent with None -> [] | Some p -> [ ("parent", Json.Int p) ]
+    in
+    let attrs = if attrs = [] then [] else [ ("attrs", attrs_to_json attrs) ] in
+    Json.Obj (base @ parent @ attrs)
+  | Span_end { id; name; ts; dur; attrs; counters } ->
+    let base =
+      [ ("ev", Json.Str "end"); ("id", Json.Int id); ("name", Json.Str name);
+        ("ts", Json.Float ts); ("dur", Json.Float dur) ]
+    in
+    let attrs = if attrs = [] then [] else [ ("attrs", attrs_to_json attrs) ] in
+    let counters =
+      if counters = [] then []
+      else [ ("counters", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) counters)) ]
+    in
+    Json.Obj (base @ attrs @ counters)
+  | Point { name; ts; attrs } ->
+    let base = [ ("ev", Json.Str "point"); ("name", Json.Str name); ("ts", Json.Float ts) ] in
+    let attrs = if attrs = [] then [] else [ ("attrs", attrs_to_json attrs) ] in
+    Json.Obj (base @ attrs)
+
+let attrs_of_json j =
+  match Json.member "attrs" j with
+  | None -> Ok []
+  | Some (Json.Obj kvs) ->
+    let conv (k, v) =
+      match value_of_json v with
+      | Some v -> Ok (k, v)
+      | None -> Error (Printf.sprintf "attr %S is not a scalar" k)
+    in
+    List.fold_right
+      (fun kv acc ->
+        match (conv kv, acc) with
+        | Ok x, Ok xs -> Ok (x :: xs)
+        | (Error _ as e), _ -> e
+        | _, (Error _ as e) -> e)
+      kvs (Ok [])
+  | Some _ -> Error "attrs is not an object"
+
+let of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let int k = Option.bind (Json.member k j) Json.to_int in
+  let float k = Option.bind (Json.member k j) Json.to_float in
+  let require name = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or malformed %S" name)
+  in
+  let ( let* ) r f = Result.bind r f in
+  let* ev = require "ev" (str "ev") in
+  match ev with
+  | "start" ->
+    let* id = require "id" (int "id") in
+    let* name = require "name" (str "name") in
+    let* ts = require "ts" (float "ts") in
+    let* attrs = attrs_of_json j in
+    Ok (Span_start { id; parent = int "parent"; name; ts; attrs })
+  | "end" ->
+    let* id = require "id" (int "id") in
+    let* name = require "name" (str "name") in
+    let* ts = require "ts" (float "ts") in
+    let* dur = require "dur" (float "dur") in
+    let* attrs = attrs_of_json j in
+    let* counters =
+      match Json.member "counters" j with
+      | None -> Ok []
+      | Some (Json.Obj kvs) ->
+        List.fold_right
+          (fun (k, v) acc ->
+            match (Json.to_int v, acc) with
+            | Some n, Ok xs -> Ok ((k, n) :: xs)
+            | None, _ -> Error (Printf.sprintf "counter %S is not an int" k)
+            | _, (Error _ as e) -> e)
+          kvs (Ok [])
+      | Some _ -> Error "counters is not an object"
+    in
+    Ok (Span_end { id; name; ts; dur; attrs; counters })
+  | "point" ->
+    let* name = require "name" (str "name") in
+    let* ts = require "ts" (float "ts") in
+    let* attrs = attrs_of_json j in
+    Ok (Point { name; ts; attrs })
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+let name = function
+  | Span_start { name; _ } | Span_end { name; _ } | Point { name; _ } -> name
+
+let ts = function
+  | Span_start { ts; _ } | Span_end { ts; _ } | Point { ts; _ } -> ts
+
+let pp_value ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float x -> Format.fprintf ppf "%.6g" x
+  | Str s -> Format.pp_print_string ppf s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let pp_attrs ppf attrs =
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v) attrs
+
+let pp ppf = function
+  | Span_start { id; name; ts; attrs; _ } ->
+    Format.fprintf ppf "start #%d %s @%.6f%a" id name ts pp_attrs attrs
+  | Span_end { id; name; dur; attrs; counters; _ } ->
+    Format.fprintf ppf "end   #%d %s dur=%.6f%a" id name dur pp_attrs attrs;
+    List.iter (fun (k, n) -> Format.fprintf ppf " %s=%d" k n) counters
+  | Point { name; ts; attrs } ->
+    Format.fprintf ppf "point %s @%.6f%a" name ts pp_attrs attrs

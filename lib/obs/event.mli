@@ -1,0 +1,38 @@
+(** Telemetry events: the wire format shared by every sink.
+
+    A span is two events ([Span_start]/[Span_end]) tied by [id]; nesting is
+    encoded by [parent] on the start event. Attributes are typed scalars;
+    counters are the per-span integer accumulators flushed at span end.
+    [Point] is a free-standing instantaneous event (e.g. one network
+    round). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type attrs = (string * value) list
+
+type t =
+  | Span_start of {
+      id : int;
+      parent : int option;
+      name : string;
+      ts : float;
+      attrs : attrs;
+    }
+  | Span_end of {
+      id : int;
+      name : string;
+      ts : float;
+      dur : float;
+      attrs : attrs;  (** attributes added while the span was open *)
+      counters : (string * int) list;  (** sorted by name *)
+    }
+  | Point of { name : string; ts : float; attrs : attrs }
+
+(** One event per JSON object; [of_json (to_json e)] = [Ok e]. *)
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+
+val name : t -> string
+val ts : t -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,236 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- printing ---- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let float_repr x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.12g" x
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x ->
+    if Float.is_nan x || Float.is_integer (x /. 0.) then Buffer.add_string buf "null"
+    else Buffer.add_string buf (float_repr x)
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape buf k;
+        Buffer.add_string buf "\":";
+        write buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 128 in
+  write buf v;
+  Buffer.contents buf
+
+(* ---- parsing (recursive descent, exceptions internal) ---- *)
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable i : int }
+
+let fail c msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.i))
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let skip_ws c =
+  while
+    c.i < String.length c.s
+    && match c.s.[c.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.i <- c.i + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.i <- c.i + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if c.i + n <= String.length c.s && String.sub c.s c.i n = word then begin
+    c.i <- c.i + n;
+    v
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if c.i >= String.length c.s then fail c "unterminated string";
+    match c.s.[c.i] with
+    | '"' -> c.i <- c.i + 1
+    | '\\' ->
+      c.i <- c.i + 1;
+      (if c.i >= String.length c.s then fail c "unterminated escape";
+       match c.s.[c.i] with
+       | '"' -> Buffer.add_char buf '"'; c.i <- c.i + 1
+       | '\\' -> Buffer.add_char buf '\\'; c.i <- c.i + 1
+       | '/' -> Buffer.add_char buf '/'; c.i <- c.i + 1
+       | 'n' -> Buffer.add_char buf '\n'; c.i <- c.i + 1
+       | 'r' -> Buffer.add_char buf '\r'; c.i <- c.i + 1
+       | 't' -> Buffer.add_char buf '\t'; c.i <- c.i + 1
+       | 'b' -> Buffer.add_char buf '\b'; c.i <- c.i + 1
+       | 'f' -> Buffer.add_char buf '\012'; c.i <- c.i + 1
+       | 'u' ->
+         if c.i + 4 >= String.length c.s then fail c "bad \\u escape";
+         let hex = String.sub c.s (c.i + 1) 4 in
+         let code =
+           try int_of_string ("0x" ^ hex) with _ -> fail c "bad \\u escape"
+         in
+         (* ASCII only; anything else degrades to '?' (we never emit it) *)
+         Buffer.add_char buf (if code < 0x80 then Char.chr code else '?');
+         c.i <- c.i + 5
+       | _ -> fail c "unknown escape");
+      go ()
+    | ch ->
+      Buffer.add_char buf ch;
+      c.i <- c.i + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.i in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.i < String.length c.s && is_num_char c.s.[c.i] do
+    c.i <- c.i + 1
+  done;
+  let tok = String.sub c.s start (c.i - start) in
+  if tok = "" then fail c "expected number";
+  let is_float =
+    String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') tok
+  in
+  if is_float then
+    match float_of_string_opt tok with
+    | Some x -> Float x
+    | None -> fail c "malformed number"
+  else
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt tok with
+      | Some x -> Float x
+      | None -> fail c "malformed number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '{' ->
+    c.i <- c.i + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.i <- c.i + 1;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.i <- c.i + 1;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          c.i <- c.i + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> fail c "expected ',' or '}'"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    c.i <- c.i + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.i <- c.i + 1;
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.i <- c.i + 1;
+          elements (v :: acc)
+        | Some ']' ->
+          c.i <- c.i + 1;
+          List.rev (v :: acc)
+        | _ -> fail c "expected ',' or ']'"
+      in
+      List (elements [])
+    end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let of_string s =
+  let c = { s; i = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.i <> String.length s then Error "trailing characters"
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ---- accessors ---- *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let to_int = function Int i -> Some i | Float x -> Some (int_of_float x) | _ -> None
+
+let to_float = function Float x -> Some x | Int i -> Some (float_of_int i) | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,29 @@
+(** Minimal JSON values: enough to emit and re-read the JSONL telemetry
+    stream without any third-party dependency. Strings are ASCII (the
+    writer escapes control characters; the reader maps non-ASCII [\u]
+    escapes to ['?'] — we never emit them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact single-line rendering (no trailing newline). NaN/infinite
+    floats render as [null]. *)
+val to_string : t -> string
+
+(** Parse one JSON value; [Error] describes the first syntax error. *)
+val of_string : string -> (t, string) result
+
+(** [member k (Obj kvs)] is the value bound to [k], if any. *)
+val member : string -> t -> t option
+
+(** Numeric/str coercions ([Int] widens to float; floats truncate). *)
+val to_int : t -> int option
+
+val to_float : t -> float option
+val to_str : t -> string option

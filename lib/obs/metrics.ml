@@ -1,0 +1,81 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  samples : (string, float list ref) Hashtbl.t;  (* reversed *)
+}
+
+let create () = { counters = Hashtbl.create 32; samples = Hashtbl.create 32 }
+let global = create ()
+
+let recording = ref false
+let set_recording b = recording := b
+let is_recording () = !recording
+
+let incr_in t ?(n = 1) name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t.counters name (ref n)
+
+let observe_in t name x =
+  match Hashtbl.find_opt t.samples name with
+  | Some r -> r := x :: !r
+  | None -> Hashtbl.replace t.samples name (ref [ x ])
+
+let incr ?n name = if !recording then incr_in global ?n name
+let observe name x = if !recording then observe_in global name x
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let samples t name =
+  match Hashtbl.find_opt t.samples name with
+  | Some r -> List.rev !r
+  | None -> []
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort compare
+
+let histograms t =
+  Hashtbl.fold
+    (fun k r acc ->
+      match Fg_metrics.Summary.of_floats_opt (List.rev !r) with
+      | Some s -> (k, s) :: acc
+      | None -> acc)
+    t.samples []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.samples
+
+let pp ppf t =
+  let cs = counters t and hs = histograms t in
+  if cs <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter (fun (k, n) -> Format.fprintf ppf "  %-28s %d@." k n) cs
+  end;
+  if hs <> [] then begin
+    Format.fprintf ppf "histograms:@.";
+    List.iter
+      (fun (k, s) -> Format.fprintf ppf "  %-28s %a@." k Fg_metrics.Summary.pp s)
+      hs
+  end;
+  if cs = [] && hs = [] then Format.fprintf ppf "(no metrics recorded)@."
+
+let to_json t =
+  let summary_json (s : Fg_metrics.Summary.t) =
+    Json.Obj
+      [
+        ("n", Json.Int s.Fg_metrics.Summary.n);
+        ("mean", Json.Float s.Fg_metrics.Summary.mean);
+        ("min", Json.Float s.Fg_metrics.Summary.min);
+        ("p50", Json.Float s.Fg_metrics.Summary.p50);
+        ("p95", Json.Float s.Fg_metrics.Summary.p95);
+        ("max", Json.Float s.Fg_metrics.Summary.max);
+      ]
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) (counters t)));
+      ("histograms", Json.Obj (List.map (fun (k, s) -> (k, summary_json s)) (histograms t)));
+    ]

@@ -1,0 +1,43 @@
+(** Registry of named counters and histograms for heal-path quantities
+    (deletions, image edges added/removed, strip/merge invocations, haft
+    sizes, representative consumptions, netsim rounds/messages/bits).
+
+    Instrumented code records into the {!global} registry through {!incr}
+    and {!observe}, which are gated on a recording flag — one
+    load-and-branch when off. Tools that want isolation (tests) build
+    their own registry and use the [_in] variants, which are ungated. *)
+
+type t
+
+val create : unit -> t
+
+(** The process-wide registry used by the gated operations. *)
+val global : t
+
+val set_recording : bool -> unit
+val is_recording : unit -> bool
+
+(** [incr ?n name] adds [n] (default 1) to [global]'s counter [name] —
+    no-op unless recording. *)
+val incr : ?n:int -> string -> unit
+
+(** [observe name x] appends a histogram sample — no-op unless recording. *)
+val observe : string -> float -> unit
+
+val incr_in : t -> ?n:int -> string -> unit
+val observe_in : t -> string -> float -> unit
+
+(** [counter t name] is the current value (0 if never incremented). *)
+val counter : t -> string -> int
+
+(** Samples in observation order. *)
+val samples : t -> string -> float list
+
+(** All counters / histogram summaries, sorted by name. Histograms with no
+    samples are omitted. *)
+val counters : t -> (string * int) list
+
+val histograms : t -> (string * Fg_metrics.Summary.t) list
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

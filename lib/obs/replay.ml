@@ -1,0 +1,102 @@
+type row = {
+  name : string;
+  count : int;
+  total_s : float;
+  mean_s : float;
+  max_s : float;
+  counters : (string * int) list;  (* summed, sorted by name *)
+}
+
+let parse_line line =
+  match Json.of_string line with
+  | Error e -> Error e
+  | Ok j -> Event.of_json j
+
+let parse_lines lines =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" then go (i + 1) acc rest
+      else (
+        match parse_line line with
+        | Ok e -> go (i + 1) (e :: acc) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" i msg))
+  in
+  go 1 [] lines
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        parse_lines (List.rev !lines))
+
+let of_events events =
+  let tbl = Hashtbl.create 16 in
+  let get name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+      let r = ref (0, 0., 0., []) in
+      Hashtbl.replace tbl name r;
+      r
+  in
+  List.iter
+    (function
+      | Event.Span_end { name; dur; counters; _ } ->
+        let r = get name in
+        let count, total, mx, cs = !r in
+        let cs =
+          List.fold_left
+            (fun cs (k, n) ->
+              match List.assoc_opt k cs with
+              | Some m -> (k, m + n) :: List.remove_assoc k cs
+              | None -> (k, n) :: cs)
+            cs counters
+        in
+        r := (count + 1, total +. dur, Float.max mx dur, cs)
+      | Event.Span_start _ | Event.Point _ -> ())
+    events;
+  Hashtbl.fold
+    (fun name r acc ->
+      let count, total, mx, cs = !r in
+      {
+        name;
+        count;
+        total_s = total;
+        mean_s = (if count = 0 then 0. else total /. float_of_int count);
+        max_s = mx;
+        counters = List.sort compare cs;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         let c = compare b.total_s a.total_s in
+         if c <> 0 then c else compare a.name b.name)
+
+let table_of_file path =
+  match load path with Error e -> Error e | Ok events -> Ok (of_events events)
+
+let pp_counters ppf cs =
+  Format.pp_print_string ppf
+    (String.concat ", " (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) cs))
+
+let pp_table ppf rows =
+  Format.fprintf ppf "%-18s %8s %12s %12s %12s  %s@." "phase" "count" "total ms"
+    "mean ms" "max ms" "counters";
+  Format.fprintf ppf "%s@." (String.make 90 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-18s %8d %12.3f %12.4f %12.4f  %a@." r.name r.count
+        (1e3 *. r.total_s) (1e3 *. r.mean_s) (1e3 *. r.max_s) pp_counters
+        r.counters)
+    rows

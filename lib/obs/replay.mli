@@ -1,0 +1,27 @@
+(** Replay a JSONL trace into a per-phase cost table: one row per span
+    name, aggregating count, durations, and summed counters. Drives the
+    [fg trace] CLI report and the round-trip tests. *)
+
+type row = {
+  name : string;
+  count : int;
+  total_s : float;
+  mean_s : float;
+  max_s : float;
+  counters : (string * int) list;  (** summed over spans, sorted by name *)
+}
+
+(** Parse one JSONL line. *)
+val parse_line : string -> (Event.t, string) result
+
+(** Parse many lines (blank lines skipped); errors carry line numbers. *)
+val parse_lines : string list -> (Event.t list, string) result
+
+(** Read and parse a JSONL file. *)
+val load : string -> (Event.t list, string) result
+
+(** Aggregate span-end events into rows, largest total time first. *)
+val of_events : Event.t list -> row list
+
+val table_of_file : string -> (row list, string) result
+val pp_table : Format.formatter -> row list -> unit

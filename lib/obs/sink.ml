@@ -1,0 +1,52 @@
+type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+let null = { emit = ignore; flush = ignore }
+
+let memory ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Sink.memory: capacity must be positive";
+  let buf = Array.make capacity None in
+  let next = ref 0 in
+  let count = ref 0 in
+  let emit e =
+    buf.(!next) <- Some e;
+    next := (!next + 1) mod capacity;
+    if !count < capacity then incr count
+  in
+  let contents () =
+    let start = if !count < capacity then 0 else !next in
+    List.init !count (fun i ->
+        match buf.((start + i) mod capacity) with
+        | Some e -> e
+        | None -> assert false)
+  in
+  ({ emit; flush = ignore }, contents)
+
+let jsonl oc =
+  {
+    emit =
+      (fun e ->
+        output_string oc (Json.to_string (Event.to_json e));
+        output_char oc '\n');
+    flush = (fun () -> flush oc);
+  }
+
+let console ?(ppf = Format.std_formatter) () =
+  let depth = ref 0 in
+  let indent () = String.make (2 * !depth) ' ' in
+  let emit e =
+    match e with
+    | Event.Span_start _ ->
+      Format.fprintf ppf "%s%a@." (indent ()) Event.pp e;
+      incr depth
+    | Event.Span_end _ ->
+      if !depth > 0 then decr depth;
+      Format.fprintf ppf "%s%a@." (indent ()) Event.pp e
+    | Event.Point _ -> Format.fprintf ppf "%s%a@." (indent ()) Event.pp e
+  in
+  { emit; flush = (fun () -> Format.pp_print_flush ppf ()) }
+
+let tee sinks =
+  {
+    emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
+    flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
+  }

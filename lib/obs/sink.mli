@@ -1,0 +1,22 @@
+(** Pluggable event consumers for {!Trace}. A sink is just a pair of
+    callbacks, so tests and tools can build ad-hoc ones. *)
+
+type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+(** Discards everything. *)
+val null : t
+
+(** [memory ~capacity ()] is an in-memory ring buffer keeping the most
+    recent [capacity] events (default 4096). The second component returns
+    the buffered events, oldest first. *)
+val memory : ?capacity:int -> unit -> t * (unit -> Event.t list)
+
+(** One compact JSON object per line on the given channel. The channel is
+    not closed by the sink; [flush] flushes it. *)
+val jsonl : out_channel -> t
+
+(** Human-readable, nesting-indented rendering (default: stdout). *)
+val console : ?ppf:Format.formatter -> unit -> t
+
+(** Broadcast to several sinks in order. *)
+val tee : t list -> t

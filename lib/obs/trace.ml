@@ -1,0 +1,114 @@
+type span = {
+  id : int;
+  name : string;
+  parent : int option;
+  start : float;
+  mutable attrs : (string * Event.value) list;  (* reversed *)
+  mutable counters : (string * int ref) list;
+  real : bool;
+}
+
+let null_span =
+  {
+    id = 0;
+    name = "";
+    parent = None;
+    start = 0.;
+    attrs = [];
+    counters = [];
+    real = false;
+  }
+
+(* ---- global tracer state (single-threaded, like the rest of the repo) ---- *)
+
+let sink : Sink.t option ref = ref None
+let stack : span list ref = ref []
+let next_id = ref 0
+
+(* ---- clock: monotonic, relative to [install] ---- *)
+
+let wall_clock = Unix.gettimeofday
+let clock = ref wall_clock
+let epoch = ref 0.
+let last = ref 0.
+
+let set_clock f = clock := f
+
+let now () =
+  let t = !clock () -. !epoch in
+  let t = if t > !last then t else !last in
+  last := t;
+  t
+
+(* ---- lifecycle ---- *)
+
+let enabled () = Option.is_some !sink
+
+let install s =
+  sink := Some s;
+  stack := [];
+  next_id := 0;
+  epoch := !clock ();
+  last := 0.
+
+let uninstall () =
+  (match !sink with Some s -> s.Sink.flush () | None -> ());
+  sink := None;
+  stack := []
+
+let with_sink s f =
+  install s;
+  Fun.protect ~finally:uninstall f
+
+(* ---- spans ---- *)
+
+let attr sp k v = if sp.real then sp.attrs <- (k, v) :: sp.attrs
+
+let count_span sp k n =
+  if sp.real then
+    match List.assoc_opt k sp.counters with
+    | Some r -> r := !r + n
+    | None -> sp.counters <- (k, ref n) :: sp.counters
+
+let count k n =
+  match !stack with [] -> () | sp :: _ -> count_span sp k n
+
+let point ?(attrs = []) name =
+  match !sink with
+  | None -> ()
+  | Some s -> s.Sink.emit (Event.Point { name; ts = now (); attrs })
+
+let with_span ?(attrs = []) name f =
+  match !sink with
+  | None -> f null_span
+  | Some s ->
+    incr next_id;
+    let id = !next_id in
+    let parent = match !stack with [] -> None | sp :: _ -> Some sp.id in
+    let start = now () in
+    let sp = { id; name; parent; start; attrs = []; counters = []; real = true } in
+    s.Sink.emit (Event.Span_start { id; parent; name; ts = start; attrs });
+    stack := sp :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with
+        | top :: rest when top == sp -> stack := rest
+        | _ -> () (* unbalanced close: leave the stack alone *));
+        let ts = now () in
+        let counters =
+          List.sort compare (List.map (fun (k, r) -> (k, !r)) sp.counters)
+        in
+        match !sink with
+        | None -> () (* sink was uninstalled while the span was open *)
+        | Some s ->
+          s.Sink.emit
+            (Event.Span_end
+               {
+                 id;
+                 name;
+                 ts;
+                 dur = ts -. sp.start;
+                 attrs = List.rev sp.attrs;
+                 counters;
+               }))
+      (fun () -> f sp)

@@ -1,0 +1,54 @@
+(** The tracing core: hierarchical spans with monotonic timestamps, typed
+    attributes, and per-span counters, emitted to one globally installed
+    {!Sink}. With no sink installed every operation is a load-and-branch —
+    instrumented hot paths cost ~nothing when tracing is off.
+
+    Single-threaded by design (like the rest of the repo): the span stack
+    is global, and nesting is lexical via {!with_span}. *)
+
+type span
+
+(** The inert span handed to the callback when tracing is off. Attribute
+    and counter operations on it are no-ops. *)
+val null_span : span
+
+(** [enabled ()] is true iff a sink is installed. *)
+val enabled : unit -> bool
+
+(** [install s] starts routing events to [s], resets span ids, and
+    re-anchors the clock epoch (timestamps are seconds since install). *)
+val install : Sink.t -> unit
+
+(** Flushes and removes the current sink (no-op if none). *)
+val uninstall : unit -> unit
+
+(** [with_sink s f] = install, run [f], uninstall (exception-safe). *)
+val with_sink : Sink.t -> (unit -> 'a) -> 'a
+
+(** [with_span ?attrs name f] opens a span (child of the innermost open
+    span), runs [f], and closes it — exception-safe; [attrs] travel on the
+    start event. When tracing is off, [f] runs with {!null_span} and
+    nothing is emitted. *)
+val with_span :
+  ?attrs:(string * Event.value) list -> string -> (span -> 'a) -> 'a
+
+(** [attr sp k v] attaches an attribute, emitted on the span's end event. *)
+val attr : span -> string -> Event.value -> unit
+
+(** [count_span sp k n] adds [n] to the span's counter [k]. *)
+val count_span : span -> string -> int -> unit
+
+(** [count k n] adds [n] to the {e innermost open} span's counter [k];
+    no-op when tracing is off or no span is open. *)
+val count : string -> int -> unit
+
+(** [point ?attrs name] emits an instantaneous event. *)
+val point : ?attrs:(string * Event.value) list -> string -> unit
+
+(** Timestamps. [now] is monotonic (never decreases, clamped) and relative
+    to the last {!install}. [set_clock] swaps the raw time source — tests
+    install a deterministic counter; [wall_clock] restores the default. *)
+val now : unit -> float
+
+val set_clock : (unit -> float) -> unit
+val wall_clock : unit -> float

@@ -16,11 +16,27 @@ let insert t v nbrs =
   Dist_state.add_processor t.st v;
   List.iter (fun u -> Dist_state.add_edge t.st v u) (List.sort_uniq Node_id.compare nbrs)
 
+let stats_attrs (s : Netsim.stats) =
+  [
+    ("rounds", Fg_obs.Event.Int s.Netsim.rounds);
+    ("messages", Fg_obs.Event.Int s.Netsim.messages);
+    ("total_bits", Fg_obs.Event.Int s.Netsim.total_bits);
+    ("max_message_bits", Fg_obs.Event.Int s.Netsim.max_message_bits);
+    ("max_agent_bits", Fg_obs.Event.Int s.Netsim.max_agent_bits);
+    ("max_agent_messages", Fg_obs.Event.Int s.Netsim.max_agent_messages);
+  ]
+
 let delete t v =
-  let n_seen = Fg.num_seen t.fg in
-  let stats = Dist_protocol.delete t.st v ~n_seen in
-  Fg.delete t.fg v;
-  stats
+  Fg_obs.Trace.with_span "dist.delete" ~attrs:[ ("node", Fg_obs.Event.Int v) ]
+    (fun sp ->
+      let n_seen = Fg.num_seen t.fg in
+      let stats = Dist_protocol.delete t.st v ~n_seen in
+      List.iter (fun (k, a) -> Fg_obs.Trace.attr sp k a) (stats_attrs stats);
+      Fg_obs.Metrics.observe "dist.rounds" (float_of_int stats.Netsim.rounds);
+      Fg_obs.Metrics.observe "dist.messages" (float_of_int stats.Netsim.messages);
+      Fg_obs.Metrics.observe "dist.bits" (float_of_int stats.Netsim.total_bits);
+      Fg.delete t.fg v;
+      stats)
 
 let graph t = Dist_state.derived_graph t.st
 let state t = t.st

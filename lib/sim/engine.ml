@@ -25,10 +25,18 @@ let fg t = t.fg
 let costs t = List.rev t.history
 
 let delete t v =
+  Fg_obs.Trace.with_span "sim.delete" ~attrs:[ ("node", Fg_obs.Event.Int v) ]
+  @@ fun sp ->
   let deleted_degree = Fg_graph.Adjacency.degree (Fg.gprime t.fg) v in
   let n_seen = Fg.num_seen t.fg in
   let trace = Fg.delete_traced t.fg v in
-  let stats = Protocol.replay ~trace ~n_seen in
+  let stats =
+    Fg_obs.Trace.with_span "sim.replay" (fun _ -> Protocol.replay ~trace ~n_seen)
+  in
+  Fg_obs.Trace.attr sp "rounds" (Fg_obs.Event.Int stats.Netsim.rounds);
+  Fg_obs.Trace.attr sp "messages" (Fg_obs.Event.Int stats.Netsim.messages);
+  Fg_obs.Metrics.observe "sim.rounds" (float_of_int stats.Netsim.rounds);
+  Fg_obs.Metrics.observe "sim.messages" (float_of_int stats.Netsim.messages);
   let cost =
     {
       deleted = v;

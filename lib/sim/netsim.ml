@@ -71,6 +71,7 @@ let deliver t handler env =
 
 let run t ~handler ~max_rounds =
   let start = t.now in
+  let messages0 = t.messages and bits0 = t.total_bits in
   while t.in_flight > 0 do
     if t.now - start >= max_rounds then
       failwith
@@ -83,8 +84,28 @@ let run t ~handler ~max_rounds =
       let batch = List.rev batch in
       t.in_flight <- t.in_flight - List.length batch;
       t.rounds <- t.now;
-      List.iter (deliver t handler) batch
+      List.iter (deliver t handler) batch;
+      if Fg_obs.Trace.enabled () then begin
+        let delivered = List.length batch in
+        let bits = List.fold_left (fun a e -> a + e.bits) 0 batch in
+        Fg_obs.Trace.count "netsim.messages" delivered;
+        Fg_obs.Trace.count "netsim.bits" bits;
+        Fg_obs.Trace.point "netsim.round"
+          ~attrs:
+            [
+              ("round", Fg_obs.Event.Int t.now);
+              ("delivered", Fg_obs.Event.Int delivered);
+              ("bits", Fg_obs.Event.Int bits);
+            ]
+      end
   done;
+  (* [run] may be invoked several times per repair (phase advancement);
+     rounds since [start] telescope to the cumulative [t.rounds], so the
+     per-span counter aggregates to the returned stats. *)
+  Fg_obs.Trace.count "netsim.rounds" (t.now - start);
+  Fg_obs.Metrics.incr ~n:(t.now - start) "netsim.rounds";
+  Fg_obs.Metrics.incr ~n:(t.messages - messages0) "netsim.messages";
+  Fg_obs.Metrics.incr ~n:(t.total_bits - bits0) "netsim.bits";
   let max_tbl tbl = Hashtbl.fold (fun _ v m -> max v m) tbl 0 in
   {
     rounds = t.rounds;
@@ -94,3 +115,15 @@ let run t ~handler ~max_rounds =
     max_agent_bits = max_tbl t.agent_bits;
     max_agent_messages = max_tbl t.agent_msgs;
   }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "%d rounds, %d msgs, %d bits (max msg %d bits, max node %d bits / %d msgs)"
+    s.rounds s.messages s.total_bits s.max_message_bits s.max_agent_bits
+    s.max_agent_messages
+
+let stats_to_json (s : stats) =
+  Printf.sprintf
+    {|{"rounds":%d,"messages":%d,"total_bits":%d,"max_message_bits":%d,"max_agent_bits":%d,"max_agent_messages":%d}|}
+    s.rounds s.messages s.total_bits s.max_message_bits s.max_agent_bits
+    s.max_agent_messages

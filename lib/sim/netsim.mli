@@ -44,3 +44,10 @@ val run :
   handler:(src:agent -> dst:agent -> bits:int -> 'msg -> unit) ->
   max_rounds:int ->
   stats
+
+(** [pp_stats] renders the Lemma-4 quantities on one line; [stats_to_json]
+    is a compact JSON object (plain string, no dependencies) so the CLI,
+    harness, and the {!Fg_obs} JSONL sink can log stats uniformly. *)
+val pp_stats : Format.formatter -> stats -> unit
+
+val stats_to_json : stats -> string

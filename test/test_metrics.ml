@@ -96,6 +96,16 @@ let test_summary_of_ints () =
   let s = Summary.of_ints [ 2; 4; 6 ] in
   Alcotest.(check (float 1e-9)) "mean" 4.0 s.Summary.mean
 
+let test_summary_opt_variants () =
+  Alcotest.(check bool) "of_floats_opt []" true (Summary.of_floats_opt [] = None);
+  Alcotest.(check bool) "of_ints_opt []" true (Summary.of_ints_opt [] = None);
+  (match Summary.of_floats_opt [ 1.; 3. ] with
+  | None -> Alcotest.fail "of_floats_opt non-empty gave None"
+  | Some s -> Alcotest.(check (float 1e-9)) "mean" 2.0 s.Summary.mean);
+  match Summary.of_ints_opt [ 5 ] with
+  | None -> Alcotest.fail "of_ints_opt non-empty gave None"
+  | Some s -> Alcotest.(check (float 1e-9)) "max" 5.0 s.Summary.max
+
 let suite =
   [
     Alcotest.test_case "stretch: identity graph" `Quick test_stretch_identity;
@@ -111,4 +121,5 @@ let suite =
     Alcotest.test_case "summary: quantiles" `Quick test_summary_quantile;
     Alcotest.test_case "summary: rejects empty" `Quick test_summary_rejects_empty;
     Alcotest.test_case "summary: of_ints" `Quick test_summary_of_ints;
+    Alcotest.test_case "summary: _opt variants" `Quick test_summary_opt_variants;
   ]
