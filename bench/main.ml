@@ -74,6 +74,52 @@ let dist_star =
           let eng = Fg_sim.Dist_engine.create (Fg_graph.Generators.star n) in
           ignore (Fg_sim.Dist_engine.delete eng 0)))
 
+(* ---- CSR snapshot kernel (PR 2) ---- *)
+
+(* Shared fixture for the read-path benchmarks: a healed ER graph, the
+   shape the metric pipeline actually snapshots. *)
+let healed_fixture n =
+  let rng = Fg_graph.Rng.create 7 in
+  let g = Fg_graph.Generators.erdos_renyi rng n (4.0 /. float_of_int n) in
+  let fg = Fg_core.Forgiving_graph.of_graph g in
+  for v = 0 to (n / 4) - 1 do
+    Fg_core.Forgiving_graph.delete fg v
+  done;
+  fg
+
+let csr_build =
+  Test.make_indexed ~name:"csr.build" ~args:[ 64; 256; 1024 ] (fun n ->
+      let fg = healed_fixture n in
+      let graph = Fg_core.Forgiving_graph.graph fg in
+      Staged.stage (fun () -> ignore (Fg_graph.Csr.of_adjacency graph)))
+
+let bfs_csr_vs_tbl =
+  Test.make_grouped ~name:"bfs.csr-vs-tbl"
+    [
+      Test.make_indexed ~name:"tbl" ~args:[ 64; 256; 1024 ] (fun n ->
+          let fg = healed_fixture n in
+          let graph = Fg_core.Forgiving_graph.graph fg in
+          let src = List.hd (Fg_core.Forgiving_graph.live_nodes fg) in
+          Staged.stage (fun () -> ignore (Fg_graph.Bfs.distances graph src)));
+      Test.make_indexed ~name:"csr" ~args:[ 64; 256; 1024 ] (fun n ->
+          let fg = healed_fixture n in
+          let graph = Fg_core.Forgiving_graph.graph fg in
+          let csr = Fg_graph.Csr.of_adjacency graph in
+          let scratch = Fg_graph.Csr.scratch csr in
+          let src = List.hd (Fg_core.Forgiving_graph.live_nodes fg) in
+          let src = Option.get (Fg_graph.Csr.index csr src) in
+          Staged.stage (fun () -> ignore (Fg_graph.Csr.bfs csr scratch src)));
+    ]
+
+let stretch_parallel =
+  Test.make_indexed ~name:"stretch.parallel" ~args:[ 1; 2; 4 ] (fun domains ->
+      let fg = healed_fixture 256 in
+      let graph = Fg_core.Forgiving_graph.graph fg in
+      let gp = Fg_core.Forgiving_graph.gprime fg in
+      let nodes = Fg_core.Forgiving_graph.live_nodes fg in
+      Staged.stage (fun () ->
+          ignore (Fg_metrics.Stretch.exact ~domains ~graph ~reference:gp nodes)))
+
 (* ---- E4: metrics ---- *)
 
 let stretch_exact =
@@ -88,7 +134,7 @@ let stretch_exact =
       let gp = Fg_core.Forgiving_graph.gprime fg in
       let nodes = Fg_core.Forgiving_graph.live_nodes fg in
       Staged.stage (fun () ->
-          ignore (Fg_metrics.Stretch.exact ~graph ~reference:gp ~nodes)))
+          ignore (Fg_metrics.Stretch.exact ~graph ~reference:gp nodes)))
 
 (* ---- E7/E10: healer comparison ---- *)
 
@@ -123,7 +169,7 @@ let all_tests =
   Test.make_grouped ~name:"forgiving-graph"
     (haft_tests
     @ [ heal_star; heal_er_sequence; sim_star; dist_star; will_tree_star; stretch_exact;
-        healer_compare; cascade ])
+        csr_build; bfs_csr_vs_tbl; stretch_parallel; healer_compare; cascade ])
 
 let benchmark () =
   let instances = Instance.[ monotonic_clock; minor_allocated ] in
@@ -134,7 +180,68 @@ let benchmark () =
   in
   List.map (fun instance -> Analyze.all ols instance raw) instances
 
+(* Append this run to a JSON history file so perf numbers can be diffed
+   across commits: {"runs":[{"label":...,"results":[{"name","ns","minor_words"}]}]}.
+   An existing file is read back and extended; a fresh one is created. *)
+let append_json_run ~file ~label rows =
+  let module J = Fg_obs.Json in
+  let previous =
+    if Sys.file_exists file then begin
+      let ic = open_in_bin file in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      match J.of_string text with
+      | Ok json -> (
+        match J.member "runs" json with Some (J.List rs) -> rs | _ -> [])
+      | Error msg ->
+        Printf.eprintf "warning: %s: %s — starting fresh\n" file msg;
+        []
+    end
+    else []
+  in
+  let run =
+    J.Obj
+      [
+        ("label", J.Str label);
+        ( "results",
+          J.List
+            (List.map
+               (fun (name, ns, minor) ->
+                 J.Obj
+                   [
+                     ("name", J.Str name);
+                     ("ns", J.Float ns);
+                     ("minor_words", J.Float minor);
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (J.to_string (J.Obj [ ("runs", J.List (previous @ [ run ])) ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote run %S to %s (%d runs total)\n" label file
+    (List.length previous + 1)
+
 let () =
+  let json_file = ref None and label = ref "run" in
+  let rec parse = function
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse rest
+    | "--label" :: l :: rest ->
+      label := l;
+      parse rest
+    | [ ("--json" | "--label") as flag ] ->
+      Printf.eprintf "%s requires an argument\n" flag;
+      exit 2
+    | a :: _ ->
+      Printf.eprintf "unknown argument %S (try --json FILE [--label NAME])\n" a;
+      exit 2
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let results = benchmark () in
   let clock = List.nth results 0 and minor = List.nth results 1 in
   let name_of h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] in
@@ -147,8 +254,12 @@ let () =
     | Some ols -> (
       match Analyze.OLS.estimates ols with Some [ v ] -> v | _ -> nan)
   in
+  let rows =
+    List.map (fun name -> (name, value clock name, value minor name)) names
+  in
   List.iter
-    (fun name ->
-      Printf.printf "%-42s  %14.1f  %14.1f\n" name (value clock name)
-        (value minor name))
-    names
+    (fun (name, ns, mw) -> Printf.printf "%-42s  %14.1f  %14.1f\n" name ns mw)
+    rows;
+  match !json_file with
+  | None -> ()
+  | Some file -> append_json_run ~file ~label:!label rows

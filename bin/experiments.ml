@@ -1,8 +1,10 @@
 (* Run the full experiment suite (E1-E10) or a subset given on the command
    line, printing every table. `dune exec bin/experiments.exe -- e3 e4`
    runs two; no arguments runs all. Pass `--csv` to also emit results/*.csv,
-   `--trace FILE.jsonl` to stream a telemetry trace of the whole run, and
-   `--metrics` to print the global heal-path counters at the end. *)
+   `--trace FILE.jsonl` to stream a telemetry trace of the whole run,
+   `--metrics` to print the global heal-path counters at the end, and
+   `--domains N` to fan the metric kernels (stretch/diameter sweeps) across
+   N domains — tables are identical for any N, only wall-clock changes. *)
 
 open Fg_harness
 
@@ -94,15 +96,26 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let csv = List.mem "--csv" args in
   let metrics = List.mem "--metrics" args in
-  let rec split_trace acc = function
-    | "--trace" :: file :: rest -> (Some file, List.rev_append acc rest)
-    | "--trace" :: [] ->
-      prerr_endline "--trace requires a FILE argument";
+  let rec split_opt name acc = function
+    | flag :: value :: rest when flag = name -> (Some value, List.rev_append acc rest)
+    | flag :: [] when flag = name ->
+      Printf.eprintf "%s requires an argument\n" name;
       exit 2
-    | a :: rest -> split_trace (a :: acc) rest
+    | a :: rest -> split_opt name (a :: acc) rest
     | [] -> (None, List.rev acc)
   in
-  let trace, args = split_trace [] args in
+  let trace, args = split_opt "--trace" [] args in
+  let domains, args = split_opt "--domains" [] args in
+  let domains =
+    Option.map
+      (fun d ->
+        match int_of_string_opt d with
+        | Some d -> d
+        | None ->
+          prerr_endline "--domains requires an integer";
+          exit 2)
+      domains
+  in
   let wanted = List.filter (fun a -> a <> "--csv" && a <> "--metrics") args in
   let selected =
     if wanted = [] then experiments
@@ -116,7 +129,7 @@ let () =
   end;
   let t0 = Unix.gettimeofday () in
   let results =
-    Fg_harness.Exp_common.with_observability ?trace ~metrics (fun () ->
+    Fg_harness.Exp_common.with_observability ?trace ~metrics ?domains (fun () ->
         List.map
           (fun (id, desc, f) ->
             let start = Unix.gettimeofday () in

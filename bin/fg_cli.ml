@@ -47,8 +47,16 @@ let metrics_arg =
   let doc = "Record and print the global heal-path counters and histograms." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
-let with_obs trace metrics f =
-  Fg_harness.Exp_common.with_observability ?trace ~metrics f
+let domains_arg =
+  let doc =
+    "Number of OCaml domains for the metric/verification kernels (stretch, \
+     diameter, invariant sweeps); clamped to the hardware count. Reports \
+     are identical for any value — only wall-clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let with_obs trace metrics domains f =
+  Fg_harness.Exp_common.with_observability ?trace ~metrics ~domains f
 
 (* ---- generate ---- *)
 
@@ -68,8 +76,8 @@ let generate_cmd =
 
 (* ---- attack ---- *)
 
-let attack family seed n healer adversary fraction trace metrics =
-  with_obs trace metrics @@ fun () ->
+let attack family seed n healer adversary fraction trace metrics domains =
+  with_obs trace metrics domains @@ fun () ->
   let del =
     try Fg_adversary.Adversary.deletion_of_name adversary
     with Invalid_argument _ ->
@@ -91,7 +99,7 @@ let attack family seed n healer adversary fraction trace metrics =
   let graph = h.Fg_baselines.Healer.graph () in
   let gprime = h.Fg_baselines.Healer.gprime () in
   let deg = Fg_metrics.Degree_metric.measure ~graph ~gprime ~nodes:live in
-  let str = Fg_metrics.Stretch.exact ~graph ~reference:gprime ~nodes:live in
+  let str = Fg_metrics.Stretch.exact ~graph ~reference:gprime live in
   Format.printf "healer %s on %s(n=%d), adversary %s, deleted %d nodes@."
     healer family n adversary (List.length victims);
   Format.printf "degree:  %a@." Fg_metrics.Degree_metric.pp_report deg;
@@ -123,12 +131,12 @@ let attack_cmd =
     (Cmd.info "attack" ~doc)
     Term.(
       const attack $ family_arg $ seed_arg $ n_arg $ healer $ adversary $ fraction
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ domains_arg)
 
 (* ---- simulate ---- *)
 
-let simulate family seed n deletions distributed trace metrics =
-  with_obs trace metrics @@ fun () ->
+let simulate family seed n deletions distributed trace metrics domains =
+  with_obs trace metrics domains @@ fun () ->
   let g0 = make_graph family seed n in
   let rng = Fg_graph.Rng.create (seed + 1) in
   if distributed then begin
@@ -188,12 +196,12 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ family_arg $ seed_arg $ n_arg $ deletions $ distributed
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ domains_arg)
 
 (* ---- heal ---- *)
 
-let heal path victims dot trace metrics =
-  with_obs trace metrics @@ fun () ->
+let heal path victims dot trace metrics domains =
+  with_obs trace metrics domains @@ fun () ->
   let text = Fg_graph.Graph_io.read_file path in
   let g0 = Fg_graph.Graph_io.of_edge_list text in
   let fg = Fg.of_graph g0 in
@@ -222,7 +230,7 @@ let heal_cmd =
   let doc = "Heal an explicit graph after deleting the given nodes." in
   Cmd.v
     (Cmd.info "heal" ~doc)
-    Term.(const heal $ path $ victims $ dot $ trace_arg $ metrics_arg)
+    Term.(const heal $ path $ victims $ dot $ trace_arg $ metrics_arg $ domains_arg)
 
 (* ---- trace (replay a JSONL telemetry file) ---- *)
 

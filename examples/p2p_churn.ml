@@ -19,7 +19,7 @@ let measure label (h : Healer.t) =
   let components =
     List.length (Fg_graph.Connectivity.components graph)
   in
-  let stretch = Fg_metrics.Stretch.exact ~graph ~reference:gprime ~nodes:live in
+  let stretch = Fg_metrics.Stretch.exact ~graph ~reference:gprime live in
   let degree = Fg_metrics.Degree_metric.measure ~graph ~gprime ~nodes:live in
   Format.printf "%-10s live=%3d components=%2d max-stretch=%4.1f max-deg-ratio=%4.1f \
                  unreachable-pairs=%d@."

@@ -29,7 +29,7 @@ let () =
   (* (b) stretch between the bounds *)
   let live = Fg.live_nodes fg in
   let stretch =
-    Fg_metrics.Stretch.exact ~graph:(Fg.graph fg) ~reference:(Fg.gprime fg) ~nodes:live
+    Fg_metrics.Stretch.exact ~graph:(Fg.graph fg) ~reference:(Fg.gprime fg) live
   in
   let lb = 0.5 *. (log (float_of_int (n - 1)) /. log 2.) in
   Format.printf "max stretch %.2f  (Theorem 2 lower bound %.2f, Theorem 1.2 upper \

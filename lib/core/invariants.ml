@@ -296,30 +296,54 @@ let check_connectivity t =
       groups;
     !errs
 
-let check_stretch_bound t =
+(* All-pairs over CSR snapshots of G and G': one dense BFS pair per live
+   source, fanned across [?domains] domains. Per-source violation lists are
+   concatenated in source order, so the output is identical for any domain
+   count. *)
+let check_stretch_bound ?domains t =
   let g = Forgiving_graph.graph t in
   let gp = Forgiving_graph.gprime t in
   let bound = Forgiving_graph.stretch_bound t in
-  let live = List.sort Node_id.compare (Forgiving_graph.live_nodes t) in
-  let errs = ref [] in
-  let from x =
-    let dg = Fg_graph.Bfs.distances g x in
-    let dgp = Fg_graph.Bfs.distances gp x in
-    let check y =
-      if y > x then
-        match (Node_id.Tbl.find_opt dg y, Node_id.Tbl.find_opt dgp y) with
-        | Some d, Some d' ->
-          if d > bound * d' then
-            errs :=
-              vf "stretch: dist_G(%d,%d)=%d > %d * dist_G'=%d" x y d bound d' :: !errs
-        | None, Some _ ->
-          errs := vf "stretch: (%d,%d) connected in G' only" x y :: !errs
-        | _, None -> ()
-    in
-    List.iter check live
+  let live = Array.of_list (List.sort Node_id.compare (Forgiving_graph.live_nodes t)) in
+  let n = Array.length live in
+  let cg = Fg_graph.Csr.of_adjacency g in
+  let cgp = Fg_graph.Csr.of_adjacency gp in
+  let idx csr = Array.map (fun v -> Option.value (Fg_graph.Csr.index csr v) ~default:(-1)) live in
+  let live_g = idx cg and live_gp = idx cgp in
+  let per_source =
+    Fg_graph.Parallel.map ?domains
+      ~init:(fun () -> (Fg_graph.Csr.scratch cg, Fg_graph.Csr.scratch cgp))
+      ~f:(fun (sg, sgp) i ->
+        let x = live.(i) in
+        if live_gp.(i) < 0 then []
+        else begin
+          let dgp = Fg_graph.Csr.bfs cgp sgp live_gp.(i) in
+          let dg =
+            if live_g.(i) < 0 then None else Some (Fg_graph.Csr.bfs cg sg live_g.(i))
+          in
+          let errs = ref [] in
+          for j = i + 1 to n - 1 do
+            let y = live.(j) in
+            let d' = if live_gp.(j) < 0 then -1 else dgp.(live_gp.(j)) in
+            if d' >= 0 then begin
+              let d =
+                match dg with
+                | None -> -1
+                | Some dg -> if live_g.(j) < 0 then -1 else dg.(live_g.(j))
+              in
+              if d < 0 then
+                errs := vf "stretch: (%d,%d) connected in G' only" x y :: !errs
+              else if d > bound * d' then
+                errs :=
+                  vf "stretch: dist_G(%d,%d)=%d > %d * dist_G'=%d" x y d bound d'
+                  :: !errs
+            end
+          done;
+          !errs
+        end)
+      n
   in
-  List.iter from live;
-  !errs
+  List.concat (Array.to_list per_source)
 
 let check t =
   List.concat

@@ -46,7 +46,9 @@ val paper_degree_violations : Forgiving_graph.t -> violation list
 (** live nodes connected in G' are connected in G. *)
 val check_connectivity : Forgiving_graph.t -> violation list
 
-(** Theorem 1.2 on all live pairs (expensive: all-pairs BFS on both
-    graphs). Exposed separately from {!check}; see also
-    {!Fg_metrics.Stretch}. *)
-val check_stretch_bound : Forgiving_graph.t -> violation list
+(** Theorem 1.2 on all live pairs (all-pairs BFS on CSR snapshots of both
+    graphs, fanned across [?domains] domains — default the process-wide
+    {!Fg_graph.Parallel} setting; violations are reported in the same
+    order for any domain count). Exposed separately from {!check}; see
+    also {!Fg_metrics.Stretch}. *)
+val check_stretch_bound : ?domains:int -> Forgiving_graph.t -> violation list

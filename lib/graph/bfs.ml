@@ -1,5 +1,8 @@
 let generic_bfs g srcs ~stop_at =
-  let dist = Node_id.Tbl.create 64 in
+  (* size for the worst case (whole graph reached) up front: BFS visits a
+     linear fraction of most inputs, and rehash churn on the default
+     64-bucket table dominated profiles of all-pairs sweeps *)
+  let dist = Node_id.Tbl.create (max 16 (Adjacency.num_nodes g)) in
   let q = Queue.create () in
   let enqueue v d =
     if not (Node_id.Tbl.mem dist v) then begin
@@ -32,7 +35,7 @@ let distance g src dst =
 let shortest_path g src dst =
   if not (Adjacency.mem_node g src && Adjacency.mem_node g dst) then None
   else begin
-    let parent = Node_id.Tbl.create 64 in
+    let parent = Node_id.Tbl.create (max 16 (Adjacency.num_nodes g)) in
     let q = Queue.create () in
     Node_id.Tbl.replace parent src src;
     Queue.add src q;

@@ -1,58 +1,64 @@
-(* Brandes 2001: one BFS per source accumulating pair dependencies. *)
+(* Brandes 2001: one BFS per source accumulating pair dependencies.
+
+   Runs on a CSR snapshot with dense int/float arrays — no per-visit
+   allocation. The predecessor lists of the textbook algorithm are not
+   materialised: in the dependency (backward) phase a node [w] credits
+   exactly its neighbors one BFS level closer to the source, recovered by
+   re-scanning [w]'s row. Sources are processed in dense-index order, so
+   the float accumulation order is deterministic. *)
 let betweenness g =
-  let bc = Node_id.Tbl.create 64 in
-  Adjacency.iter_nodes (fun v -> Node_id.Tbl.replace bc v 0.) g;
-  let source s =
-    let dist = Node_id.Tbl.create 64 in
-    let sigma = Node_id.Tbl.create 64 in
-    let preds = Node_id.Tbl.create 64 in
-    let order = ref [] in
-    let q = Queue.create () in
-    Node_id.Tbl.replace dist s 0;
-    Node_id.Tbl.replace sigma s 1.;
-    Queue.add s q;
-    while not (Queue.is_empty q) do
-      let v = Queue.pop q in
-      order := v :: !order;
-      let dv = Node_id.Tbl.find dist v in
-      let sv = Node_id.Tbl.find sigma v in
-      let visit w =
-        (match Node_id.Tbl.find_opt dist w with
-        | None ->
-          Node_id.Tbl.replace dist w (dv + 1);
-          Node_id.Tbl.replace sigma w 0.;
-          Queue.add w q
-        | Some _ -> ());
-        if Node_id.Tbl.find dist w = dv + 1 then begin
-          Node_id.Tbl.replace sigma w (Node_id.Tbl.find sigma w +. sv);
-          let ps = Option.value (Node_id.Tbl.find_opt preds w) ~default:[] in
-          Node_id.Tbl.replace preds w (v :: ps)
-        end
-      in
-      Adjacency.iter_neighbors visit g v
+  let csr = Csr.of_adjacency g in
+  let n = Csr.num_nodes csr in
+  let bc = Array.make n 0. in
+  let dist = Array.make n (-1) in
+  let sigma = Array.make n 0. in
+  let delta = Array.make n 0. in
+  let order = Array.make (max 1 n) 0 in
+  for s = 0 to n - 1 do
+    Array.fill dist 0 n (-1);
+    Array.fill sigma 0 n 0.;
+    Array.fill delta 0 n 0.;
+    (* forward: BFS settle order + shortest-path counts *)
+    dist.(s) <- 0;
+    sigma.(s) <- 1.;
+    order.(0) <- s;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let v = order.(!head) in
+      incr head;
+      let dv = dist.(v) in
+      Csr.iter_row
+        (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dv + 1;
+            order.(!tail) <- w;
+            incr tail
+          end;
+          if dist.(w) = dv + 1 then sigma.(w) <- sigma.(w) +. sigma.(v))
+        csr v
     done;
-    let delta = Node_id.Tbl.create 64 in
-    let dependency w =
-      let dw = Option.value (Node_id.Tbl.find_opt delta w) ~default:0. in
-      let sw = Node_id.Tbl.find sigma w in
-      let credit v =
-        let sv = Node_id.Tbl.find sigma v in
-        let dv = Option.value (Node_id.Tbl.find_opt delta v) ~default:0. in
-        Node_id.Tbl.replace delta v (dv +. (sv /. sw *. (1. +. dw)))
-      in
-      List.iter credit (Option.value (Node_id.Tbl.find_opt preds w) ~default:[]);
-      if not (Node_id.equal w s) then
-        Node_id.Tbl.replace bc w (Node_id.Tbl.find bc w +. dw)
-    in
-    List.iter dependency !order
-  in
-  Adjacency.iter_nodes source g;
+    (* backward: dependencies in reverse settle order *)
+    for k = !tail - 1 downto 0 do
+      let w = order.(k) in
+      let dw = delta.(w) in
+      let sw = sigma.(w) in
+      Csr.iter_row
+        (fun v ->
+          if dist.(v) = dist.(w) - 1 then
+            delta.(v) <- delta.(v) +. (sigma.(v) /. sw *. (1. +. dw)))
+        csr w;
+      if w <> s then bc.(w) <- bc.(w) +. dw
+    done
+  done;
+  let tbl = Node_id.Tbl.create (max 16 n) in
   (* each unordered pair was counted twice (once per endpoint as source) *)
-  Node_id.Tbl.iter (fun v x -> Node_id.Tbl.replace bc v (x /. 2.)) bc;
-  bc
+  for i = 0 to n - 1 do
+    Node_id.Tbl.replace tbl (Csr.id csr i) (bc.(i) /. 2.)
+  done;
+  tbl
 
 let degree_centrality g =
-  let t = Node_id.Tbl.create 64 in
+  let t = Node_id.Tbl.create (max 16 (Adjacency.num_nodes g)) in
   Adjacency.iter_nodes (fun v -> Node_id.Tbl.replace t v (Adjacency.degree g v)) g;
   t
 

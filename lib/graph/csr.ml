@@ -1,0 +1,126 @@
+type t = {
+  n : int;
+  offsets : int array; (* length n+1; row i is neighbors.(offsets.(i) .. offsets.(i+1)-1) *)
+  neighbors : int array; (* dense indices; each row ascending *)
+  ids : Node_id.t array; (* dense index -> node id, ascending *)
+  index_tbl : int Node_id.Tbl.t; (* node id -> dense index *)
+}
+
+let of_adjacency g =
+  let n = Adjacency.num_nodes g in
+  let ids = Array.make n 0 in
+  let k = ref 0 in
+  Adjacency.iter_nodes
+    (fun v ->
+      ids.(!k) <- v;
+      incr k)
+    g;
+  Array.sort Node_id.compare ids;
+  let index_tbl = Node_id.Tbl.create (max 16 n) in
+  Array.iteri (fun i v -> Node_id.Tbl.replace index_tbl v i) ids;
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- offsets.(i) + Adjacency.degree g ids.(i)
+  done;
+  let neighbors = Array.make offsets.(n) 0 in
+  let pos = ref 0 in
+  for i = 0 to n - 1 do
+    (* Set iteration is ascending in node id and the dense indexing is
+       order-preserving, so each row comes out ascending in dense index. *)
+    Adjacency.iter_neighbors
+      (fun u ->
+        neighbors.(!pos) <- Node_id.Tbl.find index_tbl u;
+        incr pos)
+      g ids.(i)
+  done;
+  { n; offsets; neighbors; ids; index_tbl }
+
+let num_nodes t = t.n
+let num_edges t = Array.length t.neighbors / 2
+let id t i = t.ids.(i)
+let index t v = Node_id.Tbl.find_opt t.index_tbl v
+let degree t i = t.offsets.(i + 1) - t.offsets.(i)
+
+let iter_row f t i =
+  for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
+    f t.neighbors.(k)
+  done
+
+let components t =
+  let comp = Array.make t.n (-1) in
+  let stack = Array.make (max 1 t.n) 0 in
+  let count = ref 0 in
+  for v = 0 to t.n - 1 do
+    if comp.(v) < 0 then begin
+      let c = !count in
+      incr count;
+      comp.(v) <- c;
+      stack.(0) <- v;
+      let top = ref 1 in
+      while !top > 0 do
+        decr top;
+        let u = stack.(!top) in
+        for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+          let w = t.neighbors.(k) in
+          if comp.(w) < 0 then begin
+            comp.(w) <- c;
+            stack.(!top) <- w;
+            incr top
+          end
+        done
+      done
+    end
+  done;
+  (comp, !count)
+
+type scratch = {
+  dist : int array;
+  queue : int array; (* flat FIFO; a vertex enters at most once, so no wrap *)
+  mutable touched : int; (* queue.(0 .. touched-1) were settled by the last run *)
+}
+
+let scratch t =
+  { dist = Array.make (max 1 t.n) (-1); queue = Array.make (max 1 t.n) 0; touched = 0 }
+
+let bfs t s src =
+  let dist = s.dist and q = s.queue in
+  (* undo only what the previous run wrote *)
+  for k = 0 to s.touched - 1 do
+    dist.(q.(k)) <- -1
+  done;
+  let offsets = t.offsets and neighbors = t.neighbors in
+  dist.(src) <- 0;
+  q.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let v = q.(!head) in
+    incr head;
+    let dv = dist.(v) + 1 in
+    for k = offsets.(v) to offsets.(v + 1) - 1 do
+      let u = neighbors.(k) in
+      if dist.(u) < 0 then begin
+        dist.(u) <- dv;
+        q.(!tail) <- u;
+        incr tail
+      end
+    done
+  done;
+  s.touched <- !tail;
+  dist
+
+let visited_count s = s.touched
+let visited s k = s.queue.(k)
+let max_dist s = if s.touched = 0 then 0 else s.dist.(s.queue.(s.touched - 1))
+
+let distances t v =
+  match index t v with
+  | None -> Node_id.Tbl.create 1
+  | Some src ->
+    let s = scratch t in
+    let dist = bfs t s src in
+    let tbl = Node_id.Tbl.create (max 16 s.touched) in
+    for k = 0 to s.touched - 1 do
+      let i = s.queue.(k) in
+      Node_id.Tbl.replace tbl t.ids.(i) dist.(i)
+    done;
+    tbl

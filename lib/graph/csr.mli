@@ -1,0 +1,79 @@
+(** Immutable compressed-sparse-row snapshot of an {!Adjacency.t}.
+
+    The hashtable-of-functional-sets representation is right for the heal
+    path (cheap edge churn), but the metrics/verification pipeline is
+    read-only and BFS-dominated: repeated all-pairs BFS over hashtables
+    allocates a set node per edge visit and chases pointers everywhere. A
+    [Csr.t] is the flat, cache-friendly read path: node ids are mapped to a
+    dense index [0 .. n-1] (in increasing id order, so dense order = sorted
+    id order), adjacency lives in two int arrays ([offsets]/[neighbors]),
+    and the BFS kernel below works entirely in preallocated int arrays —
+    steady-state BFS allocates nothing.
+
+    A snapshot is built in one pass and never mutated; it is therefore safe
+    to share, without locks, across the domains of {!Parallel}. Take a new
+    snapshot after the graph changes. *)
+
+type t
+
+(** [of_adjacency g] snapshots [g]. O(n log n + m). Rows are sorted by
+    dense index (equivalently: by node id, ascending). *)
+val of_adjacency : Adjacency.t -> t
+
+val num_nodes : t -> int
+
+(** Undirected edge count. *)
+val num_edges : t -> int
+
+(** [id t i] is the node id at dense index [i] (raises on out-of-range). *)
+val id : t -> int -> Node_id.t
+
+(** [index t v] is [v]'s dense index, or [None] if [v] is not in the
+    snapshot. *)
+val index : t -> Node_id.t -> int option
+
+(** [degree t i] of the node at dense index [i]. *)
+val degree : t -> int -> int
+
+(** [iter_row f t i] applies [f] to each neighbor (as a dense index) of
+    dense index [i], in increasing order. *)
+val iter_row : (int -> unit) -> t -> int -> unit
+
+(** [components t] is [(comp, count)]: [comp.(i)] is the connected-component
+    label (in [0 .. count-1]) of dense index [i]; labels are assigned in
+    increasing order of the component's smallest dense index. *)
+val components : t -> int array * int
+
+(** {1 BFS kernel}
+
+    A {!scratch} holds the distance array and the flat queue for one
+    worker. Reuse it across sources: resetting costs O(visited by the
+    previous run), not O(n), and no allocation happens after creation.
+    A scratch is single-owner mutable state — one per domain. *)
+
+type scratch
+
+(** [scratch t] allocates a scratch sized for [t]. *)
+val scratch : t -> scratch
+
+(** [bfs t s src] runs BFS from dense index [src] and returns the distance
+    array: [d.(i)] is the hop distance, or [-1] if [i] is unreachable. The
+    array is owned by [s] and valid only until the next [bfs] on [s]. *)
+val bfs : t -> scratch -> int -> int array
+
+(** Number of nodes reached by the last [bfs] (including the source). *)
+val visited_count : scratch -> int
+
+(** [visited s k] is the dense index of the [k]-th node settled by the last
+    [bfs] ([0 <= k < visited_count s]); [visited s 0] is the source. *)
+val visited : scratch -> int -> int
+
+(** Eccentricity of the last [bfs] source within its component: the
+    distance of the last settled node ([0] if the source is isolated). *)
+val max_dist : scratch -> int
+
+(** {1 Convenience (allocating) — for oracles and cross-checks} *)
+
+(** [distances t v] is the same table {!Bfs.distances} would produce:
+    reachable node id -> hop distance. [Empty] if [v] is not in [t]. *)
+val distances : t -> Node_id.t -> int Node_id.Tbl.t

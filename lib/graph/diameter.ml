@@ -1,34 +1,76 @@
-let exact g =
-  Adjacency.fold_nodes (fun v acc -> max acc (Bfs.eccentricity g v)) g 0
+(* All-pairs sweeps run on a CSR snapshot: one snapshot build, then a dense
+   BFS per source, fanned across domains by [Parallel.map]. Per-source
+   results are reduced in dense-index (= sorted node id) order, so every
+   quantity below is byte-identical for any domain count. *)
+
+let exact ?domains g =
+  let csr = Csr.of_adjacency g in
+  let n = Csr.num_nodes csr in
+  let ecc =
+    Parallel.map ?domains
+      ~init:(fun () -> Csr.scratch csr)
+      ~f:(fun s i ->
+        ignore (Csr.bfs csr s i);
+        Csr.max_dist s)
+      n
+  in
+  Array.fold_left max 0 ecc
 
 let two_sweep g =
-  match Adjacency.nodes g with
-  | [] -> 0
-  | v :: _ ->
-    let u, _ = Bfs.farthest g v in
-    snd (Bfs.farthest g u)
+  let csr = Csr.of_adjacency g in
+  let n = Csr.num_nodes csr in
+  if n = 0 then 0
+  else begin
+    let s = Csr.scratch csr in
+    (* farthest node with ties broken by smallest id: dense index order is
+       id order, so the first strict improvement wins *)
+    let farthest src =
+      let dist = Csr.bfs csr s src in
+      let best = ref src and bd = ref 0 in
+      for i = 0 to n - 1 do
+        if dist.(i) > !bd then begin
+          best := i;
+          bd := dist.(i)
+        end
+      done;
+      (!best, !bd)
+    in
+    let u, _ = farthest 0 in
+    snd (farthest u)
+  end
 
-let radius g =
-  let best =
-    Adjacency.fold_nodes
-      (fun v acc ->
-        let e = Bfs.eccentricity g v in
-        match acc with None -> Some e | Some r -> Some (min r e))
-      g None
-  in
-  Option.value best ~default:0
+let radius ?domains g =
+  let csr = Csr.of_adjacency g in
+  let n = Csr.num_nodes csr in
+  if n = 0 then 0
+  else begin
+    let ecc =
+      Parallel.map ?domains
+        ~init:(fun () -> Csr.scratch csr)
+        ~f:(fun s i ->
+          ignore (Csr.bfs csr s i);
+          Csr.max_dist s)
+        n
+    in
+    Array.fold_left min ecc.(0) ecc
+  end
 
-let average_path_length g =
-  let total = ref 0 and pairs = ref 0 in
-  let visit v =
-    let dist = Bfs.distances g v in
-    Node_id.Tbl.iter
-      (fun u d ->
-        if not (Node_id.equal u v) then begin
-          total := !total + d;
-          incr pairs
-        end)
-      dist
+let average_path_length ?domains g =
+  let csr = Csr.of_adjacency g in
+  let n = Csr.num_nodes csr in
+  let sums =
+    Parallel.map ?domains
+      ~init:(fun () -> Csr.scratch csr)
+      ~f:(fun s i ->
+        let dist = Csr.bfs csr s i in
+        let total = ref 0 in
+        for k = 1 to Csr.visited_count s - 1 do
+          total := !total + dist.(Csr.visited s k)
+        done;
+        (!total, Csr.visited_count s - 1))
+      n
   in
-  Adjacency.iter_nodes visit g;
-  if !pairs = 0 then 0. else float_of_int !total /. float_of_int !pairs
+  let total, pairs =
+    Array.fold_left (fun (t, p) (ti, pi) -> (t + ti, p + pi)) (0, 0) sums
+  in
+  if pairs = 0 then 0. else float_of_int total /. float_of_int pairs

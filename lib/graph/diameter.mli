@@ -2,20 +2,26 @@
 
     The Forgiving Tree baseline is stated in terms of diameter blow-up, so
     experiment E7 needs both the exact diameter (small graphs) and a cheap
-    two-sweep lower bound (large graphs). *)
+    two-sweep lower bound (large graphs).
+
+    The all-pairs entry points snapshot the graph once ({!Csr}) and fan the
+    per-source BFS across [?domains] domains ({!Parallel}; default: the
+    process-wide setting, 1 unless raised). Results are identical for any
+    domain count. *)
 
 (** [exact g] is the largest eccentricity within any single component;
     [0] for an empty or edgeless graph. Runs a BFS per node. *)
-val exact : Adjacency.t -> int
+val exact : ?domains:int -> Adjacency.t -> int
 
-(** [two_sweep g] is a classic lower bound: BFS from an arbitrary node,
-    then BFS from the farthest node found. Exact on trees. *)
+(** [two_sweep g] is a classic lower bound: BFS from the smallest node id,
+    then BFS from the farthest node found (ties to the smallest id).
+    Exact on trees. *)
 val two_sweep : Adjacency.t -> int
 
 (** [radius g] is the smallest eccentricity over nodes (per component
     maximum). *)
-val radius : Adjacency.t -> int
+val radius : ?domains:int -> Adjacency.t -> int
 
 (** [average_path_length g] averages hop distance over all connected
     ordered pairs; [0.] when no such pair exists. *)
-val average_path_length : Adjacency.t -> float
+val average_path_length : ?domains:int -> Adjacency.t -> float

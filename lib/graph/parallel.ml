@@ -1,0 +1,56 @@
+let available () = Domain.recommended_domain_count ()
+
+(* Explicit requests may use up to 2 domains even on a single-core host:
+   oversubscription is safe (just not faster), and it keeps the
+   multi-domain code path exercisable by tests on any machine. *)
+let clamp d = max 1 (min d (max 2 (available ())))
+let default_domains = ref 1
+let default () = !default_domains
+let set_default d = default_domains := clamp d
+
+let resolve = function None -> !default_domains | Some d -> clamp d
+
+let map ?domains ~init ~f n =
+  let d = min (resolve domains) (max 1 n) in
+  if d <= 1 then begin
+    if n = 0 then [||]
+    else begin
+      let s = init () in
+      let out = Array.make n (f s 0) in
+      for i = 1 to n - 1 do
+        out.(i) <- f s i
+      done;
+      out
+    end
+  end
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let s = init () in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f s i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let doms = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+    let main_exn = (try worker (); None with e -> Some e) in
+    let child_exn =
+      Array.fold_left
+        (fun acc dom ->
+          match (try Domain.join dom; None with e -> Some e) with
+          | Some _ as e when acc = None -> e
+          | _ -> acc)
+        None doms
+    in
+    (match (main_exn, child_exn) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ());
+    Array.map (function Some x -> x | None -> assert false) results
+  end
+
+let iter ?domains ~init ~f n = ignore (map ?domains ~init ~f n)

@@ -1,0 +1,47 @@
+(** Multicore fan-out for independent read-only work items (OCaml 5
+    domains), built for the BFS-heavy metrics/verification pipeline.
+
+    Design constraints, in order:
+
+    - {b Determinism}: results are delivered as an array indexed by work
+      item, so any reduction the caller performs runs in item order — the
+      same report comes out for {e any} domain count, byte for byte.
+    - {b Opt-in}: the process-wide default is [1] domain; every existing
+      entry point stays serial unless the user raises it (CLI
+      [--domains N]). The serial path does not touch domains at all.
+    - {b Simplicity}: the pool lives for one {!map} call — workers are
+      spawned, drain a shared atomic work counter, and are joined before
+      [map] returns. No persistent worker threads linger across calls
+      (nothing to shut down, nothing to leak into forks or tests); spawn
+      cost is microseconds against BFS work units of milliseconds.
+
+    Work functions must be safe to run concurrently: they may freely read
+    shared immutable data (e.g. {!Csr.t}) but must confine mutation to the
+    per-worker scratch created by [init]. *)
+
+(** Upper bound for useful domain counts:
+    [Domain.recommended_domain_count ()]. *)
+val available : unit -> int
+
+(** The process-wide default used when [?domains] is omitted; starts at 1. *)
+val default : unit -> int
+
+(** [set_default d] clamps [d] to [\[1, max 2 (available ())\]] and
+    installs it (the floor of 2 keeps the multi-domain path exercisable on
+    single-core hosts — oversubscription is safe, just not faster). *)
+val set_default : int -> unit
+
+(** [resolve d] is [d] clamped as in {!set_default}, or [default ()] when
+    [d = None]. *)
+val resolve : int option -> int
+
+(** [map ?domains ~init ~f n] computes [|f s 0; f s 1; ...; f s (n-1)|]
+    where each worker domain gets its own scratch [s = init ()]. Items are
+    distributed dynamically (shared counter), but the result array is
+    indexed by item, so the outcome is independent of scheduling. With
+    [domains = 1] (the default) this is a plain serial loop on the calling
+    domain. *)
+val map : ?domains:int -> init:(unit -> 's) -> f:('s -> int -> 'a) -> int -> 'a array
+
+(** [iter ?domains ~init ~f n] is {!map} without collecting results. *)
+val iter : ?domains:int -> init:(unit -> 's) -> f:('s -> int -> unit) -> int -> unit

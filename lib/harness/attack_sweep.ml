@@ -20,9 +20,9 @@ let measure_both ?(seed = Exp_common.default_seed) ?(exact_limit = 400) (h : Hea
   let degree = Fg_metrics.Degree_metric.measure ~graph ~gprime ~nodes:live in
   let stretch =
     if List.length live <= exact_limit then
-      Fg_metrics.Stretch.exact ~graph ~reference:gprime ~nodes:live
+      Fg_metrics.Stretch.exact ~graph ~reference:gprime live
     else
       Fg_metrics.Stretch.sampled (Rng.create (seed + 1)) ~k:48 ~graph ~reference:gprime
-        ~nodes:live
+        live
   in
   (degree, stretch)

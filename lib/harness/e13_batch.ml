@@ -25,7 +25,7 @@ let helpers_of (trace : Rt.heal_trace) =
 
 let max_stretch fg =
   let live = Fg.live_nodes fg in
-  (Fg_metrics.Stretch.exact ~graph:(Fg.graph fg) ~reference:(Fg.gprime fg) ~nodes:live)
+  (Fg_metrics.Stretch.exact ~graph:(Fg.graph fg) ~reference:(Fg.gprime fg) live)
     .Fg_metrics.Stretch.max_stretch
 
 let one ~n ~batch_size =

@@ -53,7 +53,7 @@ let one ~steps ~mix_name ~p_delete ~ins_name ~ins =
        ~ins ~first_id:n0);
   let live = Fg.live_nodes fg in
   let stretch =
-    Fg_metrics.Stretch.exact ~graph:(Fg.graph fg) ~reference:(Fg.gprime fg) ~nodes:live
+    Fg_metrics.Stretch.exact ~graph:(Fg.graph fg) ~reference:(Fg.gprime fg) live
   in
   let degree =
     Fg_metrics.Degree_metric.measure ~graph:(Fg.graph fg) ~gprime:(Fg.gprime fg)

@@ -20,10 +20,17 @@ let families =
     ("tree", fun _rng n -> Fg_graph.Generators.binary_tree n);
   ]
 
-(* Observability wrapper used by the CLI and the experiment driver: stream
-   a JSONL trace of the run to [trace], and/or record the global heal-path
-   metrics and print them (then reset the registry) when [metrics]. *)
-let with_observability ?trace ?(metrics = false) f =
+(* Observability + parallelism wrapper used by the CLI and the experiment
+   driver: stream a JSONL trace of the run to [trace], record the global
+   heal-path metrics and print them (then reset the registry) when
+   [metrics], and raise the process-wide domain count for the metric
+   kernels ([--domains N]) for the duration of [f]. *)
+let with_observability ?trace ?(metrics = false) ?domains f =
+  let prev_domains = Fg_graph.Parallel.default () in
+  Option.iter Fg_graph.Parallel.set_default domains;
+  let f () =
+    Fun.protect ~finally:(fun () -> Fg_graph.Parallel.set_default prev_domains) f
+  in
   let oc =
     Option.map
       (fun path ->

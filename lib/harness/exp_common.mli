@@ -12,12 +12,16 @@ val default_seed : int
 (** The graph families used by the attack sweeps: name, generator. *)
 val families : (string * (Fg_graph.Rng.t -> int -> Fg_graph.Adjacency.t)) list
 
-(** [with_observability ?trace ?metrics f] runs [f] with the requested
-    telemetry: [trace] streams a {!Fg_obs} JSONL trace to that file, and
-    [metrics] records the global counter/histogram registry, printing and
-    resetting it afterwards. Exception-safe; both default to off, so this
-    is a transparent wrapper for every E0–E14 experiment. *)
-val with_observability : ?trace:string -> ?metrics:bool -> (unit -> 'a) -> 'a
+(** [with_observability ?trace ?metrics ?domains f] runs [f] with the
+    requested telemetry: [trace] streams a {!Fg_obs} JSONL trace to that
+    file, and [metrics] records the global counter/histogram registry,
+    printing and resetting it afterwards. [domains] raises the
+    process-wide {!Fg_graph.Parallel} domain count for the duration of
+    [f] (the metric kernels' reports do not depend on it — only their
+    wall-clock does). Exception-safe; everything defaults to off/serial,
+    so this is a transparent wrapper for every E0–E14 experiment. *)
+val with_observability :
+  ?trace:string -> ?metrics:bool -> ?domains:int -> (unit -> 'a) -> 'a
 
 (** Emit a CSV file under [results/] (created on demand); returns path. *)
 val write_csv : name:string -> Table.t -> string

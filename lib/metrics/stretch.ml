@@ -1,5 +1,7 @@
 module Node_id = Fg_graph.Node_id
 module Bfs = Fg_graph.Bfs
+module Csr = Fg_graph.Csr
+module Parallel = Fg_graph.Parallel
 
 type report = {
   max_stretch : float;
@@ -9,43 +11,179 @@ type report = {
   disconnected : int;
 }
 
-let measure ~graph ~reference ~sources ~targets =
-  let max_stretch = ref 0. in
-  let witness = ref None in
-  let sum = ref 0. in
-  let pairs = ref 0 in
-  let disconnected = ref 0 in
-  let from x =
-    let dg = Bfs.distances graph x in
-    let dr = Bfs.distances reference x in
-    let check y =
-      if not (Node_id.equal x y) then
-        match (Node_id.Tbl.find_opt dg y, Node_id.Tbl.find_opt dr y) with
-        | Some d, Some d' when d' > 0 ->
-          let s = float_of_int d /. float_of_int d' in
-          incr pairs;
-          sum := !sum +. s;
-          if s > !max_stretch then begin
-            max_stretch := s;
-            witness := Some (x, y)
-          end
-        | None, Some _ -> incr disconnected
-        | _ -> ()
-    in
-    List.iter check targets
-  in
-  List.iter from sources;
-  {
-    max_stretch = !max_stretch;
-    witness = !witness;
-    mean_stretch = (if !pairs = 0 then 0. else !sum /. float_of_int !pairs);
-    pairs = !pairs;
-    disconnected = !disconnected;
-  }
+(* ---- CSR fast path ----
 
-let exact ~graph ~reference ~nodes =
-  let sorted = List.sort Node_id.compare nodes in
+   One snapshot per (graph, reference) pair, then a dense BFS pair per
+   source, fanned across domains. Each source produces an independent
+   [partial]; partials are merged strictly in source order, so the report
+   is byte-identical for every domain count. *)
+
+type snapshot = {
+  g : Csr.t;
+  r : Csr.t;
+  r_comp : int array; (* reference component labels, for the no-BFS fallback *)
+  build_ms : float;
+}
+
+type partial = {
+  p_max : float;
+  p_wit : (Node_id.t * Node_id.t) option;
+  p_sum : float;
+  p_pairs : int;
+  p_disc : int;
+  p_runs : int; (* BFS kernel invocations this source actually needed *)
+}
+
+let zero_partial =
+  { p_max = 0.; p_wit = None; p_sum = 0.; p_pairs = 0; p_disc = 0; p_runs = 0 }
+
+let snapshot ~graph ~reference =
+  let t0 = Fg_obs.Trace.wall_clock () in
+  let g = Csr.of_adjacency graph in
+  let r = Csr.of_adjacency reference in
+  let r_comp, _ = Csr.components r in
+  let build_ms = (Fg_obs.Trace.wall_clock () -. t0) *. 1000. in
+  { g; r; r_comp; build_ms }
+
+let dense_of snap t_id =
+  let t_g =
+    Array.map (fun v -> match Csr.index snap.g v with Some i -> i | None -> -1) t_id
+  in
+  let t_r =
+    Array.map (fun v -> match Csr.index snap.r v with Some i -> i | None -> -1) t_id
+  in
+  (t_g, t_r)
+
+(* Evaluate one source against targets [from ..]. Semantics of the
+   original hashtable path, per target y:
+   - y reachable from x in both graphs (and y <> x): a measured pair;
+   - y reachable in reference only: a disconnected pair;
+   - otherwise: ignored. *)
+let eval_source snap (gs, rs) ~t_id ~t_g ~t_r ~from x_id =
+  match Csr.index snap.r x_id with
+  | None -> zero_partial (* no reference distances: nothing can be counted *)
+  | Some xr ->
+    let g_deg =
+      match Csr.index snap.g x_id with
+      | None -> 0
+      | Some gi -> Csr.degree snap.g gi
+    in
+    if g_deg = 0 then begin
+      (* source disconnected in [graph]: every reference-connected target
+         is a broken pair — read it off the component labels, skipping
+         both BFS runs entirely *)
+      let cx = snap.r_comp.(xr) in
+      let disc = ref 0 in
+      for j = from to Array.length t_id - 1 do
+        let tr = t_r.(j) in
+        if tr >= 0 && tr <> xr && snap.r_comp.(tr) = cx then incr disc
+      done;
+      { zero_partial with p_disc = !disc }
+    end
+    else begin
+      let gi = match Csr.index snap.g x_id with Some i -> i | None -> assert false in
+      let dg = Csr.bfs snap.g gs gi in
+      let dr = Csr.bfs snap.r rs xr in
+      let max_s = ref 0. and wit = ref None and sum = ref 0. in
+      let pairs = ref 0 and disc = ref 0 in
+      for j = from to Array.length t_id - 1 do
+        let tr = t_r.(j) in
+        let d' = if tr >= 0 then dr.(tr) else -1 in
+        (* d' = 0 iff target = source: never counted *)
+        if d' > 0 then begin
+          let tg = t_g.(j) in
+          let d = if tg >= 0 then dg.(tg) else -1 in
+          if d >= 0 then begin
+            let s = float_of_int d /. float_of_int d' in
+            incr pairs;
+            sum := !sum +. s;
+            if s > !max_s then begin
+              max_s := s;
+              wit := Some (x_id, t_id.(j))
+            end
+          end
+          else incr disc
+        end
+      done;
+      {
+        p_max = !max_s;
+        p_wit = !wit;
+        p_sum = !sum;
+        p_pairs = !pairs;
+        p_disc = !disc;
+        p_runs = 2;
+      }
+    end
+
+(* Merge in source order: float sums and the strict-> max/witness rule see
+   sources exactly as the serial loop would. *)
+let merge parts =
+  let max_s = ref 0. and wit = ref None and sum = ref 0. in
+  let pairs = ref 0 and disc = ref 0 and runs = ref 0 in
+  Array.iter
+    (fun p ->
+      if p.p_max > !max_s then begin
+        max_s := p.p_max;
+        wit := p.p_wit
+      end;
+      sum := !sum +. p.p_sum;
+      pairs := !pairs + p.p_pairs;
+      disc := !disc + p.p_disc;
+      runs := !runs + p.p_runs)
+    parts;
+  ( {
+      max_stretch = !max_s;
+      witness = !wit;
+      mean_stretch = (if !pairs = 0 then 0. else !sum /. float_of_int !pairs);
+      pairs = !pairs;
+      disconnected = !disc;
+    },
+    !runs )
+
+let run_kernel ?domains ~graph ~reference ~sources ~t_id ~from_of () =
+  Fg_obs.Trace.with_span "metrics.stretch" @@ fun sp ->
+  let snap = snapshot ~graph ~reference in
+  let t_g, t_r = dense_of snap t_id in
+  let domains = Parallel.resolve domains in
+  let parts =
+    Parallel.map ~domains
+      ~init:(fun () -> (Csr.scratch snap.g, Csr.scratch snap.r))
+      ~f:(fun scratch i ->
+        eval_source snap scratch ~t_id ~t_g ~t_r ~from:(from_of i) sources.(i))
+      (Array.length sources)
+  in
+  let report, runs = merge parts in
+  Fg_obs.Trace.attr sp "csr_build_ms" (Fg_obs.Event.Float snap.build_ms);
+  Fg_obs.Trace.attr sp "bfs_sources" (Fg_obs.Event.Int (Array.length sources));
+  Fg_obs.Trace.attr sp "domains" (Fg_obs.Event.Int domains);
+  Fg_obs.Trace.count_span sp "metrics.bfs_runs" runs;
+  Fg_obs.Metrics.incr ~n:runs "metrics.bfs_runs";
+  report
+
+let measure ?domains ~graph ~reference ~sources targets =
+  let t_id = Array.of_list targets in
+  let sources = Array.of_list sources in
+  run_kernel ?domains ~graph ~reference ~sources ~t_id ~from_of:(fun _ -> 0) ()
+
+let exact ?domains ~graph ~reference nodes =
+  let t_id = Array.of_list (List.sort Node_id.compare nodes) in
   (* avoid double-counting: source x only measures targets y > x *)
+  run_kernel ?domains ~graph ~reference ~sources:t_id ~t_id
+    ~from_of:(fun i -> i + 1) ()
+
+let sampled ?domains rng ~k ~graph ~reference nodes =
+  let t_id = Array.of_list (List.sort Node_id.compare nodes) in
+  let sources = Fg_graph.Rng.sample rng k t_id in
+  run_kernel ?domains ~graph ~reference ~sources ~t_id ~from_of:(fun _ -> 0) ()
+
+(* ---- hashtable oracle ----
+
+   The original implementation, kept verbatim as the reference for
+   cross-check tests of the CSR kernel. One [Bfs.distances] hashtable per
+   (source, graph) — slow, obviously correct. *)
+
+let exact_tbl ~graph ~reference nodes =
+  let sorted = List.sort Node_id.compare nodes in
   let max_stretch = ref 0. in
   let witness = ref None in
   let sum = ref 0. in
@@ -78,11 +216,6 @@ let exact ~graph ~reference ~nodes =
     pairs = !pairs;
     disconnected = !disconnected;
   }
-
-let sampled rng ~k ~graph ~reference ~nodes =
-  let arr = Array.of_list (List.sort Node_id.compare nodes) in
-  let sources = Array.to_list (Fg_graph.Rng.sample rng k arr) in
-  measure ~graph ~reference ~sources ~targets:(Array.to_list arr)
 
 let pp_report ppf r =
   let pp_wit ppf = function

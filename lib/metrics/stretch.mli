@@ -4,7 +4,22 @@
     [stretch(x, y) = dist(x, y, G) / dist(x, y, G')] over live pairs,
     where [G] is the healed network and [G'] the insert-only reference
     (which may route through dead nodes). Theorem 1.2 bounds the maximum
-    by [ceil(log2 n)]. *)
+    by [ceil(log2 n)].
+
+    Implementation: each entry point snapshots both graphs once
+    ({!Fg_graph.Csr}) and runs a dense, allocation-free BFS pair per
+    source, fanned across [?domains] domains ({!Fg_graph.Parallel};
+    default: the process-wide setting, 1 unless raised via [--domains]).
+    Per-source results are reduced in source order, so the report —
+    including float fields and the witness — is byte-identical for any
+    domain count. Sources with no live neighbor in [graph] skip both BFS
+    runs: their broken pairs are read off precomputed reference component
+    labels.
+
+    Each call emits a [metrics.stretch] span (attributes [csr_build_ms],
+    [bfs_sources], [domains]; counter [metrics.bfs_runs]) when an
+    {!Fg_obs} sink is installed, and bumps the [metrics.bfs_runs] global
+    counter when recording. *)
 
 module Node_id := Fg_graph.Node_id
 
@@ -17,23 +32,47 @@ type report = {
                            healer preserves connectivity) *)
 }
 
-(** [exact ~graph ~reference ~nodes] measures every unordered pair of
-    [nodes] (one BFS per node on each graph). *)
-val exact :
+(** [measure ~graph ~reference ~sources targets] measures every
+    (source, target) pair with [source <> target], counting each ordered
+    occurrence — the building block of {!exact} and {!sampled}. (The
+    target/node list is positional so that [?domains] can be erased.) *)
+val measure :
+  ?domains:int ->
   graph:Fg_graph.Adjacency.t ->
   reference:Fg_graph.Adjacency.t ->
-  nodes:Node_id.t list ->
+  sources:Node_id.t list ->
+  Node_id.t list ->
   report
 
-(** [sampled rng ~k ~graph ~reference ~nodes] measures BFS from [k] sampled
+(** [exact ~graph ~reference nodes] measures every unordered pair of
+    [nodes] (one BFS per node on each graph). *)
+val exact :
+  ?domains:int ->
+  graph:Fg_graph.Adjacency.t ->
+  reference:Fg_graph.Adjacency.t ->
+  Node_id.t list ->
+  report
+
+(** [sampled rng ~k ~graph ~reference nodes] measures BFS from [k] sampled
     sources against all of [nodes] — an unbiased under-estimate of the max,
     for large sweeps. *)
 val sampled :
+  ?domains:int ->
   Fg_graph.Rng.t ->
   k:int ->
   graph:Fg_graph.Adjacency.t ->
   reference:Fg_graph.Adjacency.t ->
-  nodes:Node_id.t list ->
+  Node_id.t list ->
+  report
+
+(** The pre-CSR hashtable implementation of {!exact}, kept as the oracle
+    for cross-check tests. [max_stretch], [witness], [pairs] and
+    [disconnected] agree exactly with {!exact}; [mean_stretch] may differ
+    in the last bits (different float summation order). *)
+val exact_tbl :
+  graph:Fg_graph.Adjacency.t ->
+  reference:Fg_graph.Adjacency.t ->
+  Node_id.t list ->
   report
 
 val pp_report : Format.formatter -> report -> unit

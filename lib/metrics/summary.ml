@@ -1,42 +1,5 @@
-type t = {
-  n : int;
-  mean : float;
-  min : float;
-  max : float;
-  p50 : float;
-  p95 : float;
-  stddev : float;
-}
-
-let quantile q xs =
-  if xs = [] then invalid_arg "Summary.quantile: empty";
-  if q < 0. || q > 1. then invalid_arg "Summary.quantile: q out of range";
-  let sorted = Array.of_list (List.sort compare xs) in
-  let n = Array.length sorted in
-  let idx = int_of_float (Float.round (q *. float_of_int (n - 1))) in
-  sorted.(max 0 (min (n - 1) idx))
-
-let of_floats xs =
-  if xs = [] then invalid_arg "Summary.of_floats: empty";
-  let n = List.length xs in
-  let fn = float_of_int n in
-  let sum = List.fold_left ( +. ) 0. xs in
-  let mean = sum /. fn in
-  let var = List.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. xs /. fn in
-  {
-    n;
-    mean;
-    min = List.fold_left min infinity xs;
-    max = List.fold_left max neg_infinity xs;
-    p50 = quantile 0.5 xs;
-    p95 = quantile 0.95 xs;
-    stddev = sqrt var;
-  }
-
-let of_ints xs = of_floats (List.map float_of_int xs)
-let of_floats_opt xs = if xs = [] then None else Some (of_floats xs)
-let of_ints_opt xs = if xs = [] then None else Some (of_ints xs)
-
-let pp ppf s =
-  Format.fprintf ppf "n=%d mean=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f sd=%.2f" s.n
-    s.mean s.min s.p50 s.p95 s.max s.stddev
+(* Re-export: Summary moved to the dependency-free [fg_stats] library so
+   that [fg_obs] can summarise histograms without depending on this
+   library (which now depends on [fg_obs] for kernel instrumentation).
+   [Fg_metrics.Summary] remains the public name used by tables and CLIs. *)
+include Fg_stats.Summary

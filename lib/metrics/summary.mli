@@ -1,28 +1,7 @@
-(** Small statistics helpers for experiment tables. *)
+(** Alias of {!Fg_stats.Summary} (kept here so metric consumers keep
+    writing [Fg_metrics.Summary]); the implementation lives in [fg_stats]
+    to keep the [fg_obs] -> summaries edge free of cycles. *)
 
-type t = {
-  n : int;
-  mean : float;
-  min : float;
-  max : float;
-  p50 : float;
-  p95 : float;
-  stddev : float;
-}
-
-(** [of_floats xs] — raises [Invalid_argument] on the empty list. *)
-val of_floats : float list -> t
-
-val of_ints : int list -> t
-
-(** Total variants: [None] on the empty list. Use these at call sites that
-    can legitimately see no samples (e.g. sweeps where every pair is
-    disconnected). *)
-val of_floats_opt : float list -> t option
-
-val of_ints_opt : int list -> t option
-
-(** [quantile q xs] with [0 <= q <= 1], nearest-rank on sorted values. *)
-val quantile : float -> float list -> float
-
-val pp : Format.formatter -> t -> unit
+include module type of struct
+  include Fg_stats.Summary
+end

@@ -38,7 +38,7 @@ let counters t =
 let histograms t =
   Hashtbl.fold
     (fun k r acc ->
-      match Fg_metrics.Summary.of_floats_opt (List.rev !r) with
+      match Fg_stats.Summary.of_floats_opt (List.rev !r) with
       | Some s -> (k, s) :: acc
       | None -> acc)
     t.samples []
@@ -57,21 +57,21 @@ let pp ppf t =
   if hs <> [] then begin
     Format.fprintf ppf "histograms:@.";
     List.iter
-      (fun (k, s) -> Format.fprintf ppf "  %-28s %a@." k Fg_metrics.Summary.pp s)
+      (fun (k, s) -> Format.fprintf ppf "  %-28s %a@." k Fg_stats.Summary.pp s)
       hs
   end;
   if cs = [] && hs = [] then Format.fprintf ppf "(no metrics recorded)@."
 
 let to_json t =
-  let summary_json (s : Fg_metrics.Summary.t) =
+  let summary_json (s : Fg_stats.Summary.t) =
     Json.Obj
       [
-        ("n", Json.Int s.Fg_metrics.Summary.n);
-        ("mean", Json.Float s.Fg_metrics.Summary.mean);
-        ("min", Json.Float s.Fg_metrics.Summary.min);
-        ("p50", Json.Float s.Fg_metrics.Summary.p50);
-        ("p95", Json.Float s.Fg_metrics.Summary.p95);
-        ("max", Json.Float s.Fg_metrics.Summary.max);
+        ("n", Json.Int s.Fg_stats.Summary.n);
+        ("mean", Json.Float s.Fg_stats.Summary.mean);
+        ("min", Json.Float s.Fg_stats.Summary.min);
+        ("p50", Json.Float s.Fg_stats.Summary.p50);
+        ("p95", Json.Float s.Fg_stats.Summary.p95);
+        ("max", Json.Float s.Fg_stats.Summary.max);
       ]
   in
   Json.Obj

@@ -37,7 +37,7 @@ val samples : t -> string -> float list
     samples are omitted. *)
 val counters : t -> (string * int) list
 
-val histograms : t -> (string * Fg_metrics.Summary.t) list
+val histograms : t -> (string * Fg_stats.Summary.t) list
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Json.t

@@ -11,6 +11,7 @@ let () =
       ("will-tree", Test_will_tree.suite);
       ("adversary", Test_adversary.suite);
       ("metrics", Test_metrics.suite);
+      ("csr", Test_csr.suite);
       ("obs", Test_obs.suite);
       ("persistent", Test_persistent.suite);
       ("rt", Test_rt.suite);

@@ -5,7 +5,7 @@ open Fg_metrics
 
 let test_stretch_identity () =
   let g = Generators.ring 8 in
-  let r = Stretch.exact ~graph:g ~reference:g ~nodes:(Adjacency.nodes g) in
+  let r = Stretch.exact ~graph:g ~reference:g (Adjacency.nodes g) in
   Alcotest.(check (float 1e-9)) "max 1" 1.0 r.Stretch.max_stretch;
   Alcotest.(check (float 1e-9)) "mean 1" 1.0 r.Stretch.mean_stretch;
   Alcotest.(check int) "pairs C(8,2)" 28 r.Stretch.pairs;
@@ -17,7 +17,7 @@ let test_stretch_known_value () =
   let reference = Generators.ring 4 in
   let graph = Adjacency.copy reference in
   Adjacency.remove_edge graph 3 0;
-  let r = Stretch.exact ~graph ~reference ~nodes:[ 0; 1; 2; 3 ] in
+  let r = Stretch.exact ~graph ~reference [ 0; 1; 2; 3 ] in
   Alcotest.(check (float 1e-9)) "max 3" 3.0 r.Stretch.max_stretch;
   Alcotest.(check (option (pair int int))) "witness" (Some (0, 3)) r.Stretch.witness
 
@@ -26,23 +26,23 @@ let test_stretch_below_one_possible () =
   let reference = Generators.path 5 in
   let graph = Adjacency.copy reference in
   Adjacency.add_edge graph 0 4;
-  let r = Stretch.exact ~graph ~reference ~nodes:[ 0; 1; 2; 3; 4 ] in
+  let r = Stretch.exact ~graph ~reference [ 0; 1; 2; 3; 4 ] in
   Alcotest.(check bool) "mean < 1" true (r.Stretch.mean_stretch < 1.0)
 
 let test_stretch_disconnected_counted () =
   let reference = Generators.path 4 in
   let graph = Adjacency.copy reference in
   Adjacency.remove_edge graph 1 2;
-  let r = Stretch.exact ~graph ~reference ~nodes:[ 0; 1; 2; 3 ] in
+  let r = Stretch.exact ~graph ~reference [ 0; 1; 2; 3 ] in
   (* pairs (0,2) (0,3) (1,2) (1,3) broken *)
   Alcotest.(check int) "four broken" 4 r.Stretch.disconnected
 
 let test_stretch_sampled_subset () =
   let rng = Rng.create 3 in
   let g = Generators.erdos_renyi rng 60 0.1 in
-  let full = Stretch.exact ~graph:g ~reference:g ~nodes:(Adjacency.nodes g) in
+  let full = Stretch.exact ~graph:g ~reference:g (Adjacency.nodes g) in
   let sampled = Stretch.sampled (Rng.create 1) ~k:10 ~graph:g ~reference:g
-      ~nodes:(Adjacency.nodes g) in
+      (Adjacency.nodes g) in
   Alcotest.(check bool) "sampled <= exact pairs" true
     (sampled.Stretch.pairs <= full.Stretch.pairs);
   Alcotest.(check (float 1e-9)) "identity still 1" 1.0 sampled.Stretch.max_stretch

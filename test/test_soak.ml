@@ -33,7 +33,7 @@ let test_soak_ba_2048 () =
   (* sampled stretch against the bound *)
   let stretch =
     Fg_metrics.Stretch.sampled (Rng.create 1) ~k:24 ~graph:(Fg.graph fg)
-      ~reference:(Fg.gprime fg) ~nodes:(Fg.live_nodes fg)
+      ~reference:(Fg.gprime fg) (Fg.live_nodes fg)
   in
   Alcotest.(check bool) "stretch within bound" true
     (stretch.Fg_metrics.Stretch.max_stretch <= float_of_int (Fg.stretch_bound fg));
