@@ -111,6 +111,33 @@ let bfs_csr_vs_tbl =
           Staged.stage (fun () -> ignore (Fg_graph.Csr.bfs csr scratch src)));
     ]
 
+(* One more deletion on a churned BA graph, captured as a delta: the
+   incremental snapshot refresh vs a from-scratch rebuild (PR 3 — the
+   [Forgiving_graph.csr] cache takes the apply-delta path). *)
+let delta_fixture n =
+  let rng = Fg_graph.Rng.create 7 in
+  let g = Fg_graph.Generators.barabasi_albert rng n 3 in
+  let fg = Fg_core.Forgiving_graph.of_graph g in
+  for v = 0 to (n / 4) - 1 do
+    Fg_core.Forgiving_graph.delete fg v
+  done;
+  let before = Fg_graph.Csr.of_adjacency (Fg_core.Forgiving_graph.graph fg) in
+  let d, _ = Fg_core.Forgiving_graph.delete_delta fg (n / 4) in
+  let after = Fg_core.Forgiving_graph.graph fg in
+  (before, Fg_core.Delta.touched d, Fg_core.Delta.removed d, after)
+
+let csr_apply_delta =
+  Test.make_grouped ~name:"csr.apply-delta-vs-rebuild"
+    [
+      Test.make_indexed ~name:"rebuild" ~args:[ 256; 1024 ] (fun n ->
+          let _, _, _, after = delta_fixture n in
+          Staged.stage (fun () -> ignore (Fg_graph.Csr.of_adjacency after)));
+      Test.make_indexed ~name:"apply-delta" ~args:[ 256; 1024 ] (fun n ->
+          let before, touched, removed, after = delta_fixture n in
+          Staged.stage (fun () ->
+              ignore (Fg_graph.Csr.apply_delta before ~touched ~removed after)));
+    ]
+
 let stretch_parallel =
   Test.make_indexed ~name:"stretch.parallel" ~args:[ 1; 2; 4 ] (fun domains ->
       let fg = healed_fixture 256 in
@@ -169,7 +196,8 @@ let all_tests =
   Test.make_grouped ~name:"forgiving-graph"
     (haft_tests
     @ [ heal_star; heal_er_sequence; sim_star; dist_star; will_tree_star; stretch_exact;
-        csr_build; bfs_csr_vs_tbl; stretch_parallel; healer_compare; cascade ])
+        csr_build; csr_apply_delta; bfs_csr_vs_tbl; stretch_parallel; healer_compare;
+        cascade ])
 
 let benchmark () =
   let instances = Instance.[ monotonic_clock; minor_allocated ] in

@@ -76,7 +76,7 @@ let generate_cmd =
 
 (* ---- attack ---- *)
 
-let attack family seed n healer adversary fraction trace metrics domains =
+let attack family seed n healer adversary fraction paranoid trace metrics domains =
   with_obs trace metrics domains @@ fun () ->
   let del =
     try Fg_adversary.Adversary.deletion_of_name adversary
@@ -87,11 +87,23 @@ let attack family seed n healer adversary fraction trace metrics domains =
   in
   let g0 = make_graph family seed n in
   let h =
-    try Fg_baselines.Registry.by_name healer g0
-    with Not_found ->
-      Printf.eprintf "unknown healer %S; available: %s\n" healer
-        (String.concat ", " Fg_baselines.Registry.names);
-      exit 2
+    if paranoid then begin
+      if healer <> "fg" then begin
+        Printf.eprintf "--paranoid audits the \"fg\" healer only (got %S)\n" healer;
+        exit 2
+      end;
+      Fg_baselines.Healer.forgiving_graph_paranoid
+        ~on_violation:(fun errs ->
+          List.iter (Printf.eprintf "paranoid: delta invariant violated: %s\n") errs;
+          exit 1)
+        g0
+    end
+    else
+      try Fg_baselines.Registry.by_name healer g0
+      with Not_found ->
+        Printf.eprintf "unknown healer %S; available: %s\n" healer
+          (String.concat ", " Fg_baselines.Registry.names);
+        exit 2
   in
   let rng = Fg_graph.Rng.create (seed + 1) in
   let victims = Fg_adversary.Churn.delete_fraction rng h ~fraction ~del in
@@ -126,12 +138,21 @@ let attack_cmd =
   let fraction =
     Arg.(value & opt float 0.5 & info [ "fraction" ] ~doc:"Fraction of nodes to delete.")
   in
+  let paranoid =
+    Arg.(
+      value & flag
+      & info [ "paranoid" ]
+          ~doc:
+            "Audit every event with the O(delta) invariant check \
+             (fg healer only); exit 1 on the first violation. Output is \
+             otherwise identical.")
+  in
   let doc = "Adversarially delete nodes and report degree/stretch metrics." in
   Cmd.v
     (Cmd.info "attack" ~doc)
     Term.(
       const attack $ family_arg $ seed_arg $ n_arg $ healer $ adversary $ fraction
-      $ trace_arg $ metrics_arg $ domains_arg)
+      $ paranoid $ trace_arg $ metrics_arg $ domains_arg)
 
 (* ---- simulate ---- *)
 

@@ -34,6 +34,15 @@ let () =
         (String.concat ", " (List.map string_of_int (G.neighbors healed v))))
     [ 1; 7; 8 ];
 
+  (* [Fg.graph] returns the engine's own adjacency — read-only by
+     contract. For what-if edits, take an [Adjacency.copy] first; the
+     engine (and its cached snapshots) never sees the mutation. *)
+  let what_if = G.copy healed in
+  G.remove_edge what_if 1 8;
+  Format.printf "what-if copy connected without 1-8: %b (engine still has it: %b)@."
+    (Fg_graph.Connectivity.is_connected what_if)
+    (G.mem_edge (Fg.graph fg) 1 8);
+
   (* the Theorem 1 guarantees, checked on the live structure *)
   Format.printf "stretch bound ceil(log2 %d) = %d@." (Fg.num_seen fg)
     (Fg.stretch_bound fg);

@@ -16,8 +16,8 @@ type result = {
 
 (* load = betweenness + 1: every node carries at least its own traffic, so
    leaves are not born at zero capacity *)
-let loads g =
-  let bc = Centrality.betweenness g in
+let loads ?csr g =
+  let bc = Centrality.betweenness ?csr g in
   let t = Node_id.Tbl.create 64 in
   Node_id.Tbl.iter (fun v x -> Node_id.Tbl.replace t v (x +. 1.)) bc;
   t
@@ -61,7 +61,8 @@ let run params ~heal g0 ~attack =
   let continue_ = ref true in
   while !continue_ && !waves < params.max_waves do
     let g = current () in
-    let now = loads g in
+    (* in Forgiving mode the engine's per-generation snapshot is free *)
+    let now = loads ?csr:(Option.map Fg.csr fg) g in
     let failures =
       Node_id.Tbl.fold
         (fun v l acc ->

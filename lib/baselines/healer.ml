@@ -26,3 +26,24 @@ let forgiving_graph g0 =
     is_alive = (fun v -> Fg.is_alive fg v);
     init_messages = 0;
   }
+
+let forgiving_graph_paranoid ?on_violation g0 =
+  let fg = Fg.of_graph g0 in
+  let report =
+    match on_violation with
+    | Some f -> f
+    | None -> fun errs -> failwith ("paranoid: " ^ String.concat "; " errs)
+  in
+  let audit d =
+    match Fg_core.Invariants.check_delta fg d with [] -> () | errs -> report errs
+  in
+  {
+    name = "fg"; (* same healer, same results — only the audit differs *)
+    insert = (fun v nbrs -> audit (Fg.insert_delta fg v nbrs));
+    delete = (fun v -> audit (fst (Fg.delete_delta fg v)));
+    graph = (fun () -> Fg.graph fg);
+    gprime = (fun () -> Fg.gprime fg);
+    live_nodes = (fun () -> Fg.live_nodes fg);
+    is_alive = (fun v -> Fg.is_alive fg v);
+    init_messages = 0;
+  }

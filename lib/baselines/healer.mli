@@ -28,3 +28,12 @@ type t = {
 (** [forgiving_graph g] wraps the paper's structure. No initialization
     phase: [init_messages = 0]. *)
 val forgiving_graph : Fg_graph.Adjacency.t -> t
+
+(** [forgiving_graph_paranoid ?on_violation g] is {!forgiving_graph} with
+    an O(Δ) {!Fg_core.Invariants.check_delta} audit after {e every} event
+    (the [fg_cli attack --paranoid] mode). Results are identical to
+    {!forgiving_graph} — only the audit is added; the healer still reports
+    its name as ["fg"]. [on_violation] receives the violations; the
+    default raises [Failure]. *)
+val forgiving_graph_paranoid :
+  ?on_violation:(string list -> unit) -> Fg_graph.Adjacency.t -> t

@@ -1,10 +1,27 @@
 module Node_id = Fg_graph.Node_id
 module Adjacency = Fg_graph.Adjacency
+module Csr = Fg_graph.Csr
+
+(* A cached CSR snapshot plus the churn it has not absorbed yet. [version]
+   is the Adjacency.version the (snapshot + pending lists) account for: as
+   long as it matches the live graph, refreshing is one [Csr.apply_delta];
+   if it doesn't, someone mutated the graph behind the engine's back and we
+   rebuild from scratch. *)
+type snap_cache = {
+  mutable csr : Csr.t;
+  mutable version : int;
+  mutable touched : Node_id.t list;
+  mutable removed : Node_id.t list;
+  mutable pending : int;
+}
 
 type t = {
   gprime : Adjacency.t;
   alive : unit Node_id.Tbl.t;
   rt : Rt.ctx;
+  mutable generation : int;  (* events applied since creation *)
+  mutable g_cache : snap_cache option;
+  mutable gp_cache : snap_cache option;
 }
 
 let create ?policy () =
@@ -12,11 +29,102 @@ let create ?policy () =
     gprime = Adjacency.create ();
     alive = Node_id.Tbl.create 64;
     rt = Rt.create_ctx ?policy ();
+    generation = 0;
+    g_cache = None;
+    gp_cache = None;
   }
 
 let is_alive t v = Node_id.Tbl.mem t.alive v
+let generation t = t.generation
 
-let insert t v nbrs =
+(* ---- snapshot caches ---- *)
+
+(* Accumulating churn without a read in between is capped; past the cap the
+   cache is dropped rather than grown without bound. *)
+let max_pending = 4096
+
+let cache_get t ~gp = if gp then t.gp_cache else t.g_cache
+let cache_set t ~gp c = if gp then t.gp_cache <- c else t.g_cache <- c
+
+let note_cache t ~gp ~v0 ~v1 ~touched ~removed =
+  match cache_get t ~gp with
+  | None -> ()
+  | Some sc ->
+    if sc.version <> v0 || sc.pending > max_pending then cache_set t ~gp None
+    else begin
+      sc.touched <- List.rev_append touched sc.touched;
+      sc.removed <- List.rev_append removed sc.removed;
+      sc.pending <- sc.pending + List.length touched + List.length removed;
+      sc.version <- v1
+    end
+
+let snapshot t ~gp =
+  let g = if gp then t.gprime else Rt.image t.rt in
+  let cur = Adjacency.version g in
+  match cache_get t ~gp with
+  | Some sc when sc.version = cur ->
+    if sc.pending > 0 then begin
+      sc.csr <- Csr.apply_delta sc.csr ~touched:sc.touched ~removed:sc.removed g;
+      sc.touched <- [];
+      sc.removed <- [];
+      sc.pending <- 0
+    end;
+    sc.csr
+  | _ ->
+    let csr = Csr.of_adjacency g in
+    cache_set t ~gp
+      (Some { csr; version = cur; touched = []; removed = []; pending = 0 });
+    csr
+
+let csr t = snapshot t ~gp:false
+let gprime_csr t = snapshot t ~gp:true
+
+(* ---- the delta choke point ----
+
+   Every mutating entry point runs inside [with_event]: a Delta.builder is
+   installed as the Rt recorder (so refcounted image flips and vnode churn
+   record themselves), the event body runs, and the finished delta advances
+   the generation, feeds both snapshot caches, and is emitted as an
+   [fg.delta] trace point. *)
+
+let gp_touched (d : Delta.t) =
+  let tbl = Node_id.Tbl.create 8 in
+  let add v = Node_id.Tbl.replace tbl v () in
+  List.iter add d.nodes_added;
+  List.iter
+    (fun (e : Edge.t) ->
+      add e.a;
+      add e.b)
+    d.gp_added;
+  Node_id.Tbl.fold (fun v () acc -> v :: acc) tbl []
+
+let with_event t event f =
+  let img = Rt.image t.rt in
+  let v0g = Adjacency.version img and v0p = Adjacency.version t.gprime in
+  let b = Delta.builder event in
+  Rt.set_recorder t.rt (Some b);
+  let result =
+    try f b
+    with e ->
+      Rt.set_recorder t.rt None;
+      t.g_cache <- None;
+      t.gp_cache <- None;
+      raise e
+  in
+  Rt.set_recorder t.rt None;
+  t.generation <- t.generation + 1;
+  let d = Delta.build ~gen:t.generation b in
+  note_cache t ~gp:false ~v0:v0g ~v1:(Adjacency.version img)
+    ~touched:(Delta.touched d) ~removed:(Delta.removed d);
+  note_cache t ~gp:true ~v0:v0p ~v1:(Adjacency.version t.gprime)
+    ~touched:(gp_touched d) ~removed:[];
+  if Fg_obs.Trace.enabled () then
+    Fg_obs.Trace.point "fg.delta" ~attrs:(Delta.to_attrs d);
+  (d, result)
+
+(* ---- mutations ---- *)
+
+let insert_delta t v nbrs =
   if Adjacency.mem_node t.gprime v then
     invalid_arg "Forgiving_graph.insert: node id was already seen";
   let nbrs = List.sort_uniq Node_id.compare nbrs in
@@ -25,14 +133,22 @@ let insert t v nbrs =
       invalid_arg "Forgiving_graph.insert: neighbour is not live"
   in
   List.iter check nbrs;
-  Adjacency.add_node t.gprime v;
-  Node_id.Tbl.replace t.alive v ();
-  Rt.add_image_node t.rt v;
-  let connect u =
-    Adjacency.add_edge t.gprime v u;
-    Rt.add_direct t.rt v u
+  let d, () =
+    with_event t (Delta.Inserted { node = v; nbrs }) @@ fun b ->
+    Adjacency.add_node t.gprime v;
+    Node_id.Tbl.replace t.alive v ();
+    Rt.add_image_node t.rt v;
+    Delta.record_node_add b v;
+    let connect u =
+      Adjacency.add_edge t.gprime v u;
+      Delta.record_gp_add b (Edge.make v u);
+      Rt.add_direct t.rt v u
+    in
+    List.iter connect nbrs
   in
-  List.iter connect nbrs
+  d
+
+let insert t v nbrs = ignore (insert_delta t v nbrs)
 
 let of_graph ?policy g =
   let t = create ?policy () in
@@ -50,9 +166,10 @@ let of_graph ?policy g =
     g;
   t
 
-let delete_traced t v =
+let delete_delta t v =
   if not (is_alive t v) then invalid_arg "Forgiving_graph.delete: node is not live";
   let degree = Adjacency.degree t.gprime v in
+  with_event t (Delta.Deleted { victims = [ v ] }) @@ fun b ->
   Fg_obs.Trace.with_span "fg.delete"
     ~attrs:[ ("node", Fg_obs.Event.Int v); ("degree", Fg_obs.Event.Int degree) ]
     (fun sp ->
@@ -80,6 +197,7 @@ let delete_traced t v =
           List.iter classify (Adjacency.neighbors t.gprime v));
       let _root, trace = Rt.heal t.rt ~marked:!marked ~fresh:!fresh in
       Fg_obs.Trace.with_span "fg.image" (fun _ -> Rt.drop_image_node t.rt v);
+      Delta.record_node_remove b v;
       Fg_obs.Trace.attr sp "anchors" (Fg_obs.Event.Int trace.Rt.ht_anchors);
       Fg_obs.Trace.attr sp "notified" (Fg_obs.Event.Int trace.Rt.ht_notified);
       Fg_obs.Metrics.incr "fg.deletions";
@@ -87,7 +205,8 @@ let delete_traced t v =
       Fg_obs.Metrics.observe "fg.notified" (float_of_int trace.Rt.ht_notified);
       trace)
 
-let delete t v = ignore (delete_traced t v)
+let delete_traced t v = snd (delete_delta t v)
+let delete t v = ignore (delete_delta t v)
 
 (* Simultaneous deletion of a victim set. Victims are partitioned into
    independent repair groups — two victims interact iff they are adjacent
@@ -95,13 +214,14 @@ let delete t v = ignore (delete_traced t v)
    with one combined Strip/Merge. Unrelated victims therefore do not get
    spliced into a common reconstruction tree (matching what the sequential
    algorithm would produce for them). *)
-let delete_batch_traced t victims =
+let delete_batch_delta t victims =
   let victims = List.sort_uniq Node_id.compare victims in
   List.iter
     (fun v ->
       if not (is_alive t v) then
         invalid_arg "Forgiving_graph.delete_batch: node is not live")
     victims;
+  with_event t (Delta.Deleted { victims }) @@ fun b ->
   Fg_obs.Trace.with_span "fg.delete_batch"
     ~attrs:[ ("victims", Fg_obs.Event.Int (List.length victims)) ]
     (fun sp ->
@@ -170,12 +290,15 @@ let delete_batch_traced t victims =
   let traces = Im.fold (fun _ members acc -> heal_group members :: acc) groups [] in
   Fg_obs.Trace.with_span "fg.image" (fun _ ->
       List.iter (fun v -> Rt.drop_image_node t.rt v) victims);
+  List.iter (fun v -> Delta.record_node_remove b v) victims;
+  Delta.record_groups b (Im.cardinal groups);
   Fg_obs.Trace.attr sp "groups" (Fg_obs.Event.Int (Im.cardinal groups));
   Fg_obs.Metrics.incr "fg.batch_deletions";
   Fg_obs.Metrics.incr ~n:(List.length victims) "fg.deletions";
   List.rev traces)
 
-let delete_batch t victims = ignore (delete_batch_traced t victims)
+let delete_batch_traced t victims = snd (delete_batch_delta t victims)
+let delete_batch t victims = ignore (delete_batch_delta t victims)
 
 let graph t = Rt.image t.rt
 let gprime t = t.gprime

@@ -34,9 +34,19 @@ val of_graph : ?policy:Rt.policy -> Fg_graph.Adjacency.t -> t
     collapsed. *)
 val insert : t -> Node_id.t -> Node_id.t list -> unit
 
+(** [insert_delta] is {!insert} returning the event's {!Delta.t}. Every
+    mutating entry point has a [*_delta] variant; the plain ones are thin
+    wrappers. The delta stream, replayed from [G_0], reproduces
+    [graph t]/[gprime t] exactly. *)
+val insert_delta : t -> Node_id.t -> Node_id.t list -> Delta.t
+
 (** [delete t v] is an adversarial deletion followed by the healing repair.
     Raises [Invalid_argument] if [v] is not live. *)
 val delete : t -> Node_id.t -> unit
+
+(** [delete_delta t v] is {!delete} returning the event's delta and the
+    repair trace. *)
+val delete_delta : t -> Node_id.t -> Delta.t * Rt.heal_trace
 
 (** [delete_traced t v] is {!delete} returning the repair trace (fragment
     and merge structure), which the distributed simulator converts into
@@ -58,6 +68,11 @@ val delete_batch : t -> Node_id.t list -> unit
     independent group. *)
 val delete_batch_traced : t -> Node_id.t list -> Rt.heal_trace list
 
+(** [delete_batch_delta t victims] returns the single combined delta of the
+    batch (with [groups] = number of independent repairs) plus the per-group
+    traces. *)
+val delete_batch_delta : t -> Node_id.t list -> Delta.t * Rt.heal_trace list
+
 (** [graph t] is the current actual network (healed). The returned graph is
     live state — treat as read-only; copy before mutating. *)
 val graph : t -> Fg_graph.Adjacency.t
@@ -65,6 +80,24 @@ val graph : t -> Fg_graph.Adjacency.t
 (** [gprime t] is [G']: every node and edge ever inserted, deletions
     ignored. Read-only. *)
 val gprime : t -> Fg_graph.Adjacency.t
+
+(** [generation t] counts the events ([insert]/[delete]/[delete_batch])
+    applied since creation; each event's delta carries the generation it
+    produced. [of_graph] starts at 0. *)
+val generation : t -> int
+
+(** [csr t] is a CSR snapshot of [graph t], cached per generation: the
+    first call after an event refreshes the previous snapshot via
+    {!Fg_graph.Csr.apply_delta} with the pending deltas (O(n + Δ) array
+    work) instead of rebuilding, and repeated calls within a generation are
+    free. The result is structurally identical to
+    [Csr.of_adjacency (graph t)] — reports are byte-identical either way.
+    If the underlying graph was mutated externally (see {!Fg_graph.Adjacency.version}),
+    the cache notices and rebuilds from scratch. *)
+val csr : t -> Fg_graph.Csr.t
+
+(** [gprime_csr t] is the same cache for [gprime t]. *)
+val gprime_csr : t -> Fg_graph.Csr.t
 
 val is_alive : t -> Node_id.t -> bool
 val live_nodes : t -> Node_id.t list

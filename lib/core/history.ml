@@ -1,4 +1,5 @@
 module Node_id = Fg_graph.Node_id
+module Adjacency = Fg_graph.Adjacency
 module P = Fg_graph.Persistent_graph
 
 type event = Inserted of Node_id.t * Node_id.t list | Deleted of Node_id.t
@@ -10,33 +11,90 @@ let pp_event ppf = function
       nbrs
   | Deleted v -> Format.fprintf ppf "delete %a" Node_id.pp v
 
+(* The history is the delta stream, not a snapshot per event: state [k] is
+   materialised on demand by replaying deltas onto a persistent graph. The
+   cursor remembers the deepest prefix materialised so far, so scrubbing
+   forward (snapshot k, k+1, ... / series) costs O(Δ log n) per step. *)
 type t = {
   fg : Forgiving_graph.t;
-  mutable log : (event * P.t) list;  (* reversed *)
   initial : P.t;
+  g0 : Adjacency.t;  (* private copy of G_0, the replay base *)
+  mutable deltas : Delta.t list;  (* reversed *)
+  mutable n : int;
+  mutable cursor_k : int;
+  mutable cursor_p : P.t;
 }
 
-let capture fg = P.of_adjacency (Forgiving_graph.graph fg)
-
 let create g0 =
+  (* copy: the caller keeps ownership of its graph, and replays stay
+     anchored to the G_0 that was actually adopted *)
+  let g0 = Adjacency.copy g0 in
   let fg = Forgiving_graph.of_graph g0 in
-  { fg; log = []; initial = capture fg }
+  let initial = P.of_adjacency g0 in
+  { fg; initial; g0; deltas = []; n = 0; cursor_k = 0; cursor_p = initial }
 
-let insert t v nbrs =
-  Forgiving_graph.insert t.fg v nbrs;
-  t.log <- (Inserted (v, nbrs), capture t.fg) :: t.log
+let push t d =
+  t.deltas <- d :: t.deltas;
+  t.n <- t.n + 1
 
-let delete t v =
-  Forgiving_graph.delete t.fg v;
-  t.log <- (Deleted v, capture t.fg) :: t.log
-
+let insert t v nbrs = push t (Forgiving_graph.insert_delta t.fg v nbrs)
+let delete t v = push t (fst (Forgiving_graph.delete_delta t.fg v))
 let fg t = t.fg
-let length t = List.length t.log
+let length t = t.n
+let deltas t = List.rev t.deltas
+
+let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l)
 
 let snapshot t k =
-  if k < 0 || k > length t then invalid_arg "History.snapshot: out of range";
+  if k < 0 || k > t.n then invalid_arg "History.snapshot: out of range";
   if k = 0 then t.initial
-  else snd (List.nth t.log (length t - k))
+  else begin
+    let start_k, start_p =
+      if t.cursor_k <= k then (t.cursor_k, t.cursor_p) else (0, t.initial)
+    in
+    let p = ref start_p in
+    let rest = ref (drop start_k (List.rev t.deltas)) in
+    for _ = start_k + 1 to k do
+      (match !rest with
+      | d :: tl ->
+        p := Delta.apply_p !p d;
+        rest := tl
+      | [] -> assert false);
+    done;
+    if k > t.cursor_k then begin
+      t.cursor_k <- k;
+      t.cursor_p <- !p
+    end;
+    !p
+  end
 
-let events t = List.rev_map fst t.log
-let series t f = f t.initial :: List.rev_map (fun (_, s) -> f s) t.log
+let event_of_delta (d : Delta.t) =
+  match d.Delta.event with
+  | Delta.Inserted { node; nbrs } -> Inserted (node, nbrs)
+  | Delta.Deleted { victims = [ v ] } -> Deleted v
+  | Delta.Deleted _ -> invalid_arg "History: batch deletions are not recorded"
+
+let events t = List.rev_map event_of_delta t.deltas
+
+let series t f =
+  let acc = ref [ f t.initial ] and p = ref t.initial in
+  List.iter
+    (fun d ->
+      p := Delta.apply_p !p d;
+      acc := f !p :: !acc)
+    (List.rev t.deltas);
+  List.rev !acc
+
+let replayed t k =
+  if k < 0 || k > t.n then invalid_arg "History.replayed: out of range";
+  let g = Adjacency.copy t.g0 in
+  let rec go i rest =
+    if i < k then
+      match rest with
+      | d :: tl ->
+        Delta.apply g d;
+        go (i + 1) tl
+      | [] -> assert false
+  in
+  go 0 (List.rev t.deltas);
+  g

@@ -1,13 +1,17 @@
-(** Attack-history recorder: the Forgiving Graph with a persistent snapshot
-    of the healed network after every event.
+(** Attack-history recorder: the Forgiving Graph plus the delta stream of
+    every event.
 
-    Theorem 1 is a statement about {e every} moment of an execution;
-    this wrapper makes that checkable after the fact. Snapshots are
-    persistent graphs ({!Fg_graph.Persistent_graph}), so recording an
-    n-event history shares structure instead of copying n adjacency
-    tables. Used by the timeline experiment (E12) and the
-    [examples/p2p_churn.exe] walkthrough; also handy interactively: run an
-    attack, then scrub through the states. *)
+    Theorem 1 is a statement about {e every} moment of an execution; this
+    wrapper makes that checkable after the fact. The history stores one
+    {!Delta.t} per event — O(Δ) each — instead of a full snapshot;
+    {!snapshot} materialises any moment by replaying the prefix onto a
+    persistent graph ({!Fg_graph.Persistent_graph}), with a cursor so
+    chronological scrubbing ({!series}, forward [snapshot] calls) pays
+    O(Δ log n) per step rather than a replay from scratch. [create] takes
+    an {!Fg_graph.Adjacency.copy} of [G_0], so later caller-side mutation
+    of the input graph cannot skew replays. Used by the timeline experiment
+    (E12) and the [examples/p2p_churn.exe] walkthrough; also handy
+    interactively: run an attack, then scrub through the states. *)
 
 module Node_id := Fg_graph.Node_id
 
@@ -41,5 +45,14 @@ val snapshot : t -> int -> Fg_graph.Persistent_graph.t
 val events : t -> event list
 
 (** [series t f] maps [f] over the snapshots chronologically — e.g. edge
-    counts or component counts over time. *)
+    counts or component counts over time. One incremental replay pass. *)
 val series : t -> (Fg_graph.Persistent_graph.t -> 'a) -> 'a list
+
+(** The recorded delta stream, chronological. *)
+val deltas : t -> Delta.t list
+
+(** [replayed t k] materialises the state after event [k] as a fresh
+    mutable graph by replaying the delta stream onto the private copy of
+    [G_0] — the independent cross-check that [snapshot]/the engine and the
+    stream agree. Raises [Invalid_argument] when out of range. *)
+val replayed : t -> int -> Fg_graph.Adjacency.t

@@ -301,13 +301,11 @@ let check_connectivity t =
    concatenated in source order, so the output is identical for any domain
    count. *)
 let check_stretch_bound ?domains t =
-  let g = Forgiving_graph.graph t in
-  let gp = Forgiving_graph.gprime t in
   let bound = Forgiving_graph.stretch_bound t in
   let live = Array.of_list (List.sort Node_id.compare (Forgiving_graph.live_nodes t)) in
   let n = Array.length live in
-  let cg = Fg_graph.Csr.of_adjacency g in
-  let cgp = Fg_graph.Csr.of_adjacency gp in
+  let cg = Forgiving_graph.csr t in
+  let cgp = Forgiving_graph.gprime_csr t in
   let idx csr = Array.map (fun v -> Option.value (Fg_graph.Csr.index csr v) ~default:(-1)) live in
   let live_g = idx cg and live_gp = idx cgp in
   let per_source =
@@ -344,6 +342,98 @@ let check_stretch_bound ?domains t =
       n
   in
   List.concat (Array.to_list per_source)
+
+(* ---- per-event delta audit ----
+
+   O(Δ) in the size of the delta (hash lookups and touched-endpoint degree
+   reads only), so it can run after every event — the paranoid mode of
+   [fg_cli attack]. Complements the full recomputation checks above: those
+   validate a state, this validates one state transition. *)
+let check_delta t (d : Delta.t) =
+  let g = Forgiving_graph.graph t in
+  let gp = Forgiving_graph.gprime t in
+  let errs = ref [] in
+  List.iter
+    (fun v ->
+      if not (Forgiving_graph.is_alive t v) then
+        errs := vf "delta: added node %d is not live" v :: !errs;
+      if not (Adjacency.mem_node g v) then
+        errs := vf "delta: added node %d missing from G" v :: !errs;
+      if not (Adjacency.mem_node gp v) then
+        errs := vf "delta: added node %d missing from G'" v :: !errs)
+    d.nodes_added;
+  List.iter
+    (fun v ->
+      if Forgiving_graph.is_alive t v then
+        errs := vf "delta: removed node %d still live" v :: !errs;
+      if Adjacency.mem_node g v then
+        errs := vf "delta: removed node %d still in G" v :: !errs;
+      if not (Adjacency.mem_node gp v) then
+        errs :=
+          vf "delta: removed node %d vanished from G' (G' is insert-only)" v :: !errs)
+    d.nodes_removed;
+  List.iter
+    (fun (e : Edge.t) ->
+      if not (Adjacency.mem_edge g e.a e.b) then
+        errs := vf "delta: +G edge %d-%d absent from G" e.a e.b :: !errs;
+      if not (Forgiving_graph.is_alive t e.a && Forgiving_graph.is_alive t e.b) then
+        errs := vf "delta: +G edge %d-%d has a dead endpoint" e.a e.b :: !errs)
+    d.g_added;
+  List.iter
+    (fun (e : Edge.t) ->
+      if Adjacency.mem_edge g e.a e.b then
+        errs := vf "delta: -G edge %d-%d still in G" e.a e.b :: !errs;
+      (* repairs only add: an image edge removed while both endpoints
+         survive cannot have been a direct live-live G' edge (its direct
+         refcount contribution would have kept it alive) *)
+      if
+        Forgiving_graph.is_alive t e.a
+        && Forgiving_graph.is_alive t e.b
+        && Adjacency.mem_edge gp e.a e.b
+      then
+        errs := vf "delta: -G edge %d-%d removed a live direct G' edge" e.a e.b :: !errs)
+    d.g_removed;
+  List.iter
+    (fun (e : Edge.t) ->
+      if not (Adjacency.mem_edge gp e.a e.b) then
+        errs := vf "delta: +G' edge %d-%d absent from G'" e.a e.b :: !errs)
+    d.gp_added;
+  (match d.event with
+  | Delta.Inserted { node; nbrs } ->
+    if d.g_removed <> [] then
+      errs := vf "delta: insert removed %d G edges" (List.length d.g_removed) :: !errs;
+    if d.nodes_removed <> [] then errs := "delta: insert removed nodes" :: !errs;
+    if d.vnodes_discarded <> 0 then errs := "delta: insert discarded vnodes" :: !errs;
+    if not (List.equal Node_id.equal d.nodes_added [ node ]) then
+      errs := vf "delta: insert of %d added other nodes" node :: !errs;
+    let expected = List.sort Edge.compare (List.map (Edge.make node) nbrs) in
+    if not (List.equal Edge.equal d.gp_added expected) then
+      errs := "delta: insert G' edges do not match declared neighbours" :: !errs;
+    if not (List.equal Edge.equal d.g_added expected) then
+      errs := "delta: insert G edges do not match declared neighbours" :: !errs
+  | Delta.Deleted { victims } ->
+    if d.gp_added <> [] then errs := "delta: delete added G' edges" :: !errs;
+    if d.nodes_added <> [] then errs := "delta: delete added nodes" :: !errs;
+    if not (List.equal Node_id.equal d.nodes_removed (List.sort Node_id.compare victims))
+    then errs := "delta: delete victims do not match removed nodes" :: !errs);
+  (* Theorem 1.1 (4x form, see check_degree_bound) on touched endpoints
+     only — the only degrees an event can change *)
+  let seen = Node_id.Tbl.create 16 in
+  let check_deg v =
+    if (not (Node_id.Tbl.mem seen v)) && Forgiving_graph.is_alive t v then begin
+      Node_id.Tbl.replace seen v ();
+      let dg = Adjacency.degree g v and dgp = Adjacency.degree gp v in
+      if dg > 4 * dgp then
+        errs := vf "delta: touched node %d degree %d > 4*%d" v dg dgp :: !errs
+    end
+  in
+  let check_edge (e : Edge.t) =
+    check_deg e.a;
+    check_deg e.b
+  in
+  List.iter check_edge d.g_added;
+  List.iter check_edge d.g_removed;
+  !errs
 
 let check t =
   List.concat

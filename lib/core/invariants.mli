@@ -46,9 +46,20 @@ val paper_degree_violations : Forgiving_graph.t -> violation list
 (** live nodes connected in G' are connected in G. *)
 val check_connectivity : Forgiving_graph.t -> violation list
 
-(** Theorem 1.2 on all live pairs (all-pairs BFS on CSR snapshots of both
-    graphs, fanned across [?domains] domains — default the process-wide
+(** Theorem 1.2 on all live pairs (all-pairs BFS on the engine's cached CSR
+    snapshots ({!Forgiving_graph.csr}/[gprime_csr]) of both graphs, fanned
+    across [?domains] domains — default the process-wide
     {!Fg_graph.Parallel} setting; violations are reported in the same
     order for any domain count). Exposed separately from {!check}; see
     also {!Fg_metrics.Stretch}. *)
 val check_stretch_bound : ?domains:int -> Forgiving_graph.t -> violation list
+
+(** [check_delta t d] audits one state transition in O(Δ): after applying
+    the event that produced [d], the added/removed nodes and edges must be
+    reflected in [graph t]/[gprime t] exactly, the event shape must be
+    legal (inserts never remove, deletes never extend G', repairs only add
+    edges — a removed image edge between two survivors cannot be a direct
+    G' edge), and every touched endpoint must respect the 4x degree bound.
+    Cheap enough to run after {e every} event ([fg_cli attack --paranoid]);
+    the whole-state checks above remain the periodic deep audit. *)
+val check_delta : Forgiving_graph.t -> Delta.t -> violation list

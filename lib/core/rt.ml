@@ -32,6 +32,9 @@ type ctx = {
   counts : int Pair_tbl.t;  (* multiplicity of image edges, key (min, max) *)
   policy : policy;
   mutable next_id : int;
+  mutable recorder : Delta.builder option;
+      (* while set, every actual image flip and vnode create/discard is
+         recorded into the event's delta — the single choke point *)
 }
 
 let create_ctx ?(policy = Paper) () =
@@ -42,7 +45,10 @@ let create_ctx ?(policy = Paper) () =
     counts = Pair_tbl.create 64;
     policy;
     next_id = 0;
+    recorder = None;
   }
+
+let set_recorder ctx r = ctx.recorder <- r
 
 let image ctx = ctx.img
 let add_image_node ctx p = Adjacency.add_node ctx.img p
@@ -63,6 +69,7 @@ let img_inc ctx u v =
     Pair_tbl.replace ctx.counts key (c + 1);
     if c = 0 then begin
       Adjacency.add_edge ctx.img u v;
+      Option.iter (fun b -> Delta.record_g_add b u v) ctx.recorder;
       Fg_obs.Trace.count "image.edges_added" 1;
       Fg_obs.Metrics.incr "image.edges_added"
     end
@@ -76,6 +83,7 @@ let img_dec ctx u v =
     | Some 1 ->
       Pair_tbl.remove ctx.counts key;
       Adjacency.remove_edge ctx.img u v;
+      Option.iter (fun b -> Delta.record_g_remove b u v) ctx.recorder;
       Fg_obs.Trace.count "image.edges_removed" 1;
       Fg_obs.Metrics.incr "image.edges_removed"
     | Some c -> Pair_tbl.replace ctx.counts key (c - 1)
@@ -111,6 +119,7 @@ let fresh_leaf ctx half =
   ctx.next_id <- ctx.next_id + 1;
   assert (not (Edge.Half.Tbl.mem ctx.leaf_tbl half));
   Edge.Half.Tbl.replace ctx.leaf_tbl half v;
+  Option.iter Delta.record_vnode_created ctx.recorder;
   v
 
 (* Create a helper simulated by the representative leaf [simulator], with
@@ -135,6 +144,7 @@ let fresh_helper ctx ~simulator ~left ~right ~rep =
   in
   ctx.next_id <- ctx.next_id + 1;
   Edge.Half.Tbl.replace ctx.helper_tbl half v;
+  Option.iter Delta.record_vnode_created ctx.recorder;
   left.parent <- Some v;
   right.parent <- Some v;
   img_inc ctx (proc v) (proc left);
@@ -159,6 +169,7 @@ let discard ctx v =
   (match v.kind with
   | Leaf -> Edge.Half.Tbl.remove ctx.leaf_tbl v.half
   | Helper -> Edge.Half.Tbl.remove ctx.helper_tbl v.half);
+  Option.iter Delta.record_vnode_discarded ctx.recorder;
   children
 
 (* ---- decomposition (Strip over the broken forest) ---- *)
@@ -306,6 +317,7 @@ type heal_trace = {
   ht_notified : int;
   ht_initial_discarded : int;
   ht_levels : merge_event list list;
+  ht_root : vnode option;
 }
 
 let sizes_of roots = List.map (fun v -> v.leaves) roots
@@ -466,6 +478,7 @@ let heal ctx ~marked ~fresh =
       ht_notified = notified;
       ht_initial_discarded = initial_discarded;
       ht_levels = levels;
+      ht_root = root;
     }
   in
   (root, trace)

@@ -52,6 +52,12 @@ type policy = Paper | Degree_balanced
 
 val create_ctx : ?policy:policy -> unit -> ctx
 
+(** [set_recorder ctx (Some b)] makes every subsequent actual-network edge
+    flip and vnode create/discard record itself into [b] — the delta choke
+    point ({!Delta}). The engine installs a recorder around each event;
+    [None] (the default) costs one load-and-branch per flip. *)
+val set_recorder : ctx -> Delta.builder option -> unit
+
 (** The incrementally maintained actual network. Direct (live-live) G'-edge
     contributions are injected by {!add_direct} / {!remove_direct}; RT tree
     edges are maintained internally. *)
@@ -94,6 +100,10 @@ type heal_trace = {
   ht_notified : int;  (** virtual neighbours informed of the deletion *)
   ht_initial_discarded : int;  (** helpers removed while fragmenting *)
   ht_levels : merge_event list list;  (** merges, innermost = one level *)
+  ht_root : vnode option;
+      (** the merged RT's root ([None] if nothing survived) — lets callers
+          identify the repair's leaf class, e.g. for cross-checking the
+          distributed protocol per repair *)
 }
 
 (** [heal ctx ~marked ~fresh] performs the repair step for one deletion:

@@ -1,16 +1,20 @@
-type t = { adj : Node_id.Set.t ref Node_id.Tbl.t }
+type t = { adj : Node_id.Set.t ref Node_id.Tbl.t; mutable version : int }
 
-let create ?(size = 64) () = { adj = Node_id.Tbl.create size }
+let create ?(size = 64) () = { adj = Node_id.Tbl.create size; version = 0 }
 
 let copy g =
   let adj = Node_id.Tbl.create (Node_id.Tbl.length g.adj) in
   Node_id.Tbl.iter (fun v s -> Node_id.Tbl.replace adj v (ref !s)) g.adj;
-  { adj }
+  { adj; version = g.version }
 
+let version g = g.version
 let mem_node g v = Node_id.Tbl.mem g.adj v
 
 let add_node g v =
-  if not (mem_node g v) then Node_id.Tbl.replace g.adj v (ref Node_id.Set.empty)
+  if not (mem_node g v) then begin
+    Node_id.Tbl.replace g.adj v (ref Node_id.Set.empty);
+    g.version <- g.version + 1
+  end
 
 let neighbor_set g v =
   match Node_id.Tbl.find_opt g.adj v with
@@ -25,15 +29,21 @@ let add_edge g u v =
     add_node g u;
     add_node g v;
     let su = Node_id.Tbl.find g.adj u and sv = Node_id.Tbl.find g.adj v in
-    su := Node_id.Set.add v !su;
-    sv := Node_id.Set.add u !sv
+    if not (Node_id.Set.mem v !su) then begin
+      su := Node_id.Set.add v !su;
+      sv := Node_id.Set.add u !sv;
+      g.version <- g.version + 1
+    end
   end
 
 let remove_edge g u v =
   match (Node_id.Tbl.find_opt g.adj u, Node_id.Tbl.find_opt g.adj v) with
   | Some su, Some sv ->
-    su := Node_id.Set.remove v !su;
-    sv := Node_id.Set.remove u !sv
+    if Node_id.Set.mem v !su then begin
+      su := Node_id.Set.remove v !su;
+      sv := Node_id.Set.remove u !sv;
+      g.version <- g.version + 1
+    end
   | _ -> ()
 
 let remove_node g v =
@@ -46,7 +56,8 @@ let remove_node g v =
       | Some su -> su := Node_id.Set.remove v !su
     in
     Node_id.Set.iter drop !sv;
-    Node_id.Tbl.remove g.adj v
+    Node_id.Tbl.remove g.adj v;
+    g.version <- g.version + 1
 
 let mem_edge g u v = Node_id.Set.mem v (neighbor_set g u)
 let num_nodes g = Node_id.Tbl.length g.adj

@@ -11,8 +11,18 @@ type t
 (** [create ?size ()] returns an empty graph; [size] is a capacity hint. *)
 val create : ?size:int -> unit -> t
 
-(** [copy g] is an independent deep copy. *)
+(** [copy g] is an independent deep copy. Mutating either graph does not
+    affect the other. This is the escape hatch for the "treat as read-only"
+    contract of [Forgiving_graph.graph]/[gprime]: take a copy before
+    mutating a graph you did not build yourself. *)
 val copy : t -> t
+
+(** [version g] is a counter that changes whenever the node or edge set
+    actually changes (no-op mutations leave it alone). [copy] carries the
+    counter over, so a copy starts version-equal to its source and they
+    diverge on the first mutation of either. Snapshot caches key on it to
+    detect that a graph moved underneath them. *)
+val version : t -> int
 
 (** [add_node g v] adds isolated node [v]; no-op if present. *)
 val add_node : t -> Node_id.t -> unit

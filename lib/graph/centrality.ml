@@ -6,8 +6,8 @@
    exactly its neighbors one BFS level closer to the source, recovered by
    re-scanning [w]'s row. Sources are processed in dense-index order, so
    the float accumulation order is deterministic. *)
-let betweenness g =
-  let csr = Csr.of_adjacency g in
+let betweenness ?csr g =
+  let csr = match csr with Some c -> c | None -> Csr.of_adjacency g in
   let n = Csr.num_nodes csr in
   let bc = Array.make n 0. in
   let dist = Array.make n (-1) in

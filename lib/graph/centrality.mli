@@ -6,8 +6,9 @@
 
 (** [betweenness g] maps every node to the number of shortest paths passing
     through it (endpoints excluded), counting each unordered pair once.
-    Includes the endpoints' own pair contributions as 0. *)
-val betweenness : Adjacency.t -> float Node_id.Tbl.t
+    Includes the endpoints' own pair contributions as 0. [?csr] supplies a
+    prebuilt snapshot of [g], skipping the build. *)
+val betweenness : ?csr:Csr.t -> Adjacency.t -> float Node_id.Tbl.t
 
 (** [degree_centrality g] maps every node to its degree (convenience for
     attack-strategy ranking). *)

@@ -3,8 +3,18 @@ type t = {
   offsets : int array; (* length n+1; row i is neighbors.(offsets.(i) .. offsets.(i+1)-1) *)
   neighbors : int array; (* dense indices; each row ascending *)
   ids : Node_id.t array; (* dense index -> node id, ascending *)
-  index_tbl : int Node_id.Tbl.t; (* node id -> dense index *)
 }
+
+(* ids is sorted ascending, so the id -> dense-index map is a binary search:
+   no hashtable to build (which would dominate [apply_delta]) and no
+   allocation. *)
+let find_index ids n v =
+  let lo = ref 0 and hi = ref n in
+  while !hi - !lo > 0 do
+    let mid = (!lo + !hi) / 2 in
+    if Node_id.compare ids.(mid) v < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo < n && Node_id.equal ids.(!lo) v then !lo else -1
 
 let of_adjacency g =
   let n = Adjacency.num_nodes g in
@@ -16,8 +26,6 @@ let of_adjacency g =
       incr k)
     g;
   Array.sort Node_id.compare ids;
-  let index_tbl = Node_id.Tbl.create (max 16 n) in
-  Array.iteri (fun i v -> Node_id.Tbl.replace index_tbl v i) ids;
   let offsets = Array.make (n + 1) 0 in
   for i = 0 to n - 1 do
     offsets.(i + 1) <- offsets.(i) + Adjacency.degree g ids.(i)
@@ -29,22 +37,130 @@ let of_adjacency g =
        order-preserving, so each row comes out ascending in dense index. *)
     Adjacency.iter_neighbors
       (fun u ->
-        neighbors.(!pos) <- Node_id.Tbl.find index_tbl u;
+        neighbors.(!pos) <- find_index ids n u;
         incr pos)
       g ids.(i)
   done;
-  { n; offsets; neighbors; ids; index_tbl }
+  { n; offsets; neighbors; ids }
 
 let num_nodes t = t.n
 let num_edges t = Array.length t.neighbors / 2
 let id t i = t.ids.(i)
-let index t v = Node_id.Tbl.find_opt t.index_tbl v
+
+let index t v =
+  let i = find_index t.ids t.n v in
+  if i < 0 then None else Some i
+
 let degree t i = t.offsets.(i + 1) - t.offsets.(i)
 
 let iter_row f t i =
   for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
     f t.neighbors.(k)
   done
+
+let equal a b =
+  a.n = b.n && a.ids = b.ids && a.offsets = b.offsets && a.neighbors = b.neighbors
+
+(* ---- incremental refresh ---- *)
+
+let apply_delta ?(churn_limit = 0.25) t ~touched ~removed g =
+  let n_new = Adjacency.num_nodes g in
+  let full () = of_adjacency g in
+  if n_new = 0 || t.n = 0 then full ()
+  else begin
+    (* Dedup and classify against the old snapshot. *)
+    let removed_old = Hashtbl.create 8 and touched_old = Hashtbl.create 8 in
+    List.iter
+      (fun v ->
+        let i = find_index t.ids t.n v in
+        if i >= 0 then Hashtbl.replace removed_old i ())
+      removed;
+    let added = ref [] in
+    List.iter
+      (fun v ->
+        if Adjacency.mem_node g v then begin
+          let i = find_index t.ids t.n v in
+          if i >= 0 then Hashtbl.replace touched_old i ()
+          else if not (List.exists (Node_id.equal v) !added) then
+            added := v :: !added
+        end)
+      touched;
+    let added = List.sort Node_id.compare !added in
+    let n_add = List.length added in
+    let churn = Hashtbl.length removed_old + Hashtbl.length touched_old + n_add in
+    if
+      float_of_int churn > churn_limit *. float_of_int n_new
+      || t.n - Hashtbl.length removed_old + n_add <> n_new
+    then full () (* too much churn, or the caller's delta doesn't span the
+                    difference (the graph moved underneath the cache) *)
+    else begin
+      (* Merge surviving old ids with the sorted additions; both streams are
+         ascending, so new dense order is ascending too and the old->new
+         remap is monotonic (remapped rows stay sorted). *)
+      let ids = Array.make n_new 0 in
+      let old_to_new = Array.make t.n (-1) in
+      let new_to_old = Array.make n_new (-1) (* -1 = freshly added *) in
+      let rest = ref added and w = ref 0 in
+      let rec flush_before limit =
+        match !rest with
+        | a :: tl
+          when (match limit with None -> true | Some b -> Node_id.compare a b < 0)
+          ->
+          ids.(!w) <- a;
+          incr w;
+          rest := tl;
+          flush_before limit
+        | _ -> ()
+      in
+      for i = 0 to t.n - 1 do
+        if not (Hashtbl.mem removed_old i) then begin
+          flush_before (Some t.ids.(i));
+          old_to_new.(i) <- !w;
+          new_to_old.(!w) <- i;
+          ids.(!w) <- t.ids.(i);
+          incr w
+        end
+      done;
+      flush_before None;
+      let offsets = Array.make (n_new + 1) 0 in
+      let dirty = Array.make n_new false in
+      (* a node can be both touched (as an endpoint of removed edges) and
+         removed; removal wins and there is no new row to mark *)
+      Hashtbl.iter
+        (fun i () -> if old_to_new.(i) >= 0 then dirty.(old_to_new.(i)) <- true)
+        touched_old;
+      for j = 0 to n_new - 1 do
+        if new_to_old.(j) < 0 then dirty.(j) <- true
+      done;
+      for j = 0 to n_new - 1 do
+        let d =
+          if dirty.(j) then Adjacency.degree g ids.(j)
+          else degree t new_to_old.(j)
+        in
+        offsets.(j + 1) <- offsets.(j) + d
+      done;
+      let neighbors = Array.make offsets.(n_new) 0 in
+      for j = 0 to n_new - 1 do
+        let pos = ref offsets.(j) in
+        if dirty.(j) then
+          Adjacency.iter_neighbors
+            (fun u ->
+              neighbors.(!pos) <- find_index ids n_new u;
+              incr pos)
+            g ids.(j)
+        else begin
+          (* An untouched row cannot point at a removed node (removing a
+             node touches all its neighbours), so the remap is total here. *)
+          let i = new_to_old.(j) in
+          for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
+            neighbors.(!pos) <- old_to_new.(t.neighbors.(k));
+            incr pos
+          done
+        end
+      done;
+      { n = n_new; offsets; neighbors; ids }
+    end
+  end
 
 let components t =
   let comp = Array.make t.n (-1) in

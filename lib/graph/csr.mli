@@ -20,6 +20,33 @@ type t
     dense index (equivalently: by node id, ascending). *)
 val of_adjacency : Adjacency.t -> t
 
+(** [apply_delta t ~touched ~removed g] refreshes the snapshot [t] to the
+    current state of [g], given that the only differences are: nodes in
+    [removed] were deleted, and the rows of nodes in [touched] may have
+    changed (including brand-new nodes). Every endpoint of an added or
+    removed edge must appear in [touched]. Untouched rows are copied and
+    renumbered without consulting [g], so the cost is O(n + m_copy + Δ)
+    array work with no hashing of unchanged structure — the per-event way
+    to keep a snapshot current under heal churn.
+
+    The result is structurally identical to [of_adjacency g] (asserted by
+    the test suite), so cached and rebuilt read paths give byte-identical
+    reports. Falls back to a full rebuild when the churn exceeds
+    [churn_limit] (default 0.25) as a fraction of nodes, or when the node
+    counts reveal that the delta does not span the difference (e.g. the
+    graph was mutated behind the cache's back). *)
+val apply_delta :
+  ?churn_limit:float ->
+  t ->
+  touched:Node_id.t list ->
+  removed:Node_id.t list ->
+  Adjacency.t ->
+  t
+
+(** Structural equality (same nodes, same rows) — for tests and cache
+    cross-checks. *)
+val equal : t -> t -> bool
+
 val num_nodes : t -> int
 
 (** Undirected edge count. *)

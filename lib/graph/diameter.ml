@@ -3,8 +3,10 @@
    results are reduced in dense-index (= sorted node id) order, so every
    quantity below is byte-identical for any domain count. *)
 
-let exact ?domains g =
-  let csr = Csr.of_adjacency g in
+let snap csr g = match csr with Some c -> c | None -> Csr.of_adjacency g
+
+let exact ?domains ?csr g =
+  let csr = snap csr g in
   let n = Csr.num_nodes csr in
   let ecc =
     Parallel.map ?domains
@@ -16,8 +18,8 @@ let exact ?domains g =
   in
   Array.fold_left max 0 ecc
 
-let two_sweep g =
-  let csr = Csr.of_adjacency g in
+let two_sweep ?csr g =
+  let csr = snap csr g in
   let n = Csr.num_nodes csr in
   if n = 0 then 0
   else begin
@@ -39,8 +41,8 @@ let two_sweep g =
     snd (farthest u)
   end
 
-let radius ?domains g =
-  let csr = Csr.of_adjacency g in
+let radius ?domains ?csr g =
+  let csr = snap csr g in
   let n = Csr.num_nodes csr in
   if n = 0 then 0
   else begin
@@ -55,8 +57,8 @@ let radius ?domains g =
     Array.fold_left min ecc.(0) ecc
   end
 
-let average_path_length ?domains g =
-  let csr = Csr.of_adjacency g in
+let average_path_length ?domains ?csr g =
+  let csr = snap csr g in
   let n = Csr.num_nodes csr in
   let sums =
     Parallel.map ?domains

@@ -7,21 +7,25 @@
     The all-pairs entry points snapshot the graph once ({!Csr}) and fan the
     per-source BFS across [?domains] domains ({!Parallel}; default: the
     process-wide setting, 1 unless raised). Results are identical for any
-    domain count. *)
+    domain count.
+
+    Every entry point accepts an optional prebuilt [?csr] snapshot of [g]
+    (e.g. a cached {!Csr.apply_delta}-refreshed one): when given, the
+    snapshot build is skipped. Results are identical either way. *)
 
 (** [exact g] is the largest eccentricity within any single component;
     [0] for an empty or edgeless graph. Runs a BFS per node. *)
-val exact : ?domains:int -> Adjacency.t -> int
+val exact : ?domains:int -> ?csr:Csr.t -> Adjacency.t -> int
 
 (** [two_sweep g] is a classic lower bound: BFS from the smallest node id,
     then BFS from the farthest node found (ties to the smallest id).
     Exact on trees. *)
-val two_sweep : Adjacency.t -> int
+val two_sweep : ?csr:Csr.t -> Adjacency.t -> int
 
 (** [radius g] is the smallest eccentricity over nodes (per component
     maximum). *)
-val radius : ?domains:int -> Adjacency.t -> int
+val radius : ?domains:int -> ?csr:Csr.t -> Adjacency.t -> int
 
 (** [average_path_length g] averages hop distance over all connected
     ordered pairs; [0.] when no such pair exists. *)
-val average_path_length : ?domains:int -> Adjacency.t -> float
+val average_path_length : ?domains:int -> ?csr:Csr.t -> Adjacency.t -> float

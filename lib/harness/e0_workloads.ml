@@ -25,8 +25,8 @@ let one ~n (family, gen) =
     m;
     mean_degree = 2. *. float_of_int m /. float_of_int (max 1 nodes);
     max_degree = Adjacency.max_degree g;
-    diameter = Fg_graph.Diameter.exact g;
-    avg_path_length = Fg_graph.Diameter.average_path_length g;
+    diameter = Fg_graph.Diameter.exact ~csr:(Exp_common.csr_of g) g;
+    avg_path_length = Fg_graph.Diameter.average_path_length ~csr:(Exp_common.csr_of g) g;
     clustering = Fg_graph.Clustering.average_coefficient g;
     connected = Fg_graph.Connectivity.is_connected g;
   }

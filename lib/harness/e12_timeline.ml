@@ -17,7 +17,8 @@ type summary = { rows : row list; steps_checked : int; violations : int }
 let measure_now fg =
   let live = Fg.live_nodes fg in
   let stretch =
-    Fg_metrics.Stretch.exact ~graph:(Fg.graph fg) ~reference:(Fg.gprime fg) live
+    Fg_metrics.Stretch.exact ~graph_csr:(Fg.csr fg) ~reference_csr:(Fg.gprime_csr fg)
+      ~graph:(Fg.graph fg) ~reference:(Fg.gprime fg) live
   in
   let degree =
     Fg_metrics.Degree_metric.measure ~graph:(Fg.graph fg) ~gprime:(Fg.gprime fg)

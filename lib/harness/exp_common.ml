@@ -8,6 +8,21 @@ let ceil_log2 n =
 let log2f n = log (float_of_int (max 2 n)) /. log 2.
 let default_seed = 42
 
+(* One-slot memo for CSR snapshots: experiment code often computes several
+   metrics over the same graph back to back (e.g. diameter then average
+   path length in E0). Keyed by physical identity and [Adjacency.version],
+   so an in-place mutation of the memoized graph invalidates the slot. *)
+let csr_slot : (Fg_graph.Adjacency.t * int * Fg_graph.Csr.t) option ref = ref None
+
+let csr_of g =
+  let v = Fg_graph.Adjacency.version g in
+  match !csr_slot with
+  | Some (g0, v0, c) when g0 == g && v0 = v -> c
+  | _ ->
+    let c = Fg_graph.Csr.of_adjacency g in
+    csr_slot := Some (g, v, c);
+    c
+
 let families =
   [
     ("ring", fun _rng n -> Fg_graph.Generators.ring n);

@@ -9,6 +9,13 @@ val log2f : int -> float
 (** Default seed used by all experiments (override per call site). *)
 val default_seed : int
 
+(** [csr_of g] returns a {!Fg_graph.Csr} snapshot of [g], memoized one slot
+    deep by physical identity and {!Fg_graph.Adjacency.version}: consecutive
+    metric calls over the same unmutated graph share one build. Thread the
+    result into the [?csr] options of {!Fg_graph.Diameter} /
+    {!Fg_graph.Centrality} / {!Fg_metrics.Stretch}. *)
+val csr_of : Fg_graph.Adjacency.t -> Fg_graph.Csr.t
+
 (** The graph families used by the attack sweeps: name, generator. *)
 val families : (string * (Fg_graph.Rng.t -> int -> Fg_graph.Adjacency.t)) list
 

@@ -37,10 +37,12 @@ type partial = {
 let zero_partial =
   { p_max = 0.; p_wit = None; p_sum = 0.; p_pairs = 0; p_disc = 0; p_runs = 0 }
 
-let snapshot ~graph ~reference =
+let snapshot ?graph_csr ?reference_csr ~graph ~reference () =
   let t0 = Fg_obs.Trace.wall_clock () in
-  let g = Csr.of_adjacency graph in
-  let r = Csr.of_adjacency reference in
+  let g = match graph_csr with Some c -> c | None -> Csr.of_adjacency graph in
+  let r =
+    match reference_csr with Some c -> c | None -> Csr.of_adjacency reference
+  in
   let r_comp, _ = Csr.components r in
   let build_ms = (Fg_obs.Trace.wall_clock () -. t0) *. 1000. in
   { g; r; r_comp; build_ms }
@@ -140,9 +142,10 @@ let merge parts =
     },
     !runs )
 
-let run_kernel ?domains ~graph ~reference ~sources ~t_id ~from_of () =
+let run_kernel ?domains ?graph_csr ?reference_csr ~graph ~reference ~sources
+    ~t_id ~from_of () =
   Fg_obs.Trace.with_span "metrics.stretch" @@ fun sp ->
-  let snap = snapshot ~graph ~reference in
+  let snap = snapshot ?graph_csr ?reference_csr ~graph ~reference () in
   let t_g, t_r = dense_of snap t_id in
   let domains = Parallel.resolve domains in
   let parts =
@@ -160,21 +163,23 @@ let run_kernel ?domains ~graph ~reference ~sources ~t_id ~from_of () =
   Fg_obs.Metrics.incr ~n:runs "metrics.bfs_runs";
   report
 
-let measure ?domains ~graph ~reference ~sources targets =
+let measure ?domains ?graph_csr ?reference_csr ~graph ~reference ~sources targets =
   let t_id = Array.of_list targets in
   let sources = Array.of_list sources in
-  run_kernel ?domains ~graph ~reference ~sources ~t_id ~from_of:(fun _ -> 0) ()
+  run_kernel ?domains ?graph_csr ?reference_csr ~graph ~reference ~sources ~t_id
+    ~from_of:(fun _ -> 0) ()
 
-let exact ?domains ~graph ~reference nodes =
+let exact ?domains ?graph_csr ?reference_csr ~graph ~reference nodes =
   let t_id = Array.of_list (List.sort Node_id.compare nodes) in
   (* avoid double-counting: source x only measures targets y > x *)
-  run_kernel ?domains ~graph ~reference ~sources:t_id ~t_id
-    ~from_of:(fun i -> i + 1) ()
+  run_kernel ?domains ?graph_csr ?reference_csr ~graph ~reference ~sources:t_id
+    ~t_id ~from_of:(fun i -> i + 1) ()
 
-let sampled ?domains rng ~k ~graph ~reference nodes =
+let sampled ?domains ?graph_csr ?reference_csr rng ~k ~graph ~reference nodes =
   let t_id = Array.of_list (List.sort Node_id.compare nodes) in
   let sources = Fg_graph.Rng.sample rng k t_id in
-  run_kernel ?domains ~graph ~reference ~sources ~t_id ~from_of:(fun _ -> 0) ()
+  run_kernel ?domains ?graph_csr ?reference_csr ~graph ~reference ~sources ~t_id
+    ~from_of:(fun _ -> 0) ()
 
 (* ---- hashtable oracle ----
 

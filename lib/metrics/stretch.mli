@@ -32,12 +32,20 @@ type report = {
                            healer preserves connectivity) *)
 }
 
+(** Every entry point accepts optional prebuilt snapshots [?graph_csr] /
+    [?reference_csr] (e.g. {!Fg_core.Forgiving_graph.csr} /
+    [gprime_csr], which are cached per engine generation): when given, the
+    corresponding [Csr.of_adjacency] build is skipped and the snapshot is
+    trusted to match the graph. Reports are identical either way. *)
+
 (** [measure ~graph ~reference ~sources targets] measures every
     (source, target) pair with [source <> target], counting each ordered
     occurrence — the building block of {!exact} and {!sampled}. (The
     target/node list is positional so that [?domains] can be erased.) *)
 val measure :
   ?domains:int ->
+  ?graph_csr:Fg_graph.Csr.t ->
+  ?reference_csr:Fg_graph.Csr.t ->
   graph:Fg_graph.Adjacency.t ->
   reference:Fg_graph.Adjacency.t ->
   sources:Node_id.t list ->
@@ -48,6 +56,8 @@ val measure :
     [nodes] (one BFS per node on each graph). *)
 val exact :
   ?domains:int ->
+  ?graph_csr:Fg_graph.Csr.t ->
+  ?reference_csr:Fg_graph.Csr.t ->
   graph:Fg_graph.Adjacency.t ->
   reference:Fg_graph.Adjacency.t ->
   Node_id.t list ->
@@ -58,6 +68,8 @@ val exact :
     for large sweeps. *)
 val sampled :
   ?domains:int ->
+  ?graph_csr:Fg_graph.Csr.t ->
+  ?reference_csr:Fg_graph.Csr.t ->
   Fg_graph.Rng.t ->
   k:int ->
   graph:Fg_graph.Adjacency.t ->

@@ -26,8 +26,20 @@ val state : t -> Dist_state.t
 (** The shadowing centralized structure (same operation history). *)
 val reference : t -> Fg_core.Forgiving_graph.t
 
-(** Full cross-checks: distributed structural validity
-    ({!Dist_state.check}), leaf-partition equality with the centralized
-    reference, and degree/connectivity bounds on the derived graph.
-    Returns violations ([] = ok). *)
+(** Delta verification: audits only what changed since the last call,
+    O(Δ) per recorded event instead of O(state). Each [delete] eagerly
+    compares its repair's RT leaf class against the centralized reference
+    (via {!Dist_state.class_of_leaf} — the class is determined by the
+    merge sets, so it must match exactly, but only until a later repair
+    absorbs it); [verify] then drains those results plus the per-event
+    facts that stay true (victims dead, inserted nodes present and wired)
+    and rechecks the 4x degree bound on touched processors only. Returns
+    violations ([] = ok) and clears the pending log. *)
 val verify : t -> string list
+
+(** The original whole-state audit: distributed structural validity
+    ({!Dist_state.check}), full leaf-partition equality with the
+    centralized reference, and degree/connectivity bounds over {e every}
+    live processor. Slower than {!verify}; use periodically or at the end
+    of a run. *)
+val verify_full : t -> string list

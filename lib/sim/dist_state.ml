@@ -221,6 +221,38 @@ let check t =
     List.rev !errs
   end
 
+let cmp_leaf (p1, e1) (p2, e2) =
+  let c = Node_id.compare p1 p2 in
+  if c <> 0 then c else Edge.compare e1 e2
+
+(* Per-repair variant of [leaf_partition]: follow parent links from one
+   leaf to its root, then collect the root's leaf descendants. Touches
+   only that RT's rows, so it is O(class size) where [leaf_partition]
+   reconstructs every tree. *)
+let class_of_leaf t p e =
+  match find t p e with
+  | Some f when f.other_dead -> (
+    let parent_of (vr : Vref.t) =
+      let row = get t vr.Vref.proc vr.Vref.edge in
+      match vr.Vref.kind with
+      | Vref.Real -> row.endpoint
+      | Vref.Helper -> row.h_parent
+    in
+    let rec root_of vr =
+      match parent_of vr with None -> vr | Some up -> root_of up
+    in
+    let rec leaves vr acc =
+      match vr.Vref.kind with
+      | Vref.Real -> (vr.Vref.proc, vr.Vref.edge) :: acc
+      | Vref.Helper ->
+        let row = get t vr.Vref.proc vr.Vref.edge in
+        let acc = match row.h_right with Some r -> leaves r acc | None -> acc in
+        (match row.h_left with Some l -> leaves l acc | None -> acc)
+    in
+    try Some (List.sort cmp_leaf (leaves (root_of (Vref.real p e)) []))
+    with Not_found -> None (* a named row is missing: let [check] report it *))
+  | _ -> None
+
 let leaf_partition t =
   let nodes = reconstruct t in
   let parent_of (n : rnode) = n.parent in
@@ -238,10 +270,6 @@ let leaf_partition t =
         Vref.Tbl.replace classes r ((vr.Vref.proc, vr.Vref.edge) :: existing)
       end)
     nodes;
-  let cmp_leaf (p1, e1) (p2, e2) =
-    let c = Node_id.compare p1 p2 in
-    if c <> 0 then c else Edge.compare e1 e2
-  in
   Vref.Tbl.fold (fun _ ls acc -> List.sort cmp_leaf ls :: acc) classes []
   |> List.sort (fun a b ->
          match (a, b) with

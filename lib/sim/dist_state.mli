@@ -75,3 +75,12 @@ val check : t -> string list
     implementation (the partition is deterministic even when tie-breaks
     differ). Leaves whose RT is a singleton appear as singleton classes. *)
 val leaf_partition : t -> (Node_id.t * Edge.t) list list
+
+(** [class_of_leaf t p e] is the single RT class containing processor
+    [p]'s leaf for edge [e]: parent links are walked to the root and the
+    root's leaf descendants returned sorted, touching only that tree's
+    rows — O(class size), vs {!leaf_partition}'s full reconstruction.
+    [None] if [p] holds no leaf for [e] (or a named row is missing, which
+    {!check} reports in full). Used by {!Dist_engine.verify} to cross-check
+    one repair against the centralized reference. *)
+val class_of_leaf : t -> Node_id.t -> Edge.t -> (Node_id.t * Edge.t) list option

@@ -6,7 +6,12 @@ open Fg_graph
 module De = Fg_sim.Dist_engine
 
 let check_ok label eng =
-  match De.verify eng with
+  (match De.verify eng with
+  | [] -> ()
+  | errs ->
+    Alcotest.failf "%s (delta): %d violations, first: %s" label (List.length errs)
+      (List.hd errs));
+  match De.verify_full eng with
   | [] -> ()
   | errs -> Alcotest.failf "%s: %d violations, first: %s" label (List.length errs) (List.hd errs)
 
@@ -160,7 +165,7 @@ let prop_dist_matches_centralized =
         let live = Fg_core.Forgiving_graph.live_nodes (De.reference eng) in
         if List.length live > 3 && !ok then begin
           ignore (De.delete eng (Rng.pick rng live));
-          if De.verify eng <> [] then ok := false
+          if De.verify eng <> [] || De.verify_full eng <> [] then ok := false
         end
       done;
       !ok)

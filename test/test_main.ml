@@ -18,6 +18,7 @@ let () =
       ("invariant-detection", Test_invariant_detection.suite);
       ("routing", Test_routing.suite);
       ("history", Test_history.suite);
+      ("delta", Test_delta.suite);
       ("batch", Test_batch.suite);
       ("harness", Test_harness.suite);
       ("soak", Test_soak.suite);
