@@ -40,19 +40,20 @@ let run params ~heal g0 ~attack =
     | None, Some g -> g
     | _ -> assert false
   in
+  let scratch = ref [||] in
   let remove v =
     match (fg, plain, heal) with
     | Some f, None, _ -> Fg.delete f v
     | None, Some g, Rewire rng ->
-      let nbrs = Adjacency.neighbors g v in
+      let len = Adjacency.neighbors_into g v scratch in
       Adjacency.remove_node g v;
       (* emergent rewiring: reconnect one random surviving pair *)
-      (match nbrs with
-      | a :: b :: _ as all when List.length all >= 2 ->
-        let arr = Array.of_list all in
+      if len >= 2 then begin
+        let arr = Array.sub !scratch 0 len in
         let x = Fg_graph.Rng.pick_array rng arr and y = Fg_graph.Rng.pick_array rng arr in
-        if Node_id.equal x y then Adjacency.add_edge g a b else Adjacency.add_edge g x y
-      | _ -> ())
+        if Node_id.equal x y then Adjacency.add_edge g arr.(0) arr.(1)
+        else Adjacency.add_edge g x y
+      end
     | None, Some g, _ -> Adjacency.remove_node g v
     | _ -> assert false
   in

@@ -17,37 +17,39 @@ type state = {
   alive : unit Node_id.Tbl.t;
 }
 
-let patch pattern g nbrs =
-  let nbrs = List.sort Node_id.compare nbrs in
-  match (pattern, nbrs) with
-  | (No_repair, _ | _, ([] | [ _ ])) -> ()
-  | Cycle, first :: _ ->
-    let rec link = function
-      | a :: (b :: _ as rest) ->
-        Adjacency.add_edge g a b;
-        link rest
-      | [ last ] -> Adjacency.add_edge g last first
-      | [] -> ()
-    in
-    link nbrs
-  | Line, _ ->
-    let rec link = function
-      | a :: (b :: _ as rest) ->
-        Adjacency.add_edge g a b;
-        link rest
-      | [ _ ] | [] -> ()
-    in
-    link nbrs
-  | Clique, _ ->
-    List.iter (fun a -> List.iter (fun b -> if a < b then Adjacency.add_edge g a b) nbrs) nbrs
-  | Star, hub :: rest -> List.iter (fun b -> Adjacency.add_edge g hub b) rest
-  | Binary_tree, _ ->
-    (* heap-shaped balanced binary tree over the neighbours; no simulation
-       bookkeeping, so repeated deletions concentrate degree *)
-    let arr = Array.of_list nbrs in
-    Array.iteri
-      (fun i v -> if i > 0 then Adjacency.add_edge g arr.((i - 1) / 2) v)
-      arr
+(* [arr.(0 .. len-1)] is the victim's former neighbour row, already in
+   ascending id order (the order the old list-based code sorted into). The
+   buffer is borrowed from the caller's scratch, so repair allocates
+   nothing. *)
+let patch pattern g arr len =
+  if len >= 2 then
+    match pattern with
+    | No_repair -> ()
+    | Cycle ->
+      for i = 0 to len - 2 do
+        Adjacency.add_edge g arr.(i) arr.(i + 1)
+      done;
+      Adjacency.add_edge g arr.(len - 1) arr.(0)
+    | Line ->
+      for i = 0 to len - 2 do
+        Adjacency.add_edge g arr.(i) arr.(i + 1)
+      done
+    | Clique ->
+      for i = 0 to len - 1 do
+        for j = i + 1 to len - 1 do
+          Adjacency.add_edge g arr.(i) arr.(j)
+        done
+      done
+    | Star ->
+      for i = 1 to len - 1 do
+        Adjacency.add_edge g arr.(0) arr.(i)
+      done
+    | Binary_tree ->
+      (* heap-shaped balanced binary tree over the neighbours; no simulation
+         bookkeeping, so repeated deletions concentrate degree *)
+      for i = 1 to len - 1 do
+        Adjacency.add_edge g arr.((i - 1) / 2) arr.(i)
+      done
 
 let healer pattern g0 =
   let st =
@@ -70,12 +72,13 @@ let healer pattern g0 =
         Adjacency.add_edge st.g v u)
       nbrs
   in
+  let scratch = ref [||] in
   let delete v =
     if not (is_alive v) then invalid_arg "naive delete: node not live";
-    let nbrs = Adjacency.neighbors st.g v in
+    let len = Adjacency.neighbors_into st.g v scratch in
     Adjacency.remove_node st.g v;
     Node_id.Tbl.remove st.alive v;
-    patch pattern st.g nbrs
+    patch pattern st.g !scratch len
   in
   {
     Healer.name = pattern_name pattern;

@@ -69,7 +69,8 @@ let create tree =
           Queue.add c q
         end
       in
-      List.iter visit (List.sort Node_id.compare (Adjacency.neighbors tree p))
+      (* neighbour rows are already ascending in id *)
+      Adjacency.iter_neighbors visit tree p
     done
   in
   List.iter

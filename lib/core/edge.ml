@@ -18,7 +18,16 @@ let compare e1 e2 =
   let c = Node_id.compare e1.a e2.a in
   if c <> 0 then c else Node_id.compare e1.b e2.b
 
-let hash e = Hashtbl.hash (e.a, e.b)
+(* Hashing via [Hashtbl.hash (a, b)] built a tuple per call, on every
+   hashtable probe of the heal path. Mix the endpoint ids arithmetically
+   instead: multiply-xor with shift finalisers gives good low bits (OCaml's
+   [Hashtbl] indexes with [hash land (buckets - 1)]) and allocates nothing. *)
+let mix2 a b =
+  let h = (a * 0x9e3779b1) + b in
+  let h = (h lxor (h lsr 16)) * 0x85ebca6b in
+  (h lxor (h lsr 13)) land max_int
+
+let hash e = mix2 e.a e.b
 let pp ppf e = Format.fprintf ppf "(%a,%a)" Node_id.pp e.a Node_id.pp e.b
 
 module Tbl = Hashtbl.Make (struct
@@ -43,6 +52,6 @@ module Half = struct
     type nonrec t = t
 
     let equal = equal
-    let hash h = Hashtbl.hash (h.proc, h.edge.a, h.edge.b)
+    let hash h = mix2 h.proc (mix2 h.edge.a h.edge.b)
   end)
 end

@@ -81,11 +81,17 @@ let gprime_csr t = snapshot t ~gp:true
 
 (* ---- the delta choke point ----
 
-   Every mutating entry point runs inside [with_event]: a Delta.builder is
+   Delta-returning entry points run inside [with_event]: a Delta.builder is
    installed as the Rt recorder (so refcounted image flips and vnode churn
    record themselves), the event body runs, and the finished delta advances
    the generation, feeds both snapshot caches, and is emitted as an
-   [fg.delta] trace point. *)
+   [fg.delta] trace point.
+
+   The plain [insert]/[delete]/[delete_batch] wrappers instead go through
+   [run_event]: when nothing would consume the delta — no snapshot cache
+   installed and tracing off — the event body runs with no recorder at all,
+   so the delta machinery (builder tables, net edge lists, sorts) costs
+   nothing on the undecorated heal path. *)
 
 let gp_touched (d : Delta.t) =
   let tbl = Node_id.Tbl.create 8 in
@@ -104,7 +110,7 @@ let with_event t event f =
   let b = Delta.builder event in
   Rt.set_recorder t.rt (Some b);
   let result =
-    try f b
+    try f (Some b)
     with e ->
       Rt.set_recorder t.rt None;
       t.g_cache <- None;
@@ -114,17 +120,32 @@ let with_event t event f =
   Rt.set_recorder t.rt None;
   t.generation <- t.generation + 1;
   let d = Delta.build ~gen:t.generation b in
-  note_cache t ~gp:false ~v0:v0g ~v1:(Adjacency.version img)
-    ~touched:(Delta.touched d) ~removed:(Delta.removed d);
-  note_cache t ~gp:true ~v0:v0p ~v1:(Adjacency.version t.gprime)
-    ~touched:(gp_touched d) ~removed:[];
+  if t.g_cache <> None then
+    note_cache t ~gp:false ~v0:v0g ~v1:(Adjacency.version img)
+      ~touched:(Delta.touched d) ~removed:(Delta.removed d);
+  if t.gp_cache <> None then
+    note_cache t ~gp:true ~v0:v0p ~v1:(Adjacency.version t.gprime)
+      ~touched:(gp_touched d) ~removed:[];
   if Fg_obs.Trace.enabled () then
     Fg_obs.Trace.point "fg.delta" ~attrs:(Delta.to_attrs d);
   (d, result)
 
+let run_event t event f =
+  if t.g_cache <> None || t.gp_cache <> None || Fg_obs.Trace.enabled () then
+    ignore (with_event t event f : Delta.t * _)
+  else begin
+    (* no recorder: Rt's choke points see [None] and record nothing *)
+    (try ignore (f None)
+     with e ->
+       t.g_cache <- None;
+       t.gp_cache <- None;
+       raise e);
+    t.generation <- t.generation + 1
+  end
+
 (* ---- mutations ---- *)
 
-let insert_delta t v nbrs =
+let insert_checked t v nbrs =
   if Adjacency.mem_node t.gprime v then
     invalid_arg "Forgiving_graph.insert: node id was already seen";
   let nbrs = List.sort_uniq Node_id.compare nbrs in
@@ -133,22 +154,27 @@ let insert_delta t v nbrs =
       invalid_arg "Forgiving_graph.insert: neighbour is not live"
   in
   List.iter check nbrs;
-  let d, () =
-    with_event t (Delta.Inserted { node = v; nbrs }) @@ fun b ->
-    Adjacency.add_node t.gprime v;
-    Node_id.Tbl.replace t.alive v ();
-    Rt.add_image_node t.rt v;
-    Delta.record_node_add b v;
-    let connect u =
-      Adjacency.add_edge t.gprime v u;
-      Delta.record_gp_add b (Edge.make v u);
-      Rt.add_direct t.rt v u
-    in
-    List.iter connect nbrs
-  in
-  d
+  nbrs
 
-let insert t v nbrs = ignore (insert_delta t v nbrs)
+let insert_body t v nbrs b =
+  Adjacency.add_node t.gprime v;
+  Node_id.Tbl.replace t.alive v ();
+  Rt.add_image_node t.rt v;
+  (match b with None -> () | Some b -> Delta.record_node_add b v);
+  let connect u =
+    Adjacency.add_edge t.gprime v u;
+    (match b with None -> () | Some b -> Delta.record_gp_add b (Edge.make v u));
+    Rt.add_direct t.rt v u
+  in
+  List.iter connect nbrs
+
+let insert_delta t v nbrs =
+  let nbrs = insert_checked t v nbrs in
+  fst (with_event t (Delta.Inserted { node = v; nbrs }) (insert_body t v nbrs))
+
+let insert t v nbrs =
+  let nbrs = insert_checked t v nbrs in
+  run_event t (Delta.Inserted { node = v; nbrs }) (insert_body t v nbrs)
 
 let of_graph ?policy g =
   let t = create ?policy () in
@@ -166,10 +192,8 @@ let of_graph ?policy g =
     g;
   t
 
-let delete_delta t v =
-  if not (is_alive t v) then invalid_arg "Forgiving_graph.delete: node is not live";
+let delete_body t v b =
   let degree = Adjacency.degree t.gprime v in
-  with_event t (Delta.Deleted { victims = [ v ] }) @@ fun b ->
   Fg_obs.Trace.with_span "fg.delete"
     ~attrs:[ ("node", Fg_obs.Event.Int v); ("degree", Fg_obs.Event.Int degree) ]
     (fun sp ->
@@ -194,10 +218,17 @@ let delete_delta t v =
         end
       in
       Fg_obs.Trace.with_span "fg.collect" (fun _ ->
-          List.iter classify (Adjacency.neighbors t.gprime v));
-      let _root, trace = Rt.heal t.rt ~marked:!marked ~fresh:!fresh in
+          (* descending, so [remove_direct] pops each image edge off the tail
+             of [v]'s sorted row instead of shifting it (an O(deg^2) memmove
+             for hubs); the [List.rev]s restore exactly the order the
+             ascending walk used to produce, keeping heal byte-identical *)
+          Adjacency.iter_neighbors_rev classify t.gprime v);
+      let _root, trace =
+        Rt.heal t.rt ~events:(b <> None) ~marked:(List.rev !marked)
+          ~fresh:(List.rev !fresh)
+      in
       Fg_obs.Trace.with_span "fg.image" (fun _ -> Rt.drop_image_node t.rt v);
-      Delta.record_node_remove b v;
+      (match b with None -> () | Some b -> Delta.record_node_remove b v);
       Fg_obs.Trace.attr sp "anchors" (Fg_obs.Event.Int trace.Rt.ht_anchors);
       Fg_obs.Trace.attr sp "notified" (Fg_obs.Event.Int trace.Rt.ht_notified);
       Fg_obs.Metrics.incr "fg.deletions";
@@ -205,8 +236,15 @@ let delete_delta t v =
       Fg_obs.Metrics.observe "fg.notified" (float_of_int trace.Rt.ht_notified);
       trace)
 
+let delete_delta t v =
+  if not (is_alive t v) then invalid_arg "Forgiving_graph.delete: node is not live";
+  with_event t (Delta.Deleted { victims = [ v ] }) (delete_body t v)
+
 let delete_traced t v = snd (delete_delta t v)
-let delete t v = ignore (delete_delta t v)
+
+let delete t v =
+  if not (is_alive t v) then invalid_arg "Forgiving_graph.delete: node is not live";
+  run_event t (Delta.Deleted { victims = [ v ] }) (delete_body t v)
 
 (* Simultaneous deletion of a victim set. Victims are partitioned into
    independent repair groups — two victims interact iff they are adjacent
@@ -214,14 +252,16 @@ let delete t v = ignore (delete_delta t v)
    with one combined Strip/Merge. Unrelated victims therefore do not get
    spliced into a common reconstruction tree (matching what the sequential
    algorithm would produce for them). *)
-let delete_batch_delta t victims =
+let delete_batch_checked t victims =
   let victims = List.sort_uniq Node_id.compare victims in
   List.iter
     (fun v ->
       if not (is_alive t v) then
         invalid_arg "Forgiving_graph.delete_batch: node is not live")
     victims;
-  with_event t (Delta.Deleted { victims }) @@ fun b ->
+  victims
+
+let delete_batch_body t victims b =
   Fg_obs.Trace.with_span "fg.delete_batch"
     ~attrs:[ ("victims", Fg_obs.Event.Int (List.length victims)) ]
     (fun sp ->
@@ -253,15 +293,17 @@ let delete_batch_delta t victims =
     end
   in
   Fg_obs.Trace.with_span "fg.collect" (fun _ ->
-      List.iter (fun v -> List.iter (classify v) (Adjacency.neighbors t.gprime v)) victims);
+      (* descending for the same tail-pop reason as [delete_body]; the
+         per-victim lists come out ascending and are reversed in [collect] *)
+      List.iter (fun v -> Adjacency.iter_neighbors_rev (classify v) t.gprime v) victims);
   (* group victims: G'-adjacency within the batch, or a shared RT *)
   let uf = Fg_graph.Union_find.create () in
   List.iter (fun v -> ignore (Fg_graph.Union_find.find uf v)) victims;
   List.iter
     (fun v ->
-      List.iter
+      Adjacency.iter_neighbors
         (fun x -> if Node_id.Set.mem x dead then ignore (Fg_graph.Union_find.union uf v x))
-        (Adjacency.neighbors t.gprime v))
+        t.gprime v)
     victims;
   let root_owner = Hashtbl.create 8 in
   List.iter
@@ -283,22 +325,38 @@ let delete_batch_delta t victims =
       Im.empty victims
   in
   let heal_group members =
-    let collect tbl = List.concat_map (fun v -> Option.value (Node_id.Tbl.find_opt tbl v) ~default:[]) members in
-    let _root, trace = Rt.heal t.rt ~marked:(collect marked) ~fresh:(collect fresh) in
+    let collect tbl =
+      List.concat_map
+        (fun v -> List.rev (Option.value (Node_id.Tbl.find_opt tbl v) ~default:[]))
+        members
+    in
+    let _root, trace =
+      Rt.heal t.rt ~events:(b <> None) ~marked:(collect marked) ~fresh:(collect fresh)
+    in
     trace
   in
   let traces = Im.fold (fun _ members acc -> heal_group members :: acc) groups [] in
   Fg_obs.Trace.with_span "fg.image" (fun _ ->
       List.iter (fun v -> Rt.drop_image_node t.rt v) victims);
-  List.iter (fun v -> Delta.record_node_remove b v) victims;
-  Delta.record_groups b (Im.cardinal groups);
+  (match b with
+  | None -> ()
+  | Some b ->
+    List.iter (fun v -> Delta.record_node_remove b v) victims;
+    Delta.record_groups b (Im.cardinal groups));
   Fg_obs.Trace.attr sp "groups" (Fg_obs.Event.Int (Im.cardinal groups));
   Fg_obs.Metrics.incr "fg.batch_deletions";
   Fg_obs.Metrics.incr ~n:(List.length victims) "fg.deletions";
   List.rev traces)
 
+let delete_batch_delta t victims =
+  let victims = delete_batch_checked t victims in
+  with_event t (Delta.Deleted { victims }) (delete_batch_body t victims)
+
 let delete_batch_traced t victims = snd (delete_batch_delta t victims)
-let delete_batch t victims = ignore (delete_batch_delta t victims)
+
+let delete_batch t victims =
+  let victims = delete_batch_checked t victims in
+  run_event t (Delta.Deleted { victims }) (delete_batch_body t victims)
 
 let graph t = Rt.image t.rt
 let gprime t = t.gprime

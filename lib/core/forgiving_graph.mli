@@ -35,9 +35,13 @@ val of_graph : ?policy:Rt.policy -> Fg_graph.Adjacency.t -> t
 val insert : t -> Node_id.t -> Node_id.t list -> unit
 
 (** [insert_delta] is {!insert} returning the event's {!Delta.t}. Every
-    mutating entry point has a [*_delta] variant; the plain ones are thin
-    wrappers. The delta stream, replayed from [G_0], reproduces
-    [graph t]/[gprime t] exactly. *)
+    mutating entry point has a [*_delta] variant. The delta stream,
+    replayed from [G_0], reproduces [graph t]/[gprime t] exactly.
+
+    The plain entry points only build a delta when something consumes it —
+    a live {!csr}/{!gprime_csr} snapshot cache or an enabled trace sink;
+    otherwise the event runs with no recorder installed and the delta
+    machinery costs nothing. *)
 val insert_delta : t -> Node_id.t -> Node_id.t list -> Delta.t
 
 (** [delete t v] is an adversarial deletion followed by the healing repair.

@@ -16,34 +16,174 @@ type vnode = {
   mutable live : bool;
 }
 
-module Pair_tbl = Hashtbl.Make (struct
-  type t = Node_id.t * Node_id.t
+(* Multiplicities of image edges, keyed by the packed endpoint pair
+   [(min lsl 31) lor max] (node ids stay well below 2^31, so the pack is
+   injective and fits a 63-bit int; [min < max] makes every key >= 1,
+   freeing 0 as the empty-slot sentinel). Open addressing with linear
+   probing and backward-shift deletion: [inc]/[dec] allocate nothing,
+   where the tuple-keyed [Hashtbl] this replaces built a pair plus an
+   option per refcount operation — the hottest call site of every heal. *)
+module Counts : sig
+  type t
 
-  let equal (a1, b1) (a2, b2) = Node_id.equal a1 a2 && Node_id.equal b1 b2
-  let hash = Hashtbl.hash
-end)
+  val create : unit -> t
+  val inc : t -> int -> int  (* new count *)
+  val dec : t -> int -> int  (* new count; [-1] when the key is absent *)
+end = struct
+  type t = {
+    mutable keys : int array;  (* 0 = empty; capacity is a power of two *)
+    mutable vals : int array;
+    mutable n : int;  (* occupied slots, kept under half the capacity *)
+  }
+
+  let create () = { keys = Array.make 64 0; vals = Array.make 64 0; n = 0 }
+
+  let home keys k =
+    let h = (k lxor (k lsr 31)) * 0x9e3779b1 in
+    (h lxor (h lsr 16)) land (Array.length keys - 1)
+
+  (* slot holding [k], or the empty slot where it would go *)
+  let slot keys k =
+    let mask = Array.length keys - 1 in
+    let i = ref (home keys k) in
+    while keys.(!i) <> 0 && keys.(!i) <> k do
+      i := (!i + 1) land mask
+    done;
+    !i
+
+  let grow t =
+    let old_k = t.keys and old_v = t.vals in
+    let cap = 2 * Array.length old_k in
+    t.keys <- Array.make cap 0;
+    t.vals <- Array.make cap 0;
+    for i = 0 to Array.length old_k - 1 do
+      let k = old_k.(i) in
+      if k <> 0 then begin
+        let j = slot t.keys k in
+        t.keys.(j) <- k;
+        t.vals.(j) <- old_v.(i)
+      end
+    done
+
+  let inc t k =
+    if 2 * (t.n + 1) > Array.length t.keys then grow t;
+    let i = slot t.keys k in
+    if t.keys.(i) = 0 then begin
+      t.keys.(i) <- k;
+      t.vals.(i) <- 1;
+      t.n <- t.n + 1;
+      1
+    end
+    else begin
+      let c = t.vals.(i) + 1 in
+      t.vals.(i) <- c;
+      c
+    end
+
+  (* Backward-shift deletion: after emptying slot [i0], walk the probe
+     chain and pull back any entry whose home slot lies at or before the
+     hole (cyclically), so lookups never meet a premature empty slot. *)
+  let remove_at t i0 =
+    let keys = t.keys and vals = t.vals in
+    let mask = Array.length keys - 1 in
+    keys.(i0) <- 0;
+    let i = ref i0 and j = ref i0 in
+    let scanning = ref true in
+    while !scanning do
+      j := (!j + 1) land mask;
+      let k = keys.(!j) in
+      if k = 0 then scanning := false
+      else if (!j - home keys k) land mask >= (!j - !i) land mask then begin
+        keys.(!i) <- k;
+        vals.(!i) <- vals.(!j);
+        keys.(!j) <- 0;
+        i := !j
+      end
+    done;
+    t.n <- t.n - 1
+
+  let dec t k =
+    let i = slot t.keys k in
+    if t.keys.(i) = 0 then -1
+    else begin
+      let c = t.vals.(i) - 1 in
+      if c = 0 then remove_at t i else t.vals.(i) <- c;
+      c
+    end
+end
 
 type policy = Paper | Degree_balanced
+
+(* Reusable per-context scratch: every [heal] call needs a tainted/marked
+   membership test over vnode ids, a dedup of affected tree roots, and a
+   buffer of stripped complete subtrees tagged with their fragment id.
+   These were functional [Int_set]s, throwaway hashtables, and a [Map] per
+   heal; with vnode ids dense (the [next_id] counter), epoch-stamped int
+   arrays and growable buffers answer the same queries with O(1) amortised
+   allocation across repeated deletions. The epoch advances by 2 per heal
+   ([mark = epoch] means tainted, [mark = epoch + 1] means marked), so no
+   clearing pass is ever needed. *)
+type scratch = {
+  mutable mark : int array;  (* vnode id -> taint/mark stamp *)
+  mutable seen : int array;  (* vnode id -> root-dedup stamp *)
+  mutable epoch : int;
+  mutable pool_fid : int array;  (* fragment id per pool entry *)
+  mutable pool_v : vnode array;  (* stripped complete subtrees, visit order *)
+  mutable pool_len : int;
+  mutable frag_head : int array;  (* fid -> first pool index, -1 if none *)
+  mutable pool_next : int array;  (* pool index -> next entry of same fid *)
+}
 
 type ctx = {
   leaf_tbl : vnode Edge.Half.Tbl.t;
   helper_tbl : vnode Edge.Half.Tbl.t;
   img : Adjacency.t;
-  counts : int Pair_tbl.t;  (* multiplicity of image edges, key (min, max) *)
+  counts : Counts.t;  (* multiplicity of image edges, packed (min, max) key *)
   policy : policy;
+  scratch : scratch;
   mutable next_id : int;
   mutable recorder : Delta.builder option;
       (* while set, every actual image flip and vnode create/discard is
          recorded into the event's delta — the single choke point *)
 }
 
+let dummy_vnode =
+  let rec v =
+    {
+      id = -1;
+      kind = Leaf;
+      half = Edge.Half.make 0 (Edge.make 0 1);
+      parent = None;
+      left = None;
+      right = None;
+      leaves = 0;
+      height = 0;
+      rep = v;
+      live = false;
+    }
+  in
+  v
+
+let create_scratch () =
+  {
+    mark = [||];
+    seen = [||];
+    epoch = 0;
+    pool_fid = [||];
+    pool_v = [||];
+    pool_len = 0;
+    frag_head = [||];
+    pool_next = [||];
+  }
+
 let create_ctx ?(policy = Paper) () =
   {
     leaf_tbl = Edge.Half.Tbl.create 64;
     helper_tbl = Edge.Half.Tbl.create 64;
     img = Adjacency.create ();
-    counts = Pair_tbl.create 64;
+    counts = Counts.create ();
     policy;
+    scratch = create_scratch ();
     next_id = 0;
     recorder = None;
   }
@@ -60,34 +200,31 @@ let drop_image_node ctx p =
 
 (* ---- image edge reference counting ---- *)
 
-let pair_key u v = if u < v then (u, v) else (v, u)
+let pack_pair u v = if u < v then (u lsl 31) lor v else (v lsl 31) lor u
 
 let img_inc ctx u v =
-  if not (Node_id.equal u v) then begin
-    let key = pair_key u v in
-    let c = Option.value (Pair_tbl.find_opt ctx.counts key) ~default:0 in
-    Pair_tbl.replace ctx.counts key (c + 1);
-    if c = 0 then begin
+  if not (Node_id.equal u v) then
+    if Counts.inc ctx.counts (pack_pair u v) = 1 then begin
       Adjacency.add_edge ctx.img u v;
-      Option.iter (fun b -> Delta.record_g_add b u v) ctx.recorder;
+      (match ctx.recorder with
+      | None -> ()
+      | Some b -> Delta.record_g_add b u v);
       Fg_obs.Trace.count "image.edges_added" 1;
       Fg_obs.Metrics.incr "image.edges_added"
     end
-  end
 
 let img_dec ctx u v =
-  if not (Node_id.equal u v) then begin
-    let key = pair_key u v in
-    match Pair_tbl.find_opt ctx.counts key with
-    | None | Some 0 -> invalid_arg "Rt.img_dec: edge not present"
-    | Some 1 ->
-      Pair_tbl.remove ctx.counts key;
+  if not (Node_id.equal u v) then
+    match Counts.dec ctx.counts (pack_pair u v) with
+    | -1 -> invalid_arg "Rt.img_dec: edge not present"
+    | 0 ->
       Adjacency.remove_edge ctx.img u v;
-      Option.iter (fun b -> Delta.record_g_remove b u v) ctx.recorder;
+      (match ctx.recorder with
+      | None -> ()
+      | Some b -> Delta.record_g_remove b u v);
       Fg_obs.Trace.count "image.edges_removed" 1;
       Fg_obs.Metrics.incr "image.edges_removed"
-    | Some c -> Pair_tbl.replace ctx.counts key (c - 1)
-  end
+    | _ -> ()
 
 let add_direct ctx u v = img_inc ctx u v
 let remove_direct ctx u v = img_dec ctx u v
@@ -118,7 +255,9 @@ let fresh_leaf ctx half =
   in
   ctx.next_id <- ctx.next_id + 1;
   assert (not (Edge.Half.Tbl.mem ctx.leaf_tbl half));
-  Edge.Half.Tbl.replace ctx.leaf_tbl half v;
+  (* [add] rather than [replace]: the key is absent (asserted above), so
+     this skips the bucket search [replace] would do *)
+  Edge.Half.Tbl.add ctx.leaf_tbl half v;
   Option.iter Delta.record_vnode_created ctx.recorder;
   v
 
@@ -143,7 +282,7 @@ let fresh_helper ctx ~simulator ~left ~right ~rep =
     }
   in
   ctx.next_id <- ctx.next_id + 1;
-  Edge.Half.Tbl.replace ctx.helper_tbl half v;
+  Edge.Half.Tbl.add ctx.helper_tbl half v;
   Option.iter Delta.record_vnode_created ctx.recorder;
   left.parent <- Some v;
   right.parent <- Some v;
@@ -174,31 +313,40 @@ let discard ctx v =
 
 (* ---- decomposition (Strip over the broken forest) ---- *)
 
-module Int_set = Set.Make (Int)
+(* grow-to-fit for the scratch arrays; contents need not survive growth
+   because capacity is only raised at the start of a heal, before any
+   stamps or pool entries of that heal exist *)
+let ensure_stamps s n =
+  if Array.length s.mark < n then s.mark <- Array.make (max 64 (2 * n)) 0;
+  if Array.length s.seen < n then s.seen <- Array.make (max 64 (2 * n)) 0
 
-(* ids of every marked vnode and all of its ancestors *)
-let taint_set marked =
-  let rec add_up acc v =
-    if Int_set.mem v.id acc then acc
-    else
-      let acc = Int_set.add v.id acc in
-      match v.parent with None -> acc | Some p -> add_up acc p
-  in
-  List.fold_left add_up Int_set.empty marked
+let pool_push s fid v =
+  if s.pool_len = Array.length s.pool_v then begin
+    let cap = max 16 (2 * s.pool_len) in
+    let pv = Array.make cap dummy_vnode and pf = Array.make cap 0 in
+    Array.blit s.pool_v 0 pv 0 s.pool_len;
+    Array.blit s.pool_fid 0 pf 0 s.pool_len;
+    s.pool_v <- pv;
+    s.pool_fid <- pf
+  end;
+  s.pool_v.(s.pool_len) <- v;
+  s.pool_fid.(s.pool_len) <- fid;
+  s.pool_len <- s.pool_len + 1
 
-(* Walk a tree top-down. Untainted complete subtrees go to the pool;
-   everything else is discarded and its children are visited. Roots passed
-   in must have no parent.
+(* Walk a tree top-down. Untainted complete subtrees go to the pool
+   (ctx.scratch, in visit order); everything else is discarded and its
+   children are visited. Roots passed in must have no parent.
 
    Fragment tagging: a fragment is a maximal connected piece of the broken
    RT after removing the deleted processor's (marked) vnodes; each fragment
    is one BT_v anchor. Removing a marked helper separates its two child
    subtrees from the rest, so children of a *marked* node start fresh
    fragments; red (non-primary-root) discards stay within the fragment.
-   Returns pool entries tagged with their fragment id, plus the number of
-   red helpers discarded. *)
-let decompose ctx ~marked_ids ~tainted roots =
-  let pool = ref [] in
+   Returns the number of red helpers discarded and the number of fragment
+   ids assigned; pool entries live in [ctx.scratch]. *)
+let decompose ctx ~epoch roots =
+  let s = ctx.scratch in
+  s.pool_len <- 0;
   let discarded = ref 0 in
   let next_fid = ref 0 in
   let fresh_fid () =
@@ -207,10 +355,9 @@ let decompose ctx ~marked_ids ~tainted roots =
     f
   in
   let rec visit fid v =
-    if (not (Int_set.mem v.id tainted)) && is_complete v then
-      pool := (fid, v) :: !pool
+    if s.mark.(v.id) < epoch && is_complete v then pool_push s fid v
     else begin
-      let was_marked = Int_set.mem v.id marked_ids in
+      let was_marked = s.mark.(v.id) = epoch + 1 in
       if (not was_marked) && v.kind = Helper then incr discarded;
       let children = discard ctx v in
       let child_fid () = if was_marked then fresh_fid () else fid in
@@ -218,7 +365,7 @@ let decompose ctx ~marked_ids ~tainted roots =
     end
   in
   List.iter (fun r -> visit (fresh_fid ()) r) roots;
-  (!pool, !discarded)
+  (!discarded, !next_fid)
 
 (* ---- merge (ComputeHaft, Algorithm A.9) ---- *)
 
@@ -340,8 +487,14 @@ let unit_order a b =
   compare (key a) (key b)
 
 (* Bottom-up pairwise reduction over BT_v (Fig. 7): at every level adjacent
-   units merge in parallel; an odd unit passes through. *)
-let btv_reduce ctx units =
+   units merge in parallel; an odd unit passes through.
+
+   [record] gates the merge-event bookkeeping: the event records (and their
+   size lists) exist for protocol replay, harness figures, and metrics —
+   when the caller will drop the trace unseen, building them is pure
+   allocation on the heal path, so the fast path turns them off. The
+   healed RT itself is identical either way. *)
+let btv_reduce ctx ~record units =
   let levels = ref [] in
   let rec loop units =
     match units with
@@ -354,17 +507,19 @@ let btv_reduce ctx units =
         match merge_pool ctx rs with
         | None -> None
         | Some (root, created) ->
-          let ev =
-            {
-              me_left_sizes = sizes_of rs;
-              me_right_sizes = [];
-              me_left_height = max_height rs;
-              me_right_height = 0;
-              me_created = created;
-              me_discarded = 0;
-            }
-          in
-          levels := [ ev ] :: !levels;
+          if record then begin
+            let ev =
+              {
+                me_left_sizes = sizes_of rs;
+                me_right_sizes = [];
+                me_left_height = max_height rs;
+                me_right_height = 0;
+                me_created = created;
+                me_discarded = 0;
+              }
+            in
+            levels := [ ev ] :: !levels
+          end;
           Some root))
     | _ ->
       let events = ref [] in
@@ -377,40 +532,58 @@ let btv_reduce ctx units =
             | Some r -> r
             | None -> assert false (* both sides non-empty *)
           in
-          let ev =
-            {
-              me_left_sizes = sizes_of left_roots;
-              me_right_sizes = sizes_of right_roots;
-              me_left_height = max_height left_roots;
-              me_right_height = max_height right_roots;
-              me_created = created;
-              me_discarded = dl + dr;
-            }
-          in
-          events := ev :: !events;
+          if record then begin
+            let ev =
+              {
+                me_left_sizes = sizes_of left_roots;
+                me_right_sizes = sizes_of right_roots;
+                me_left_height = max_height left_roots;
+                me_right_height = max_height right_roots;
+                me_created = created;
+                me_discarded = dl + dr;
+              }
+            in
+            events := ev :: !events
+          end;
           Whole merged :: pair rest
         | ([ _ ] | []) as rest -> rest
       in
       let next = pair units in
-      levels := List.rev !events :: !levels;
+      if record then levels := List.rev !events :: !levels;
       loop next
   in
   let root = loop units in
   (root, List.rev !levels)
 
-let heal ctx ~marked ~fresh =
-  let tainted = taint_set marked in
-  let marked_ids =
-    List.fold_left (fun acc v -> Int_set.add v.id acc) Int_set.empty marked
+let heal ?(events = true) ctx ~marked ~fresh =
+  (* never drop the event records while something is watching: spans and
+     metrics aggregate them, and an installed recorder means the caller
+     came through a traced entry point and will receive the trace *)
+  let record =
+    events || ctx.recorder <> None || Fg_obs.Trace.enabled ()
+    || Fg_obs.Metrics.is_recording ()
   in
+  let s = ctx.scratch in
+  ensure_stamps s ctx.next_id;
+  s.epoch <- s.epoch + 2;
+  let e = s.epoch in
+  (* mark the deleted processor's vnodes, then taint every ancestor *)
+  List.iter (fun v -> s.mark.(v.id) <- e + 1) marked;
+  let rec taint_up v =
+    match v.parent with
+    | Some p when s.mark.(p.id) < e ->
+      s.mark.(p.id) <- e;
+      taint_up p
+    | _ -> ()
+  in
+  List.iter taint_up marked;
   let roots =
     (* distinct tree roots containing marked vnodes *)
-    let seen = Hashtbl.create 8 in
     let collect acc v =
       let r = root_of v in
-      if Hashtbl.mem seen r.id then acc
+      if s.seen.(r.id) = e then acc
       else begin
-        Hashtbl.replace seen r.id ();
+        s.seen.(r.id) <- e;
         r :: acc
       end
     in
@@ -426,30 +599,57 @@ let heal ctx ~marked ~fresh =
     in
     List.fold_left count_neighbors (List.length fresh) marked
   in
-  let pool, initial_discarded =
+  let initial_discarded, num_fids =
     Fg_obs.Trace.with_span "rt.strip" (fun sp ->
-        let pool, discarded = decompose ctx ~marked_ids ~tainted roots in
+        let discarded, num_fids = decompose ctx ~epoch:e roots in
         Fg_obs.Trace.attr sp "trees" (Fg_obs.Event.Int (List.length roots));
-        Fg_obs.Trace.attr sp "pool" (Fg_obs.Event.Int (List.length pool));
+        Fg_obs.Trace.attr sp "pool" (Fg_obs.Event.Int s.pool_len);
         Fg_obs.Trace.count_span sp "rt.helpers_discarded" discarded;
-        (pool, discarded))
+        (discarded, num_fids))
   in
   Fg_obs.Metrics.incr "rt.strip_calls";
   Fg_obs.Metrics.incr ~n:initial_discarded "rt.helpers_discarded";
-  (* group pool entries into fragments *)
-  let module Im = Map.Make (Int) in
-  let frags =
-    List.fold_left
-      (fun m (fid, v) -> Im.update fid (fun l -> Some (v :: Option.value l ~default:[])) m)
-      Im.empty pool
-  in
-  let fragment_units = Im.fold (fun _ rs acc -> Roots rs :: acc) frags [] in
+  (* group pool entries into fragments: thread a per-fid chain through the
+     pool buffer (reverse scan, so chains run in visit order), then emit one
+     Roots unit per non-empty fragment *)
+  if Array.length s.frag_head < num_fids then
+    s.frag_head <- Array.make (max 16 (2 * num_fids)) (-1)
+  else Array.fill s.frag_head 0 num_fids (-1);
+  if Array.length s.pool_next < s.pool_len then
+    s.pool_next <- Array.make (Array.length s.pool_v) 0;
+  for k = s.pool_len - 1 downto 0 do
+    let f = s.pool_fid.(k) in
+    s.pool_next.(k) <- s.frag_head.(f);
+    s.frag_head.(f) <- k
+  done;
+  let fragment_units = ref [] in
+  for f = num_fids - 1 downto 0 do
+    if s.frag_head.(f) >= 0 then begin
+      let rec chain k = if k < 0 then [] else s.pool_v.(k) :: chain s.pool_next.(k) in
+      fragment_units := Roots (chain s.frag_head.(f)) :: !fragment_units
+    end
+  done;
+  (* drop scratch references to stripped subtrees so the arena does not
+     keep dead trees alive until the next heal overwrites the slots *)
+  Array.fill s.pool_v 0 s.pool_len dummy_vnode;
+  s.pool_len <- 0;
   let fresh_units = List.map (fun h -> Roots [ fresh_leaf ctx h ]) fresh in
-  let units = List.sort unit_order (fragment_units @ fresh_units) in
+  let units =
+    let us = !fragment_units @ fresh_units in
+    (* the common all-fresh case arrives already ordered (leaf ids ascend
+       in creation order); [List.sort] is stable, so skipping it on sorted
+       input yields the identical unit sequence without the O(n log n)
+       mergesort allocation *)
+    let rec is_sorted = function
+      | a :: (b :: _ as tl) -> unit_order a b <= 0 && is_sorted tl
+      | _ -> true
+    in
+    if is_sorted us then us else List.sort unit_order us
+  in
   let anchors = List.length units in
   let root, levels =
     Fg_obs.Trace.with_span "rt.merge" (fun sp ->
-        let root, levels = btv_reduce ctx units in
+        let root, levels = btv_reduce ctx ~record units in
         let created, restripped =
           List.fold_left
             (List.fold_left (fun (c, d) ev -> (c + ev.me_created, d + ev.me_discarded)))

@@ -112,8 +112,15 @@ type heal_trace = {
     which new singleton leaves are created. Fragments all affected RTs
     (Strip), then merges fragments pairwise bottom-up as in the BT_v
     reduction of Fig. 7 until a single haft remains. Returns the new RT
-    root ([None] if nothing survives) and the trace. *)
+    root ([None] if nothing survives) and the trace.
+
+    [~events:false] skips building the per-level {!merge_event} records
+    ([ht_levels] comes back [[]]), saving their allocation when the caller
+    will drop the trace unseen; the healed RT is identical. The flag is
+    overridden back to [true] while a delta recorder, tracing, or metrics
+    recording is active, so observability never sees a truncated trace. *)
 val heal :
+  ?events:bool ->
   ctx -> marked:vnode list -> fresh:Edge.Half.t list -> vnode option * heal_trace
 
 (** [root_of v] follows parent pointers. *)

@@ -1,10 +1,66 @@
-type t = { adj : Node_id.Set.t ref Node_id.Tbl.t; mutable version : int }
+(* Each node's neighbour row is a sorted dynamic int array: binary-search
+   membership, amortised-doubling growth, and allocation-free iteration.
+   The previous representation (a functional AVL set per node) allocated
+   O(log d) words on every edge flip, which dominated the heal path's
+   allocation profile; rows mutate in place and allocate only when they
+   outgrow their capacity. *)
+
+type row = { mutable arr : int array; mutable len : int }
+
+type t = { adj : row Node_id.Tbl.t; mutable version : int }
+
+(* ---- row primitives ---- *)
+
+let row_create () = { arr = [||]; len = 0 }
+
+(* index of [v] in the sorted prefix, or [lnot insert_position] if absent *)
+let row_find r v =
+  let arr = r.arr in
+  let lo = ref 0 and hi = ref r.len in
+  while !hi - !lo > 0 do
+    let mid = (!lo + !hi) / 2 in
+    if Node_id.compare arr.(mid) v < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo < r.len && Node_id.equal arr.(!lo) v then !lo else lnot !lo
+
+let row_mem r v = row_find r v >= 0
+
+(* insert [v] keeping the row sorted; true iff it was absent *)
+let row_add r v =
+  let i = row_find r v in
+  if i >= 0 then false
+  else begin
+    let pos = lnot i in
+    if r.len = Array.length r.arr then begin
+      let grown = Array.make (max 4 (2 * r.len)) 0 in
+      Array.blit r.arr 0 grown 0 r.len;
+      r.arr <- grown
+    end;
+    Array.blit r.arr pos r.arr (pos + 1) (r.len - pos);
+    r.arr.(pos) <- v;
+    r.len <- r.len + 1;
+    true
+  end
+
+(* remove [v]; true iff it was present *)
+let row_remove r v =
+  let i = row_find r v in
+  if i < 0 then false
+  else begin
+    Array.blit r.arr (i + 1) r.arr i (r.len - i - 1);
+    r.len <- r.len - 1;
+    true
+  end
+
+(* ---- graph operations ---- *)
 
 let create ?(size = 64) () = { adj = Node_id.Tbl.create size; version = 0 }
 
 let copy g =
   let adj = Node_id.Tbl.create (Node_id.Tbl.length g.adj) in
-  Node_id.Tbl.iter (fun v s -> Node_id.Tbl.replace adj v (ref !s)) g.adj;
+  Node_id.Tbl.iter
+    (fun v r -> Node_id.Tbl.replace adj v { arr = Array.sub r.arr 0 r.len; len = r.len })
+    g.adj;
   { adj; version = g.version }
 
 let version g = g.version
@@ -12,69 +68,110 @@ let mem_node g v = Node_id.Tbl.mem g.adj v
 
 let add_node g v =
   if not (mem_node g v) then begin
-    Node_id.Tbl.replace g.adj v (ref Node_id.Set.empty);
+    Node_id.Tbl.replace g.adj v (row_create ());
     g.version <- g.version + 1
   end
 
-let neighbor_set g v =
-  match Node_id.Tbl.find_opt g.adj v with
-  | None -> Node_id.Set.empty
-  | Some s -> !s
+(* [v]'s row, created (with a version bump, as in [add_node]) if absent —
+   one table probe instead of [add_node] + [find]. Exception-style lookup:
+   [find_opt] would box a [Some] per probe, and these run on the heal
+   path's hottest loops ([Not_found] is a constant, so the miss is free
+   too). *)
+let row_of g v =
+  match Node_id.Tbl.find g.adj v with
+  | r -> r
+  | exception Not_found ->
+    let r = row_create () in
+    Node_id.Tbl.add g.adj v r;
+    g.version <- g.version + 1;
+    r
 
-let neighbors g v = Node_id.Set.elements (neighbor_set g v)
-let degree g v = Node_id.Set.cardinal (neighbor_set g v)
+(* [v]'s row for read-only access; the shared empty row stands in for a
+   node with no entry (callers never mutate through this) *)
+let empty_row = row_create ()
+
+let row_get g v =
+  match Node_id.Tbl.find g.adj v with r -> r | exception Not_found -> empty_row
+
+let degree g v = (row_get g v).len
+
+let neighbors g v =
+  let r = row_get g v in
+  let acc = ref [] in
+  for i = r.len - 1 downto 0 do
+    acc := r.arr.(i) :: !acc
+  done;
+  !acc
+
+let neighbors_into g v buf =
+  let r = row_get g v in
+  if Array.length !buf < r.len then buf := Array.make (max 4 (2 * r.len)) 0;
+  Array.blit r.arr 0 !buf 0 r.len;
+  r.len
 
 let add_edge g u v =
   if not (Node_id.equal u v) then begin
-    add_node g u;
-    add_node g v;
-    let su = Node_id.Tbl.find g.adj u and sv = Node_id.Tbl.find g.adj v in
-    if not (Node_id.Set.mem v !su) then begin
-      su := Node_id.Set.add v !su;
-      sv := Node_id.Set.add u !sv;
+    let ru = row_of g u and rv = row_of g v in
+    if row_add ru v then begin
+      ignore (row_add rv u);
       g.version <- g.version + 1
     end
   end
 
 let remove_edge g u v =
-  match (Node_id.Tbl.find_opt g.adj u, Node_id.Tbl.find_opt g.adj v) with
-  | Some su, Some sv ->
-    if Node_id.Set.mem v !su then begin
-      su := Node_id.Set.remove v !su;
-      sv := Node_id.Set.remove u !sv;
-      g.version <- g.version + 1
-    end
-  | _ -> ()
+  let ru = row_get g u and rv = row_get g v in
+  if row_remove ru v then begin
+    ignore (row_remove rv u);
+    g.version <- g.version + 1
+  end
 
 let remove_node g v =
   match Node_id.Tbl.find_opt g.adj v with
   | None -> ()
-  | Some sv ->
-    let drop u =
-      match Node_id.Tbl.find_opt g.adj u with
+  | Some rv ->
+    for i = 0 to rv.len - 1 do
+      match Node_id.Tbl.find_opt g.adj rv.arr.(i) with
       | None -> ()
-      | Some su -> su := Node_id.Set.remove v !su
-    in
-    Node_id.Set.iter drop !sv;
+      | Some ru -> ignore (row_remove ru v)
+    done;
     Node_id.Tbl.remove g.adj v;
     g.version <- g.version + 1
 
-let mem_edge g u v = Node_id.Set.mem v (neighbor_set g u)
+let mem_edge g u v = row_mem (row_get g u) v
+
 let num_nodes g = Node_id.Tbl.length g.adj
-
-let num_edges g =
-  let total = Node_id.Tbl.fold (fun _ s acc -> acc + Node_id.Set.cardinal !s) g.adj 0 in
-  total / 2
-
+let num_edges g = Node_id.Tbl.fold (fun _ r acc -> acc + r.len) g.adj 0 / 2
 let nodes g = Node_id.Tbl.fold (fun v _ acc -> v :: acc) g.adj []
 let iter_nodes f g = Node_id.Tbl.iter (fun v _ -> f v) g.adj
 let fold_nodes f g init = Node_id.Tbl.fold (fun v _ acc -> f v acc) g.adj init
-let iter_neighbors f g v = Node_id.Set.iter f (neighbor_set g v)
-let fold_neighbors f g v init = Node_id.Set.fold f (neighbor_set g v) init
+
+let iter_neighbors f g v =
+  let r = row_get g v in
+  for i = 0 to r.len - 1 do
+    f r.arr.(i)
+  done
+
+let iter_neighbors_rev f g v =
+  let r = row_get g v in
+  for i = r.len - 1 downto 0 do
+    f r.arr.(i)
+  done
+
+let fold_neighbors f g v init =
+  let r = row_get g v in
+  let acc = ref init in
+  for i = 0 to r.len - 1 do
+    acc := f r.arr.(i) !acc
+  done;
+  !acc
 
 let iter_edges f g =
   Node_id.Tbl.iter
-    (fun u s -> Node_id.Set.iter (fun v -> if u < v then f u v) !s)
+    (fun u r ->
+      for i = 0 to r.len - 1 do
+        let v = r.arr.(i) in
+        if u < v then f u v
+      done)
     g.adj
 
 let edges g =
@@ -82,12 +179,24 @@ let edges g =
   iter_edges (fun u v -> acc := (u, v) :: !acc) g;
   !acc
 
-let max_degree g = Node_id.Tbl.fold (fun _ s m -> max m (Node_id.Set.cardinal !s)) g.adj 0
+let max_degree g = Node_id.Tbl.fold (fun _ r m -> max m r.len) g.adj 0
 
 let equal g1 g2 =
   num_nodes g1 = num_nodes g2
   && Node_id.Tbl.fold
-       (fun v s ok -> ok && Node_id.Set.equal !s (neighbor_set g2 v))
+       (fun v r1 ok ->
+         ok
+         &&
+         match Node_id.Tbl.find_opt g2.adj v with
+         | None -> false
+         | Some r2 ->
+           r1.len = r2.len
+           &&
+           let same = ref true in
+           for i = 0 to r1.len - 1 do
+             if not (Node_id.equal r1.arr.(i) r2.arr.(i)) then same := false
+           done;
+           !same)
        g1.adj true
 
 let of_edges pairs =

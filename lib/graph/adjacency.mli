@@ -1,10 +1,18 @@
 (** Mutable simple undirected graph, the workhorse representation.
 
-    Nodes are {!Node_id.t}s; the structure stores an adjacency set per node.
-    Self-loops and parallel edges are rejected/collapsed: [add_edge g u u]
-    is a no-op and adding an existing edge is a no-op, which matches the
-    semantics of the "actual network" of the paper (the homomorphic image of
-    the virtual graph collapses duplicate virtual edges and drops loops). *)
+    Nodes are {!Node_id.t}s; the structure stores, per node, a {e sorted
+    dynamic int array} of neighbours (binary-search membership, amortised
+    doubling growth). Self-loops and parallel edges are rejected/collapsed:
+    [add_edge g u u] is a no-op and adding an existing edge is a no-op,
+    which matches the semantics of the "actual network" of the paper (the
+    homomorphic image of the virtual graph collapses duplicate virtual
+    edges and drops loops).
+
+    Allocation discipline: {!iter_neighbors}, {!fold_neighbors},
+    {!mem_edge}, {!degree} and the in-place mutators allocate nothing in
+    the steady state (an edge flip only allocates when a row outgrows its
+    capacity). {!neighbors} allocates one fresh list per call —
+    heal-path code should prefer the iterators or {!neighbors_into}. *)
 
 type t
 
@@ -40,12 +48,18 @@ val remove_edge : t -> Node_id.t -> Node_id.t -> unit
 val mem_node : t -> Node_id.t -> bool
 val mem_edge : t -> Node_id.t -> Node_id.t -> bool
 
-(** [neighbors g v] is the adjacency list of [v] (unspecified order);
-    [\[\]] if [v] is absent. *)
+(** [neighbors g v] is the adjacency list of [v] in ascending id order;
+    [\[\]] if [v] is absent. Allocates a fresh list — hot paths should use
+    {!iter_neighbors}/{!fold_neighbors} or {!neighbors_into} instead. *)
 val neighbors : t -> Node_id.t -> Node_id.t list
 
-(** [neighbor_set g v] is the adjacency set of [v] (empty if absent). *)
-val neighbor_set : t -> Node_id.t -> Node_id.Set.t
+(** [neighbors_into g v buf] copies [v]'s sorted neighbour row into [!buf]
+    (growing, i.e. replacing, the array when it is too small) and returns
+    the neighbour count; entries beyond the count are garbage. The caller
+    owns and lends [buf]; reusing one buffer across calls makes repeated
+    neighbour scans allocation-free amortised. The copy stays valid across
+    later graph mutations (unlike an internal borrow would). *)
+val neighbors_into : t -> Node_id.t -> int array ref -> int
 
 (** [degree g v] is [0] when [v] is absent. *)
 val degree : t -> Node_id.t -> int
@@ -59,8 +73,21 @@ val edges : t -> (Node_id.t * Node_id.t) list
 
 val iter_nodes : (Node_id.t -> unit) -> t -> unit
 val iter_edges : (Node_id.t -> Node_id.t -> unit) -> t -> unit
+
+(** [iter_neighbors f g v] applies [f] to the neighbours of [v] in
+    ascending id order, allocation-free. [f] must not mutate [v]'s own
+    adjacency row (mutating other rows, or other graphs, is fine). *)
 val iter_neighbors : (Node_id.t -> unit) -> t -> Node_id.t -> unit
+
+(** Like {!iter_neighbors} but in descending id order. Useful when [f]
+    removes the visited edge from {e another} graph's sorted rows: deleting
+    from the tail end first turns the per-removal shift into a no-op. *)
+val iter_neighbors_rev : (Node_id.t -> unit) -> t -> Node_id.t -> unit
+
 val fold_nodes : (Node_id.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Ascending-order fold over neighbours; same aliasing rule as
+    {!iter_neighbors}. *)
 val fold_neighbors : (Node_id.t -> 'a -> 'a) -> t -> Node_id.t -> 'a -> 'a
 
 (** [max_degree g] is [0] for the empty graph. *)

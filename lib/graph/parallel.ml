@@ -3,12 +3,140 @@ let available () = Domain.recommended_domain_count ()
 (* Explicit requests may use up to 2 domains even on a single-core host:
    oversubscription is safe (just not faster), and it keeps the
    multi-domain code path exercisable by tests on any machine. *)
-let clamp d = max 1 (min d (max 2 (available ())))
+let max_domains () = max 2 (available ())
+let clamp d = max 1 (min d (max_domains ()))
 let default_domains = ref 1
 let default () = !default_domains
 let set_default d = default_domains := clamp d
 
 let resolve = function None -> !default_domains | Some d -> clamp d
+
+(* ---- persistent worker pool ----
+
+   Spawning a domain costs tens of microseconds plus a minor-heap and GC
+   registration dance; doing it per [map] call made [stretch.parallel:4]
+   slower than the serial run. Instead the first multi-domain call spawns
+   [max_domains () - 1] workers that park on a condition variable; each
+   subsequent call publishes a job closure, bumps a sequence number and
+   broadcasts. Jobs gate participation with an atomic ticket counter so a
+   call that resolved to [d] domains runs on the caller plus [d - 1]
+   workers — surplus workers take no ticket, skip the job's [init], and go
+   straight back to sleep. *)
+
+type pool = {
+  mu : Mutex.t;
+  work : Condition.t;  (* workers park here between jobs *)
+  idle : Condition.t;  (* the submitter parks here until [busy] drains *)
+  mutable job : (unit -> unit) option;
+  mutable seq : int;  (* job sequence number; workers wake on change *)
+  mutable busy : int;  (* workers that have not finished the current job *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let worker p =
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock p.mu;
+    while (not p.stop) && p.seq = !last do
+      Condition.wait p.work p.mu
+    done;
+    if p.stop then begin
+      Mutex.unlock p.mu;
+      running := false
+    end
+    else begin
+      last := p.seq;
+      let job = p.job in
+      Mutex.unlock p.mu;
+      (match job with
+      | Some j -> ( try j () with _ -> () (* jobs capture their own exns *))
+      | None -> ());
+      Mutex.lock p.mu;
+      p.busy <- p.busy - 1;
+      if p.busy = 0 then Condition.signal p.idle;
+      Mutex.unlock p.mu
+    end
+  done
+
+let pool : pool option ref = ref None
+let pool_mu = Mutex.create ()
+
+let shutdown_pool p =
+  Mutex.lock p.mu;
+  p.stop <- true;
+  Condition.broadcast p.work;
+  Mutex.unlock p.mu;
+  Array.iter Domain.join p.workers
+
+let get_pool () =
+  Mutex.lock pool_mu;
+  let p =
+    match !pool with
+    | Some p -> p
+    | None ->
+      let p =
+        {
+          mu = Mutex.create ();
+          work = Condition.create ();
+          idle = Condition.create ();
+          job = None;
+          seq = 0;
+          busy = 0;
+          stop = false;
+          workers = [||];
+        }
+      in
+      p.workers <- Array.init (max_domains () - 1) (fun _ -> Domain.spawn (fun () -> worker p));
+      pool := Some p;
+      (* joining parked workers at exit keeps the runtime teardown clean *)
+      at_exit (fun () ->
+          Mutex.lock pool_mu;
+          let q = !pool in
+          pool := None;
+          Mutex.unlock pool_mu;
+          Option.iter shutdown_pool q);
+      p
+  in
+  Mutex.unlock pool_mu;
+  p
+
+let warm () = if max_domains () > 1 then ignore (get_pool () : pool)
+
+(* Parked workers are not free: every stop-the-world minor GC must
+   rendezvous with them, which taxes allocation-heavy serial phases by a
+   measurable factor. [shutdown] lets such phases drop the pool; the next
+   multi-domain call respawns it. *)
+let shutdown () =
+  Mutex.lock pool_mu;
+  let q = !pool in
+  pool := None;
+  Mutex.unlock pool_mu;
+  Option.iter shutdown_pool q
+
+(* submissions are serialized: one job in flight at a time *)
+let submit_mu = Mutex.create ()
+
+(* Publish [job] to every worker, run [body] on the calling domain, then
+   wait for all workers to come back idle before returning. *)
+let run_pooled job body =
+  let p = get_pool () in
+  Mutex.lock submit_mu;
+  Mutex.lock p.mu;
+  p.job <- Some job;
+  p.seq <- p.seq + 1;
+  p.busy <- Array.length p.workers;
+  Condition.broadcast p.work;
+  Mutex.unlock p.mu;
+  body ();
+  Mutex.lock p.mu;
+  while p.busy > 0 do
+    Condition.wait p.idle p.mu
+  done;
+  p.job <- None;
+  Mutex.unlock p.mu;
+  Mutex.unlock submit_mu
 
 let map ?domains ~init ~f n =
   let d = min (resolve domains) (max 1 n) in
@@ -26,30 +154,25 @@ let map ?domains ~init ~f n =
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
-      let s = init () in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (f s i);
-          loop ()
-        end
-      in
-      loop ()
+    let err : exn option Atomic.t = Atomic.make None in
+    let body () =
+      try
+        let s = init () in
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- Some (f s i);
+            loop ()
+          end
+        in
+        loop ()
+      with e -> ignore (Atomic.compare_and_set err None (Some e))
     in
-    let doms = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
-    let main_exn = (try worker (); None with e -> Some e) in
-    let child_exn =
-      Array.fold_left
-        (fun acc dom ->
-          match (try Domain.join dom; None with e -> Some e) with
-          | Some _ as e when acc = None -> e
-          | _ -> acc)
-        None doms
-    in
-    (match (main_exn, child_exn) with
-    | Some e, _ | None, Some e -> raise e
-    | None, None -> ());
+    (* d - 1 tickets: surplus pool workers skip the job entirely *)
+    let tickets = Atomic.make (d - 1) in
+    let job () = if Atomic.fetch_and_add tickets (-1) > 0 then body () in
+    run_pooled job body;
+    (match Atomic.get err with Some e -> raise e | None -> ());
     Array.map (function Some x -> x | None -> assert false) results
   end
 

@@ -9,11 +9,13 @@
     - {b Opt-in}: the process-wide default is [1] domain; every existing
       entry point stays serial unless the user raises it (CLI
       [--domains N]). The serial path does not touch domains at all.
-    - {b Simplicity}: the pool lives for one {!map} call — workers are
-      spawned, drain a shared atomic work counter, and are joined before
-      [map] returns. No persistent worker threads linger across calls
-      (nothing to shut down, nothing to leak into forks or tests); spawn
-      cost is microseconds against BFS work units of milliseconds.
+    - {b Reuse}: the first multi-domain {!map} lazily spawns a persistent
+      pool of [max 2 (available ()) - 1] worker domains that park on a
+      condition variable between calls; later calls publish a job and
+      broadcast instead of paying domain spawn/join (which used to make
+      small parallel maps slower than serial). Workers are joined by an
+      [at_exit] hook. A call that resolves to [d] domains hands out
+      [d - 1] tickets, so surplus workers skip the job entirely.
 
     Work functions must be safe to run concurrently: they may freely read
     shared immutable data (e.g. {!Csr.t}) but must confine mutation to the
@@ -34,6 +36,16 @@ val set_default : int -> unit
 (** [resolve d] is [d] clamped as in {!set_default}, or [default ()] when
     [d = None]. *)
 val resolve : int option -> int
+
+(** [warm ()] spawns the worker pool if it does not exist yet, so the
+    first timed {!map} does not pay domain-spawn cost (benchmark setup). *)
+val warm : unit -> unit
+
+(** [shutdown ()] stops and joins the worker pool (no-op if absent); the
+    next multi-domain {!map} respawns it. Parked workers tax every
+    stop-the-world minor GC, so a long allocation-heavy {e serial} phase
+    after a parallel one may want the pool gone. *)
+val shutdown : unit -> unit
 
 (** [map ?domains ~init ~f n] computes [|f s 0; f s 1; ...; f s (n-1)|]
     where each worker domain gets its own scratch [s = init ()]. Items are

@@ -28,14 +28,15 @@ let broadcast ?(payload_bits = 32) g ~root =
   let adopt ~src v =
     Node_id.Tbl.replace parent v src;
     incr reached;
-    let children =
-      List.filter (fun u -> not (Node_id.equal u src || Node_id.equal u v))
-        (Adjacency.neighbors g v)
-    in
-    if children = [] then complete v
+    let is_child u = not (Node_id.equal u src || Node_id.equal u v) in
+    let children = ref 0 in
+    Adjacency.iter_neighbors (fun u -> if is_child u then incr children) g v;
+    if !children = 0 then complete v
     else begin
-      Node_id.Tbl.replace pending_echo v (List.length children);
-      List.iter (fun u -> send_token ~src:v ~dst:u) children
+      Node_id.Tbl.replace pending_echo v !children;
+      Adjacency.iter_neighbors
+        (fun u -> if is_child u then send_token ~src:v ~dst:u)
+        g v
     end
   in
   let handler ~src ~dst ~bits:_ msg =

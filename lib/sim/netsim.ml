@@ -16,15 +16,15 @@ type stats = {
 type 'msg t = {
   discipline : discipline;
   (* due round -> envelopes (reversed); delivery scans min due round *)
-  queue : (int, 'msg envelope list) Hashtbl.t;
+  queue : (int, 'msg envelope list ref) Hashtbl.t;
   mutable in_flight : int;
   mutable now : int;  (* current round *)
   mutable rounds : int;  (* last round with a delivery *)
   mutable messages : int;
   mutable total_bits : int;
   mutable max_message_bits : int;
-  agent_bits : (agent, int) Hashtbl.t;
-  agent_msgs : (agent, int) Hashtbl.t;
+  agent_bits : (agent, int ref) Hashtbl.t;
+  agent_msgs : (agent, int ref) Hashtbl.t;
 }
 
 let create ?(discipline = Synchronous) () =
@@ -41,9 +41,13 @@ let create ?(discipline = Synchronous) () =
     agent_msgs = Hashtbl.create 64;
   }
 
+(* counters are [int ref]s updated in place, looked up exception-style:
+   a [find_opt]+[replace] pair boxed an option and re-searched the bucket
+   on every delivery, several times per message *)
 let bump tbl agent delta =
-  let c = Option.value (Hashtbl.find_opt tbl agent) ~default:0 in
-  Hashtbl.replace tbl agent (c + delta)
+  match Hashtbl.find tbl agent with
+  | r -> r := !r + delta
+  | exception Not_found -> Hashtbl.add tbl agent (ref delta)
 
 let send t ~bits ~src ~dst msg =
   if bits < 0 then invalid_arg "Netsim.send: negative bits";
@@ -53,8 +57,10 @@ let send t ~bits ~src ~dst msg =
     | Asynchronous (rng, max_delay) -> 1 + Fg_graph.Rng.int rng (max 1 max_delay)
   in
   let due = t.now + delay in
-  let existing = Option.value (Hashtbl.find_opt t.queue due) ~default:[] in
-  Hashtbl.replace t.queue due ({ src; dst; bits; msg } :: existing);
+  let env = { src; dst; bits; msg } in
+  (match Hashtbl.find t.queue due with
+  | r -> r := env :: !r
+  | exception Not_found -> Hashtbl.add t.queue due (ref [ env ]));
   t.in_flight <- t.in_flight + 1
 
 let deliver t handler env =
@@ -79,9 +85,9 @@ let run t ~handler ~max_rounds =
     t.now <- t.now + 1;
     match Hashtbl.find_opt t.queue t.now with
     | None -> ()
-    | Some batch ->
+    | Some batch_ref ->
       Hashtbl.remove t.queue t.now;
-      let batch = List.rev batch in
+      let batch = List.rev !batch_ref in
       t.in_flight <- t.in_flight - List.length batch;
       t.rounds <- t.now;
       List.iter (deliver t handler) batch;
@@ -106,7 +112,7 @@ let run t ~handler ~max_rounds =
   Fg_obs.Metrics.incr ~n:(t.now - start) "netsim.rounds";
   Fg_obs.Metrics.incr ~n:(t.messages - messages0) "netsim.messages";
   Fg_obs.Metrics.incr ~n:(t.total_bits - bits0) "netsim.bits";
-  let max_tbl tbl = Hashtbl.fold (fun _ v m -> max v m) tbl 0 in
+  let max_tbl tbl = Hashtbl.fold (fun _ v m -> max !v m) tbl 0 in
   {
     rounds = t.rounds;
     messages = t.messages;

@@ -36,7 +36,18 @@ module Key = struct
   type nonrec t = t
 
   let equal = equal
-  let hash r = Hashtbl.hash (r.proc, r.edge.Edge.a, r.edge.Edge.b, r.kind = Helper)
+
+  (* arithmetic mix instead of [Hashtbl.hash] over a built tuple — one of
+     these runs per table probe on the protocol's message path *)
+  let hash r =
+    let h =
+      (Edge.hash r.edge * 0x9e3779b1)
+      + (r.proc * 2)
+      + (match r.kind with Helper -> 1 | Real -> 0)
+    in
+    let h = (h lxor (h lsr 16)) * 0x85ebca6b in
+    (h lxor (h lsr 13)) land max_int
+
   let compare = compare
 end
 

@@ -1,0 +1,185 @@
+(* Model-based property tests for the flat-array Adjacency (PR 4).
+
+   The implementation moved from one functional AVL set per node to sorted
+   dynamic int arrays, so every query is re-checked against a trivially
+   correct reference model (Node_id.Set per node) over a long random
+   mutation stream. A second test pins down the Rt scratch-arena reuse:
+   deleting through one long-lived Forgiving_graph.t must produce exactly
+   the graphs that fresh contexts produce. *)
+
+open Fg_graph
+
+(* ---- reference model: Node_id.Set per node ---- *)
+
+module Model = struct
+  type t = { mutable adj : Node_id.Set.t Node_id.Map.t }
+
+  let create () = { adj = Node_id.Map.empty }
+  let mem_node m v = Node_id.Map.mem v m.adj
+
+  let neighbors m v =
+    match Node_id.Map.find_opt v m.adj with
+    | None -> Node_id.Set.empty
+    | Some s -> s
+
+  let add_node m v =
+    if not (mem_node m v) then m.adj <- Node_id.Map.add v Node_id.Set.empty m.adj
+
+  let add_edge m u v =
+    if not (Node_id.equal u v) then begin
+      add_node m u;
+      add_node m v;
+      m.adj <- Node_id.Map.add u (Node_id.Set.add v (neighbors m u)) m.adj;
+      m.adj <- Node_id.Map.add v (Node_id.Set.add u (neighbors m v)) m.adj
+    end
+
+  let remove_edge m u v =
+    if mem_node m u && mem_node m v then begin
+      m.adj <- Node_id.Map.add u (Node_id.Set.remove v (neighbors m u)) m.adj;
+      m.adj <- Node_id.Map.add v (Node_id.Set.remove u (neighbors m v)) m.adj
+    end
+
+  let remove_node m v =
+    if mem_node m v then begin
+      Node_id.Set.iter
+        (fun u -> m.adj <- Node_id.Map.add u (Node_id.Set.remove v (neighbors m u)) m.adj)
+        (neighbors m v);
+      m.adj <- Node_id.Map.remove v m.adj
+    end
+
+  let mem_edge m u v = Node_id.Set.mem v (neighbors m u)
+  let degree m v = Node_id.Set.cardinal (neighbors m v)
+  let num_nodes m = Node_id.Map.cardinal m.adj
+
+  (* does the op change the node/edge set? mirrors the version contract *)
+  let changes m = function
+    | `Add_node v -> not (mem_node m v)
+    | `Add_edge (u, v) -> (not (Node_id.equal u v)) && not (mem_edge m u v)
+    | `Remove_edge (u, v) -> mem_edge m u v
+    | `Remove_node v -> mem_node m v
+end
+
+let rec is_sorted = function
+  | a :: (b :: _ as rest) -> Node_id.compare a b < 0 && is_sorted rest
+  | [ _ ] | [] -> true
+
+let check_node g m v =
+  let got = Adjacency.neighbors g v in
+  Alcotest.(check bool)
+    (Printf.sprintf "neighbors of %d sorted" v)
+    true (is_sorted got);
+  Alcotest.(check (list int))
+    (Printf.sprintf "neighbors of %d" v)
+    (Node_id.Set.elements (Model.neighbors m v))
+    got;
+  Alcotest.(check int)
+    (Printf.sprintf "degree of %d" v)
+    (Model.degree m v) (Adjacency.degree g v)
+
+let full_check g m ~ids =
+  Alcotest.(check int) "num_nodes" (Model.num_nodes m) (Adjacency.num_nodes g);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mem_node %d" v)
+        (Model.mem_node m v) (Adjacency.mem_node g v);
+      check_node g m v;
+      (* neighbors_into agrees with neighbors *)
+      let buf = ref [||] in
+      let len = Adjacency.neighbors_into g v buf in
+      Alcotest.(check (list int))
+        (Printf.sprintf "neighbors_into %d" v)
+        (Adjacency.neighbors g v)
+        (Array.to_list (Array.sub !buf 0 len));
+      List.iter
+        (fun u ->
+          Alcotest.(check bool)
+            (Printf.sprintf "mem_edge %d %d" v u)
+            (Model.mem_edge m v u) (Adjacency.mem_edge g v u))
+        ids)
+    ids
+
+let test_random_ops () =
+  let rng = Rng.create 20260807 in
+  let g = Adjacency.create () and m = Model.create () in
+  let max_id = 64 in
+  let ids = List.init max_id Fun.id in
+  for step = 1 to 10_000 do
+    let v = Rng.int rng max_id and u = Rng.int rng max_id in
+    let op =
+      match Rng.int rng 10 with
+      | 0 -> `Add_node v
+      | 1 | 2 | 3 | 4 -> `Add_edge (u, v)
+      | 5 | 6 | 7 -> `Remove_edge (u, v)
+      | _ -> `Remove_node v
+    in
+    let should_change = Model.changes m op in
+    let v0 = Adjacency.version g in
+    (match op with
+    | `Add_node v ->
+      Adjacency.add_node g v;
+      Model.add_node m v
+    | `Add_edge (u, v) ->
+      Adjacency.add_edge g u v;
+      Model.add_edge m u v
+    | `Remove_edge (u, v) ->
+      Adjacency.remove_edge g u v;
+      Model.remove_edge m u v
+    | `Remove_node v ->
+      Adjacency.remove_node g v;
+      Model.remove_node m v);
+    (* version bumps exactly when the node/edge set changes.
+       add_edge may create endpoints, so "changed" is the model's word *)
+    Alcotest.(check bool)
+      (Printf.sprintf "step %d: version changed" step)
+      should_change
+      (Adjacency.version g <> v0);
+    (* spot-check the touched nodes every step, everything periodically *)
+    check_node g m u;
+    check_node g m v;
+    if step mod 500 = 0 then full_check g m ~ids
+  done;
+  full_check g m ~ids
+
+(* repeated deletes through one context (scratch arena reused across
+   heals) must equal deletes through fresh contexts at every prefix *)
+let test_scratch_reuse_equals_fresh () =
+  let n = 48 in
+  let rng = Rng.create 11 in
+  let g0 = Generators.erdos_renyi rng n (6.0 /. float_of_int n) in
+  let victims = [ 0; 7; 13; 1; 30; 21; 2; 40; 8; 3 ] in
+  let reused = Fg_core.Forgiving_graph.of_graph g0 in
+  let rec go prefix = function
+    | [] -> ()
+    | v :: rest ->
+      let prefix = prefix @ [ v ] in
+      Fg_core.Forgiving_graph.delete reused v;
+      (* replay the same prefix on a fresh context *)
+      let fresh = Fg_core.Forgiving_graph.of_graph g0 in
+      List.iter (Fg_core.Forgiving_graph.delete fresh) prefix;
+      Alcotest.(check bool)
+        (Printf.sprintf "graph equal after %d deletes" (List.length prefix))
+        true
+        (Adjacency.equal
+           (Fg_core.Forgiving_graph.graph reused)
+           (Fg_core.Forgiving_graph.graph fresh));
+      Alcotest.(check bool)
+        (Printf.sprintf "gprime equal after %d deletes" (List.length prefix))
+        true
+        (Adjacency.equal
+           (Fg_core.Forgiving_graph.gprime reused)
+           (Fg_core.Forgiving_graph.gprime fresh));
+      go prefix rest
+  in
+  go [] victims;
+  (* the deep structural invariants must also hold on the long-lived context *)
+  Alcotest.(check (list string))
+    "invariants on reused context" []
+    (Fg_core.Invariants.check reused)
+
+let suite =
+  [
+    Alcotest.test_case "10k random ops vs set model" `Quick test_random_ops;
+    Alcotest.test_case "scratch reuse equals fresh contexts" `Quick
+      test_scratch_reuse_equals_fresh;
+  ]

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "forgiving_graph"
     [
       ("graph", Test_graph.suite);
+      ("adjacency-prop", Test_adjacency_prop.suite);
       ("haft", Test_haft.suite);
       ("forgiving", Test_forgiving.suite);
       ("sim", Test_sim.suite);
