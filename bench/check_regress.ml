@@ -5,7 +5,7 @@
    bench 40-70%) from landing silently again.
 
      check_regress --file BENCH_perf.json --base after-csr --cand pr4 \
-       [--threshold 0.25]
+       [--threshold PCT]   (default 25, i.e. fail on a >25% slowdown)
 
    When a label appears several times the most recent run wins, so a
    history file can accumulate one run per commit. Benchmarks present in
@@ -69,7 +69,9 @@ let () =
   let usage () =
     Printf.eprintf
       "usage: check_regress --file BENCH_perf.json --base LABEL --cand LABEL \
-       [--threshold FRACTION]\n";
+       [--threshold PCT]\n\
+       \  --threshold PCT  fail when a gated bench is more than PCT percent\n\
+       \                   slower than the base run (default 25)\n";
     exit 2
   in
   let rec parse = function
@@ -84,8 +86,8 @@ let () =
       parse rest
     | "--threshold" :: t :: rest -> (
       match float_of_string_opt t with
-      | Some t when t > 0.0 ->
-        threshold := t;
+      | Some pct when pct > 0.0 ->
+        threshold := pct /. 100.0;
         parse rest
       | _ -> usage ())
     | [] -> ()

@@ -131,7 +131,8 @@ let pick_neighbors strategy rng (h : Healer.t) ~last_inserted =
             None live
         in
         match far with
-        | Some (v, _) when not (List.mem v !chosen) -> chosen := v :: !chosen
+        | Some (v, _) when not (List.exists (Node_id.equal v) !chosen) ->
+          chosen := v :: !chosen
         | _ -> ()
       done;
       !chosen

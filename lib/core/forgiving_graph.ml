@@ -229,11 +229,13 @@ let delete_body t v b =
       in
       Fg_obs.Trace.with_span "fg.image" (fun _ -> Rt.drop_image_node t.rt v);
       (match b with None -> () | Some b -> Delta.record_node_remove b v);
-      Fg_obs.Trace.attr sp "anchors" (Fg_obs.Event.Int trace.Rt.ht_anchors);
-      Fg_obs.Trace.attr sp "notified" (Fg_obs.Event.Int trace.Rt.ht_notified);
-      Fg_obs.Metrics.incr "fg.deletions";
-      Fg_obs.Metrics.observe "fg.anchors" (float_of_int trace.Rt.ht_anchors);
-      Fg_obs.Metrics.observe "fg.notified" (float_of_int trace.Rt.ht_notified);
+      if Fg_obs.Trace.enabled () || Fg_obs.Metrics.is_recording () then begin
+        Fg_obs.Trace.attr sp "anchors" (Fg_obs.Event.Int trace.Rt.ht_anchors);
+        Fg_obs.Trace.attr sp "notified" (Fg_obs.Event.Int trace.Rt.ht_notified);
+        Fg_obs.Metrics.incr "fg.deletions";
+        Fg_obs.Metrics.observe "fg.anchors" (float_of_int trace.Rt.ht_anchors);
+        Fg_obs.Metrics.observe "fg.notified" (float_of_int trace.Rt.ht_notified)
+      end;
       trace)
 
 let delete_delta t v =
@@ -343,9 +345,11 @@ let delete_batch_body t victims b =
   | Some b ->
     List.iter (fun v -> Delta.record_node_remove b v) victims;
     Delta.record_groups b (Im.cardinal groups));
-  Fg_obs.Trace.attr sp "groups" (Fg_obs.Event.Int (Im.cardinal groups));
-  Fg_obs.Metrics.incr "fg.batch_deletions";
-  Fg_obs.Metrics.incr ~n:(List.length victims) "fg.deletions";
+  if Fg_obs.Trace.enabled () || Fg_obs.Metrics.is_recording () then begin
+    Fg_obs.Trace.attr sp "groups" (Fg_obs.Event.Int (Im.cardinal groups));
+    Fg_obs.Metrics.incr "fg.batch_deletions";
+    Fg_obs.Metrics.incr ~n:(List.length victims) "fg.deletions"
+  end;
   List.rev traces)
 
 let delete_batch_delta t victims =

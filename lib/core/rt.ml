@@ -602,13 +602,16 @@ let heal ?(events = true) ctx ~marked ~fresh =
   let initial_discarded, num_fids =
     Fg_obs.Trace.with_span "rt.strip" (fun sp ->
         let discarded, num_fids = decompose ctx ~epoch:e roots in
-        Fg_obs.Trace.attr sp "trees" (Fg_obs.Event.Int (List.length roots));
-        Fg_obs.Trace.attr sp "pool" (Fg_obs.Event.Int s.pool_len);
-        Fg_obs.Trace.count_span sp "rt.helpers_discarded" discarded;
+        if Fg_obs.Trace.enabled () then begin
+          Fg_obs.Trace.attr sp "trees" (Fg_obs.Event.Int (List.length roots));
+          Fg_obs.Trace.attr sp "pool" (Fg_obs.Event.Int s.pool_len);
+          Fg_obs.Trace.count_span sp "rt.helpers_discarded" discarded
+        end;
         (discarded, num_fids))
   in
   Fg_obs.Metrics.incr "rt.strip_calls";
-  Fg_obs.Metrics.incr ~n:initial_discarded "rt.helpers_discarded";
+  if Fg_obs.Metrics.is_recording () then
+    Fg_obs.Metrics.incr ~n:initial_discarded "rt.helpers_discarded";
   (* group pool entries into fragments: thread a per-fid chain through the
      pool buffer (reverse scan, so chains run in visit order), then emit one
      Roots unit per non-empty fragment *)
@@ -650,26 +653,28 @@ let heal ?(events = true) ctx ~marked ~fresh =
   let root, levels =
     Fg_obs.Trace.with_span "rt.merge" (fun sp ->
         let root, levels = btv_reduce ctx ~record units in
-        let created, restripped =
-          List.fold_left
-            (List.fold_left (fun (c, d) ev -> (c + ev.me_created, d + ev.me_discarded)))
-            (0, 0) levels
-        in
-        Fg_obs.Trace.attr sp "anchors" (Fg_obs.Event.Int anchors);
-        Fg_obs.Trace.attr sp "levels" (Fg_obs.Event.Int (List.length levels));
-        (match root with
-        | Some r -> Fg_obs.Trace.attr sp "haft_leaves" (Fg_obs.Event.Int r.leaves)
-        | None -> ());
-        Fg_obs.Trace.count_span sp "rt.helpers_created" created;
-        Fg_obs.Trace.count_span sp "rt.reps_consumed" created;
-        Fg_obs.Trace.count_span sp "rt.helpers_discarded" restripped;
-        Fg_obs.Metrics.incr "rt.merge_calls";
-        Fg_obs.Metrics.incr ~n:created "rt.helpers_created";
-        Fg_obs.Metrics.incr ~n:created "rt.reps_consumed";
-        Fg_obs.Metrics.incr ~n:restripped "rt.helpers_discarded";
-        (match root with
-        | Some r -> Fg_obs.Metrics.observe "rt.haft_leaves" (float_of_int r.leaves)
-        | None -> ());
+        if Fg_obs.Trace.enabled () || Fg_obs.Metrics.is_recording () then begin
+          let created, restripped =
+            List.fold_left
+              (List.fold_left (fun (c, d) ev -> (c + ev.me_created, d + ev.me_discarded)))
+              (0, 0) levels
+          in
+          Fg_obs.Trace.attr sp "anchors" (Fg_obs.Event.Int anchors);
+          Fg_obs.Trace.attr sp "levels" (Fg_obs.Event.Int (List.length levels));
+          (match root with
+          | Some r -> Fg_obs.Trace.attr sp "haft_leaves" (Fg_obs.Event.Int r.leaves)
+          | None -> ());
+          Fg_obs.Trace.count_span sp "rt.helpers_created" created;
+          Fg_obs.Trace.count_span sp "rt.reps_consumed" created;
+          Fg_obs.Trace.count_span sp "rt.helpers_discarded" restripped;
+          Fg_obs.Metrics.incr "rt.merge_calls";
+          Fg_obs.Metrics.incr ~n:created "rt.helpers_created";
+          Fg_obs.Metrics.incr ~n:created "rt.reps_consumed";
+          Fg_obs.Metrics.incr ~n:restripped "rt.helpers_discarded";
+          match root with
+          | Some r -> Fg_obs.Metrics.observe "rt.haft_leaves" (float_of_int r.leaves)
+          | None -> ()
+        end;
         (root, levels))
   in
   let trace =

@@ -27,7 +27,12 @@ let insertions =
 let mixes = [ ("2:1", 1. /. 3.); ("1:1", 0.5); ("1:2", 2. /. 3.) ]
 
 let one ~steps ~mix_name ~p_delete ~ins_name ~ins =
-  let rng = Fg_graph.Rng.create (Exp_common.default_seed + Hashtbl.hash (mix_name, ins_name)) in
+  let rng =
+    Fg_graph.Rng.create
+      (Exp_common.default_seed
+      + (31 * Hashtbl.hash mix_name)
+      + Hashtbl.hash ins_name)
+  in
   (* size the initial population so delete-heavy mixes keep a healthy
      survivor pool: expected net deletions = steps * (2p - 1) *)
   let expected_net = int_of_float (float_of_int steps *. ((2. *. p_delete) -. 1.)) in

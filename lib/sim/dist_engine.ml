@@ -80,10 +80,12 @@ let delete t v =
     (fun sp ->
       let n_seen = Fg.num_seen t.fg in
       let stats = Dist_protocol.delete t.st v ~n_seen in
-      List.iter (fun (k, a) -> Fg_obs.Trace.attr sp k a) (stats_attrs stats);
-      Fg_obs.Metrics.observe "dist.rounds" (float_of_int stats.Netsim.rounds);
-      Fg_obs.Metrics.observe "dist.messages" (float_of_int stats.Netsim.messages);
-      Fg_obs.Metrics.observe "dist.bits" (float_of_int stats.Netsim.total_bits);
+      if Fg_obs.Trace.enabled () || Fg_obs.Metrics.is_recording () then begin
+        List.iter (fun (k, a) -> Fg_obs.Trace.attr sp k a) (stats_attrs stats);
+        Fg_obs.Metrics.observe "dist.rounds" (float_of_int stats.Netsim.rounds);
+        Fg_obs.Metrics.observe "dist.messages" (float_of_int stats.Netsim.messages);
+        Fg_obs.Metrics.observe "dist.bits" (float_of_int stats.Netsim.total_bits)
+      end;
       let delta, trace = Fg.delete_delta t.fg v in
       check_repair_class t trace;
       t.events <- Del { victim = v; touched = Delta.touched delta } :: t.events;

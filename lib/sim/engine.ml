@@ -33,10 +33,12 @@ let delete t v =
   let stats =
     Fg_obs.Trace.with_span "sim.replay" (fun _ -> Protocol.replay ~trace ~n_seen)
   in
-  Fg_obs.Trace.attr sp "rounds" (Fg_obs.Event.Int stats.Netsim.rounds);
-  Fg_obs.Trace.attr sp "messages" (Fg_obs.Event.Int stats.Netsim.messages);
-  Fg_obs.Metrics.observe "sim.rounds" (float_of_int stats.Netsim.rounds);
-  Fg_obs.Metrics.observe "sim.messages" (float_of_int stats.Netsim.messages);
+  if Fg_obs.Trace.enabled () || Fg_obs.Metrics.is_recording () then begin
+    Fg_obs.Trace.attr sp "rounds" (Fg_obs.Event.Int stats.Netsim.rounds);
+    Fg_obs.Trace.attr sp "messages" (Fg_obs.Event.Int stats.Netsim.messages);
+    Fg_obs.Metrics.observe "sim.rounds" (float_of_int stats.Netsim.rounds);
+    Fg_obs.Metrics.observe "sim.messages" (float_of_int stats.Netsim.messages)
+  end;
   let cost =
     {
       deleted = v;

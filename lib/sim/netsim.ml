@@ -109,9 +109,11 @@ let run t ~handler ~max_rounds =
      rounds since [start] telescope to the cumulative [t.rounds], so the
      per-span counter aggregates to the returned stats. *)
   Fg_obs.Trace.count "netsim.rounds" (t.now - start);
-  Fg_obs.Metrics.incr ~n:(t.now - start) "netsim.rounds";
-  Fg_obs.Metrics.incr ~n:(t.messages - messages0) "netsim.messages";
-  Fg_obs.Metrics.incr ~n:(t.total_bits - bits0) "netsim.bits";
+  if Fg_obs.Metrics.is_recording () then begin
+    Fg_obs.Metrics.incr ~n:(t.now - start) "netsim.rounds";
+    Fg_obs.Metrics.incr ~n:(t.messages - messages0) "netsim.messages";
+    Fg_obs.Metrics.incr ~n:(t.total_bits - bits0) "netsim.bits"
+  end;
   let max_tbl tbl = Hashtbl.fold (fun _ v m -> max !v m) tbl 0 in
   {
     rounds = t.rounds;

@@ -69,7 +69,11 @@ let of_fg fg =
   let gp = Fg.gprime fg in
   let add owner =
     let rows =
-      List.map (fun other -> fields_of fg ~owner ~other) (Adjacency.neighbors gp owner)
+      (* ascending fold + rev preserves the ascending-id row order *)
+      List.rev
+        (Adjacency.fold_neighbors
+           (fun other acc -> fields_of fg ~owner ~other :: acc)
+           gp owner [])
     in
     Node_id.Tbl.replace by_proc owner rows
   in

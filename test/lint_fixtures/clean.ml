@@ -1,0 +1,10 @@
+(* Fixture: a module that follows every discipline — zero findings even
+   with all rules enabled and this directory in every scope. *)
+
+let degree_sum g v = Adjacency.fold_neighbors (fun _ acc -> acc + 1) g v 0
+let seed a b = (31 * Hashtbl.hash a) + Hashtbl.hash b
+let has (live : Node_id.t list) v = List.exists (Node_id.equal v) live
+
+let emit stats =
+  if Fg_obs.Metrics.is_recording () then
+    Fg_obs.Metrics.observe "fixture.rounds" (float_of_int stats)

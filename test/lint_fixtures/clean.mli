@@ -1,0 +1,4 @@
+val degree_sum : 'g -> 'v -> int
+val seed : 'a -> 'b -> int
+val has : Node_id.t list -> Node_id.t -> bool
+val emit : int -> unit

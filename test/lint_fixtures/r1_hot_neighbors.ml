@@ -1,0 +1,4 @@
+(* Fixture: R1 — list-returning neighbours accessor on a hot path.
+   fg_lint only parses (never typechecks), so the free module names are fine. *)
+
+let degree_sum g v = List.length (Adjacency.neighbors g v)

@@ -1,0 +1,3 @@
+(* Fixture: R2 — Hashtbl.hash over a freshly boxed tuple literal. *)
+
+let seed a b = Hashtbl.hash (a, b)

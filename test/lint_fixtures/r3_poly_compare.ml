@@ -1,0 +1,11 @@
+(* Fixture: R3 — polymorphic comparison on Node_id-typed values, found
+   through the lint's syntactic type guesses (annotation, List.sort with
+   Node_id.compare, cons patterns, refs). *)
+
+let find_dup (live : Node_id.t list) =
+  let sorted = List.sort Node_id.compare live in
+  match sorted with
+  | first :: _ ->
+    let chosen = ref [ first ] in
+    List.exists (fun v -> List.mem v !chosen) sorted
+  | [] -> false

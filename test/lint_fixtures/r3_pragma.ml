@@ -1,0 +1,5 @@
+(* Fixture: the same R3 violation as r3_poly_compare.ml, but suppressed by
+   the line pragma — fg_lint must report nothing. *)
+
+let has (live : Node_id.t list) v =
+  List.mem v live (* fg-lint: allow R3 *)

@@ -1,0 +1,3 @@
+(* Fixture: R4 — emission with computed arguments, no observability guard. *)
+
+let emit stats = Fg_obs.Metrics.observe "fixture.rounds" (float_of_int stats)

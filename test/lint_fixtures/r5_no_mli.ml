@@ -1,0 +1,3 @@
+(* Fixture: R5 — this module deliberately ships without a matching .mli. *)
+
+let answer = 42

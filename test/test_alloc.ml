@@ -1,0 +1,85 @@
+(* GC allocation sanitizer: turns PR 4's "allocation-free heal kernel"
+   claim into a checked property. Two gates:
+
+   - a warmed steady-state heal loop on a 1k-node graph must stay under a
+     per-delete minor-words budget (the scratch arena, the sorted-row
+     adjacency and the gated observability make repeat deletions O(degree)
+     list work only — reintroducing a per-edge hashtable, an ungated
+     recorder or an ungated emission site blows the budget immediately);
+   - the CSR BFS kernel must allocate nothing at all in the steady state
+     (its distance array and flat queue live in the reusable scratch).
+
+   Budgets are deterministic: allocation counts do not depend on machine
+   speed, so unlike the bench regression gate this check is exact in CI.
+   Measured on OCaml 5.1: ~4.8k minor words/delete on the heal loop
+   (dominated by the fresh helper vnodes the repair itself creates — the
+   healing structure is new graph state, not scratch — plus the per-event
+   collect lists and Edge.Half boxes) and 0 words/run for CSR BFS. *)
+
+open Fg_graph
+open Fg_core
+
+(* per-delete budget, in minor-heap words: ~1.25x the measured steady
+   state, far below the 10-100x jumps the guarded regressions cause *)
+let heal_budget_per_delete = 6000.0
+
+(* whole-sweep budget for the BFS loop: covers only the boxed floats of
+   the [Gc.minor_words] reads themselves — the kernel must stay at 0 *)
+let bfs_sweep_budget = 64.0
+
+let test_heal_minor_words () =
+  let rng = Rng.create 0xA110C in
+  let g = Generators.erdos_renyi rng 1000 0.008 in
+  ignore (Generators.connect_components rng g);
+  let fg = Forgiving_graph.of_graph g in
+  let victims =
+    Rng.shuffle rng
+      (Array.of_list (List.sort Node_id.compare (Forgiving_graph.live_nodes fg)))
+  in
+  (* warm-up: grow the RT scratch arena, fragment pool and adjacency rows
+     to their steady-state capacities *)
+  for i = 0 to 199 do
+    Forgiving_graph.delete fg victims.(i)
+  done;
+  let ops = 200 in
+  let before = Gc.minor_words () in
+  for i = 200 to 199 + ops do
+    Forgiving_graph.delete fg victims.(i)
+  done;
+  let delta = Gc.minor_words () -. before in
+  let per_op = delta /. float_of_int ops in
+  Printf.eprintf "[alloc] heal: %.0f minor words/delete (budget %.0f)\n%!" per_op
+    heal_budget_per_delete;
+  if per_op > heal_budget_per_delete then
+    Alcotest.failf
+      "steady-state heal allocates %.0f minor words/delete, budget %.0f — an \
+       allocation crept back onto the heal path (see ARCHITECTURE.md \
+       \"Allocation discipline on the heal path\")"
+      per_op heal_budget_per_delete
+
+let test_csr_bfs_zero_alloc () =
+  let rng = Rng.create 7 in
+  let g = Generators.erdos_renyi rng 600 0.01 in
+  let t = Csr.of_adjacency g in
+  let s = Csr.scratch t in
+  ignore (Csr.bfs t s 0 : int array);
+  let n = Csr.num_nodes t in
+  let before = Gc.minor_words () in
+  for src = 0 to n - 1 do
+    ignore (Csr.bfs t s src : int array)
+  done;
+  let delta = Gc.minor_words () -. before in
+  Printf.eprintf "[alloc] csr-bfs: %.0f minor words over %d runs (budget %.0f)\n%!"
+    delta n bfs_sweep_budget;
+  if delta > bfs_sweep_budget then
+    Alcotest.failf
+      "CSR BFS allocated %.0f minor words over %d runs — the kernel must be \
+       allocation-free (scratch reuse broke)"
+      delta n
+
+let suite =
+  [
+    Alcotest.test_case "steady-state heal stays under budget" `Quick
+      test_heal_minor_words;
+    Alcotest.test_case "CSR BFS allocates nothing" `Quick test_csr_bfs_zero_alloc;
+  ]

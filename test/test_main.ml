@@ -22,5 +22,7 @@ let () =
       ("delta", Test_delta.suite);
       ("batch", Test_batch.suite);
       ("harness", Test_harness.suite);
+      ("lint", Test_lint.suite);
+      ("alloc", Test_alloc.suite);
       ("soak", Test_soak.suite);
     ]
