@@ -1,6 +1,6 @@
 (* Regression gate over BENCH_perf.json: compare two labelled runs and
-   fail (exit 1) if any write-path benchmark — the [heal.*], [dist.*] and
-   [csr.*] groups — got more than [threshold] slower. This is the guard
+   fail (exit 1) if any write-path benchmark — the [heal.*], [dist.*],
+   [csr.*] and [obs.*] groups — got more than [threshold] slower. This is the guard
    that keeps a delta-recorder-style regression (PR 3 cost every heal
    bench 40-70%) from landing silently again.
 
@@ -14,7 +14,7 @@
 
 module J = Fg_obs.Json
 
-let gated_groups = [ "/heal."; "/dist."; "/csr." ]
+let gated_groups = [ "/heal."; "/dist."; "/csr."; "/obs." ]
 
 let contains ~sub s =
   let n = String.length s and m = String.length sub in

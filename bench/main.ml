@@ -185,6 +185,38 @@ let healer_compare =
                      ~del:Fg_adversary.Adversary.Max_degree))))
        [ "fg"; "ft"; "cycle"; "clique"; "none" ])
 
+(* ---- PR 6: telemetry overhead ---- *)
+
+(* The same heal loop with telemetry off vs on (recording flag set, so
+   every Profile stamp takes its clock reads and Hdr records, and the
+   counter/sample sites allocate). The [off] case is the one the
+   regression gate watches: it must stay within noise of the plain
+   [heal.er-50pct] numbers, i.e. the disabled path costs branches only.
+   The [on] case resets the registry each run so sample lists can't grow
+   across iterations and distort the slope. *)
+let obs_overhead =
+  let heal_loop n () =
+    let rng = Fg_graph.Rng.create 42 in
+    let g = Fg_graph.Generators.erdos_renyi rng n (4.0 /. float_of_int n) in
+    let fg = Fg_core.Forgiving_graph.of_graph g in
+    for v = 0 to (n / 2) - 1 do
+      Fg_core.Forgiving_graph.delete fg v
+    done
+  in
+  Test.make_grouped ~name:"obs.overhead"
+    [
+      Test.make_indexed ~name:"heal-off" ~args:[ 256 ] (fun n ->
+          Staged.stage (heal_loop n));
+      Test.make_indexed ~name:"heal-on" ~args:[ 256 ] (fun n ->
+          Staged.stage (fun () ->
+              Fg_obs.Metrics.set_recording true;
+              Fun.protect
+                ~finally:(fun () ->
+                  Fg_obs.Metrics.set_recording false;
+                  Fg_obs.Metrics.reset Fg_obs.Metrics.global)
+                (heal_loop n)));
+    ]
+
 (* ---- E9: cascade ---- *)
 
 let cascade =
@@ -202,7 +234,7 @@ let all_tests =
   Test.make_grouped ~name:"forgiving-graph"
     (haft_tests
     @ [ heal_star; heal_er_sequence; sim_star; dist_star; will_tree_star; stretch_exact;
-        csr_build; csr_apply_delta; bfs_csr_vs_tbl; healer_compare; cascade;
+        csr_build; csr_apply_delta; bfs_csr_vs_tbl; healer_compare; obs_overhead; cascade;
         (* keep last: spawns the domain pool, whose parked workers slow
            stop-the-world minor GCs for everything after *)
         stretch_parallel ])

@@ -58,6 +58,52 @@ let domains_arg =
 let with_obs trace metrics domains f =
   Fg_harness.Exp_common.with_observability ?trace ~metrics ~domains f
 
+let metrics_every_arg =
+  let doc =
+    "Dump the metrics registry in OpenMetrics exposition format every \
+     $(docv) deletions (implies $(b,--metrics)). Each dump is one complete \
+     exposure ending in $(b,# EOF); validate the stream with \
+     $(b,fg metrics --validate)."
+  in
+  Arg.(value & opt int 0 & info [ "metrics-every" ] ~docv:"N" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the periodic OpenMetrics dumps to $(docv) (truncated) instead \
+     of stdout."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* Periodic OpenMetrics dumps for long-running attack/simulate sweeps.
+   [stat] (when tracing) lets the caller publish dashboard gauges — an
+   [fg.stat] point that [fg top] picks out of the trace stream. Returns
+   the per-event tick and a finalizer that emits one last exposure (so
+   short runs still produce a complete, validatable stream). *)
+let periodic_dumper ?(stat = fun () -> ()) ~every ~out () =
+  if every <= 0 then ((fun () -> ()), fun () -> ())
+  else begin
+    let oc = Option.map open_out out in
+    let events = ref 0 in
+    let dump () =
+      if Fg_obs.Trace.enabled () then stat ();
+      let text = Fg_obs.Openmetrics.render Fg_obs.Metrics.global in
+      match oc with
+      | Some oc ->
+        output_string oc text;
+        flush oc
+      | None -> print_string text
+    in
+    let tick () =
+      incr events;
+      if !events mod every = 0 then dump ()
+    in
+    let finish () =
+      if !events mod every <> 0 || !events = 0 then dump ();
+      Option.iter close_out oc
+    in
+    (tick, finish)
+  end
+
 (* ---- generate ---- *)
 
 let generate family seed n dot =
@@ -76,8 +122,9 @@ let generate_cmd =
 
 (* ---- attack ---- *)
 
-let attack family seed n healer adversary fraction paranoid trace metrics domains =
-  with_obs trace metrics domains @@ fun () ->
+let attack family seed n healer adversary fraction paranoid trace metrics domains
+    metrics_every metrics_out =
+  with_obs trace (metrics || metrics_every > 0) domains @@ fun () ->
   let del =
     try Fg_adversary.Adversary.deletion_of_name adversary
     with Invalid_argument _ ->
@@ -106,7 +153,35 @@ let attack family seed n healer adversary fraction paranoid trace metrics domain
         exit 2
   in
   let rng = Fg_graph.Rng.create (seed + 1) in
-  let victims = Fg_adversary.Churn.delete_fraction rng h ~fraction ~del in
+  let stat_rng = Fg_graph.Rng.create (seed + 2) in
+  let stat () =
+    let live = h.Fg_baselines.Healer.live_nodes () in
+    let graph = h.Fg_baselines.Healer.graph () in
+    let gprime = h.Fg_baselines.Healer.gprime () in
+    let deg = Fg_metrics.Degree_metric.measure ~graph ~gprime ~nodes:live in
+    let str =
+      Fg_metrics.Stretch.sampled stat_rng ~k:1 ~graph ~reference:gprime live
+    in
+    let gc = Gc.quick_stat () in
+    Fg_obs.Trace.point "fg.stat"
+      ~attrs:
+        [
+          ("live", Fg_obs.Event.Int (List.length live));
+          ("degree_max_ratio", Fg_obs.Event.Float deg.Fg_metrics.Degree_metric.max_ratio);
+          ("degree_over_3x", Fg_obs.Event.Int deg.Fg_metrics.Degree_metric.over_3x);
+          ("stretch_sample", Fg_obs.Event.Float str.Fg_metrics.Stretch.max_stretch);
+          ("gc_minor_words", Fg_obs.Event.Float gc.Gc.minor_words);
+          ("gc_major_collections", Fg_obs.Event.Int gc.Gc.major_collections);
+        ]
+  in
+  let tick, finish_dumps =
+    periodic_dumper ~stat ~every:metrics_every ~out:metrics_out ()
+  in
+  let victims =
+    Fg_adversary.Churn.delete_fraction ~on_delete:(fun _ -> tick ()) rng h
+      ~fraction ~del
+  in
+  finish_dumps ();
   let live = h.Fg_baselines.Healer.live_nodes () in
   let graph = h.Fg_baselines.Healer.graph () in
   let gprime = h.Fg_baselines.Healer.gprime () in
@@ -152,14 +227,17 @@ let attack_cmd =
     (Cmd.info "attack" ~doc)
     Term.(
       const attack $ family_arg $ seed_arg $ n_arg $ healer $ adversary $ fraction
-      $ paranoid $ trace_arg $ metrics_arg $ domains_arg)
+      $ paranoid $ trace_arg $ metrics_arg $ domains_arg $ metrics_every_arg
+      $ metrics_out_arg)
 
 (* ---- simulate ---- *)
 
-let simulate family seed n deletions distributed trace metrics domains =
-  with_obs trace metrics domains @@ fun () ->
+let simulate family seed n deletions distributed trace metrics domains
+    metrics_every metrics_out =
+  with_obs trace (metrics || metrics_every > 0) domains @@ fun () ->
   let g0 = make_graph family seed n in
   let rng = Fg_graph.Rng.create (seed + 1) in
+  let tick, finish_dumps = periodic_dumper ~every:metrics_every ~out:metrics_out () in
   if distributed then begin
     (* full per-processor protocol, verified after every repair *)
     let eng = Fg_sim.Dist_engine.create g0 in
@@ -172,9 +250,11 @@ let simulate family seed n deletions distributed trace metrics domains =
         let s = Fg_sim.Dist_engine.delete eng v in
         Format.printf "del %d: %a (verified: %b)@." v Fg_sim.Netsim.pp_stats s
           (Fg_sim.Dist_engine.verify eng = []);
-        incr count
+        incr count;
+        tick ()
       end
-    done
+    done;
+    finish_dumps ()
   end
   else begin
   let eng = Fg_sim.Engine.create g0 in
@@ -187,9 +267,11 @@ let simulate family seed n deletions distributed trace metrics domains =
       let v = Fg_graph.Rng.pick rng live in
       let c = Fg_sim.Engine.delete eng v in
       Format.printf "%a@." Fg_sim.Engine.pp_cost c;
-      incr count
+      incr count;
+      tick ()
     end
   done;
+  finish_dumps ();
   let costs = Fg_sim.Engine.costs eng in
   let summarize name field =
     match Fg_metrics.Summary.of_ints_opt (List.map field costs) with
@@ -217,7 +299,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ family_arg $ seed_arg $ n_arg $ deletions $ distributed
-      $ trace_arg $ metrics_arg $ domains_arg)
+      $ trace_arg $ metrics_arg $ domains_arg $ metrics_every_arg
+      $ metrics_out_arg)
 
 (* ---- heal ---- *)
 
@@ -274,6 +357,204 @@ let trace_cmd =
   let doc = "Replay a JSONL trace into a per-phase cost table." in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const trace_report $ path)
 
+(* ---- metrics (registry report / OpenMetrics export / validation) ---- *)
+
+let read_all_in path =
+  if path = "-" then In_channel.input_all stdin
+  else In_channel.with_open_bin path In_channel.input_all
+
+(* Rebuild a metrics registry from a JSONL trace: span durations land in
+   per-phase HDR histograms ([<span>_ns]), span counters sum into
+   counters, and points count under [point.<name>]. *)
+let registry_of_trace events =
+  let reg = Fg_obs.Metrics.create () in
+  List.iter
+    (fun e ->
+      match e with
+      | Fg_obs.Event.Span_end { name; dur; counters; _ } ->
+        Fg_obs.Hdr.record_sharded
+          (Fg_obs.Metrics.hdr_in reg (name ^ "_ns"))
+          (int_of_float (dur *. 1e9));
+        List.iter (fun (k, n) -> Fg_obs.Metrics.incr_in reg ~n k) counters
+      | Fg_obs.Event.Point { name; _ } ->
+        Fg_obs.Metrics.incr_in reg ("point." ^ name)
+      | Fg_obs.Event.Span_start _ -> ())
+    events;
+  reg
+
+let metrics_report trace_path openmetrics out validate =
+  match validate with
+  | Some path -> (
+    let text = read_all_in path in
+    match Fg_obs.Openmetrics.validate text with
+    | Ok () -> print_endline "openmetrics: valid"
+    | Error e ->
+      Printf.eprintf "openmetrics: invalid: %s\n" e;
+      exit 1)
+  | None -> (
+    match trace_path with
+    | None ->
+      Printf.eprintf
+        "error: give a TRACE.jsonl to report on, or --validate FILE\n";
+      exit 2
+    | Some path -> (
+      let events =
+        if path = "-" then
+          Fg_obs.Replay.parse_lines
+            (String.split_on_char '\n' (In_channel.input_all stdin))
+        else Fg_obs.Replay.load path
+      in
+      match events with
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+      | Ok events ->
+        let reg = registry_of_trace events in
+        let text =
+          if openmetrics then Fg_obs.Openmetrics.render reg
+          else Format.asprintf "%a" Fg_obs.Metrics.pp reg
+        in
+        (match out with
+        | None -> print_string text
+        | Some f -> Out_channel.with_open_bin f (fun oc -> output_string oc text))))
+
+let metrics_cmd =
+  let trace_path =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:
+            "JSONL trace written by --trace ($(b,-) for stdin); aggregated \
+             into a registry.")
+  in
+  let openmetrics =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:"Emit OpenMetrics text exposition instead of the human report.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the report to $(docv).")
+  in
+  let validate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate" ] ~docv:"FILE"
+          ~doc:
+            "Check $(docv) ($(b,-) for stdin) against the OpenMetrics \
+             exposition grammar; exit 1 if invalid. Accepts a stream of \
+             exposures as produced by --metrics-every.")
+  in
+  let doc =
+    "Aggregate a trace into metrics, export OpenMetrics, or validate an \
+     exposition."
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc)
+    Term.(const metrics_report $ trace_path $ openmetrics $ out $ validate)
+
+(* ---- top (live dashboard over a trace stream) ---- *)
+
+let top path interval frames window plain =
+  let agg = Fg_obs.Top.create ~window () in
+  let fd =
+    try Unix.openfile path [ Unix.O_RDONLY ] 0
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot open %s: %s\n" path (Unix.error_message e);
+      exit 1
+  in
+  let chunk = Bytes.create 65536 in
+  let pending = Buffer.create 4096 in
+  (* drain whatever the writer has appended since the last frame, feeding
+     only complete lines; a partial tail line stays buffered *)
+  let drain () =
+    let rec read_all () =
+      let k = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if k > 0 then begin
+        Buffer.add_subbytes pending chunk 0 k;
+        read_all ()
+      end
+    in
+    read_all ();
+    let s = Buffer.contents pending in
+    let rec lines start =
+      match String.index_from_opt s start '\n' with
+      | None -> start
+      | Some nl ->
+        let line = String.sub s start (nl - start) in
+        (if String.trim line <> "" then
+           match Fg_obs.Replay.parse_line line with
+           | Ok e -> Fg_obs.Top.feed agg e
+           | Error _ -> () (* tolerate foreign/corrupt lines while tailing *));
+        lines (nl + 1)
+    in
+    let consumed = lines 0 in
+    if consumed > 0 then begin
+      let rest = String.sub s consumed (String.length s - consumed) in
+      Buffer.clear pending;
+      Buffer.add_string pending rest
+    end
+  in
+  let frame () =
+    drain ();
+    print_string (Fg_obs.Top.render ~ansi:(not plain) agg);
+    flush stdout
+  in
+  if frames <= 0 then
+    while true do
+      frame ();
+      Unix.sleepf interval
+    done
+  else
+    for i = 1 to frames do
+      frame ();
+      if i < frames then Unix.sleepf interval
+    done;
+  Unix.close fd
+
+let top_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:
+            "JSONL trace to tail — typically the --trace file of a running \
+             attack/simulate.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SEC" ~doc:"Seconds between redraws.")
+  in
+  let frames =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Render $(docv) frames then exit (0 = run until interrupted).")
+  in
+  let window =
+    Arg.(
+      value & opt float 10.0
+      & info [ "window" ] ~docv:"SEC"
+          ~doc:"Trailing stream-time window for the heals/deltas rates.")
+  in
+  let plain =
+    Arg.(
+      value & flag
+      & info [ "plain" ]
+          ~doc:"No ANSI clear-screen between frames (for logs and tests).")
+  in
+  let doc = "Live terminal dashboard over a telemetry trace stream." in
+  Cmd.v
+    (Cmd.info "top" ~doc)
+    Term.(const top $ path $ interval $ frames $ window $ plain)
+
 (* ---- route ---- *)
 
 let route_cmd_run family seed n victims src dst =
@@ -320,4 +601,13 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group info
-          [ generate_cmd; attack_cmd; simulate_cmd; heal_cmd; route_cmd; trace_cmd ]))
+          [
+            generate_cmd;
+            attack_cmd;
+            simulate_cmd;
+            heal_cmd;
+            route_cmd;
+            trace_cmd;
+            metrics_cmd;
+            top_cmd;
+          ]))

@@ -42,7 +42,7 @@ let drive rng (h : Healer.t) ~steps ~p_delete ~del ~ins ~first_id =
   done;
   List.rev !script
 
-let delete_fraction rng (h : Healer.t) ~fraction ~del =
+let delete_fraction ?on_delete rng (h : Healer.t) ~fraction ~del =
   let n = List.length (h.Healer.live_nodes ()) in
   let want = max 1 (int_of_float (fraction *. float_of_int n)) in
   let victims = ref [] in
@@ -53,7 +53,8 @@ let delete_fraction rng (h : Healer.t) ~fraction ~del =
     | None -> continue_ := false
     | Some v ->
       h.Healer.delete v;
-      victims := v :: !victims);
+      victims := v :: !victims;
+      match on_delete with None -> () | Some f -> f v);
     incr k
   done;
   List.rev !victims

@@ -31,8 +31,11 @@ val drive :
 
 (** [delete_fraction rng healer ~fraction ~del] deletes
     [fraction * current size] nodes (at least 1, leaving at least 2),
-    adaptively; returns victims in order. *)
+    adaptively; returns victims in order. [on_delete] is called after
+    each deletion has healed (the telemetry hook behind
+    [fg_cli attack --metrics-every]); it must not mutate the healer. *)
 val delete_fraction :
+  ?on_delete:(Node_id.t -> unit) ->
   Fg_graph.Rng.t ->
   Fg_baselines.Healer.t ->
   fraction:float ->

@@ -64,14 +64,18 @@ let snapshot t ~gp =
   match cache_get t ~gp with
   | Some sc when sc.version = cur ->
     if sc.pending > 0 then begin
+      let t_apply = Fg_obs.Profile.start () in
       sc.csr <- Csr.apply_delta sc.csr ~touched:sc.touched ~removed:sc.removed g;
+      Fg_obs.Profile.stamp Fg_obs.Profile.Csr_apply t_apply;
       sc.touched <- [];
       sc.removed <- [];
       sc.pending <- 0
     end;
     sc.csr
   | _ ->
+    let t_rebuild = Fg_obs.Profile.start () in
     let csr = Csr.of_adjacency g in
+    Fg_obs.Profile.stamp Fg_obs.Profile.Csr_rebuild t_rebuild;
     cache_set t ~gp
       (Some { csr; version = cur; touched = []; removed = []; pending = 0 });
     csr
@@ -193,10 +197,12 @@ let of_graph ?policy g =
   t
 
 let delete_body t v b =
+  let t_heal = Fg_obs.Profile.start () in
   let degree = Adjacency.degree t.gprime v in
-  Fg_obs.Trace.with_span "fg.delete"
-    ~attrs:[ ("node", Fg_obs.Event.Int v); ("degree", Fg_obs.Event.Int degree) ]
-    (fun sp ->
+  let trace =
+    Fg_obs.Trace.with_span "fg.delete"
+      ~attrs:[ ("node", Fg_obs.Event.Int v); ("degree", Fg_obs.Event.Int degree) ]
+      (fun sp ->
       Node_id.Tbl.remove t.alive v;
       let marked = ref [] and fresh = ref [] in
       let classify x =
@@ -217,17 +223,21 @@ let delete_body t v b =
           | None -> ()
         end
       in
+      let t_collect = Fg_obs.Profile.start () in
       Fg_obs.Trace.with_span "fg.collect" (fun _ ->
           (* descending, so [remove_direct] pops each image edge off the tail
              of [v]'s sorted row instead of shifting it (an O(deg^2) memmove
              for hubs); the [List.rev]s restore exactly the order the
              ascending walk used to produce, keeping heal byte-identical *)
           Adjacency.iter_neighbors_rev classify t.gprime v);
+      Fg_obs.Profile.stamp Fg_obs.Profile.Collect t_collect;
       let _root, trace =
         Rt.heal t.rt ~events:(b <> None) ~marked:(List.rev !marked)
           ~fresh:(List.rev !fresh)
       in
+      let t_image = Fg_obs.Profile.start () in
       Fg_obs.Trace.with_span "fg.image" (fun _ -> Rt.drop_image_node t.rt v);
+      Fg_obs.Profile.stamp Fg_obs.Profile.Image t_image;
       (match b with None -> () | Some b -> Delta.record_node_remove b v);
       if Fg_obs.Trace.enabled () || Fg_obs.Metrics.is_recording () then begin
         Fg_obs.Trace.attr sp "anchors" (Fg_obs.Event.Int trace.Rt.ht_anchors);
@@ -237,6 +247,9 @@ let delete_body t v b =
         Fg_obs.Metrics.observe "fg.notified" (float_of_int trace.Rt.ht_notified)
       end;
       trace)
+  in
+  Fg_obs.Profile.stamp Fg_obs.Profile.Heal t_heal;
+  trace
 
 let delete_delta t v =
   if not (is_alive t v) then invalid_arg "Forgiving_graph.delete: node is not live";
@@ -264,9 +277,11 @@ let delete_batch_checked t victims =
   victims
 
 let delete_batch_body t victims b =
-  Fg_obs.Trace.with_span "fg.delete_batch"
-    ~attrs:[ ("victims", Fg_obs.Event.Int (List.length victims)) ]
-    (fun sp ->
+  let t_heal = Fg_obs.Profile.start () in
+  let traces =
+    Fg_obs.Trace.with_span "fg.delete_batch"
+      ~attrs:[ ("victims", Fg_obs.Event.Int (List.length victims)) ]
+      (fun sp ->
   let dead = List.fold_left (fun s v -> Node_id.Set.add v s) Node_id.Set.empty victims in
   List.iter (fun v -> Node_id.Tbl.remove t.alive v) victims;
   (* per-victim marked vnodes and fresh half-edges *)
@@ -294,10 +309,12 @@ let delete_batch_body t victims b =
       | None -> ()
     end
   in
+  let t_collect = Fg_obs.Profile.start () in
   Fg_obs.Trace.with_span "fg.collect" (fun _ ->
       (* descending for the same tail-pop reason as [delete_body]; the
          per-victim lists come out ascending and are reversed in [collect] *)
       List.iter (fun v -> Adjacency.iter_neighbors_rev (classify v) t.gprime v) victims);
+  Fg_obs.Profile.stamp Fg_obs.Profile.Collect t_collect;
   (* group victims: G'-adjacency within the batch, or a shared RT *)
   let uf = Fg_graph.Union_find.create () in
   List.iter (fun v -> ignore (Fg_graph.Union_find.find uf v)) victims;
@@ -338,8 +355,10 @@ let delete_batch_body t victims b =
     trace
   in
   let traces = Im.fold (fun _ members acc -> heal_group members :: acc) groups [] in
+  let t_image = Fg_obs.Profile.start () in
   Fg_obs.Trace.with_span "fg.image" (fun _ ->
       List.iter (fun v -> Rt.drop_image_node t.rt v) victims);
+  Fg_obs.Profile.stamp Fg_obs.Profile.Image t_image;
   (match b with
   | None -> ()
   | Some b ->
@@ -351,6 +370,9 @@ let delete_batch_body t victims b =
     Fg_obs.Metrics.incr ~n:(List.length victims) "fg.deletions"
   end;
   List.rev traces)
+  in
+  Fg_obs.Profile.stamp Fg_obs.Profile.Heal t_heal;
+  traces
 
 let delete_batch_delta t victims =
   let victims = delete_batch_checked t victims in

@@ -599,6 +599,7 @@ let heal ?(events = true) ctx ~marked ~fresh =
     in
     List.fold_left count_neighbors (List.length fresh) marked
   in
+  let t_strip = Fg_obs.Profile.start () in
   let initial_discarded, num_fids =
     Fg_obs.Trace.with_span "rt.strip" (fun sp ->
         let discarded, num_fids = decompose ctx ~epoch:e roots in
@@ -609,6 +610,7 @@ let heal ?(events = true) ctx ~marked ~fresh =
         end;
         (discarded, num_fids))
   in
+  Fg_obs.Profile.stamp Fg_obs.Profile.Strip t_strip;
   Fg_obs.Metrics.incr "rt.strip_calls";
   if Fg_obs.Metrics.is_recording () then
     Fg_obs.Metrics.incr ~n:initial_discarded "rt.helpers_discarded";
@@ -650,6 +652,7 @@ let heal ?(events = true) ctx ~marked ~fresh =
     if is_sorted us then us else List.sort unit_order us
   in
   let anchors = List.length units in
+  let t_merge = Fg_obs.Profile.start () in
   let root, levels =
     Fg_obs.Trace.with_span "rt.merge" (fun sp ->
         let root, levels = btv_reduce ctx ~record units in
@@ -677,6 +680,7 @@ let heal ?(events = true) ctx ~marked ~fresh =
         end;
         (root, levels))
   in
+  Fg_obs.Profile.stamp Fg_obs.Profile.Merge t_merge;
   let trace =
     {
       ht_anchors = anchors;

@@ -84,8 +84,14 @@ let eval_source snap (gs, rs) ~t_id ~t_g ~t_r ~from x_id =
     end
     else begin
       let gi = match Csr.index snap.g x_id with Some i -> i | None -> assert false in
+      (* runs on [Parallel] pool domains: the sharded histograms behind
+         [Profile.stamp] make these stamps contention-free *)
+      let t_bfs_g = Fg_obs.Profile.start () in
       let dg = Csr.bfs snap.g gs gi in
+      Fg_obs.Profile.stamp Fg_obs.Profile.Bfs t_bfs_g;
+      let t_bfs_r = Fg_obs.Profile.start () in
       let dr = Csr.bfs snap.r rs xr in
+      Fg_obs.Profile.stamp Fg_obs.Profile.Bfs t_bfs_r;
       let max_s = ref 0. and wit = ref None and sum = ref 0. in
       let pairs = ref 0 and disc = ref 0 in
       for j = from to Array.length t_id - 1 do
@@ -156,11 +162,14 @@ let run_kernel ?domains ?graph_csr ?reference_csr ~graph ~reference ~sources
       (Array.length sources)
   in
   let report, runs = merge parts in
-  Fg_obs.Trace.attr sp "csr_build_ms" (Fg_obs.Event.Float snap.build_ms);
-  Fg_obs.Trace.attr sp "bfs_sources" (Fg_obs.Event.Int (Array.length sources));
-  Fg_obs.Trace.attr sp "domains" (Fg_obs.Event.Int domains);
-  Fg_obs.Trace.count_span sp "metrics.bfs_runs" runs;
-  Fg_obs.Metrics.incr ~n:runs "metrics.bfs_runs";
+  if Fg_obs.Trace.enabled () then begin
+    Fg_obs.Trace.attr sp "csr_build_ms" (Fg_obs.Event.Float snap.build_ms);
+    Fg_obs.Trace.attr sp "bfs_sources" (Fg_obs.Event.Int (Array.length sources));
+    Fg_obs.Trace.attr sp "domains" (Fg_obs.Event.Int domains);
+    Fg_obs.Trace.count_span sp "metrics.bfs_runs" runs
+  end;
+  if Fg_obs.Metrics.is_recording () then
+    Fg_obs.Metrics.incr ~n:runs "metrics.bfs_runs";
   report
 
 let measure ?domains ?graph_csr ?reference_csr ~graph ~reference ~sources targets =

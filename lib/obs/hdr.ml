@@ -1,0 +1,218 @@
+(* Log-linear HDR histogram. Layout: values below [sub_count] (= 32)
+   index their own bucket exactly; a value with most-significant bit m
+   (m >= 5) lands in octave [o = m - 4], sub-bucket
+   [(v lsr (m - 5)) - 32], i.e. index [o*32 + sub]. Bucket widths double
+   each octave, so the relative resolution is a constant 1/32. With
+   octaves up to msb 62 the table is 1888 ints — small enough to keep
+   one per phase per domain slot. *)
+
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits
+let num_buckets = (62 - sub_bits + 2) * sub_count
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable sum : int;
+  mutable vmin : int; (* max_int when empty *)
+  mutable vmax : int;
+}
+
+let create () =
+  { counts = Array.make num_buckets 0; total = 0; sum = 0; vmin = max_int; vmax = 0 }
+
+(* Most-significant-bit index of [v > 0], by branchy shift accumulation:
+   straight-line integer lets only, no refs or tuples (alloc-free). *)
+let msb v =
+  let k5 = if v lsr 32 <> 0 then 32 else 0 in
+  let v = v lsr k5 in
+  let k4 = if v lsr 16 <> 0 then 16 else 0 in
+  let v = v lsr k4 in
+  let k3 = if v lsr 8 <> 0 then 8 else 0 in
+  let v = v lsr k3 in
+  let k2 = if v lsr 4 <> 0 then 4 else 0 in
+  let v = v lsr k2 in
+  let k1 = if v lsr 2 <> 0 then 2 else 0 in
+  let v = v lsr k1 in
+  k5 + k4 + k3 + k2 + k1 + (v lsr 1)
+
+let bucket_of v =
+  if v < sub_count then v
+  else
+    let m = msb v in
+    let o = m - sub_bits + 1 in
+    (o lsl sub_bits) + (v lsr (m - sub_bits)) - sub_count
+
+let upper_of_bucket b =
+  if b < sub_count then b
+  else
+    let o = b lsr sub_bits in
+    let sub = b land (sub_count - 1) in
+    ((sub_count + sub + 1) lsl (o - 1)) - 1
+
+let upper_of v = upper_of_bucket (bucket_of (if v < 0 then 0 else v))
+
+let record h v =
+  let v = if v < 0 then 0 else v in
+  let b = bucket_of v in
+  h.counts.(b) <- h.counts.(b) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum + v;
+  if v < h.vmin then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v
+
+let count h = h.total
+let sum h = h.sum
+let min_value h = if h.total = 0 then 0 else h.vmin
+let max_value h = h.vmax
+let mean h = if h.total = 0 then 0. else float_of_int h.sum /. float_of_int h.total
+let is_empty h = h.total = 0
+
+let quantile h q =
+  if h.total = 0 then 0
+  else if q <= 0. then min_value h
+  else begin
+    let q = if q > 1. then 1. else q in
+    let rank = int_of_float (ceil (q *. float_of_int h.total)) in
+    let rank = if rank < 1 then 1 else rank in
+    let b = ref 0 in
+    let cum = ref 0 in
+    while !cum < rank do
+      cum := !cum + h.counts.(!b);
+      incr b
+    done;
+    let b = !b - 1 in
+    (* the top occupied bucket reports the exact maximum *)
+    if b = bucket_of h.vmax then h.vmax else upper_of_bucket b
+  end
+
+let p50 h = quantile h 0.5
+let p90 h = quantile h 0.9
+let p99 h = quantile h 0.99
+let p999 h = quantile h 0.999
+
+let merge_into ~src ~into =
+  for b = 0 to num_buckets - 1 do
+    let c = src.counts.(b) in
+    if c <> 0 then into.counts.(b) <- into.counts.(b) + c
+  done;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum + src.sum;
+  if src.total > 0 then begin
+    if src.vmin < into.vmin then into.vmin <- src.vmin;
+    if src.vmax > into.vmax then into.vmax <- src.vmax
+  end
+
+let copy h = { h with counts = Array.copy h.counts }
+
+let clear h =
+  Array.fill h.counts 0 num_buckets 0;
+  h.total <- 0;
+  h.sum <- 0;
+  h.vmin <- max_int;
+  h.vmax <- 0
+
+let equal a b =
+  a.total = b.total && a.sum = b.sum
+  && (a.total = 0 || (a.vmin = b.vmin && a.vmax = b.vmax))
+  && a.counts = b.counts
+
+let iter_buckets h f =
+  for b = 0 to num_buckets - 1 do
+    let c = h.counts.(b) in
+    if c <> 0 then f ~upper:(upper_of_bucket b) ~count:c
+  done
+
+let to_json h =
+  let buckets = ref [] in
+  for b = num_buckets - 1 downto 0 do
+    let c = h.counts.(b) in
+    if c <> 0 then buckets := Json.List [ Json.Int b; Json.Int c ] :: !buckets
+  done;
+  Json.Obj
+    [
+      ("total", Json.Int h.total);
+      ("sum", Json.Int h.sum);
+      ("min", Json.Int (min_value h));
+      ("max", Json.Int h.vmax);
+      ("buckets", Json.List !buckets);
+    ]
+
+let of_json j =
+  let field k coerce =
+    match Option.bind (Json.member k j) coerce with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "hdr: missing or ill-typed %S" k)
+  in
+  let ( let* ) = Result.bind in
+  let* total = field "total" Json.to_int in
+  let* sum = field "sum" Json.to_int in
+  let* vmin = field "min" Json.to_int in
+  let* vmax = field "max" Json.to_int in
+  let* buckets =
+    match Json.member "buckets" j with
+    | Some (Json.List l) -> Ok l
+    | _ -> Error "hdr: missing \"buckets\" list"
+  in
+  let h = create () in
+  let* () =
+    List.fold_left
+      (fun acc entry ->
+        let* () = acc in
+        match entry with
+        | Json.List [ Json.Int b; Json.Int c ] when b >= 0 && b < num_buckets && c >= 0
+          ->
+          h.counts.(b) <- h.counts.(b) + c;
+          Ok ()
+        | _ -> Error "hdr: malformed bucket entry")
+      (Ok ()) buckets
+  in
+  let counted = Array.fold_left ( + ) 0 h.counts in
+  if counted <> total then Error "hdr: bucket counts disagree with total"
+  else begin
+    h.total <- total;
+    h.sum <- sum;
+    h.vmin <- (if total = 0 then max_int else vmin);
+    h.vmax <- vmax;
+    Ok h
+  end
+
+(* -- per-domain sharding ------------------------------------------- *)
+
+type sharded = { shards : t option array }
+
+let next_pow2 n =
+  let r = ref 1 in
+  while !r < n do
+    r := !r * 2
+  done;
+  !r
+
+let default_slots () =
+  let n = next_pow2 (Domain.recommended_domain_count ()) in
+  if n < 8 then 8 else if n > 64 then 64 else n
+
+let create_sharded ?slots () =
+  let slots =
+    match slots with Some s -> next_pow2 (max 1 s) | None -> default_slots ()
+  in
+  { shards = Array.make slots None }
+
+let record_sharded s v =
+  let i = (Domain.self () :> int) land (Array.length s.shards - 1) in
+  match Array.unsafe_get s.shards i with
+  | Some h -> record h v
+  | None ->
+    let h = create () in
+    s.shards.(i) <- Some h;
+    record h v
+
+let merged s =
+  let into = create () in
+  Array.iter
+    (function Some src -> merge_into ~src ~into | None -> ())
+    s.shards;
+  into
+
+let clear_sharded s =
+  Array.iter (function Some h -> clear h | None -> ()) s.shards

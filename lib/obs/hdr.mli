@@ -1,0 +1,103 @@
+(** Log-linear fixed-bucket HDR histogram for latency telemetry.
+
+    Values are non-negative integers (nanoseconds, message counts, …).
+    Buckets are exact below 32 and log-linear above: each power-of-two
+    octave is split into 32 sub-buckets, so recorded values are resolved
+    to within a relative error of 1/32 (~3%) across the full 62-bit
+    range. The bucket table is a flat [int array] of 1888 slots —
+    {!record} is a handful of integer ops and two array writes, with no
+    allocation, so it is safe on the heal path behind the usual
+    [Metrics.is_recording] guard (fg_lint rule R4 covers emission
+    sites).
+
+    Quantiles are extracted by exact cumulative count: [quantile h q]
+    walks the bucket table to the bucket containing the rank-[ceil
+    (q*n)] sample and reports that bucket's inclusive upper bound
+    ({!upper_of}), except in the bucket holding the maximum where the
+    exact maximum is reported. Histograms {!merge_into} losslessly
+    (bucket-wise sums), which is what makes per-domain sharding work:
+    {!sharded} keeps one histogram per domain slot so the [Parallel]
+    pool records contention-free, and {!merged} folds the shards into
+    one histogram at read time. *)
+
+type t
+
+val create : unit -> t
+
+(** [record h v] adds one sample. Negative [v] is clamped to 0.
+    Allocation-free. Not thread-safe — use {!sharded} across domains. *)
+val record : t -> int -> unit
+
+val count : t -> int
+val sum : t -> int
+
+(** 0 when empty. *)
+val min_value : t -> int
+
+val max_value : t -> int
+val mean : t -> float
+
+(** [quantile h q] for [q] in [0,1]: the inclusive upper bound of the
+    bucket containing the sample of rank [max 1 (ceil (q * count))] —
+    exactly [max_value h] when that bucket is the maximum's bucket, and
+    [min_value h] when [q <= 0]. Returns 0 on an empty histogram. *)
+val quantile : t -> float -> int
+
+val p50 : t -> int
+val p90 : t -> int
+val p99 : t -> int
+val p999 : t -> int
+
+(** [upper_of v] is the inclusive upper bound of the bucket [v] falls
+    in — the value {!quantile} reports for any rank resolving to that
+    bucket (modulo the max-bucket exactness rule). Exposed so tests can
+    state oracle equalities exactly. *)
+val upper_of : int -> int
+
+(** [merge_into ~src ~into] adds all of [src]'s samples to [into].
+    Bucket-wise, lossless: merging is associative and commutative. *)
+val merge_into : src:t -> into:t -> unit
+
+val copy : t -> t
+
+(** Reset all counts; keeps the bucket array. *)
+val clear : t -> unit
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+
+(** [iter_buckets h f] calls [f ~upper ~count] for each non-empty
+    bucket in increasing value order (counts are per-bucket, not
+    cumulative). *)
+val iter_buckets : t -> (upper:int -> count:int -> unit) -> unit
+
+(** Sparse JSON snapshot (["total"], ["sum"], ["min"], ["max"],
+    ["buckets"] as [[index; count]] pairs). Round-trips through
+    {!of_json}; small enough to embed in a trace event attribute. *)
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+
+(** {1 Per-domain sharding}
+
+    A [sharded] histogram holds one lazily-created {!t} per domain
+    slot; {!record_sharded} indexes by [Domain.self () land (slots-1)]
+    so concurrent recorders from the [Parallel] pool never contend on
+    the same counts. Slot count is a power of two sized from
+    [Domain.recommended_domain_count] (clamped to [8, 64]); if more
+    domains than slots ever record, two domains may share a slot —
+    counts are then approximate under races but never crash, which is
+    the right trade for telemetry. *)
+
+type sharded
+
+val create_sharded : ?slots:int -> unit -> sharded
+
+(** Allocation-free after the calling domain's slot exists (first call
+    from a domain allocates its shard). *)
+val record_sharded : sharded -> int -> unit
+
+(** Fold all shards into a fresh histogram. *)
+val merged : sharded -> t
+
+val clear_sharded : sharded -> unit

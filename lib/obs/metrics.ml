@@ -1,9 +1,15 @@
 type t = {
   counters : (string, int ref) Hashtbl.t;
   samples : (string, float list ref) Hashtbl.t;  (* reversed *)
+  hdrs : (string, Hdr.sharded) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 32; samples = Hashtbl.create 32 }
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    samples = Hashtbl.create 32;
+    hdrs = Hashtbl.create 32;
+  }
 let global = create ()
 
 let recording = ref false
@@ -22,6 +28,20 @@ let observe_in t name x =
 
 let incr ?n name = if !recording then incr_in global ?n name
 let observe name x = if !recording then observe_in global name x
+
+(* Registration (find-or-create) is ungated: instrumented modules hold
+   the returned sharded histogram in a module-level binding and gate the
+   [Hdr.record_sharded] calls themselves. [reset] clears counts but
+   keeps registrations alive, so those bindings never dangle. *)
+let hdr_in t name =
+  match Hashtbl.find_opt t.hdrs name with
+  | Some s -> s
+  | None ->
+    let s = Hdr.create_sharded () in
+    Hashtbl.replace t.hdrs name s;
+    s
+
+let hdr name = hdr_in global name
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
@@ -44,12 +64,23 @@ let histograms t =
     t.samples []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* Merged at read time; empty histograms (registered but never recorded,
+   or cleared by [reset]) are omitted like sample-less summaries. *)
+let hdrs t =
+  Hashtbl.fold
+    (fun k s acc ->
+      let h = Hdr.merged s in
+      if Hdr.is_empty h then acc else (k, h) :: acc)
+    t.hdrs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let reset t =
   Hashtbl.reset t.counters;
-  Hashtbl.reset t.samples
+  Hashtbl.reset t.samples;
+  Hashtbl.iter (fun _ s -> Hdr.clear_sharded s) t.hdrs
 
 let pp ppf t =
-  let cs = counters t and hs = histograms t in
+  let cs = counters t and hs = histograms t and ls = hdrs t in
   if cs <> [] then begin
     Format.fprintf ppf "counters:@.";
     List.iter (fun (k, n) -> Format.fprintf ppf "  %-28s %d@." k n) cs
@@ -60,7 +91,18 @@ let pp ppf t =
       (fun (k, s) -> Format.fprintf ppf "  %-28s %a@." k Fg_stats.Summary.pp s)
       hs
   end;
-  if cs = [] && hs = [] then Format.fprintf ppf "(no metrics recorded)@."
+  if ls <> [] then begin
+    Format.fprintf ppf "latency (hdr, ns):@.";
+    List.iter
+      (fun (k, h) ->
+        Format.fprintf ppf
+          "  %-28s n=%-7d p50=%-9d p90=%-9d p99=%-9d p99.9=%-9d max=%d@." k
+          (Hdr.count h) (Hdr.p50 h) (Hdr.p90 h) (Hdr.p99 h) (Hdr.p999 h)
+          (Hdr.max_value h))
+      ls
+  end;
+  if cs = [] && hs = [] && ls = [] then
+    Format.fprintf ppf "(no metrics recorded)@."
 
 let to_json t =
   let summary_json (s : Fg_stats.Summary.t) =
@@ -78,4 +120,5 @@ let to_json t =
     [
       ("counters", Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) (counters t)));
       ("histograms", Json.Obj (List.map (fun (k, s) -> (k, summary_json s)) (histograms t)));
+      ("hdr", Json.Obj (List.map (fun (k, h) -> (k, Hdr.to_json h)) (hdrs t)));
     ]

@@ -27,6 +27,18 @@ val observe : string -> float -> unit
 val incr_in : t -> ?n:int -> string -> unit
 val observe_in : t -> string -> float -> unit
 
+(** [hdr_in t name] finds or registers the sharded HDR histogram [name].
+    Registration itself is ungated (it happens once, at module
+    initialization of the instrumented code, which then holds the
+    handle); recording into the result must be guarded by
+    {!is_recording} — fg_lint R4 enforces this at emission sites.
+    {!reset} clears the histogram's counts but keeps it registered, so
+    held handles stay live. *)
+val hdr_in : t -> string -> Hdr.sharded
+
+(** [hdr name] is [hdr_in global name]. *)
+val hdr : string -> Hdr.sharded
+
 (** [counter t name] is the current value (0 if never incremented). *)
 val counter : t -> string -> int
 
@@ -38,6 +50,14 @@ val samples : t -> string -> float list
 val counters : t -> (string * int) list
 
 val histograms : t -> (string * Fg_stats.Summary.t) list
+
+(** All HDR histograms, shards merged at read time, sorted by name;
+    empty ones are omitted. *)
+val hdrs : t -> (string * Hdr.t) list
+
+(** Zero all counters, samples and HDR counts. Registered HDR
+    histograms stay registered (instrumented modules hold handles to
+    them); they simply read as empty until recorded into again. *)
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Json.t

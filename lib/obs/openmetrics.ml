@@ -1,0 +1,305 @@
+(* OpenMetrics text exposition: rendering is a straight walk over the
+   registry; validation is a line-oriented checker of the subset of the
+   grammar we emit (plus gauges, which later PRs may add). *)
+
+let family_name name =
+  let b = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      in
+      if not ok then Buffer.add_char b '_'
+      else begin
+        if i = 0 && c >= '0' && c <= '9' then Buffer.add_char b '_';
+        Buffer.add_char b c
+      end)
+    name;
+  Buffer.contents b
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.9g" x
+
+let render_buf buf m =
+  List.iter
+    (fun (name, v) ->
+      let f = family_name name in
+      Printf.bprintf buf "# TYPE %s counter\n" f;
+      Printf.bprintf buf "%s_total %d\n" f v)
+    (Metrics.counters m);
+  List.iter
+    (fun (name, (s : Fg_stats.Summary.t)) ->
+      let f = family_name name in
+      Printf.bprintf buf "# TYPE %s summary\n" f;
+      Printf.bprintf buf "%s{quantile=\"0.5\"} %s\n" f (fmt_float s.p50);
+      Printf.bprintf buf "%s{quantile=\"0.95\"} %s\n" f (fmt_float s.p95);
+      Printf.bprintf buf "%s_sum %s\n" f
+        (fmt_float (s.mean *. float_of_int s.n));
+      Printf.bprintf buf "%s_count %d\n" f s.n)
+    (Metrics.histograms m);
+  List.iter
+    (fun (name, h) ->
+      let f = family_name name in
+      Printf.bprintf buf "# TYPE %s histogram\n" f;
+      let cum = ref 0 in
+      Hdr.iter_buckets h (fun ~upper ~count ->
+          cum := !cum + count;
+          Printf.bprintf buf "%s_bucket{le=\"%d\"} %d\n" f upper !cum);
+      Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" f (Hdr.count h);
+      Printf.bprintf buf "%s_sum %d\n" f (Hdr.sum h);
+      Printf.bprintf buf "%s_count %d\n" f (Hdr.count h))
+    (Metrics.hdrs m);
+  Buffer.add_string buf "# EOF\n"
+
+let render m =
+  let buf = Buffer.create 4096 in
+  render_buf buf m;
+  Buffer.contents buf
+
+(* ---- validator ---------------------------------------------------- *)
+
+type kind = Counter | Gauge | Summary | Histogram | Unknown
+
+type hstate = {
+  mutable last_le : float;
+  mutable last_cum : float;
+  mutable inf_cum : float option;
+  mutable h_count : float option;
+}
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let parse_value tok =
+  match tok with
+  | "+Inf" | "Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some nan
+  | _ -> float_of_string_opt tok
+
+(* [s] is the text between the braces of a label set. *)
+let parse_labels s =
+  let n = String.length s in
+  let rec labels acc i =
+    if i >= n then Ok (List.rev acc)
+    else
+      let j = ref i in
+      while !j < n && is_name_char s.[!j] do
+        incr j
+      done;
+      if !j = i then Error "expected label name"
+      else if !j >= n || s.[!j] <> '=' then Error "expected '=' after label name"
+      else
+        let key = String.sub s i (!j - i) in
+        let j = !j + 1 in
+        if j >= n || s.[j] <> '"' then Error "expected '\"' opening label value"
+        else
+          let buf = Buffer.create 16 in
+          let rec value k =
+            if k >= n then Error "unterminated label value"
+            else
+              match s.[k] with
+              | '"' -> Ok (k + 1)
+              | '\\' ->
+                if k + 1 >= n then Error "dangling escape"
+                else begin
+                  (match s.[k + 1] with
+                  | 'n' -> Buffer.add_char buf '\n'
+                  | c -> Buffer.add_char buf c);
+                  value (k + 2)
+                end
+              | c ->
+                Buffer.add_char buf c;
+                value (k + 1)
+          in
+          Result.bind (value (j + 1)) (fun k ->
+              let acc = (key, Buffer.contents buf) :: acc in
+              if k >= n then Ok (List.rev acc)
+              else if s.[k] = ',' then labels acc (k + 1)
+              else Error "expected ',' between labels")
+  in
+  labels [] 0
+
+let strip_suffix name suf =
+  if String.length name > String.length suf && String.ends_with ~suffix:suf name
+  then Some (String.sub name 0 (String.length name - String.length suf))
+  else None
+
+let validate text =
+  let families : (string, kind) Hashtbl.t = Hashtbl.create 32 in
+  let hists : (string, hstate) Hashtbl.t = Hashtbl.create 16 in
+  let err ln msg = Error (Printf.sprintf "line %d: %s" ln msg) in
+  let finalize ln =
+    let bad =
+      Hashtbl.fold
+        (fun f st acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match (st.inf_cum, st.h_count) with
+            | None, _ -> Some (f ^ ": histogram has no +Inf bucket")
+            | _, None -> Some (f ^ ": histogram has no _count")
+            | Some i, Some c ->
+              if i <> c then
+                Some (Printf.sprintf "%s: +Inf bucket %g <> _count %g" f i c)
+              else None))
+        hists None
+    in
+    match bad with
+    | Some msg -> err ln msg
+    | None ->
+      Hashtbl.reset families;
+      Hashtbl.reset hists;
+      Ok ()
+  in
+  let comment ln line =
+    match String.split_on_char ' ' line with
+    | [ "#"; "EOF" ] -> Result.map (fun () -> `Eof) (finalize ln)
+    | "#" :: "TYPE" :: f :: rest ->
+      let kind =
+        match rest with
+        | [ "counter" ] -> Some Counter
+        | [ "gauge" ] -> Some Gauge
+        | [ "summary" ] -> Some Summary
+        | [ "histogram" ] -> Some Histogram
+        | [ "unknown" ] -> Some Unknown
+        | _ -> None
+      in
+      if f = "" || not (String.for_all is_name_char f) then
+        err ln ("bad family name in TYPE: " ^ f)
+      else if Hashtbl.mem families f then
+        err ln ("duplicate TYPE for family " ^ f)
+      else (
+        match kind with
+        | Some k ->
+          Hashtbl.replace families f k;
+          Ok `Line
+        | None -> err ln ("bad metric type in TYPE " ^ f))
+    | "#" :: "HELP" :: _ :: _ | "#" :: "UNIT" :: _ :: _ -> Ok `Line
+    | _ -> err ln "unrecognized comment line (expected TYPE/HELP/UNIT/EOF)"
+  in
+  let resolve name =
+    if Hashtbl.mem families name then Some (name, Hashtbl.find families name, "")
+    else
+      List.find_map
+        (fun suf ->
+          match strip_suffix name suf with
+          | Some base when Hashtbl.mem families base ->
+            Some (base, Hashtbl.find families base, suf)
+          | _ -> None)
+        [ "_total"; "_bucket"; "_sum"; "_count"; "_created" ]
+  in
+  let hstate base =
+    match Hashtbl.find_opt hists base with
+    | Some st -> st
+    | None ->
+      let st =
+        { last_le = neg_infinity; last_cum = neg_infinity; inf_cum = None; h_count = None }
+      in
+      Hashtbl.replace hists base st;
+      st
+  in
+  let sample ln line =
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n && is_name_char line.[!i] do
+      incr i
+    done;
+    if !i = 0 then err ln "expected metric name"
+    else
+      let name = String.sub line 0 !i in
+      let labels_res =
+        if !i < n && line.[!i] = '{' then begin
+          match String.index_from_opt line !i '}' with
+          | None -> Error "unterminated label set"
+          | Some close ->
+            let inner = String.sub line (!i + 1) (close - !i - 1) in
+            i := close + 1;
+            parse_labels inner
+        end
+        else Ok []
+      in
+      match labels_res with
+      | Error m -> err ln m
+      | Ok labels -> (
+        let rest = String.sub line !i (n - !i) in
+        let toks =
+          List.filter (fun s -> s <> "") (String.split_on_char ' ' rest)
+        in
+        match toks with
+        | [] -> err ln "missing sample value"
+        | _ :: _ :: _ :: _ -> err ln "trailing tokens after value and timestamp"
+        | value_tok :: _timestamp -> (
+          match parse_value value_tok with
+          | None -> err ln ("unparseable sample value: " ^ value_tok)
+          | Some v -> (
+            match resolve name with
+            | None -> err ln ("sample for undeclared family: " ^ name)
+            | Some (base, kind, suffix) -> (
+              match (kind, suffix) with
+              | Counter, ("_total" | "_created") ->
+                if v < 0. then err ln (name ^ ": negative counter") else Ok `Line
+              | Counter, _ ->
+                err ln (name ^ ": counter samples need a _total suffix")
+              | (Gauge | Unknown), "" -> Ok `Line
+              | (Gauge | Unknown), _ -> err ln (name ^ ": unexpected suffix")
+              | Summary, "" -> (
+                match List.assoc_opt "quantile" labels with
+                | None -> err ln (name ^ ": summary sample without quantile label")
+                | Some q -> (
+                  match float_of_string_opt q with
+                  | Some qf when qf >= 0. && qf <= 1. -> Ok `Line
+                  | _ -> err ln (name ^ ": quantile out of [0,1]: " ^ q)))
+              | Summary, ("_sum" | "_count" | "_created") -> Ok `Line
+              | Summary, _ -> err ln (name ^ ": bad suffix for summary")
+              | Histogram, "_bucket" -> (
+                match List.assoc_opt "le" labels with
+                | None -> err ln (name ^ ": bucket without le label")
+                | Some le_s -> (
+                  match parse_value le_s with
+                  | None -> err ln (name ^ ": unparseable le: " ^ le_s)
+                  | Some le ->
+                    let st = hstate base in
+                    if le <= st.last_le then
+                      err ln (name ^ ": le not strictly increasing")
+                    else if v < st.last_cum then
+                      err ln (name ^ ": cumulative bucket count decreased")
+                    else begin
+                      st.last_le <- le;
+                      st.last_cum <- v;
+                      if le = infinity then st.inf_cum <- Some v;
+                      Ok `Line
+                    end))
+              | Histogram, "_sum" -> Ok `Line
+              | Histogram, ("_count" | "_created") ->
+                if suffix = "_count" then (hstate base).h_count <- Some v;
+                Ok `Line
+              | Histogram, _ -> err ln (name ^ ": bad suffix for histogram")))))
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go ln last = function
+    | [] ->
+      if last = `Eof then Ok ()
+      else Error "input does not end with # EOF"
+    | [ "" ] ->
+      (* trailing newline *)
+      go (ln + 1) last []
+    | line :: rest -> (
+      let res =
+        if line = "" then err ln "blank line inside exposition"
+        else if line.[0] = '#' then comment ln line
+        else sample ln line
+      in
+      match res with
+      | Error _ as e -> e
+      | Ok marker -> go (ln + 1) marker rest)
+  in
+  go 1 `Line lines

@@ -1,0 +1,37 @@
+(** OpenMetrics / Prometheus text exposition for the {!Metrics}
+    registry.
+
+    {!render} emits every counter as a [counter] family
+    ([<name>_total]), every float-sample series as a [summary]
+    (quantile samples plus [_sum]/[_count]), and every HDR histogram
+    as a [histogram] with cumulative [_bucket{le="..."}] lines (one
+    per non-empty HDR bucket, using the bucket's inclusive upper
+    bound, plus the mandatory [+Inf]), terminated by [# EOF]. Metric
+    names are sanitized to the exposition charset ([[a-zA-Z0-9_:]],
+    leading digit prefixed) — e.g. [fg.deletions] becomes
+    [fg_deletions_total] and [profile.heal_ns] becomes
+    [profile_heal_ns_bucket{le="..."}].
+
+    {!validate} is a small in-repo grammar checker for that format —
+    enough for CI to assert that what we expose is scrape-able without
+    pulling in an external parser. It accepts a stream of one or more
+    exposures (each ending in [# EOF], as produced by
+    [fg_cli attack --metrics-every N]) and checks, per exposure:
+    every sample belongs to a declared [# TYPE] family with a legal
+    suffix for its type; histogram [le] labels parse, strictly
+    increase, and have non-decreasing cumulative counts; every
+    histogram has a [+Inf] bucket equal to its [_count]; summary
+    [quantile] labels lie in [0,1]; and the final line of the input is
+    [# EOF]. *)
+
+val render : Metrics.t -> string
+
+(** Append the exposition text (including the trailing [# EOF] line)
+    to [buf]. *)
+val render_buf : Buffer.t -> Metrics.t -> unit
+
+(** Sanitized family name for a registry metric name (without any
+    [_total]/[_bucket] suffix). Exposed for tests. *)
+val family_name : string -> string
+
+val validate : string -> (unit, string) result

@@ -1,0 +1,69 @@
+type phase =
+  | Collect
+  | Strip
+  | Merge
+  | Image
+  | Heal
+  | Csr_apply
+  | Csr_rebuild
+  | Bfs
+
+let name_of = function
+  | Collect -> "profile.collect_ns"
+  | Strip -> "profile.strip_ns"
+  | Merge -> "profile.merge_ns"
+  | Image -> "profile.image_ns"
+  | Heal -> "profile.heal_ns"
+  | Csr_apply -> "profile.csr_apply_ns"
+  | Csr_rebuild -> "profile.csr_rebuild_ns"
+  | Bfs -> "profile.bfs_ns"
+
+let all_phases =
+  [ Collect; Strip; Merge; Image; Heal; Csr_apply; Csr_rebuild; Bfs ]
+
+(* Handles are resolved once at module initialization; [Metrics.reset]
+   clears counts without unregistering, so these never dangle. *)
+let h_collect = Metrics.hdr (name_of Collect)
+let h_strip = Metrics.hdr (name_of Strip)
+let h_merge = Metrics.hdr (name_of Merge)
+let h_image = Metrics.hdr (name_of Image)
+let h_heal = Metrics.hdr (name_of Heal)
+let h_csr_apply = Metrics.hdr (name_of Csr_apply)
+let h_csr_rebuild = Metrics.hdr (name_of Csr_rebuild)
+let h_bfs = Metrics.hdr (name_of Bfs)
+
+let hdr_of = function
+  | Collect -> h_collect
+  | Strip -> h_strip
+  | Merge -> h_merge
+  | Image -> h_image
+  | Heal -> h_heal
+  | Csr_apply -> h_csr_apply
+  | Csr_rebuild -> h_csr_rebuild
+  | Bfs -> h_bfs
+
+let enabled () = Metrics.is_recording ()
+
+(* Wall clock in integer nanoseconds, clamped monotone against the last
+   stamp handed out. The clamp cell is a plain int ref shared across
+   domains: races are benign (word-sized reads/writes) and at worst cost
+   a little cross-domain skew, which [Hdr.record]'s clamp-to-zero
+   absorbs. Guaranteed nonzero so 0 can mean "started while disabled". *)
+let last_ns = ref 1
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  if t > !last_ns then begin
+    last_ns := t;
+    t
+  end
+  else !last_ns
+
+let start () = if Metrics.is_recording () then now_ns () else 0
+
+let stamp p t0 =
+  if t0 <> 0 && Metrics.is_recording () then
+    Hdr.record_sharded (hdr_of p) (now_ns () - t0)
+
+let record_ns p ns =
+  if Metrics.is_recording () then Hdr.record_sharded (hdr_of p) ns

@@ -1,0 +1,57 @@
+(** Per-phase heal-path profiler.
+
+    Wraps the phases of a heal ([Rt.heal]'s strip/merge, the event
+    loop's collect/image, the whole delete) and of the read path
+    ([Csr.apply_delta]/rebuild in the snapshot cache, BFS in the
+    stretch kernel) with monotonic-clock stamps feeding per-phase
+    {!Hdr} histograms registered in {!Metrics.global} under
+    [profile.<phase>_ns].
+
+    Cost discipline (PR 4's recorder gating, enforced by fg_lint R4):
+    when [Metrics.is_recording ()] is false, {!start} is one branch
+    returning 0 and {!stamp} is one compare — no clock read, no
+    allocation. The instrumentation idiom is
+
+    {[
+      let t0 = Profile.start () in
+      ... phase body ...
+      Profile.stamp Profile.Strip t0
+    ]}
+
+    which costs two branches when telemetry is off. Recording uses
+    {!Hdr.record_sharded}, so stamps from [Parallel] pool domains (BFS
+    fan-out) are contention-free. *)
+
+type phase =
+  | Collect  (** event-loop neighbor collection before a heal *)
+  | Strip  (** [Rt.heal] phase 1: strip dead fragments *)
+  | Merge  (** [Rt.heal] phase 2: merge RTs around fresh vnodes *)
+  | Image  (** projecting the healed RT back into the image graph *)
+  | Heal  (** the whole delete event, end to end *)
+  | Csr_apply  (** incremental CSR delta application on snapshot *)
+  | Csr_rebuild  (** full CSR rebuild on snapshot-cache miss *)
+  | Bfs  (** one BFS sweep inside the stretch kernel *)
+
+(** Registry name of a phase's histogram ([profile.strip_ns], …). *)
+val name_of : phase -> string
+
+val all_phases : phase list
+
+(** True iff stamps are live ([Metrics.is_recording ()]). *)
+val enabled : unit -> bool
+
+(** Monotonic timestamp in integer nanoseconds when {!enabled}, else 0.
+    Never returns 0 when enabled. *)
+val start : unit -> int
+
+(** [stamp p t0] records [now - t0] into [p]'s histogram. No-op (one
+    compare) when [t0 = 0], i.e. when {!start} ran disabled; also
+    re-checks {!enabled} so recording cannot outlive a toggle. *)
+val stamp : phase -> int -> unit
+
+(** [record_ns p ns] records an externally measured duration — gated on
+    {!enabled} like {!stamp}. *)
+val record_ns : phase -> int -> unit
+
+(** The phase's sharded histogram in {!Metrics.global} (for tests). *)
+val hdr_of : phase -> Hdr.sharded

@@ -1,0 +1,8 @@
+(* Fixture: R4 — profiler stamp with a computed duration, no
+   observability guard. [Profile.stamp p t0] with plain idents is free
+   (and internally gated), but feeding [record_ns] a function-application
+   argument allocates at the call site even when recording is off. *)
+
+let heal_once heal elapsed t0 =
+  heal ();
+  Fg_obs.Profile.record_ns Fg_obs.Profile.Heal (elapsed t0)

@@ -77,9 +77,78 @@ let test_csr_bfs_zero_alloc () =
        allocation-free (scratch reuse broke)"
       delta n
 
+(* whole-loop budgets for the telemetry gates: like the BFS sweep, only
+   the boxed floats of the [Gc.minor_words] reads themselves are allowed
+   — the instrumented calls must contribute 0 words *)
+let telemetry_budget = 64.0
+
+let test_hdr_record_zero_alloc () =
+  let h = Fg_obs.Hdr.create () in
+  (* warm: nothing to warm (the bucket table is preallocated), but prove
+     the very first record is already free *)
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    Fg_obs.Hdr.record h (i * 97)
+  done;
+  let delta = Gc.minor_words () -. before in
+  Printf.eprintf "[alloc] hdr-record: %.0f minor words over 100k records (budget %.0f)\n%!"
+    delta telemetry_budget;
+  if delta > telemetry_budget then
+    Alcotest.failf
+      "Hdr.record allocated %.0f minor words over 100k calls — the histogram \
+       record path must be allocation-free"
+      delta
+
+let test_sharded_record_zero_alloc () =
+  let s = Fg_obs.Hdr.create_sharded () in
+  (* warm: the first record from this domain creates its shard *)
+  Fg_obs.Hdr.record_sharded s 1;
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    Fg_obs.Hdr.record_sharded s i
+  done;
+  let delta = Gc.minor_words () -. before in
+  Printf.eprintf
+    "[alloc] hdr-sharded: %.0f minor words over 100k records (budget %.0f)\n%!"
+    delta telemetry_budget;
+  if delta > telemetry_budget then
+    Alcotest.failf
+      "Hdr.record_sharded allocated %.0f minor words over 100k calls after \
+       shard warm-up"
+      delta
+
+let test_disabled_profile_zero_alloc () =
+  Alcotest.(check bool)
+    "metrics recording must be off for this gate" false
+    (Fg_obs.Metrics.is_recording ());
+  (* warm both entry points once *)
+  let t0 = Fg_obs.Profile.start () in
+  Fg_obs.Profile.stamp Fg_obs.Profile.Strip t0;
+  Alcotest.(check int) "disabled start yields the 0 sentinel" 0 t0;
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    let t0 = Fg_obs.Profile.start () in
+    Fg_obs.Profile.stamp Fg_obs.Profile.Heal t0
+  done;
+  let delta = Gc.minor_words () -. before in
+  Printf.eprintf
+    "[alloc] profile-off: %.0f minor words over 100k stamp pairs (budget %.0f)\n%!"
+    delta telemetry_budget;
+  if delta > telemetry_budget then
+    Alcotest.failf
+      "disabled Profile start/stamp allocated %.0f minor words over 100k \
+       pairs — the off path must be a branch, not a clock read"
+      delta
+
 let suite =
   [
     Alcotest.test_case "steady-state heal stays under budget" `Quick
       test_heal_minor_words;
     Alcotest.test_case "CSR BFS allocates nothing" `Quick test_csr_bfs_zero_alloc;
+    Alcotest.test_case "Hdr.record allocates nothing" `Quick
+      test_hdr_record_zero_alloc;
+    Alcotest.test_case "sharded record allocates nothing when warm" `Quick
+      test_sharded_record_zero_alloc;
+    Alcotest.test_case "disabled profile stamps allocate nothing" `Quick
+      test_disabled_profile_zero_alloc;
   ]

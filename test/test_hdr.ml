@@ -1,0 +1,309 @@
+(* Fg_obs.Hdr: the log-linear histogram behind the telemetry layer.
+
+   The quantile contract is exact, not approximate: [quantile h q] is a
+   deterministic function of the rank-[ceil (q*n)] sample's bucket, so
+   every test here asserts equality against a sorted-array oracle that
+   applies the same rule — no tolerance bands that could mask an
+   off-by-one in the cumulative walk. *)
+
+module Hdr = Fg_obs.Hdr
+module Rng = Fg_graph.Rng
+
+(* The oracle: what [quantile] must return given the raw samples. Rank
+   semantics mirror the documented contract; the max-bucket exactness
+   rule is phrased via [upper_of] (same bucket iff same upper bound). *)
+let oracle_quantile samples q =
+  let a = Array.copy samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0
+  else if q <= 0. then a.(0)
+  else begin
+    let q = if q > 1. then 1. else q in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+    let x = a.(rank - 1) in
+    let vmax = a.(n - 1) in
+    if Hdr.upper_of x = Hdr.upper_of vmax then vmax else Hdr.upper_of x
+  end
+
+let record_all h samples = Array.iter (Hdr.record h) samples
+
+let quantile_points = [ 0.0; 0.001; 0.01; 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let check_against_oracle name samples =
+  let h = Hdr.create () in
+  record_all h samples;
+  Alcotest.(check int)
+    (name ^ ": count") (Array.length samples) (Hdr.count h);
+  Alcotest.(check int)
+    (name ^ ": sum")
+    (Array.fold_left ( + ) 0 samples)
+    (Hdr.sum h);
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  Alcotest.(check int) (name ^ ": min") sorted.(0) (Hdr.min_value h);
+  Alcotest.(check int)
+    (name ^ ": max")
+    sorted.(Array.length sorted - 1)
+    (Hdr.max_value h);
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: q=%g" name q)
+        (oracle_quantile samples q) (Hdr.quantile h q))
+    quantile_points
+
+let uniform rng n bound = Array.init n (fun _ -> Rng.int rng bound)
+
+(* heavy-tailed: uniform exponent, so samples span many octaves *)
+let power_law rng n =
+  Array.init n (fun _ ->
+      let e = Rng.int rng 30 in
+      (1 lsl e) + Rng.int rng (1 lsl e))
+
+let test_quantiles_vs_oracle () =
+  let rng = Rng.create 0xC0FFEE in
+  check_against_oracle "tiny" [| 1; 2; 3 |];
+  check_against_oracle "all-equal" (Array.make 1000 42);
+  check_against_oracle "sub-linear range" (uniform rng 5000 31);
+  check_against_oracle "uniform 1e3" (uniform rng 5000 1_000);
+  check_against_oracle "uniform 1e9" (uniform rng 5000 1_000_000_000);
+  check_against_oracle "power-law" (power_law rng 5000);
+  for trial = 0 to 9 do
+    check_against_oracle
+      (Printf.sprintf "random trial %d" trial)
+      (uniform rng (1 + Rng.int rng 2000) (1 + Rng.int rng 10_000_000))
+  done
+
+let test_edge_values () =
+  let h = Hdr.create () in
+  Alcotest.(check int) "empty quantile" 0 (Hdr.quantile h 0.5);
+  Alcotest.(check bool) "empty is_empty" true (Hdr.is_empty h);
+  Hdr.record h (-5);
+  Alcotest.(check int) "negative clamps to 0" 0 (Hdr.max_value h);
+  Hdr.record h max_int;
+  Alcotest.(check int) "max_int recorded exactly as max" max_int
+    (Hdr.max_value h);
+  Alcotest.(check int) "p100 is the exact max" max_int (Hdr.quantile h 1.0)
+
+let test_upper_of_bounds () =
+  let rng = Rng.create 11 in
+  let prev = ref (-1) in
+  for v = 0 to 4096 do
+    let u = Hdr.upper_of v in
+    Alcotest.(check bool)
+      (Printf.sprintf "upper_of %d >= v" v)
+      true (u >= v);
+    Alcotest.(check bool)
+      (Printf.sprintf "upper_of %d monotone" v)
+      true (u >= !prev);
+    prev := u
+  done;
+  (* relative error of the bucket upper bound is < 1/32 everywhere *)
+  for _ = 1 to 1000 do
+    let v = 32 + Rng.int rng 1_000_000_000 in
+    let u = Hdr.upper_of v in
+    Alcotest.(check bool)
+      (Printf.sprintf "resolution at %d" v)
+      true
+      (float_of_int (u - v) /. float_of_int v < 1. /. 32.)
+  done
+
+let test_merge_assoc_commut () =
+  let rng = Rng.create 99 in
+  let xs = uniform rng 2000 1_000_000 in
+  let ys = power_law rng 2000 in
+  let zs = uniform rng 500 50 in
+  let of_samples s =
+    let h = Hdr.create () in
+    record_all h s;
+    h
+  in
+  let merged parts =
+    let into = Hdr.create () in
+    List.iter (fun s -> Hdr.merge_into ~src:(of_samples s) ~into) parts;
+    into
+  in
+  (* commutativity: any order of pairwise merges gives the same histogram *)
+  Alcotest.(check bool)
+    "merge commutes" true
+    (Hdr.equal (merged [ xs; ys ]) (merged [ ys; xs ]));
+  (* associativity: (x+y)+z = x+(y+z) *)
+  let xy_z =
+    let into = merged [ xs; ys ] in
+    Hdr.merge_into ~src:(of_samples zs) ~into;
+    into
+  in
+  let x_yz =
+    let yz = merged [ ys; zs ] in
+    let into = of_samples xs in
+    Hdr.merge_into ~src:yz ~into;
+    into
+  in
+  Alcotest.(check bool) "merge associates" true (Hdr.equal xy_z x_yz);
+  (* merging equals recording everything into one histogram *)
+  Alcotest.(check bool)
+    "merge = single recording" true
+    (Hdr.equal (merged [ xs; ys; zs ])
+       (of_samples (Array.concat [ xs; ys; zs ])))
+
+let test_sharded_single_domain () =
+  let rng = Rng.create 5 in
+  let samples = uniform rng 3000 1_000_000 in
+  let s = Hdr.create_sharded () in
+  Array.iter (Hdr.record_sharded s) samples;
+  let plain = Hdr.create () in
+  record_all plain samples;
+  Alcotest.(check bool)
+    "sharded merge = plain on one domain" true
+    (Hdr.equal (Hdr.merged s) plain);
+  Hdr.clear_sharded s;
+  Alcotest.(check bool) "cleared shards read empty" true
+    (Hdr.is_empty (Hdr.merged s))
+
+let test_sharded_multi_domain () =
+  let rng = Rng.create 6 in
+  let slices = Array.init 4 (fun _ -> uniform rng 1000 10_000_000) in
+  let s = Hdr.create_sharded () in
+  (* one slice from this domain, three from spawned domains: recorders
+     land in different slots, merge must still see every sample *)
+  Array.iter (Hdr.record_sharded s) slices.(0);
+  let doms =
+    Array.init 3 (fun i ->
+        Domain.spawn (fun () -> Array.iter (Hdr.record_sharded s) slices.(i + 1)))
+  in
+  Array.iter Domain.join doms;
+  let plain = Hdr.create () in
+  Array.iter (record_all plain) slices;
+  Alcotest.(check bool)
+    "sharded multi-domain merge = single recording" true
+    (Hdr.equal (Hdr.merged s) plain)
+
+(* JSONL snapshot round-trip, the way a long-running process would
+   checkpoint a histogram into its trace stream: embed the snapshot as a
+   string attribute of a point event, write the JSONL line, re-read it
+   through the same Replay parser [fg trace] uses, and rebuild. *)
+let test_jsonl_roundtrip () =
+  let rng = Rng.create 123 in
+  let h = Hdr.create () in
+  record_all h (power_law rng 4000);
+  let line =
+    Fg_obs.Json.to_string
+      (Fg_obs.Event.to_json
+         (Fg_obs.Event.Point
+            {
+              name = "hdr.snapshot";
+              ts = 1.5;
+              attrs =
+                [
+                  ("metric", Fg_obs.Event.Str "profile.heal_ns");
+                  ( "hdr",
+                    Fg_obs.Event.Str (Fg_obs.Json.to_string (Hdr.to_json h)) );
+                ];
+            }))
+  in
+  match Fg_obs.Replay.parse_line line with
+  | Error e -> Alcotest.failf "replay rejected the snapshot line: %s" e
+  | Ok (Fg_obs.Event.Point { name; attrs; _ }) ->
+    Alcotest.(check string) "event name" "hdr.snapshot" name;
+    let payload =
+      match List.assoc "hdr" attrs with
+      | Fg_obs.Event.Str s -> s
+      | _ -> Alcotest.fail "hdr attribute is not a string"
+    in
+    let json =
+      match Fg_obs.Json.of_string payload with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "payload is not JSON: %s" e
+    in
+    (match Hdr.of_json json with
+    | Error e -> Alcotest.failf "of_json: %s" e
+    | Ok h' ->
+      Alcotest.(check bool) "round-trip equality" true (Hdr.equal h h');
+      List.iter
+        (fun q ->
+          Alcotest.(check int)
+            (Printf.sprintf "round-trip q=%g" q)
+            (Hdr.quantile h q) (Hdr.quantile h' q))
+        quantile_points)
+  | Ok e ->
+    Alcotest.failf "unexpected event: %s" (Format.asprintf "%a" Fg_obs.Event.pp e)
+
+let test_of_json_rejects_garbage () =
+  let bad text =
+    match Fg_obs.Json.of_string text with
+    | Error _ -> ()
+    | Ok j -> (
+      match Hdr.of_json j with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "of_json accepted %s" text)
+  in
+  bad {|{"total":1}|};
+  bad {|{"total":2,"sum":3,"min":1,"max":2,"buckets":[[1,1]]}|};
+  (* total disagrees *)
+  bad {|{"total":1,"sum":3,"min":1,"max":2,"buckets":[[999999,1]]}|}
+(* bucket out of range *)
+
+(* Profile: the registry handles survive reset, and stamps only record
+   while the recording flag is up. *)
+let test_profile_gating () =
+  Fg_obs.Metrics.reset Fg_obs.Metrics.global;
+  Alcotest.(check bool) "recording off" false (Fg_obs.Metrics.is_recording ());
+  let t0 = Fg_obs.Profile.start () in
+  Alcotest.(check int) "disabled start is 0" 0 t0;
+  Fg_obs.Profile.stamp Fg_obs.Profile.Strip t0;
+  Alcotest.(check bool)
+    "disabled stamp records nothing" true
+    (Hdr.is_empty (Hdr.merged (Fg_obs.Profile.hdr_of Fg_obs.Profile.Strip)));
+  Fg_obs.Metrics.set_recording true;
+  Fun.protect
+    ~finally:(fun () ->
+      Fg_obs.Metrics.set_recording false;
+      Fg_obs.Metrics.reset Fg_obs.Metrics.global)
+    (fun () ->
+      let t0 = Fg_obs.Profile.start () in
+      Alcotest.(check bool) "enabled start is nonzero" true (t0 > 0);
+      Fg_obs.Profile.stamp Fg_obs.Profile.Strip t0;
+      let h = Hdr.merged (Fg_obs.Profile.hdr_of Fg_obs.Profile.Strip) in
+      Alcotest.(check int) "enabled stamp records one sample" 1 (Hdr.count h);
+      (* the same histogram is visible through the registry read API *)
+      let by_name =
+        List.assoc_opt
+          (Fg_obs.Profile.name_of Fg_obs.Profile.Strip)
+          (Fg_obs.Metrics.hdrs Fg_obs.Metrics.global)
+      in
+      match by_name with
+      | Some h' -> Alcotest.(check bool) "registry view" true (Hdr.equal h h')
+      | None -> Alcotest.fail "profile.strip_ns not in Metrics.hdrs");
+  (* after reset the handle still works: record again, count restarts *)
+  Fg_obs.Metrics.set_recording true;
+  Fun.protect
+    ~finally:(fun () ->
+      Fg_obs.Metrics.set_recording false;
+      Fg_obs.Metrics.reset Fg_obs.Metrics.global)
+    (fun () ->
+      Fg_obs.Profile.record_ns Fg_obs.Profile.Strip 500;
+      let h = Hdr.merged (Fg_obs.Profile.hdr_of Fg_obs.Profile.Strip) in
+      Alcotest.(check int) "handle survives reset" 1 (Hdr.count h))
+
+let suite =
+  [
+    Alcotest.test_case "quantiles equal the sorted-array oracle" `Quick
+      test_quantiles_vs_oracle;
+    Alcotest.test_case "edge values (empty, negative, max_int)" `Quick
+      test_edge_values;
+    Alcotest.test_case "bucket upper bounds are tight and monotone" `Quick
+      test_upper_of_bounds;
+    Alcotest.test_case "merge is associative and commutative" `Quick
+      test_merge_assoc_commut;
+    Alcotest.test_case "sharded recording equals plain (one domain)" `Quick
+      test_sharded_single_domain;
+    Alcotest.test_case "sharded recording equals plain (multi-domain)" `Quick
+      test_sharded_multi_domain;
+    Alcotest.test_case "JSONL snapshot round-trips through replay" `Quick
+      test_jsonl_roundtrip;
+    Alcotest.test_case "of_json rejects malformed snapshots" `Quick
+      test_of_json_rejects_garbage;
+    Alcotest.test_case "profile stamps are gated and reset-safe" `Quick
+      test_profile_gating;
+  ]

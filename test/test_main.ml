@@ -14,6 +14,9 @@ let () =
       ("metrics", Test_metrics.suite);
       ("csr", Test_csr.suite);
       ("obs", Test_obs.suite);
+      ("hdr", Test_hdr.suite);
+      ("openmetrics", Test_openmetrics.suite);
+      ("top", Test_top.suite);
       ("persistent", Test_persistent.suite);
       ("rt", Test_rt.suite);
       ("invariant-detection", Test_invariant_detection.suite);

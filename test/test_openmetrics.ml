@@ -1,0 +1,223 @@
+(* Fg_obs.Openmetrics: renderer against the in-repo grammar checker, the
+   checker against hand-written counterexamples, and the CLI surface
+   ([attack --metrics-every], [fg metrics]) end to end. *)
+
+module M = Fg_obs.Metrics
+module Hdr = Fg_obs.Hdr
+module Om = Fg_obs.Openmetrics
+
+let sample_registry () =
+  let reg = M.create () in
+  M.incr_in reg ~n:7 "fg.deletions";
+  M.incr_in reg ~n:123 "image.edges_added";
+  M.observe_in reg "fg.anchors" 3.0;
+  M.observe_in reg "fg.anchors" 5.0;
+  M.observe_in reg "fg.anchors" 11.0;
+  let h = M.hdr_in reg "profile.heal_ns" in
+  List.iter (Hdr.record_sharded h) [ 100; 5_000; 5_100; 250_000; 1_000_000 ];
+  reg
+
+let check_valid name text =
+  match Om.validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: expected valid, got: %s\n---\n%s" name e text
+
+let check_invalid name text =
+  match Om.validate text with
+  | Ok () -> Alcotest.failf "%s: expected invalid, was accepted" name
+  | Error _ -> ()
+
+let test_render_validates () =
+  let reg = sample_registry () in
+  let text = Om.render reg in
+  check_valid "rendered registry" text;
+  (* spot-check the shape, not just the checker *)
+  let has sub =
+    Alcotest.(check bool) ("contains " ^ sub) true
+      (let n = String.length text and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+       go 0)
+  in
+  has "# TYPE fg_deletions counter";
+  has "fg_deletions_total 7";
+  has "# TYPE fg_anchors summary";
+  has "fg_anchors{quantile=\"0.5\"}";
+  has "fg_anchors_count 3";
+  has "# TYPE profile_heal_ns histogram";
+  has "profile_heal_ns_bucket{le=\"+Inf\"} 5";
+  has "profile_heal_ns_count 5";
+  has "# EOF"
+
+let test_render_empty () = check_valid "empty registry" (Om.render (M.create ()))
+
+let test_hdr_buckets_cumulative () =
+  (* parse the bucket lines back out and check they are the cumulative
+     form of Hdr.iter_buckets *)
+  let reg = sample_registry () in
+  let h = Hdr.merged (M.hdr_in reg "profile.heal_ns") in
+  let expect = ref [] in
+  let cum = ref 0 in
+  Hdr.iter_buckets h (fun ~upper ~count ->
+      cum := !cum + count;
+      expect := (string_of_int upper, !cum) :: !expect);
+  let expect = List.rev !expect in
+  let text = Om.render reg in
+  let got =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           match String.index_opt line '{' with
+           | Some _
+             when String.starts_with ~prefix:"profile_heal_ns_bucket{le=\"" line
+             -> (
+               let start = String.length "profile_heal_ns_bucket{le=\"" in
+               let close = String.index_from line start '"' in
+               let le = String.sub line start (close - start) in
+               match String.split_on_char ' ' line with
+               | [ _; v ] when le <> "+Inf" -> Some (le, int_of_string v)
+               | _ -> None)
+           | _ -> None)
+  in
+  Alcotest.(check (list (pair string int)))
+    "cumulative buckets" expect got
+
+let test_family_name () =
+  Alcotest.(check string) "dots" "fg_deletions" (Om.family_name "fg.deletions");
+  Alcotest.(check string)
+    "mixed" "profile_heal_ns"
+    (Om.family_name "profile.heal_ns");
+  Alcotest.(check string) "leading digit" "_3x" (Om.family_name "3x");
+  Alcotest.(check string) "kept" "a_b:c9" (Om.family_name "a_b:c9")
+
+let test_validator_rejects () =
+  check_invalid "missing EOF" "# TYPE x counter\nx_total 1\n";
+  check_invalid "undeclared family" "x_total 1\n# EOF\n";
+  check_invalid "duplicate TYPE"
+    "# TYPE x counter\n# TYPE x counter\nx_total 1\n# EOF\n";
+  check_invalid "counter without _total" "# TYPE x counter\nx 1\n# EOF\n";
+  check_invalid "negative counter" "# TYPE x counter\nx_total -1\n# EOF\n";
+  check_invalid "bad value" "# TYPE x counter\nx_total pancake\n# EOF\n";
+  check_invalid "quantile out of range"
+    "# TYPE s summary\ns{quantile=\"1.5\"} 3\n# EOF\n";
+  check_invalid "bucket without le"
+    "# TYPE h histogram\nh_bucket 3\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n# EOF\n";
+  check_invalid "le not increasing"
+    "# TYPE h histogram\n\
+     h_bucket{le=\"10\"} 1\n\
+     h_bucket{le=\"5\"} 2\n\
+     h_bucket{le=\"+Inf\"} 2\nh_count 2\n# EOF\n";
+  check_invalid "cumulative count decreases"
+    "# TYPE h histogram\n\
+     h_bucket{le=\"10\"} 5\n\
+     h_bucket{le=\"20\"} 3\n\
+     h_bucket{le=\"+Inf\"} 5\nh_count 5\n# EOF\n";
+  check_invalid "histogram without +Inf"
+    "# TYPE h histogram\nh_bucket{le=\"10\"} 5\nh_count 5\n# EOF\n";
+  check_invalid "+Inf disagrees with _count"
+    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 4\n# EOF\n";
+  check_invalid "garbage comment" "# FROBNICATE\n# EOF\n";
+  check_invalid "blank line" "# TYPE x counter\n\nx_total 1\n# EOF\n"
+
+let test_validator_accepts () =
+  check_valid "gauge" "# TYPE g gauge\ng 3.5\n# EOF\n";
+  check_valid "labels and timestamp"
+    "# TYPE x counter\nx_total{shard=\"a\",host=\"h\"} 12 1700000000\n# EOF\n";
+  check_valid "help and unit"
+    "# HELP x number of things\n# TYPE x counter\nx_total 1\n# EOF\n";
+  check_valid "multiple exposures"
+    "# TYPE x counter\nx_total 1\n# EOF\n# TYPE x counter\nx_total 2\n# EOF\n";
+  (* family state resets at EOF: a histogram left open in exposure 1
+     would fail, but completed ones do not leak into exposure 2 *)
+  check_valid "histogram per exposure"
+    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n# EOF\n\
+     # TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 2\nh_count 2\n# EOF\n"
+
+(* ---- CLI end-to-end ---- *)
+
+let run fmt = Printf.ksprintf (fun cmd -> Sys.command cmd) fmt
+
+let test_cli_metrics_every () =
+  let out = Filename.temp_file "fg_om" ".txt" in
+  let rc =
+    run
+      "../bin/fg_cli.exe attack --family ba -n 96 --fraction 0.5 \
+       --metrics --metrics-every 10 --metrics-out %s > /dev/null 2>&1"
+      (Filename.quote out)
+  in
+  Alcotest.(check int) "attack exits 0" 0 rc;
+  let text = In_channel.with_open_bin out In_channel.input_all in
+  Sys.remove out;
+  check_valid "periodic dump stream" text;
+  (* several exposures, each with the per-phase heal histograms *)
+  let eofs =
+    List.length
+      (List.filter (( = ) "# EOF") (String.split_on_char '\n' text))
+  in
+  Alcotest.(check bool) "at least two exposures" true (eofs >= 2);
+  Alcotest.(check bool) "phase histograms present" true
+    (let sub = "profile_heal_ns_bucket" in
+     let n = String.length text and m = String.length sub in
+     let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+     go 0)
+
+let test_cli_metrics_from_trace () =
+  let tr = Filename.temp_file "fg_tr" ".jsonl" in
+  let om = Filename.temp_file "fg_om2" ".txt" in
+  let rc =
+    run "../bin/fg_cli.exe attack --family er -n 64 --trace %s > /dev/null 2>&1"
+      (Filename.quote tr)
+  in
+  Alcotest.(check int) "attack --trace exits 0" 0 rc;
+  let rc =
+    run "../bin/fg_cli.exe metrics %s --openmetrics --out %s > /dev/null 2>&1"
+      (Filename.quote tr) (Filename.quote om)
+  in
+  Alcotest.(check int) "metrics exits 0" 0 rc;
+  let text = In_channel.with_open_bin om In_channel.input_all in
+  check_valid "trace-derived exposition" text;
+  (* and the CLI's own validator agrees *)
+  let rc =
+    run "../bin/fg_cli.exe metrics --validate %s > /dev/null 2>&1"
+      (Filename.quote om)
+  in
+  Alcotest.(check int) "fg metrics --validate exits 0" 0 rc;
+  (* the positional and --validate both accept '-' for stdin *)
+  let rc =
+    run
+      "cat %s | ../bin/fg_cli.exe metrics - --openmetrics | ../bin/fg_cli.exe \
+       metrics --validate - > /dev/null 2>&1"
+      (Filename.quote tr)
+  in
+  Alcotest.(check int) "stdin pipe round-trip exits 0" 0 rc;
+  Sys.remove tr;
+  Sys.remove om
+
+let test_cli_validate_rejects () =
+  let bad = Filename.temp_file "fg_bad" ".txt" in
+  Out_channel.with_open_bin bad (fun oc ->
+      output_string oc "x_total 1\n# EOF\n");
+  let rc =
+    run "../bin/fg_cli.exe metrics --validate %s > /dev/null 2>&1"
+      (Filename.quote bad)
+  in
+  Sys.remove bad;
+  Alcotest.(check int) "invalid exposition exits 1" 1 rc
+
+let suite =
+  [
+    Alcotest.test_case "rendered registry passes the grammar checker" `Quick
+      test_render_validates;
+    Alcotest.test_case "empty registry renders valid" `Quick test_render_empty;
+    Alcotest.test_case "histogram buckets are cumulative" `Quick
+      test_hdr_buckets_cumulative;
+    Alcotest.test_case "family name sanitization" `Quick test_family_name;
+    Alcotest.test_case "validator rejects malformed expositions" `Quick
+      test_validator_rejects;
+    Alcotest.test_case "validator accepts legal variations" `Quick
+      test_validator_accepts;
+    Alcotest.test_case "attack --metrics-every emits a valid stream" `Quick
+      test_cli_metrics_every;
+    Alcotest.test_case "fg metrics aggregates a trace to OpenMetrics" `Quick
+      test_cli_metrics_from_trace;
+    Alcotest.test_case "fg metrics --validate rejects bad input" `Quick
+      test_cli_validate_rejects;
+  ]

@@ -59,8 +59,9 @@ let rules : rule list =
       id = "R4";
       severity = Error;
       summary =
-        "allocating trace/metrics emission not guarded by a \
-         recorder/?events/Trace.enabled/Metrics.is_recording check";
+        "allocating trace/metrics/profile emission not guarded by a \
+         recorder/?events/Trace.enabled/Metrics.is_recording/Profile.enabled \
+         check";
     };
     { id = "R5"; severity = Error; summary = "module has no matching .mli" };
   ]
@@ -350,6 +351,8 @@ let emission_target lid =
   | Some ("Trace", (("count" | "count_span" | "attr" | "point") as f)) ->
     Some ("Trace." ^ f)
   | Some ("Metrics", (("incr" | "observe") as f)) -> Some ("Metrics." ^ f)
+  | Some ("Profile", (("stamp" | "record_ns") as f)) -> Some ("Profile." ^ f)
+  | Some ("Hdr", (("record" | "record_sharded") as f)) -> Some ("Hdr." ^ f)
   | _ -> None
 
 (* an argument whose evaluation may allocate at the call site: anything
@@ -393,6 +396,7 @@ let obs_guard_cond (e : expression) =
             if
               ends_in txt ("Trace", "enabled")
               || ends_in txt ("Metrics", "is_recording")
+              || ends_in txt ("Profile", "enabled")
             then found := true)
           | Pexp_field (_, { txt; _ }) -> (
             match last (flatten txt) with
