@@ -1,8 +1,9 @@
 (* Regression gate over BENCH_perf.json: compare two labelled runs and
-   fail (exit 1) if any write-path benchmark — the [heal.*], [dist.*],
-   [csr.*] and [obs.*] groups — got more than [threshold] slower. This is the guard
-   that keeps a delta-recorder-style regression (PR 3 cost every heal
-   bench 40-70%) from landing silently again.
+   fail (exit 1) if any gated benchmark — the [heal.*], [dist.*],
+   [csr.*], [obs.*] and [bfs.*] groups — got more than [threshold] slower.
+   This is the guard that keeps a delta-recorder-style regression (PR 3
+   cost every heal bench 40-70%) from landing silently again; [bfs.*]
+   extends it over the read-path kernels.
 
      check_regress --file BENCH_perf.json --base after-csr --cand pr4 \
        [--threshold PCT]   (default 25, i.e. fail on a >25% slowdown)
@@ -14,7 +15,7 @@
 
 module J = Fg_obs.Json
 
-let gated_groups = [ "/heal."; "/dist."; "/csr."; "/obs." ]
+let gated_groups = [ "/heal."; "/dist."; "/csr."; "/obs."; "/bfs." ]
 
 let contains ~sub s =
   let n = String.length s and m = String.length sub in

@@ -145,13 +145,89 @@ let stretch_parallel =
       let gp = Fg_core.Forgiving_graph.gprime fg in
       let nodes = Fg_core.Forgiving_graph.live_nodes fg in
       (* The first multi-domain run spawns the persistent pool; every later
-         iteration reuses it, so the fitted slope measures pool reuse. Note
-         the pool is NOT warmed at staging time: staging happens at module
-         init, and parked worker domains tax every stop-the-world minor GC,
-         which would inflate all allocation-heavy benches by 20-40%. This
-         group therefore runs last in the suite. *)
+         iteration reuses it, so the fitted slope measures pool reuse. The
+         suite runs each top-level group through its own [Benchmark.all]
+         and calls [Parallel.shutdown] in between, so the pool spawned here
+         never parks behind another group's allocation-heavy runs (parked
+         workers tax every stop-the-world minor GC by 20-40%). *)
       Staged.stage (fun () ->
           ignore (Fg_metrics.Stretch.exact ~domains ~graph ~reference:gp nodes)))
+
+(* ---- PR 7: read-path kernels ---- *)
+
+(* Direction-optimizing BFS vs the plain top-down kernel, single source.
+   Two fixtures: a healed ER graph (bounded degree — the conservative
+   alpha = 2 default keeps the kernel at TD speed or slightly better)
+   and a BA graph (heavy tail — the dense middle levels are where
+   bottom-up wins outright). *)
+let bfs_direction_opt =
+  let staged_er n =
+    let fg = healed_fixture n in
+    let csr = Fg_graph.Csr.of_adjacency (Fg_core.Forgiving_graph.graph fg) in
+    let src = List.hd (Fg_core.Forgiving_graph.live_nodes fg) in
+    (csr, Option.get (Fg_graph.Csr.index csr src))
+  in
+  let staged_ba n =
+    let rng = Fg_graph.Rng.create 7 in
+    let csr =
+      Fg_graph.Csr.of_adjacency (Fg_graph.Generators.barabasi_albert rng n 3)
+    in
+    (csr, 0)
+  in
+  let top_down name staged args =
+    Test.make_indexed ~name ~args (fun n ->
+        let csr, src = staged n in
+        let s = Fg_graph.Csr.scratch csr in
+        Staged.stage (fun () -> ignore (Fg_graph.Csr.bfs csr s src)))
+  and dirop name staged args =
+    Test.make_indexed ~name ~args (fun n ->
+        let csr, src = staged n in
+        let s = Fg_graph.Bfs_kernel.create csr in
+        Staged.stage (fun () -> ignore (Fg_graph.Bfs_kernel.bfs csr s src)))
+  in
+  Test.make_grouped ~name:"bfs.direction-opt"
+    [
+      top_down "top-down" staged_er [ 1024; 16384 ];
+      dirop "dirop" staged_er [ 1024; 16384 ];
+      top_down "top-down-ba" staged_ba [ 16384 ];
+      dirop "dirop-ba" staged_ba [ 16384 ];
+    ]
+
+(* One 63-source batched sweep vs 63 repeated single-source runs: the
+   amortization the stretch pipeline now rides on. Sources are spread
+   across the dense index range. *)
+let bfs_msbfs =
+  let staged_srcs n =
+    let fg = healed_fixture n in
+    let csr = Fg_graph.Csr.of_adjacency (Fg_core.Forgiving_graph.graph fg) in
+    let k = Fg_graph.Bfs_kernel.word_bits in
+    let srcs =
+      Array.init k (fun i -> i * Fg_graph.Csr.num_nodes csr / k)
+    in
+    (csr, srcs)
+  in
+  Test.make_grouped ~name:"bfs.msbfs-vs-repeated"
+    [
+      Test.make_indexed ~name:"repeated" ~args:[ 4096 ] (fun n ->
+          let csr, srcs = staged_srcs n in
+          let s = Fg_graph.Csr.scratch csr in
+          Staged.stage (fun () ->
+              Array.iter (fun src -> ignore (Fg_graph.Csr.bfs csr s src)) srcs));
+      Test.make_indexed ~name:"msbfs" ~args:[ 4096 ] (fun n ->
+          let csr, srcs = staged_srcs n in
+          let ms = Fg_graph.Bfs_kernel.ms_create () in
+          Staged.stage (fun () ->
+              Fg_graph.Bfs_kernel.ms_run csr ms ~sources:srcs ~off:0
+                ~len:(Array.length srcs)));
+    ]
+
+(* Snapshot construction at read-path scale: the off-heap rows make this
+   a straight bandwidth test (no GC component to the slope). *)
+let csr_bigarray_build =
+  Test.make_indexed ~name:"csr.bigarray-build" ~args:[ 4096; 32768 ] (fun n ->
+      let fg = healed_fixture n in
+      let graph = Fg_core.Forgiving_graph.graph fg in
+      Staged.stage (fun () -> ignore (Fg_graph.Csr.of_adjacency graph)))
 
 (* ---- E4: metrics ---- *)
 
@@ -230,23 +306,95 @@ let cascade =
               { Fg_baselines.Cascade.tolerance = 0.5; max_waves = 20 }
               ~heal:Fg_baselines.Cascade.Forgiving g ~attack)))
 
-let all_tests =
-  Test.make_grouped ~name:"forgiving-graph"
-    (haft_tests
-    @ [ heal_star; heal_er_sequence; sim_star; dist_star; will_tree_star; stretch_exact;
-        csr_build; csr_apply_delta; bfs_csr_vs_tbl; healer_compare; obs_overhead; cascade;
-        (* keep last: spawns the domain pool, whose parked workers slow
-           stop-the-world minor GCs for everything after *)
-        stretch_parallel ])
+(* Top-level groups, each run through its own [Benchmark.all] with an
+   explicit [Parallel.shutdown] in between: a group that spawns the domain
+   pool (stretch.parallel, or any metric bench once [--domains] defaults
+   change) cannot tax the stop-the-world minor GCs of the groups after it,
+   so group order no longer matters. *)
+let groups =
+  [
+    haft_tests;
+    [ heal_star; heal_er_sequence ];
+    [ sim_star; dist_star; will_tree_star ];
+    [ stretch_exact ];
+    [ csr_build; csr_bigarray_build; csr_apply_delta ];
+    [ bfs_csr_vs_tbl; bfs_direction_opt; bfs_msbfs ];
+    [ healer_compare ];
+    [ obs_overhead ];
+    [ cascade ];
+    [ stretch_parallel ];
+  ]
 
 let benchmark ~quota () =
   let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~stabilize:false () in
-  let raw = Benchmark.all cfg instances all_tests in
+  let raw = Hashtbl.create 128 in
+  List.iter
+    (fun tests ->
+      let group_raw =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"forgiving-graph" tests)
+      in
+      Hashtbl.iter (Hashtbl.replace raw) group_raw;
+      Fg_graph.Parallel.shutdown ())
+    groups;
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   List.map (fun instance -> Analyze.all ols instance raw) instances
+
+(* ---- one-shot scale measurement (--stretch-scale N) ----
+
+   Exact stretch on an N-node healed ER graph, batched ms-BFS kernel vs
+   the retained per-source sweep kernel, at equal domain count. Too big
+   for bechamel quotas — each side runs once, wall-clocked, and the two
+   rows join the JSON run so the speedup is part of the recorded history. *)
+let stretch_scale ~n ~domains =
+  Printf.printf "\nstretch-scale: n=%d, domains=%d (one shot per kernel)\n%!" n domains;
+  let rng = Fg_graph.Rng.create 11 in
+  let g = Fg_graph.Generators.erdos_renyi rng n (4.0 /. float_of_int n) in
+  let fg = Fg_core.Forgiving_graph.of_graph g in
+  for v = 0 to (n / 8) - 1 do
+    Fg_core.Forgiving_graph.delete fg v
+  done;
+  let graph = Fg_core.Forgiving_graph.graph fg in
+  let gp = Fg_core.Forgiving_graph.gprime fg in
+  let nodes = Fg_core.Forgiving_graph.live_nodes fg in
+  let graph_csr = Fg_graph.Csr.of_adjacency graph in
+  let reference_csr = Fg_graph.Csr.of_adjacency gp in
+  let time name f =
+    let w0 = Gc.minor_words () in
+    let t0 = Fg_obs.Trace.wall_clock () in
+    let r = f () in
+    let ns = (Fg_obs.Trace.wall_clock () -. t0) *. 1e9 in
+    let words = Gc.minor_words () -. w0 in
+    Printf.printf "%-42s  %14.1f  %14.1f\n%!" name ns words;
+    (r, (name, ns, words))
+  in
+  let r_ms, row_ms =
+    time
+      (Printf.sprintf "forgiving-graph/stretch.exact-scale/msbfs:%d" n)
+      (fun () ->
+        Fg_metrics.Stretch.exact ~domains ~graph_csr ~reference_csr ~graph
+          ~reference:gp nodes)
+  in
+  let r_sw, row_sw =
+    time
+      (Printf.sprintf "forgiving-graph/stretch.exact-scale/sweep:%d" n)
+      (fun () ->
+        Fg_metrics.Stretch.exact_sweep ~domains ~graph_csr ~reference_csr ~graph
+          ~reference:gp nodes)
+  in
+  Fg_graph.Parallel.shutdown ();
+  let (_, ms_ns, _) = row_ms and (_, sw_ns, _) = row_sw in
+  let show r = Format.asprintf "%a" Fg_metrics.Stretch.pp_report r in
+  if r_ms <> r_sw then
+    Printf.printf "WARNING: kernels disagree: msbfs %s / sweep %s\n%!" (show r_ms)
+      (show r_sw)
+  else Printf.printf "kernels agree: %s\n%!" (show r_ms);
+  if ms_ns > 0.0 then
+    Printf.printf "stretch-exact msbfs speedup over per-source sweep: %.2fx\n%!"
+      (sw_ns /. ms_ns);
+  [ row_ms; row_sw ]
 
 (* Append this run to a JSON history file so perf numbers can be diffed
    across commits: {"runs":[{"label":...,"results":[{"name","ns","minor_words"}]}]}.
@@ -293,7 +441,11 @@ let append_json_run ~file ~label rows =
     (List.length previous + 1)
 
 let () =
-  let json_file = ref None and label = ref "run" and quota = ref 0.25 in
+  let json_file = ref None
+  and label = ref "run"
+  and quota = ref 0.25
+  and scale = ref None
+  and scale_domains = ref 1 in
   let rec parse = function
     | "--json" :: file :: rest ->
       json_file := Some file;
@@ -309,12 +461,31 @@ let () =
       | _ ->
         Printf.eprintf "--quota requires a positive number of seconds\n";
         exit 2)
-    | [ ("--json" | "--label" | "--quota") as flag ] ->
+    | "--stretch-scale" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        scale := Some n;
+        parse rest
+      | _ ->
+        Printf.eprintf "--stretch-scale requires a positive node count\n";
+        exit 2)
+    | "--domains" :: d :: rest -> (
+      match int_of_string_opt d with
+      | Some d when d > 0 ->
+        scale_domains := d;
+        parse rest
+      | _ ->
+        Printf.eprintf "--domains requires a positive count\n";
+        exit 2)
+    | [ ("--json" | "--label" | "--quota" | "--stretch-scale" | "--domains") as flag ]
+      ->
       Printf.eprintf "%s requires an argument\n" flag;
       exit 2
     | a :: _ ->
       Printf.eprintf
-        "unknown argument %S (try --json FILE [--label NAME] [--quota SECONDS])\n" a;
+        "unknown argument %S (try --json FILE [--label NAME] [--quota SECONDS] \
+         [--stretch-scale N [--domains D]])\n"
+        a;
       exit 2
     | [] -> ()
   in
@@ -354,6 +525,11 @@ let () =
   | Some s1, Some s4 when s4 > 0.0 ->
     Printf.printf "\nstretch.parallel pool speedup (4 vs 1 domains): %.2fx\n" (s1 /. s4)
   | _ -> ());
+  let rows =
+    match !scale with
+    | None -> rows
+    | Some n -> rows @ stretch_scale ~n ~domains:!scale_domains
+  in
   match !json_file with
   | None -> ()
   | Some file -> append_json_run ~file ~label:!label rows

@@ -4,7 +4,8 @@
      generate  emit a graph family as an edge list or DOT
      attack    run an adversarial deletion sweep under a healer, report metrics
      simulate  run deletions through the distributed simulator, report costs
-     heal      read an edge list, delete given nodes, print the healed graph *)
+     heal      read an edge list, delete given nodes, print the healed graph
+     stretch   heal a deletion sweep, measure stretch vs the reference *)
 
 open Cmdliner
 module Fg = Fg_core.Forgiving_graph
@@ -336,6 +337,78 @@ let heal_cmd =
     (Cmd.info "heal" ~doc)
     Term.(const heal $ path $ victims $ dot $ trace_arg $ metrics_arg $ domains_arg)
 
+(* ---- stretch ---- *)
+
+let stretch family seed n adversary fraction sample exact trace metrics domains =
+  with_obs trace metrics domains @@ fun () ->
+  let del =
+    try Fg_adversary.Adversary.deletion_of_name adversary
+    with Invalid_argument _ ->
+      Printf.eprintf "unknown adversary %S; available: %s\n" adversary
+        (String.concat ", " Fg_adversary.Adversary.deletion_names);
+      exit 2
+  in
+  let g0 = make_graph family seed n in
+  let h = Fg_baselines.Registry.by_name "fg" g0 in
+  let rng = Fg_graph.Rng.create (seed + 1) in
+  let victims = Fg_adversary.Churn.delete_fraction rng h ~fraction ~del in
+  let live = h.Fg_baselines.Healer.live_nodes () in
+  let graph = h.Fg_baselines.Healer.graph () in
+  let gprime = h.Fg_baselines.Healer.gprime () in
+  let t0 = Fg_obs.Trace.wall_clock () in
+  let r =
+    if exact || sample = 0 then
+      Fg_metrics.Stretch.exact ~graph ~reference:gprime live
+    else
+      Fg_metrics.Stretch.sampled
+        (Fg_graph.Rng.create (seed + 2))
+        ~k:sample ~graph ~reference:gprime live
+  in
+  let dt = Fg_obs.Trace.wall_clock () -. t0 in
+  Format.printf "stretch on %s(n=%d), adversary %s, deleted %d of %d nodes@."
+    family n adversary (List.length victims) n;
+  Format.printf "stretch: %a@." Fg_metrics.Stretch.pp_report r;
+  Format.printf "bound ceil(log2 n_seen) = %d; measured in %.2f s@."
+    (Fg_harness.Exp_common.ceil_log2 (Adjacency.num_nodes gprime))
+    dt
+
+let stretch_cmd =
+  let adversary =
+    Arg.(
+      value & opt string "random"
+      & info [ "adversary" ]
+          ~doc:
+            ("Deletion strategy: "
+            ^ String.concat ", " Fg_adversary.Adversary.deletion_names
+            ^ "."))
+  in
+  let fraction =
+    Arg.(value & opt float 0.125 & info [ "fraction" ] ~doc:"Fraction of nodes to delete.")
+  in
+  let sample =
+    Arg.(
+      value & opt int 0
+      & info [ "sample" ] ~docv:"K"
+          ~doc:"Measure from $(docv) sampled sources instead of all pairs \
+                (0 = all pairs).")
+  in
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:"Force the all-pairs measurement (the default; overrides \
+                $(b,--sample)).")
+  in
+  let doc =
+    "Heal an adversarial deletion sweep, then measure stretch of the healed \
+     graph against its reference."
+  in
+  Cmd.v
+    (Cmd.info "stretch" ~doc)
+    Term.(
+      const stretch $ family_arg $ seed_arg $ n_arg $ adversary $ fraction
+      $ sample $ exact $ trace_arg $ metrics_arg $ domains_arg)
+
 (* ---- trace (replay a JSONL telemetry file) ---- *)
 
 let trace_report path =
@@ -606,6 +679,7 @@ let () =
             attack_cmd;
             simulate_cmd;
             heal_cmd;
+            stretch_cmd;
             route_cmd;
             trace_cmd;
             metrics_cmd;

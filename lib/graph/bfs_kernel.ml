@@ -1,0 +1,335 @@
+(* Memory-bandwidth BFS kernels over {!Csr} snapshots.
+
+   Two kernels, both allocation-free in the steady state (gated by
+   test_alloc), both reading the off-heap int32 rows directly:
+
+   - [bfs]: direction-optimizing single-source BFS (Beamer et al.,
+     SC'12): top-down frontier expansion switches to a bottom-up sweep
+     ("which unvisited vertex has a frontier parent?") when the frontier
+     is edge-dense, and back when it thins. On low-diameter graphs the
+     two or three middle levels contain almost every edge; scanning the
+     unvisited side touches each such edge at most once instead of once
+     per endpoint.
+   - [ms_run]: batched multi-source BFS (Then et al., VLDB'14): up to
+     [word_bits] sources share one sweep, with per-node visited/frontier
+     bitmasks packed into native ints, so the row data is streamed once
+     per level for the whole batch instead of once per source.
+
+   Both produce distance arrays identical to [Csr.bfs] (BFS levels are
+   unique); only settle order inside a level may differ. *)
+
+type int32_arr = Csr.int32_arr
+
+let[@inline] get (a : int32_arr) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+
+let[@inline] set (a : int32_arr) i v =
+  Bigarray.Array1.unsafe_set a i (Int32.of_int v)
+
+(* ---- byte-granular bitset (bottom-up frontier membership) ---- *)
+
+let[@inline] bit_get b i =
+  Char.code (Bytes.unsafe_get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let[@inline] bit_set b i =
+  let w = i lsr 3 in
+  Bytes.unsafe_set b w
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b w) lor (1 lsl (i land 7))))
+
+let[@inline] bit_clear b i =
+  let w = i lsr 3 in
+  Bytes.unsafe_set b w
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b w) land lnot (1 lsl (i land 7)) land 0xFF))
+
+(* ---- direction-optimizing single-source BFS ---- *)
+
+type scratch = {
+  dist : int array;
+  settled : int array; (* settle order; levels are contiguous ranges *)
+  front : Bytes.t; (* frontier bitset, populated only for bottom-up levels *)
+  mutable touched : int; (* settled.(0 .. touched-1) were set by the last run *)
+}
+
+let create t =
+  let n = max 1 (Csr.num_nodes t) in
+  {
+    dist = Array.make n (-1);
+    settled = Array.make n 0;
+    front = Bytes.make ((n + 7) / 8) '\000';
+    touched = 0;
+  }
+
+(* Calibrated by an all-sources sweep over healed-ER and BA snapshots
+   (see ARCHITECTURE.md "The read path"): on bounded-degree graphs the
+   bottom-up scan's n distance reads are expensive relative to the small
+   edge count, so only a frontier holding over half the unexplored
+   endpoints (alpha = 2) pays for the switch. Beamer's alpha = 14-15
+   (tuned on scale-free social graphs) loses 30-60% here. *)
+let default_alpha = 2
+let default_beta = 20
+
+let bfs ?(alpha = default_alpha) ?(beta = default_beta) t s src =
+  let dist = s.dist and settled = s.settled in
+  (* undo only what the previous run wrote *)
+  for k = 0 to s.touched - 1 do
+    dist.(settled.(k)) <- -1
+  done;
+  let offsets = Csr.row_offsets t and adj = Csr.row_adjacency t in
+  let n = Csr.num_nodes t in
+  dist.(src) <- 0;
+  settled.(0) <- src;
+  let lo = ref 0 and hi = ref 1 in
+  let d = ref 0 in
+  (* Beamer's m_u: endpoints hanging off still-unexplored vertices *)
+  let edges_rem = ref (Bigarray.Array1.dim adj) in
+  let frontier_edges = ref (get offsets (src + 1) - get offsets src) in
+  let bottom_up = ref false in
+  while !lo < !hi do
+    let next_d = !d + 1 in
+    let tail = ref !hi in
+    let next_edges = ref 0 in
+    edges_rem := !edges_rem - !frontier_edges;
+    (* division forms so forcing values cannot overflow: go bottom-up when
+       m_f > m_u / alpha, return when the frontier shrinks below n / beta *)
+    if !bottom_up then begin
+      if !hi - !lo < n / beta then bottom_up := false
+    end
+    else if alpha > 0 && !frontier_edges > !edges_rem / alpha then
+      bottom_up := true;
+    if !bottom_up then begin
+      for k = !lo to !hi - 1 do
+        bit_set s.front settled.(k)
+      done;
+      for v = 0 to n - 1 do
+        if dist.(v) < 0 then begin
+          let first = get offsets v in
+          let stop = ref (get offsets (v + 1)) in
+          let e = ref first in
+          while !e < !stop do
+            if bit_get s.front (get adj !e) then begin
+              dist.(v) <- next_d;
+              settled.(!tail) <- v;
+              incr tail;
+              next_edges := !next_edges + (!stop - first);
+              stop := !e (* found a parent: stop scanning this row *)
+            end
+            else incr e
+          done
+        end
+      done;
+      for k = !lo to !hi - 1 do
+        bit_clear s.front settled.(k)
+      done
+    end
+    else
+      for k = !lo to !hi - 1 do
+        let v = settled.(k) in
+        for e = get offsets v to get offsets (v + 1) - 1 do
+          let u = get adj e in
+          if dist.(u) < 0 then begin
+            dist.(u) <- next_d;
+            settled.(!tail) <- u;
+            incr tail;
+            next_edges := !next_edges + (get offsets (u + 1) - get offsets u)
+          end
+        done
+      done;
+    lo := !hi;
+    hi := !tail;
+    frontier_edges := !next_edges;
+    d := next_d
+  done;
+  s.touched <- !hi;
+  dist
+
+let visited_count s = s.touched
+let visited s k = s.settled.(k)
+let max_dist s = if s.touched = 0 then 0 else s.dist.(s.settled.(s.touched - 1))
+
+(* ---- batched multi-source BFS ---- *)
+
+let word_bits = Sys.int_size (* 63 on 64-bit: one source per bit *)
+
+type ms = {
+  mutable cap : int; (* node capacity all arrays are sized for *)
+  mutable seen : int array; (* per-node bitmask: sources that reached it *)
+  mutable mfront : int array; (* per-node bitmask: sources whose wave sits here *)
+  mutable next : int array; (* gather accumulator; all-zero between levels *)
+  mutable act : int array; (* nodes with a nonzero [mfront] word *)
+  mutable act2 : int array; (* nodes touched by the current gather *)
+  mutable dmat : int32_arr; (* node-major, stride 64: dist at [v lsl 6 lor slot] *)
+}
+
+(* The distance matrix is node-major (64 slots per node, one padding slot)
+   so that a settle event writes all of a node's new distances into the
+   same cache line or two, and a consumer scanning slots for one target
+   reads sequentially. Slot-major looked natural but cost a cache miss
+   per settle (one int32 into each of up to 63 rows ~stride apart) — on
+   an all-sources workload that is n^2 scattered writes. *)
+
+let ms_create () =
+  {
+    cap = 0;
+    seen = [||];
+    mfront = [||];
+    next = [||];
+    act = [||];
+    act2 = [||];
+    dmat = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout 0;
+  }
+
+let ms_ensure ms n =
+  if n > ms.cap then begin
+    ms.cap <- n;
+    ms.seen <- Array.make n 0;
+    ms.mfront <- Array.make n 0;
+    ms.next <- Array.make n 0;
+    ms.act <- Array.make n 0;
+    ms.act2 <- Array.make n 0;
+    ms.dmat <- Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (n lsl 6)
+  end
+
+(* Branchless count-trailing-zeros of a one-bit word: multiply-shift
+   perfect hash into a 128-entry table (the 6-branch binary search this
+   replaces mispredicted ~half its branches on random bit positions —
+   at one settle event per (source, node) pair that was the single
+   hottest instruction sequence in the sweep). The constant was found by
+   random search over odd multipliers: all 63 values of
+   [(1 lsl k) * m lsr 56] are distinct. *)
+
+let ctz_m = 0x726a2ae7c61d65a1
+
+let ctz_tbl =
+  [| 0; 0; 0; 0; 58; 0; 0; 38; 59; 0; 14; 0; 33; 0; 39; 0; 60; 0; 0; 3; 0; 15;
+     50; 0; 34; 0; 6; 0; 0; 40; 0; 26; 61; 56; 12; 0; 0; 0; 4; 0; 10; 0; 16;
+     18; 45; 51; 20; 0; 35; 0; 47; 0; 53; 7; 0; 0; 0; 22; 41; 0; 0; 0; 27; 0;
+     62; 0; 57; 37; 0; 13; 32; 0; 0; 2; 0; 49; 0; 5; 0; 25; 55; 11; 0; 0; 9;
+     17; 44; 19; 0; 46; 52; 0; 21; 0; 0; 0; 0; 36; 0; 31; 1; 48; 0; 24; 54; 0;
+     8; 43; 0; 0; 0; 0; 0; 30; 0; 23; 0; 42; 0; 0; 29; 0; 0; 0; 28; 0; 0; 0 |]
+
+let[@inline] ctz_pow2 b = Array.unsafe_get ctz_tbl ((b * ctz_m) lsr 56)
+
+let ms_run t ms ~sources ~off ~len =
+  if len < 0 || len > word_bits then
+    invalid_arg "Bfs_kernel.ms_run: batch must have 0 .. word_bits sources";
+  let n = Csr.num_nodes t in
+  ms_ensure ms (max 1 n);
+  let offsets = Csr.row_offsets t and adj = Csr.row_adjacency t in
+  let seen = ms.seen
+  and front = ms.mfront
+  and next = ms.next
+  and dmat = ms.dmat in
+  (* [front]/[next] are all-zero between runs (loop invariant below), so
+     only [seen] needs the O(n) wipe *)
+  Array.fill seen 0 n 0;
+  let tail = ref 0 in
+  for k = 0 to len - 1 do
+    let s = sources.(off + k) in
+    let bit = 1 lsl k in
+    seen.(s) <- seen.(s) lor bit;
+    if front.(s) = 0 then begin
+      ms.act.(!tail) <- s;
+      incr tail
+    end;
+    front.(s) <- front.(s) lor bit;
+    set dmat ((s lsl 6) lor k) 0
+  done;
+  let d = ref 0 in
+  while !tail > 0 do
+    let next_d = !d + 1 in
+    let act = ms.act and act2 = ms.act2 in
+    if !tail >= n lsr 4 then begin
+      (* dense level: the frontier holds a sizable fraction of the nodes
+         (the two or three middle levels hold nearly all settle events),
+         so skip the active lists and scan node ids in order — the row
+         reads, the [next] wipe and the distance-matrix writes all become
+         sequential streams instead of following discovery order across
+         the whole working set. Settle order changes; distances cannot
+         (BFS levels are unique). *)
+      for v = 0 to n - 1 do
+        let f = front.(v) in
+        if f <> 0 then
+          for e = get offsets v to get offsets (v + 1) - 1 do
+            let u = get adj e in
+            next.(u) <- next.(u) lor f
+          done
+      done;
+      for idx = 0 to !tail - 1 do
+        front.(act.(idx)) <- 0
+      done;
+      let newtail = ref 0 in
+      for u = 0 to n - 1 do
+        let nx = next.(u) in
+        if nx <> 0 then begin
+          next.(u) <- 0;
+          let nw = nx land lnot seen.(u) in
+          if nw <> 0 then begin
+            seen.(u) <- seen.(u) lor nw;
+            front.(u) <- nw;
+            act.(!newtail) <- u;
+            incr newtail;
+            let base = u lsl 6 in
+            let w = ref nw in
+            while !w <> 0 do
+              let b = !w land - !w in
+              set dmat (base lor ctz_pow2 b) next_d;
+              w := !w land (!w - 1)
+            done
+          end
+        end
+      done;
+      tail := !newtail
+    end
+    else begin
+      (* gather: or every frontier word into the neighbors' accumulators,
+         remembering each touched node exactly once *)
+      let tail2 = ref 0 in
+      for idx = 0 to !tail - 1 do
+        let v = act.(idx) in
+        let f = front.(v) in
+        for e = get offsets v to get offsets (v + 1) - 1 do
+          let u = get adj e in
+          if next.(u) = 0 then begin
+            act2.(!tail2) <- u;
+            incr tail2
+          end;
+          next.(u) <- next.(u) lor f
+        done
+      done;
+      (* the processed frontier is done: clear its words before the new
+         frontier is written (a node can be in both) *)
+      for idx = 0 to !tail - 1 do
+        front.(act.(idx)) <- 0
+      done;
+      (* update: new bits = gathered minus already-seen; record distances *)
+      let newtail = ref 0 in
+      for idx = 0 to !tail2 - 1 do
+        let u = act2.(idx) in
+        let nw = next.(u) land lnot seen.(u) in
+        next.(u) <- 0;
+        if nw <> 0 then begin
+          seen.(u) <- seen.(u) lor nw;
+          front.(u) <- nw;
+          act.(!newtail) <- u;
+          incr newtail;
+          let base = u lsl 6 in
+          let w = ref nw in
+          while !w <> 0 do
+            let b = !w land - !w in
+            set dmat (base lor ctz_pow2 b) next_d;
+            w := !w land (!w - 1)
+          done
+        end
+      done;
+      tail := !newtail
+    end;
+    d := next_d
+  done
+
+let[@inline] ms_dist ms ~slot ~v =
+  if ms.seen.(v) land (1 lsl slot) = 0 then -1
+  else Int32.to_int (Bigarray.Array1.unsafe_get ms.dmat ((v lsl 6) lor slot))
+
+let[@inline] ms_reached ms ~v = ms.seen.(v)
+
+let[@inline] ms_dist_raw ms ~slot ~v =
+  Int32.to_int (Bigarray.Array1.unsafe_get ms.dmat ((v lsl 6) lor slot))

@@ -1,0 +1,100 @@
+(** Memory-bandwidth BFS kernels over {!Csr} snapshots.
+
+    {!Csr.bfs} is a plain top-down BFS: fine for sparse frontiers, but on
+    low-diameter graphs (every healed forgiving graph is one) the two or
+    three middle levels contain nearly all edges and top-down pays one
+    probe per edge endpoint. The kernels here are where the metrics
+    pipeline actually spends its cycles:
+
+    - {!bfs} is a direction-optimizing BFS (Beamer et al., SC'12): it
+      switches to a bottom-up sweep when the frontier is edge-dense and
+      back when it thins, so dense levels cost one successful probe per
+      unvisited vertex instead of one per edge.
+    - {!ms_run} is a batched multi-source BFS (Then et al., VLDB'14): up
+      to {!word_bits} sources share one sweep via per-node visited
+      bitmasks, amortizing the memory traffic of streaming the rows —
+      the bulk workloads ([Stretch], [Invariants.check_stretch_bound])
+      run one sweep per 63 sources instead of 63. Dense levels (frontier
+      over 1/16 of the nodes) are processed by an in-order node scan
+      rather than the active lists, turning the row reads and
+      distance-matrix writes into sequential streams.
+
+    Both kernels read the off-heap rows directly ({!Csr.row_offsets} /
+    {!Csr.row_adjacency}) and are allocation-free after scratch creation
+    (gated at zero minor words by [test_alloc]). Distance results are
+    identical to {!Csr.bfs} — BFS levels are unique — though settle
+    {e order} within a level may differ. *)
+
+(** {1 Direction-optimizing single-source BFS} *)
+
+(** Reusable per-worker state: distance array, settle order, and the
+    bottom-up frontier bitset. Single-owner mutable — one per domain. *)
+type scratch
+
+(** [create t] allocates a scratch sized for [t]. *)
+val create : Csr.t -> scratch
+
+(** [bfs t s src] runs a direction-optimizing BFS from dense index [src],
+    returning the distance array ([-1] = unreachable), owned by [s] and
+    valid until the next [bfs] on [s]. Resetting costs O(visited by the
+    previous run).
+
+    [alpha] (default 2, calibrated on healed-ER/BA sweeps — see
+    ARCHITECTURE.md) tunes the top-down→bottom-up switch: go
+    bottom-up when [frontier_edges > unexplored_edges / alpha]. [beta]
+    (default 20) tunes the way back: return to top-down when
+    [frontier_size < n / beta]. Tests pin the oracle by forcing pure
+    modes: [~alpha:0] never goes bottom-up; [~alpha:max_int
+    ~beta:max_int] goes bottom-up at the first level and never
+    returns. *)
+val bfs : ?alpha:int -> ?beta:int -> Csr.t -> scratch -> int -> int array
+
+(** Number of nodes reached by the last [bfs] (including the source). *)
+val visited_count : scratch -> int
+
+(** [visited s k] is the dense index of the [k]-th node settled by the
+    last [bfs]; levels are contiguous, but order within a level depends
+    on the direction the level ran in. *)
+val visited : scratch -> int -> int
+
+(** Eccentricity of the last [bfs] source within its component. *)
+val max_dist : scratch -> int
+
+(** {1 Batched multi-source BFS} *)
+
+(** Sources per sweep: one per bit of a native int (63 on 64-bit). *)
+val word_bits : int
+
+(** [ctz_pow2 b] is the index of the single set bit of [b], a power of
+    two (bits 0..62 — bit 62 is [min_int lsr 0] on 63-bit ints and is
+    handled). Branchless; for walking {!ms_reached} bitmasks with
+    [b = w land (-w)]. *)
+val ctz_pow2 : int -> int
+
+(** Multi-source scratch: per-node seen/frontier bitmask arrays plus an
+    off-heap [int32] distance matrix (node-major, 64 slots per node, so
+    one settle event writes a contiguous run). Grows to the largest
+    snapshot it has served; steady state allocates nothing. *)
+type ms
+
+val ms_create : unit -> ms
+
+(** [ms_run t ms ~sources ~off ~len] runs one batched sweep from the
+    [len] dense indices [sources.(off .. off+len-1)] (slot [k] is source
+    [sources.(off+k)]). Requires [0 <= len <= word_bits]; duplicate
+    sources are fine (their slots share a wave). Results are read with
+    {!ms_dist} and are valid until the next [ms_run] on [ms]. *)
+val ms_run : Csr.t -> ms -> sources:int array -> off:int -> len:int -> unit
+
+(** [ms_dist ms ~slot ~v] is the hop distance from slot [slot]'s source
+    to dense index [v], or [-1] if unreachable. O(1), no allocation. *)
+val ms_dist : ms -> slot:int -> v:int -> int
+
+(** [ms_reached ms ~v] is the raw seen bitmask for dense index [v]: bit
+    [k] is set iff slot [k]'s source reached [v]. Lets bulk consumers
+    hoist the reachability test out of a per-slot loop. *)
+val ms_reached : ms -> v:int -> int
+
+(** [ms_dist_raw ms ~slot ~v] is {!ms_dist} without the seen check:
+    garbage unless bit [slot] of [ms_reached ms ~v] is set. *)
+val ms_dist_raw : ms -> slot:int -> v:int -> int

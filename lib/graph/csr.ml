@@ -1,9 +1,29 @@
+type int32_arr = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   n : int;
-  offsets : int array; (* length n+1; row i is neighbors.(offsets.(i) .. offsets.(i+1)-1) *)
-  neighbors : int array; (* dense indices; each row ascending *)
+  offsets : int32_arr; (* length n+1; row i is neighbors.(offsets.(i) .. offsets.(i+1)-1) *)
+  neighbors : int32_arr; (* dense indices; each row ascending *)
   ids : Node_id.t array; (* dense index -> node id, ascending *)
 }
+
+(* Row arrays live off the OCaml heap (malloc'd Bigarray data): the GC
+   neither marks nor moves them, so a million-node snapshot costs minor
+   collections nothing and is safe to share across [Parallel] domains.
+   int32 elements halve the memory traffic of the BFS kernels vs boxed-free
+   OCaml ints; [get]/[set] below compile to an unboxed 32-bit load/store
+   (the [Int32.to_int] consumes the box before it is ever allocated). *)
+
+let[@inline] get (a : int32_arr) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+
+let[@inline] set (a : int32_arr) i v =
+  Bigarray.Array1.unsafe_set a i (Int32.of_int v)
+
+let create_arr n : int32_arr =
+  Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout n
+
+let row_offsets t = t.offsets
+let row_adjacency t = t.neighbors
 
 (* ids is sorted ascending, so the id -> dense-index map is a binary search:
    no hashtable to build (which would dominate [apply_delta]) and no
@@ -18,6 +38,8 @@ let find_index ids n v =
 
 let of_adjacency g =
   let n = Adjacency.num_nodes g in
+  if n >= 0x7FFFFFFF || 2 * Adjacency.num_edges g > 0x7FFFFFFF then
+    invalid_arg "Csr.of_adjacency: dense indices and row offsets must fit int32";
   let ids = Array.make n 0 in
   let k = ref 0 in
   Adjacency.iter_nodes
@@ -26,40 +48,52 @@ let of_adjacency g =
       incr k)
     g;
   Array.sort Node_id.compare ids;
-  let offsets = Array.make (n + 1) 0 in
+  let offsets = create_arr (n + 1) in
+  set offsets 0 0;
   for i = 0 to n - 1 do
-    offsets.(i + 1) <- offsets.(i) + Adjacency.degree g ids.(i)
+    set offsets (i + 1) (get offsets i + Adjacency.degree g ids.(i))
   done;
-  let neighbors = Array.make offsets.(n) 0 in
+  let neighbors = create_arr (get offsets n) in
   let pos = ref 0 in
   for i = 0 to n - 1 do
     (* Set iteration is ascending in node id and the dense indexing is
        order-preserving, so each row comes out ascending in dense index. *)
     Adjacency.iter_neighbors
       (fun u ->
-        neighbors.(!pos) <- find_index ids n u;
+        set neighbors !pos (find_index ids n u);
         incr pos)
       g ids.(i)
   done;
   { n; offsets; neighbors; ids }
 
 let num_nodes t = t.n
-let num_edges t = Array.length t.neighbors / 2
+let num_edges t = Bigarray.Array1.dim t.neighbors / 2
 let id t i = t.ids.(i)
 
 let index t v =
   let i = find_index t.ids t.n v in
   if i < 0 then None else Some i
 
-let degree t i = t.offsets.(i + 1) - t.offsets.(i)
+let degree t i = get t.offsets (i + 1) - get t.offsets i
 
 let iter_row f t i =
-  for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
-    f t.neighbors.(k)
+  for k = get t.offsets i to get t.offsets (i + 1) - 1 do
+    f (get t.neighbors k)
   done
 
+let arr_equal (a : int32_arr) (b : int32_arr) =
+  Bigarray.Array1.dim a = Bigarray.Array1.dim b
+  && begin
+       let ok = ref true in
+       for i = 0 to Bigarray.Array1.dim a - 1 do
+         if get a i <> get b i then ok := false
+       done;
+       !ok
+     end
+
 let equal a b =
-  a.n = b.n && a.ids = b.ids && a.offsets = b.offsets && a.neighbors = b.neighbors
+  a.n = b.n && a.ids = b.ids && arr_equal a.offsets b.offsets
+  && arr_equal a.neighbors b.neighbors
 
 (* ---- incremental refresh ---- *)
 
@@ -122,7 +156,8 @@ let apply_delta ?(churn_limit = 0.25) t ~touched ~removed g =
         end
       done;
       flush_before None;
-      let offsets = Array.make (n_new + 1) 0 in
+      let offsets = create_arr (n_new + 1) in
+      set offsets 0 0;
       let dirty = Array.make n_new false in
       (* a node can be both touched (as an endpoint of removed edges) and
          removed; removal wins and there is no new row to mark *)
@@ -137,23 +172,23 @@ let apply_delta ?(churn_limit = 0.25) t ~touched ~removed g =
           if dirty.(j) then Adjacency.degree g ids.(j)
           else degree t new_to_old.(j)
         in
-        offsets.(j + 1) <- offsets.(j) + d
+        set offsets (j + 1) (get offsets j + d)
       done;
-      let neighbors = Array.make offsets.(n_new) 0 in
+      let neighbors = create_arr (get offsets n_new) in
       for j = 0 to n_new - 1 do
-        let pos = ref offsets.(j) in
+        let pos = ref (get offsets j) in
         if dirty.(j) then
           Adjacency.iter_neighbors
             (fun u ->
-              neighbors.(!pos) <- find_index ids n_new u;
+              set neighbors !pos (find_index ids n_new u);
               incr pos)
             g ids.(j)
         else begin
           (* An untouched row cannot point at a removed node (removing a
              node touches all its neighbours), so the remap is total here. *)
           let i = new_to_old.(j) in
-          for k = t.offsets.(i) to t.offsets.(i + 1) - 1 do
-            neighbors.(!pos) <- old_to_new.(t.neighbors.(k));
+          for k = get t.offsets i to get t.offsets (i + 1) - 1 do
+            set neighbors !pos old_to_new.(get t.neighbors k);
             incr pos
           done
         end
@@ -176,8 +211,8 @@ let components t =
       while !top > 0 do
         decr top;
         let u = stack.(!top) in
-        for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
-          let w = t.neighbors.(k) in
+        for k = get t.offsets u to get t.offsets (u + 1) - 1 do
+          let w = get t.neighbors k in
           if comp.(w) < 0 then begin
             comp.(w) <- c;
             stack.(!top) <- w;
@@ -188,6 +223,10 @@ let components t =
     end
   done;
   (comp, !count)
+
+let component_map t =
+  let comp, count = components t in
+  (Interval_map.of_array ~equal:Int.equal comp, count)
 
 type scratch = {
   dist : int array;
@@ -212,8 +251,8 @@ let bfs t s src =
     let v = q.(!head) in
     incr head;
     let dv = dist.(v) + 1 in
-    for k = offsets.(v) to offsets.(v + 1) - 1 do
-      let u = neighbors.(k) in
+    for k = get offsets v to get offsets (v + 1) - 1 do
+      let u = get neighbors k in
       if dist.(u) < 0 then begin
         dist.(u) <- dv;
         q.(!tail) <- u;

@@ -6,15 +6,21 @@
     allocates a set node per edge visit and chases pointers everywhere. A
     [Csr.t] is the flat, cache-friendly read path: node ids are mapped to a
     dense index [0 .. n-1] (in increasing id order, so dense order = sorted
-    id order), adjacency lives in two int arrays ([offsets]/[neighbors]),
-    and the BFS kernel below works entirely in preallocated int arrays —
-    steady-state BFS allocates nothing.
+    id order), adjacency lives in two off-heap [int32] Bigarray rows
+    ([offsets]/[neighbors]), and the BFS kernel below works entirely in
+    preallocated arrays — steady-state BFS allocates nothing.
 
-    A snapshot is built in one pass and never mutated; it is therefore safe
-    to share, without locks, across the domains of {!Parallel}. Take a new
-    snapshot after the graph changes. *)
+    Because the row data is malloc'd outside the OCaml heap, a
+    million-node snapshot is invisible to the GC (no marking, no copying
+    at minor collections) and safe to share, without locks, across the
+    domains of {!Parallel}. The price is an [int32] bound: dense indices
+    and row offsets (2·edges) must fit in 31 bits. A snapshot is built in
+    one pass and never mutated; take a new one after the graph changes. *)
 
 type t
+
+(** The off-heap row representation: [int32], C layout. *)
+type int32_arr = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 (** [of_adjacency g] snapshots [g]. O(n log n + m). Rows are sorted by
     dense index (equivalently: by node id, ascending). *)
@@ -66,10 +72,27 @@ val degree : t -> int -> int
     dense index [i], in increasing order. *)
 val iter_row : (int -> unit) -> t -> int -> unit
 
+(** {1 Raw rows — for the BFS kernels in {!Bfs_kernel}}
+
+    Read-only by convention: writing through these would corrupt the
+    shared snapshot under every concurrent reader. [row_offsets] has
+    [num_nodes + 1] entries; row [i] of [row_adjacency] is
+    [offsets.(i) .. offsets.(i+1) - 1], ascending. *)
+
+val row_offsets : t -> int32_arr
+val row_adjacency : t -> int32_arr
+
 (** [components t] is [(comp, count)]: [comp.(i)] is the connected-component
     label (in [0 .. count-1]) of dense index [i]; labels are assigned in
     increasing order of the component's smallest dense index. *)
 val components : t -> int array * int
+
+(** {!components} as a run-length {!Interval_map} over dense indices —
+    O(runs) storage instead of O(n), for the per-component bookkeeping
+    callers keep around (e.g. the no-BFS disconnected-source fallback in
+    [Stretch]). Labels cluster by dense-id ranges, so post-heal graphs
+    compress to a handful of runs. *)
+val component_map : t -> int Interval_map.t * int
 
 (** {1 BFS kernel}
 

@@ -1,7 +1,9 @@
 (* All-pairs sweeps run on a CSR snapshot: one snapshot build, then a dense
-   BFS per source, fanned across domains by [Parallel.map]. Per-source
-   results are reduced in dense-index (= sorted node id) order, so every
-   quantity below is byte-identical for any domain count. *)
+   direction-optimizing BFS ({!Bfs_kernel.bfs}) per source, fanned across
+   domains by [Parallel.map]. The kernel's distance arrays are identical to
+   [Csr.bfs]'s, and per-source results are reduced in dense-index (= sorted
+   node id) order, so every quantity below is byte-identical for any domain
+   count — and to the pre-kernel implementation. *)
 
 let snap csr g = match csr with Some c -> c | None -> Csr.of_adjacency g
 
@@ -10,10 +12,10 @@ let exact ?domains ?csr g =
   let n = Csr.num_nodes csr in
   let ecc =
     Parallel.map ?domains
-      ~init:(fun () -> Csr.scratch csr)
+      ~init:(fun () -> Bfs_kernel.create csr)
       ~f:(fun s i ->
-        ignore (Csr.bfs csr s i);
-        Csr.max_dist s)
+        ignore (Bfs_kernel.bfs csr s i);
+        Bfs_kernel.max_dist s)
       n
   in
   Array.fold_left max 0 ecc
@@ -23,11 +25,11 @@ let two_sweep ?csr g =
   let n = Csr.num_nodes csr in
   if n = 0 then 0
   else begin
-    let s = Csr.scratch csr in
+    let s = Bfs_kernel.create csr in
     (* farthest node with ties broken by smallest id: dense index order is
        id order, so the first strict improvement wins *)
     let farthest src =
-      let dist = Csr.bfs csr s src in
+      let dist = Bfs_kernel.bfs csr s src in
       let best = ref src and bd = ref 0 in
       for i = 0 to n - 1 do
         if dist.(i) > !bd then begin
@@ -48,10 +50,10 @@ let radius ?domains ?csr g =
   else begin
     let ecc =
       Parallel.map ?domains
-        ~init:(fun () -> Csr.scratch csr)
+        ~init:(fun () -> Bfs_kernel.create csr)
         ~f:(fun s i ->
-          ignore (Csr.bfs csr s i);
-          Csr.max_dist s)
+          ignore (Bfs_kernel.bfs csr s i);
+          Bfs_kernel.max_dist s)
         n
     in
     Array.fold_left min ecc.(0) ecc
@@ -62,14 +64,14 @@ let average_path_length ?domains ?csr g =
   let n = Csr.num_nodes csr in
   let sums =
     Parallel.map ?domains
-      ~init:(fun () -> Csr.scratch csr)
+      ~init:(fun () -> Bfs_kernel.create csr)
       ~f:(fun s i ->
-        let dist = Csr.bfs csr s i in
+        let dist = Bfs_kernel.bfs csr s i in
         let total = ref 0 in
-        for k = 1 to Csr.visited_count s - 1 do
-          total := !total + dist.(Csr.visited s k)
+        for k = 1 to Bfs_kernel.visited_count s - 1 do
+          total := !total + dist.(Bfs_kernel.visited s k)
         done;
-        (!total, Csr.visited_count s - 1))
+        (!total, Bfs_kernel.visited_count s - 1))
       n
   in
   let total, pairs =

@@ -1,0 +1,92 @@
+(* Run-length encoded map over a dense integer domain [0 .. len-1].
+   Adjacent equal values are merged into runs, stored as two parallel
+   arrays: [starts.(k)] is the first index of run [k] (ascending,
+   [starts.(0) = 0]) and [values.(k)] its value. [get] is a binary search
+   for the last run starting at or before the key, so lookups cost
+   O(log runs) while storage costs O(runs) — on post-heal component
+   labels, runs is typically a handful where a per-node array is O(n). *)
+
+type 'a t = { len : int; starts : int array; values : 'a array }
+
+let length t = t.len
+let run_count t = Array.length t.starts
+
+let init ?(equal = ( = )) ~len f =
+  if len < 0 then invalid_arg "Interval_map.init: negative length";
+  if len = 0 then { len = 0; starts = [||]; values = [||] }
+  else begin
+    (* first pass: count runs; second pass: fill. Two O(len) scans beat
+       an intermediate list (no per-run boxing beyond the result). *)
+    let runs = ref 1 in
+    let prev = ref (f 0) in
+    for i = 1 to len - 1 do
+      let v = f i in
+      if not (equal v !prev) then begin
+        incr runs;
+        prev := v
+      end
+    done;
+    let starts = Array.make !runs 0 in
+    let values = Array.make !runs (f 0) in
+    let k = ref 0 in
+    let prev = ref (f 0) in
+    values.(0) <- !prev;
+    for i = 1 to len - 1 do
+      let v = f i in
+      if not (equal v !prev) then begin
+        incr k;
+        starts.(!k) <- i;
+        values.(!k) <- v;
+        prev := v
+      end
+    done;
+    { len; starts; values }
+  end
+
+let of_array ?equal a = init ?equal ~len:(Array.length a) (fun i -> a.(i))
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Interval_map.get: out of range";
+  (* last run with starts.(k) <= i *)
+  let lo = ref 0 and hi = ref (Array.length t.starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.starts.(mid) <= i then lo := mid else hi := mid - 1
+  done;
+  t.values.(!lo)
+
+let iter_runs f t =
+  let runs = Array.length t.starts in
+  for k = 0 to runs - 1 do
+    let hi = if k = runs - 1 then t.len else t.starts.(k + 1) in
+    f ~lo:t.starts.(k) ~hi t.values.(k)
+  done
+
+let fold_runs f t acc =
+  let runs = Array.length t.starts in
+  let acc = ref acc in
+  for k = 0 to runs - 1 do
+    let hi = if k = runs - 1 then t.len else t.starts.(k + 1) in
+    acc := f ~lo:t.starts.(k) ~hi t.values.(k) !acc
+  done;
+  !acc
+
+let to_array t =
+  if t.len = 0 then [||]
+  else begin
+    let out = Array.make t.len t.values.(0) in
+    iter_runs (fun ~lo ~hi v -> Array.fill out lo (hi - lo) v) t;
+    out
+  end
+
+let equal eq a b =
+  a.len = b.len
+  && Array.length a.starts = Array.length b.starts
+  && begin
+       let ok = ref true in
+       for k = 0 to Array.length a.starts - 1 do
+         if a.starts.(k) <> b.starts.(k) || not (eq a.values.(k) b.values.(k))
+         then ok := false
+       done;
+       !ok
+     end

@@ -1,0 +1,40 @@
+(** Run-length encoded immutable map over the dense domain [0 .. len-1],
+    in the style of prohlatype's [partition_map]: adjacent equal values
+    are merged into runs, so storage is O(runs) and lookup is
+    O(log runs). Built for sparse per-component bookkeeping on CSR
+    snapshots (component labels, membership over dense-id ranges), where
+    a million-entry per-node array wastes cache on a handful of distinct
+    values. *)
+
+type 'a t
+
+(** [init ?equal ~len f] tabulates [f] over [0 .. len-1], merging
+    adjacent values equal under [equal] (default [( = )]) into runs.
+    [f] is called O(len) times (twice per index). *)
+val init : ?equal:('a -> 'a -> bool) -> len:int -> (int -> 'a) -> 'a t
+
+(** [of_array a] is [init ~len:(Array.length a) (Array.get a)]. *)
+val of_array : ?equal:('a -> 'a -> bool) -> 'a array -> 'a t
+
+(** [get t i] is the value at index [i]. O(log runs); no allocation.
+    Raises [Invalid_argument] outside [0 .. length t - 1]. *)
+val get : 'a t -> int -> 'a
+
+(** Domain size [len]. *)
+val length : 'a t -> int
+
+(** Number of runs (0 iff [length t = 0]). *)
+val run_count : 'a t -> int
+
+(** [iter_runs f t] applies [f ~lo ~hi v] to each run, ascending;
+    the run covers indices [lo .. hi-1]. *)
+val iter_runs : (lo:int -> hi:int -> 'a -> unit) -> 'a t -> unit
+
+(** [fold_runs f t acc] folds over runs in ascending order. *)
+val fold_runs : (lo:int -> hi:int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+
+(** Expand back to a dense array (tests, oracles). *)
+val to_array : 'a t -> 'a array
+
+(** Structural equality of domains, run boundaries and values. *)
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool

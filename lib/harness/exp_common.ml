@@ -39,12 +39,19 @@ let families =
    driver: stream a JSONL trace of the run to [trace], record the global
    heal-path metrics and print them (then reset the registry) when
    [metrics], and raise the process-wide domain count for the metric
-   kernels ([--domains N]) for the duration of [f]. *)
+   kernels ([--domains N]) for the duration of [f]. When the domain count
+   was raised, the worker pool is also shut down on exit: parked workers
+   tax every stop-the-world minor GC, and whatever runs after this scope
+   is back to the serial default anyway. *)
 let with_observability ?trace ?(metrics = false) ?domains f =
   let prev_domains = Fg_graph.Parallel.default () in
   Option.iter Fg_graph.Parallel.set_default domains;
   let f () =
-    Fun.protect ~finally:(fun () -> Fg_graph.Parallel.set_default prev_domains) f
+    Fun.protect
+      ~finally:(fun () ->
+        Fg_graph.Parallel.set_default prev_domains;
+        if Option.is_some domains then Fg_graph.Parallel.shutdown ())
+      f
   in
   let oc =
     Option.map

@@ -7,19 +7,22 @@
     by [ceil(log2 n)].
 
     Implementation: each entry point snapshots both graphs once
-    ({!Fg_graph.Csr}) and runs a dense, allocation-free BFS pair per
-    source, fanned across [?domains] domains ({!Fg_graph.Parallel};
-    default: the process-wide setting, 1 unless raised via [--domains]).
-    Per-source results are reduced in source order, so the report —
-    including float fields and the witness — is byte-identical for any
-    domain count. Sources with no live neighbor in [graph] skip both BFS
-    runs: their broken pairs are read off precomputed reference component
-    labels.
+    ({!Fg_graph.Csr}) and batches sources into multi-source BFS sweeps
+    ({!Fg_graph.Bfs_kernel.ms_run}, up to 63 sources per pass over the
+    off-heap rows), fanned across [?domains] domains
+    ({!Fg_graph.Parallel}; default: the process-wide setting, 1 unless
+    raised via [--domains]). Batch boundaries are a pure function of the
+    source list, and per-source results are reduced in source order, so
+    the report — including float fields and the witness — is
+    byte-identical for any domain count. Sources with no live neighbor
+    in [graph] consume no BFS slot: their broken pairs are read off
+    run-length-compressed reference component labels
+    ({!Fg_graph.Interval_map}).
 
     Each call emits a [metrics.stretch] span (attributes [csr_build_ms],
-    [bfs_sources], [domains]; counter [metrics.bfs_runs]) when an
-    {!Fg_obs} sink is installed, and bumps the [metrics.bfs_runs] global
-    counter when recording. *)
+    [bfs_sources], [bfs_batches], [domains]; counter [metrics.bfs_runs]
+    — sweeps, two per batch) when an {!Fg_obs} sink is installed, and
+    bumps the [metrics.bfs_runs] global counter when recording. *)
 
 module Node_id := Fg_graph.Node_id
 
@@ -72,6 +75,20 @@ val sampled :
   ?reference_csr:Fg_graph.Csr.t ->
   Fg_graph.Rng.t ->
   k:int ->
+  graph:Fg_graph.Adjacency.t ->
+  reference:Fg_graph.Adjacency.t ->
+  Node_id.t list ->
+  report
+
+(** {!exact} on the per-source sweep kernel (one {!Fg_graph.Csr.bfs}
+    pair per source — the pre-batching fast path). Kept callable as the
+    baseline the bench suite measures the ms-BFS amortization against,
+    and as a second oracle: the report agrees exactly with {!exact},
+    including float fields (same partial stream, same merge). *)
+val exact_sweep :
+  ?domains:int ->
+  ?graph_csr:Fg_graph.Csr.t ->
+  ?reference_csr:Fg_graph.Csr.t ->
   graph:Fg_graph.Adjacency.t ->
   reference:Fg_graph.Adjacency.t ->
   Node_id.t list ->

@@ -1,0 +1,9 @@
+(* Fixture: R1 in a read-path kernel — materialising a neighbour list
+   inside a per-level scan. The kernels (bfs_kernel.ml, interval_map.ml)
+   are in [hot_modules]: rows must be walked via the flat CSR accessors
+   or iter/fold, never through the list-returning API. *)
+
+let frontier_edges g frontier =
+  List.fold_left
+    (fun acc v -> acc + List.length (Adjacency.neighbors g v))
+    0 frontier

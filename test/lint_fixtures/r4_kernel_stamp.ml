@@ -1,0 +1,8 @@
+(* Fixture: R4 in a read-path kernel — per-sweep emission whose argument
+   is computed at the call site, with no recording guard. A kernel that
+   wants to publish sweep counts must either stamp plain idents (free,
+   internally gated) or branch on [Metrics.is_recording] first. *)
+
+let run_sweep sweep batches =
+  sweep ();
+  Fg_obs.Metrics.incr ~n:(Array.length batches) "kernel.sweeps"

@@ -77,6 +77,59 @@ let test_csr_bfs_zero_alloc () =
        allocation-free (scratch reuse broke)"
       delta n
 
+let test_dirop_bfs_zero_alloc () =
+  (* Bigarray rows + int-array scratch: a full all-sources sweep of the
+     direction-optimizing kernel must not touch the minor heap (boxed
+     [Int32] reads would show up here immediately on a non-flambda
+     compiler) *)
+  let rng = Rng.create 7 in
+  let g = Generators.erdos_renyi rng 600 0.01 in
+  let t = Csr.of_adjacency g in
+  let s = Bfs_kernel.create t in
+  ignore (Bfs_kernel.bfs t s 0 : int array);
+  let n = Csr.num_nodes t in
+  let before = Gc.minor_words () in
+  for src = 0 to n - 1 do
+    ignore (Bfs_kernel.bfs t s src : int array)
+  done;
+  let delta = Gc.minor_words () -. before in
+  Printf.eprintf "[alloc] dirop-bfs: %.0f minor words over %d runs (budget %.0f)\n%!"
+    delta n bfs_sweep_budget;
+  if delta > bfs_sweep_budget then
+    Alcotest.failf
+      "direction-optimizing BFS allocated %.0f minor words over %d runs — the \
+       kernel must be allocation-free (scratch reuse or unboxing broke)"
+      delta n
+
+let test_msbfs_zero_alloc () =
+  (* steady state: the ms scratch is grown once by the warm-up run; every
+     batched sweep after that, and every [ms_dist] read, is free *)
+  let rng = Rng.create 7 in
+  let g = Generators.erdos_renyi rng 600 0.01 in
+  let t = Csr.of_adjacency g in
+  let n = Csr.num_nodes t in
+  let ms = Bfs_kernel.ms_create () in
+  let k = min n Bfs_kernel.word_bits in
+  let sources = Array.init k (fun i -> i * n / k) in
+  Bfs_kernel.ms_run t ms ~sources ~off:0 ~len:k;
+  let before = Gc.minor_words () in
+  let acc = ref 0 in
+  for _ = 1 to 10 do
+    Bfs_kernel.ms_run t ms ~sources ~off:0 ~len:k;
+    for v = 0 to n - 1 do
+      acc := !acc + Bfs_kernel.ms_dist ms ~slot:(v mod k) ~v
+    done
+  done;
+  let delta = Gc.minor_words () -. before in
+  ignore (Sys.opaque_identity !acc);
+  Printf.eprintf "[alloc] msbfs: %.0f minor words over 10 sweeps (budget %.0f)\n%!"
+    delta bfs_sweep_budget;
+  if delta > bfs_sweep_budget then
+    Alcotest.failf
+      "msbfs allocated %.0f minor words over 10 warmed sweeps — the batched \
+       kernel must be allocation-free in the steady state"
+      delta
+
 (* whole-loop budgets for the telemetry gates: like the BFS sweep, only
    the boxed floats of the [Gc.minor_words] reads themselves are allowed
    — the instrumented calls must contribute 0 words *)
@@ -145,6 +198,9 @@ let suite =
     Alcotest.test_case "steady-state heal stays under budget" `Quick
       test_heal_minor_words;
     Alcotest.test_case "CSR BFS allocates nothing" `Quick test_csr_bfs_zero_alloc;
+    Alcotest.test_case "dirop BFS allocates nothing" `Quick test_dirop_bfs_zero_alloc;
+    Alcotest.test_case "msbfs sweep allocates nothing when warm" `Quick
+      test_msbfs_zero_alloc;
     Alcotest.test_case "Hdr.record allocates nothing" `Quick
       test_hdr_record_zero_alloc;
     Alcotest.test_case "sharded record allocates nothing when warm" `Quick

@@ -128,6 +128,135 @@ let prop_bfs_matches_healed =
       check_distances_match (Fg.gprime fg);
       true)
 
+(* ---- Bfs_kernel: direction-optimizing BFS vs Csr.bfs ---- *)
+
+(* Forced modes pin both directions against the plain top-down oracle:
+   [~alpha:0] never leaves top-down, [~alpha:max_int ~beta:max_int] goes
+   bottom-up at the first level and stays there. *)
+let check_dirop_distances g =
+  let csr = Csr.of_adjacency g in
+  let n = Csr.num_nodes csr in
+  let s = Csr.scratch csr in
+  let ks = Bfs_kernel.create csr in
+  for src = 0 to n - 1 do
+    let expected = Array.copy (Csr.bfs csr s src) in
+    let reachable = Array.fold_left (fun a d -> if d >= 0 then a + 1 else a) 0 expected in
+    let check name actual =
+      if actual <> expected then
+        Alcotest.failf "dirop(%s) mismatch from dense %d" name src
+    in
+    check "auto" (Bfs_kernel.bfs csr ks src);
+    Alcotest.(check int) "visited_count" reachable (Bfs_kernel.visited_count ks);
+    check "top-down" (Bfs_kernel.bfs csr ks ~alpha:0 src);
+    check "bottom-up" (Bfs_kernel.bfs csr ks ~alpha:max_int ~beta:max_int src)
+  done
+
+let prop_dirop_matches_er =
+  QCheck2.Test.make ~name:"dirop BFS = Csr.bfs on ER" ~count:30
+    QCheck2.Gen.(tup2 (int_range 0 9999) (int_range 2 40))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      check_dirop_distances (Generators.erdos_renyi rng n (3.0 /. float_of_int n));
+      true)
+
+let prop_dirop_matches_ba =
+  QCheck2.Test.make ~name:"dirop BFS = Csr.bfs on BA" ~count:20
+    QCheck2.Gen.(tup2 (int_range 0 9999) (int_range 4 36))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      check_dirop_distances (Generators.barabasi_albert rng n 2);
+      true)
+
+let prop_dirop_matches_healed =
+  QCheck2.Test.make ~name:"dirop BFS = Csr.bfs on post-heal graphs" ~count:12
+    QCheck2.Gen.(tup2 (int_range 0 9999) (int_range 10 28))
+    (fun (seed, n) ->
+      let fg = healed_pair seed n in
+      check_dirop_distances (Fg.graph fg);
+      check_dirop_distances (Fg.gprime fg);
+      true)
+
+let test_dirop_star_and_disconnected () =
+  check_dirop_distances (Generators.star 17);
+  let g = Adjacency.of_edges [ (0, 1); (1, 2); (5, 6) ] in
+  Adjacency.add_node g 9;
+  check_dirop_distances g
+
+(* ---- Bfs_kernel: batched multi-source BFS vs Csr.bfs ---- *)
+
+let check_msbfs ?(off = 0) g =
+  let csr = Csr.of_adjacency g in
+  let n = Csr.num_nodes csr in
+  if n > 0 then begin
+    let s = Csr.scratch csr in
+    let ms = Bfs_kernel.ms_create () in
+    let k = min n Bfs_kernel.word_bits in
+    (* spread sources; [off] junk entries up front exercise the window *)
+    let sources =
+      Array.init (off + k) (fun i -> if i < off then -1 else (i - off) * n / k)
+    in
+    Bfs_kernel.ms_run csr ms ~sources ~off ~len:k;
+    for slot = 0 to k - 1 do
+      let expected = Csr.bfs csr s sources.(off + slot) in
+      for v = 0 to n - 1 do
+        let got = Bfs_kernel.ms_dist ms ~slot ~v in
+        if got <> expected.(v) then
+          Alcotest.failf "msbfs mismatch slot %d node %d: %d vs %d" slot v got
+            expected.(v);
+        let bit = Bfs_kernel.ms_reached ms ~v land (1 lsl slot) <> 0 in
+        if bit <> (expected.(v) >= 0) then
+          Alcotest.failf "msbfs reached-bit mismatch slot %d node %d" slot v
+      done
+    done
+  end
+
+let prop_msbfs_matches_er =
+  QCheck2.Test.make ~name:"msbfs = Csr.bfs on ER" ~count:25
+    QCheck2.Gen.(tup2 (int_range 0 9999) (int_range 2 90))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      check_msbfs (Generators.erdos_renyi rng n (3.0 /. float_of_int n));
+      true)
+
+let prop_msbfs_matches_healed =
+  QCheck2.Test.make ~name:"msbfs = Csr.bfs on post-heal graphs" ~count:12
+    QCheck2.Gen.(tup2 (int_range 0 9999) (int_range 10 28))
+    (fun (seed, n) ->
+      let fg = healed_pair seed n in
+      check_msbfs (Fg.graph fg);
+      check_msbfs ~off:2 (Fg.gprime fg);
+      true)
+
+let prop_msbfs_matches_fragmented =
+  QCheck2.Test.make ~name:"msbfs = Csr.bfs on fragmented graphs" ~count:12
+    QCheck2.Gen.(tup2 (int_range 0 9999) (int_range 6 60))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g = Generators.erdos_renyi rng n (3.0 /. float_of_int n) in
+      let victims = Rng.sample rng (n / 3) (Array.of_list (Adjacency.nodes g)) in
+      Array.iter (fun v -> Adjacency.remove_node g v) victims;
+      if Adjacency.num_nodes g > 0 then check_msbfs g;
+      true)
+
+let test_msbfs_duplicates_and_star () =
+  check_msbfs (Generators.star 17);
+  (* duplicate sources share a wave; each slot still reads correctly *)
+  let csr = Csr.of_adjacency (Generators.ring 8) in
+  let ms = Bfs_kernel.ms_create () in
+  let sources = [| 3; 3; 0; 3 |] in
+  Bfs_kernel.ms_run csr ms ~sources ~off:0 ~len:4;
+  let s = Csr.scratch csr in
+  List.iter
+    (fun slot ->
+      let expected = Csr.bfs csr s sources.(slot) in
+      for v = 0 to 7 do
+        Alcotest.(check int)
+          (Printf.sprintf "slot %d node %d" slot v)
+          expected.(v)
+          (Bfs_kernel.ms_dist ms ~slot ~v)
+      done)
+    [ 0; 1; 2; 3 ]
+
 (* ---- Parallel ---- *)
 
 let test_parallel_map_deterministic () =
@@ -208,6 +337,20 @@ let test_stretch_isolated_source_skip () =
   Alcotest.(check int) "5 broken pairs" 5 r.Stretch.disconnected;
   Alcotest.(check int) "pairs = oracle" oracle.Stretch.pairs r.Stretch.pairs
 
+let prop_stretch_batched_equals_sweep =
+  (* the batched ms-BFS path must reproduce the per-source sweep kernel
+     byte-for-byte, float fields included: same partial stream, same
+     merge *)
+  QCheck2.Test.make ~name:"Stretch.exact = exact_sweep (byte-identical)" ~count:12
+    QCheck2.Gen.(tup2 (int_range 0 9999) (int_range 8 40))
+    (fun (seed, n) ->
+      let fg = healed_pair seed n in
+      let graph = Fg.graph fg and reference = Fg.gprime fg in
+      let nodes = Fg.live_nodes fg in
+      let batched = Stretch.exact ~graph ~reference nodes in
+      let sweep = Stretch.exact_sweep ~graph ~reference nodes in
+      batched = sweep)
+
 let prop_stretch_domain_independent =
   QCheck2.Test.make ~name:"Stretch.exact byte-identical for domains 1/2/4" ~count:10
     QCheck2.Gen.(tup2 (int_range 0 9999) (int_range 8 26))
@@ -265,6 +408,8 @@ let suite =
     Alcotest.test_case "csr: components" `Quick test_components;
     Alcotest.test_case "csr: scratch reuse across sources" `Quick test_scratch_reuse;
     Alcotest.test_case "csr: BFS matches oracle on star" `Quick test_bfs_matches_star;
+    Alcotest.test_case "dirop: star + disconnected" `Quick test_dirop_star_and_disconnected;
+    Alcotest.test_case "msbfs: duplicates + star" `Quick test_msbfs_duplicates_and_star;
     Alcotest.test_case "parallel: map deterministic" `Quick test_parallel_map_deterministic;
     Alcotest.test_case "parallel: clamps + empty" `Quick test_parallel_clamps;
     Alcotest.test_case "parallel: exceptions surface" `Quick
@@ -283,8 +428,15 @@ let suite =
         prop_bfs_matches_er;
         prop_bfs_matches_ba;
         prop_bfs_matches_healed;
+        prop_dirop_matches_er;
+        prop_dirop_matches_ba;
+        prop_dirop_matches_healed;
+        prop_msbfs_matches_er;
+        prop_msbfs_matches_healed;
+        prop_msbfs_matches_fragmented;
         prop_stretch_matches_oracle;
         prop_stretch_matches_oracle_fragmented;
+        prop_stretch_batched_equals_sweep;
         prop_stretch_domain_independent;
         prop_diameter_matches_oracle;
       ]

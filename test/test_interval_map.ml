@@ -1,0 +1,88 @@
+(* Interval_map (run-length map) vs the dense-array model: every
+   operation must agree with the array it compresses, and the run
+   structure must be canonical (no two adjacent runs share a value). *)
+
+open Fg_graph
+
+let gen_array =
+  (* small value range forces long runs; large range forces singletons *)
+  QCheck2.Gen.(
+    tup2 (int_range 1 5) (int_range 0 60) >>= fun (vals, len) ->
+    array_size (return len) (int_range 0 (vals - 1)))
+
+let prop_matches_model =
+  QCheck2.Test.make ~name:"Interval_map.of_array = array model" ~count:200
+    gen_array (fun a ->
+      let t = Interval_map.of_array ~equal:Int.equal a in
+      if Interval_map.length t <> Array.length a then false
+      else begin
+        Array.iteri
+          (fun i v ->
+            if Interval_map.get t i <> v then
+              Alcotest.failf "get %d: %d vs %d" i (Interval_map.get t i) v)
+          a;
+        Interval_map.to_array t = a
+      end)
+
+let prop_runs_canonical =
+  QCheck2.Test.make ~name:"Interval_map runs are maximal and cover" ~count:200
+    gen_array (fun a ->
+      let t = Interval_map.of_array ~equal:Int.equal a in
+      let prev_hi = ref 0 and prev_v = ref None and runs = ref 0 in
+      Interval_map.iter_runs
+        (fun ~lo ~hi v ->
+          incr runs;
+          if lo <> !prev_hi then Alcotest.failf "gap at %d" lo;
+          if hi <= lo then Alcotest.failf "empty run at %d" lo;
+          (match !prev_v with
+          | Some p when p = v -> Alcotest.failf "unmerged runs at %d" lo
+          | _ -> ());
+          prev_hi := hi;
+          prev_v := Some v)
+        t;
+      !prev_hi = Array.length a && !runs = Interval_map.run_count t)
+
+let prop_fold_agrees_with_iter =
+  QCheck2.Test.make ~name:"Interval_map fold_runs = iter_runs" ~count:100
+    gen_array (fun a ->
+      let t = Interval_map.of_array ~equal:Int.equal a in
+      let via_iter = ref [] in
+      Interval_map.iter_runs
+        (fun ~lo ~hi v -> via_iter := (lo, hi, v) :: !via_iter)
+        t;
+      let via_fold =
+        Interval_map.fold_runs (fun ~lo ~hi v acc -> (lo, hi, v) :: acc) t []
+      in
+      via_fold = !via_iter)
+
+let prop_equal_iff_same_array =
+  QCheck2.Test.make ~name:"Interval_map.equal = array equality" ~count:100
+    QCheck2.Gen.(tup2 gen_array gen_array)
+    (fun (a, b) ->
+      let ta = Interval_map.of_array ~equal:Int.equal a in
+      let tb = Interval_map.of_array ~equal:Int.equal b in
+      Interval_map.equal Int.equal ta tb = (a = b))
+
+let test_init_and_edges () =
+  let t = Interval_map.init ~equal:Int.equal ~len:10 (fun i -> i / 5) in
+  Alcotest.(check int) "two runs" 2 (Interval_map.run_count t);
+  Alcotest.(check int) "first" 0 (Interval_map.get t 0);
+  Alcotest.(check int) "boundary" 1 (Interval_map.get t 5);
+  Alcotest.(check int) "last" 1 (Interval_map.get t 9);
+  let empty = Interval_map.of_array ~equal:Int.equal [||] in
+  Alcotest.(check int) "empty length" 0 (Interval_map.length empty);
+  Alcotest.(check int) "empty runs" 0 (Interval_map.run_count empty);
+  Alcotest.(check bool) "out of range" true
+    (match Interval_map.get t 10 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "interval-map: init + edge cases" `Quick test_init_and_edges ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_matches_model;
+        prop_runs_canonical;
+        prop_fold_agrees_with_iter;
+        prop_equal_iff_same_array;
+      ]

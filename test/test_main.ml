@@ -13,6 +13,7 @@ let () =
       ("adversary", Test_adversary.suite);
       ("metrics", Test_metrics.suite);
       ("csr", Test_csr.suite);
+      ("interval-map", Test_interval_map.suite);
       ("obs", Test_obs.suite);
       ("hdr", Test_hdr.suite);
       ("openmetrics", Test_openmetrics.suite);
