@@ -1,6 +1,7 @@
 (* Regression gate over BENCH_perf.json: compare two labelled runs and
    fail (exit 1) if any gated benchmark — the [heal.*], [dist.*],
-   [csr.*], [obs.*] and [bfs.*] groups — got more than [threshold] slower.
+   [csr.*], [obs.*], [bfs.*] and [serve.*] groups — got more than
+   [threshold] slower.
    This is the guard that keeps a delta-recorder-style regression (PR 3
    cost every heal bench 40-70%) from landing silently again; [bfs.*]
    extends it over the read-path kernels.
@@ -15,7 +16,7 @@
 
 module J = Fg_obs.Json
 
-let gated_groups = [ "/heal."; "/dist."; "/csr."; "/obs."; "/bfs." ]
+let gated_groups = [ "/heal."; "/dist."; "/csr."; "/obs."; "/bfs."; "/serve." ]
 
 let contains ~sub s =
   let n = String.length s and m = String.length sub in

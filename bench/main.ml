@@ -396,6 +396,47 @@ let stretch_scale ~n ~domains =
       (sw_ns /. ms_ns);
   [ row_ms; row_sw ]
 
+(* ---- one-shot serving-tier measurement (--serve-bench N) ----
+
+   QPS and tail latency of reader domains querying pinned snapshots while
+   the writer deletes at a fixed rate — the paper's repair-vs-usage
+   concurrency as recorded perf rows. Closed-loop and wall-clocked rather
+   than bechamel-fitted: the interesting numbers are the latency
+   quantiles under sustained churn. All three rows are nanoseconds, so
+   check_regress's bigger-is-worse direction applies: [ns-per-query] is
+   inverse throughput (1e9 / QPS), [p50]/[p99] are the overall query
+   latency quantiles. *)
+let serve_bench_scale ~n =
+  Printf.printf "\nserve-bench: n=%d, 1s of load under 50 deletions/s\n%!" n;
+  let rng = Fg_graph.Rng.create 17 in
+  let g = Fg_graph.Generators.erdos_renyi rng n (4.0 /. float_of_int n) in
+  let fg = Fg_core.Forgiving_graph.of_graph g in
+  let cfg =
+    {
+      Fg_serve.Loadgen.readers = 2;
+      duration = 1.0;
+      churn_rate = 50.0;
+      mix = Fg_serve.Loadgen.default_mix;
+      sample_pairs = 4;
+      min_live = max 2 (n / 4);
+      seed = 17;
+    }
+  in
+  let r = Fg_serve.Loadgen.run fg cfg in
+  Fg_graph.Parallel.shutdown ();
+  Format.printf "%a@." Fg_serve.Loadgen.pp_report r;
+  let q = max 1 r.Fg_serve.Loadgen.queries in
+  let row name v =
+    let name = Printf.sprintf "forgiving-graph/serve.qps-under-churn/%s:%d" name n in
+    Printf.printf "%-42s  %14.1f  %14.1f\n%!" name v 0.0;
+    (name, v, 0.0)
+  in
+  [
+    row "ns-per-query" (r.Fg_serve.Loadgen.wall_s *. 1e9 /. float_of_int q);
+    row "p50" (float_of_int (Fg_obs.Hdr.p50 r.Fg_serve.Loadgen.overall));
+    row "p99" (float_of_int (Fg_obs.Hdr.p99 r.Fg_serve.Loadgen.overall));
+  ]
+
 (* Append this run to a JSON history file so perf numbers can be diffed
    across commits: {"runs":[{"label":...,"results":[{"name","ns","minor_words"}]}]}.
    An existing file is read back and extended; a fresh one is created. *)
@@ -445,6 +486,7 @@ let () =
   and label = ref "run"
   and quota = ref 0.25
   and scale = ref None
+  and serve_n = ref None
   and scale_domains = ref 1 in
   let rec parse = function
     | "--json" :: file :: rest ->
@@ -477,14 +519,22 @@ let () =
       | _ ->
         Printf.eprintf "--domains requires a positive count\n";
         exit 2)
-    | [ ("--json" | "--label" | "--quota" | "--stretch-scale" | "--domains") as flag ]
-      ->
+    | "--serve-bench" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        serve_n := Some n;
+        parse rest
+      | _ ->
+        Printf.eprintf "--serve-bench requires a positive node count\n";
+        exit 2)
+    | [ ("--json" | "--label" | "--quota" | "--stretch-scale" | "--serve-bench"
+        | "--domains") as flag ] ->
       Printf.eprintf "%s requires an argument\n" flag;
       exit 2
     | a :: _ ->
       Printf.eprintf
         "unknown argument %S (try --json FILE [--label NAME] [--quota SECONDS] \
-         [--stretch-scale N [--domains D]])\n"
+         [--stretch-scale N [--domains D]] [--serve-bench N])\n"
         a;
       exit 2
     | [] -> ()
@@ -529,6 +579,9 @@ let () =
     match !scale with
     | None -> rows
     | Some n -> rows @ stretch_scale ~n ~domains:!scale_domains
+  in
+  let rows =
+    match !serve_n with None -> rows | Some n -> rows @ serve_bench_scale ~n
   in
   match !json_file with
   | None -> ()

@@ -5,7 +5,8 @@
      attack    run an adversarial deletion sweep under a healer, report metrics
      simulate  run deletions through the distributed simulator, report costs
      heal      read an edge list, delete given nodes, print the healed graph
-     stretch   heal a deletion sweep, measure stretch vs the reference *)
+     stretch   heal a deletion sweep, measure stretch vs the reference
+     serve-bench  QPS/latency of snapshot readers under live churn *)
 
 open Cmdliner
 module Fg = Fg_core.Forgiving_graph
@@ -339,7 +340,7 @@ let heal_cmd =
 
 (* ---- stretch ---- *)
 
-let stretch family seed n adversary fraction sample exact trace metrics domains =
+let stretch family seed n adversary fraction sample sample_seed exact trace metrics domains =
   with_obs trace metrics domains @@ fun () ->
   let del =
     try Fg_adversary.Adversary.deletion_of_name adversary
@@ -361,7 +362,7 @@ let stretch family seed n adversary fraction sample exact trace metrics domains 
       Fg_metrics.Stretch.exact ~graph ~reference:gprime live
     else
       Fg_metrics.Stretch.sampled
-        (Fg_graph.Rng.create (seed + 2))
+        (Fg_graph.Rng.create (Option.value sample_seed ~default:(seed + 2)))
         ~k:sample ~graph ~reference:gprime live
   in
   let dt = Fg_obs.Trace.wall_clock () -. t0 in
@@ -392,6 +393,18 @@ let stretch_cmd =
           ~doc:"Measure from $(docv) sampled sources instead of all pairs \
                 (0 = all pairs).")
   in
+  let sample_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for the sampled-mode source draw, independent of the \
+             graph/adversary $(b,--seed) (default: derived from \
+             $(b,--seed), reproducing the historical draw). Lets two runs \
+             share a graph and attack while varying only the sample, or \
+             vice versa.")
+  in
   let exact =
     Arg.(
       value & flag
@@ -407,7 +420,100 @@ let stretch_cmd =
     (Cmd.info "stretch" ~doc)
     Term.(
       const stretch $ family_arg $ seed_arg $ n_arg $ adversary $ fraction
-      $ sample $ exact $ trace_arg $ metrics_arg $ domains_arg)
+      $ sample $ sample_seed $ exact $ trace_arg $ metrics_arg $ domains_arg)
+
+(* ---- serve-bench ---- *)
+
+let serve_bench family seed n readers duration churn_rate sample_pairs mix_s metrics_out trace
+    metrics =
+  let mix =
+    match Fg_serve.Loadgen.mix_of_string mix_s with
+    | Ok m -> m
+    | Error e ->
+      Printf.eprintf "error: bad --mix: %s\n" e;
+      exit 2
+  in
+  let record = metrics || Option.is_some metrics_out in
+  with_obs trace record 1 @@ fun () ->
+  let g0 = make_graph family seed n in
+  let fg = Fg.of_graph g0 in
+  let cfg =
+    {
+      Fg_serve.Loadgen.readers;
+      duration;
+      churn_rate;
+      mix;
+      sample_pairs;
+      min_live = max 2 (n / 4);
+      seed;
+    }
+  in
+  let report = Fg_serve.Loadgen.run fg cfg in
+  Format.printf "serve-bench %s(n=%d) churn=%.0f/s@.%a@." family n churn_rate
+    Fg_serve.Loadgen.pp_report report;
+  (* one complete exposure of the global registry — includes the
+     serve.<class>_ns histograms the readers recorded *)
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Fg_obs.Openmetrics.render Fg_obs.Metrics.global)))
+    metrics_out
+
+let serve_bench_cmd =
+  let readers =
+    Arg.(
+      value & opt int 2
+      & info [ "readers" ] ~docv:"N"
+          ~doc:"Reader domains issuing queries (clamped to the worker-pool size).")
+  in
+  let duration =
+    Arg.(value & opt float 2.0 & info [ "duration" ] ~docv:"SEC" ~doc:"Seconds of load.")
+  in
+  let churn =
+    Arg.(
+      value & opt float 20.0
+      & info [ "churn-rate" ] ~docv:"DEL/SEC"
+          ~doc:
+            "Adversarial deletions per second on the writer domain; each \
+             deletion heals and publishes a new snapshot generation (0 = \
+             static graph).")
+  in
+  let pairs =
+    Arg.(
+      value & opt int 4
+      & info [ "sample-pairs" ] ~docv:"K" ~doc:"BFS sources per stretch-sample query.")
+  in
+  let mix =
+    Arg.(
+      value
+      & opt string "distance=6,path=1,stretch=1,degree=2"
+      & info [ "mix" ] ~docv:"CLASS=W,.."
+          ~doc:
+            "Query-class weights over distance, path, stretch, degree \
+             (closed loop: each reader draws the next class by weight).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write one final OpenMetrics exposure (per-class serve.*_ns \
+             histograms included) to $(docv); implies $(b,--metrics). \
+             Validate with $(b,fg metrics --validate).")
+  in
+  let doc =
+    "Serve queries from reader domains against pinned snapshots while the \
+     adversary deletes at a fixed rate: queries/sec and tail latency under \
+     churn (the paper's repair-vs-usage concurrency, measured)."
+  in
+  Cmd.v
+    (Cmd.info "serve-bench" ~doc)
+    Term.(
+      const serve_bench $ family_arg $ seed_arg $ n_arg $ readers $ duration $ churn $ pairs
+      $ mix $ metrics_out $ trace_arg $ metrics_arg)
 
 (* ---- trace (replay a JSONL telemetry file) ---- *)
 
@@ -680,6 +786,7 @@ let () =
             simulate_cmd;
             heal_cmd;
             stretch_cmd;
+            serve_bench_cmd;
             route_cmd;
             trace_cmd;
             metrics_cmd;

@@ -62,8 +62,9 @@ let run params ~heal g0 ~attack =
   let continue_ = ref true in
   while !continue_ && !waves < params.max_waves do
     let g = current () in
-    (* in Forgiving mode the engine's per-generation snapshot is free *)
-    let now = loads ?csr:(Option.map Fg.csr fg) g in
+    (* in Forgiving mode the engine's published per-generation snapshot
+       is free: [publish] only re-publishes when the generation moved *)
+    let now = loads ?csr:(Option.map (fun fg -> (Fg.publish fg).Fg.csr) fg) g in
     let failures =
       Node_id.Tbl.fold
         (fun v l acc ->

@@ -1,18 +1,28 @@
 module Node_id = Fg_graph.Node_id
 module Adjacency = Fg_graph.Adjacency
 module Csr = Fg_graph.Csr
+module Store = Fg_graph.Snapshot_store
 
-(* A cached CSR snapshot plus the churn it has not absorbed yet. [version]
-   is the Adjacency.version the (snapshot + pending lists) account for: as
-   long as it matches the live graph, refreshing is one [Csr.apply_delta];
-   if it doesn't, someone mutated the graph behind the engine's back and we
-   rebuild from scratch. *)
-type snap_cache = {
-  mutable csr : Csr.t;
-  mutable version : int;
+(* The published unit: both CSR views of the same generation, so a reader
+   pinning once gets a {e consistent} (G, G') pair — stretch is a ratio of
+   distances across the two, and mixing generations would let a healed
+   path be compared against a newer G'. *)
+type snapshot = { csr : Csr.t; gprime_csr : Csr.t }
+
+(* Writer-side churn ledger for the currently published snapshot pair:
+   which Adjacency versions the pair (plus the pending lists) accounts
+   for, and the node churn accumulated since it was published. As long as
+   the live versions still match, the next publish is one
+   [Csr.apply_delta] per view; on a mismatch someone mutated a graph
+   behind the engine's back and we rebuild from scratch. *)
+type track = {
+  mutable vg : int;  (* Adjacency.version of [graph t] accounted for *)
+  mutable vgp : int;  (* Adjacency.version of [gprime t] accounted for *)
   mutable touched : Node_id.t list;
   mutable removed : Node_id.t list;
+  mutable gp_touched : Node_id.t list;  (* G' only ever adds *)
   mutable pending : int;
+  mutable gp_pending : int;
 }
 
 type t = {
@@ -20,8 +30,8 @@ type t = {
   alive : unit Node_id.Tbl.t;
   rt : Rt.ctx;
   mutable generation : int;  (* events applied since creation *)
-  mutable g_cache : snap_cache option;
-  mutable gp_cache : snap_cache option;
+  store : snapshot Store.t;
+  mutable track : track option;
 }
 
 let create ?policy () =
@@ -30,58 +40,92 @@ let create ?policy () =
     alive = Node_id.Tbl.create 64;
     rt = Rt.create_ctx ?policy ();
     generation = 0;
-    g_cache = None;
-    gp_cache = None;
+    store = Store.create ();
+    track = None;
   }
 
 let is_alive t v = Node_id.Tbl.mem t.alive v
 let generation t = t.generation
+let snapshot_store t = t.store
 
-(* ---- snapshot caches ---- *)
+(* ---- snapshot publication ---- *)
 
-(* Accumulating churn without a read in between is capped; past the cap the
-   cache is dropped rather than grown without bound. *)
+(* Accumulating churn without a publish in between is capped; past the cap
+   the ledger is dropped (next publish rebuilds) rather than grown without
+   bound. *)
 let max_pending = 4096
 
-let cache_get t ~gp = if gp then t.gp_cache else t.g_cache
-let cache_set t ~gp c = if gp then t.gp_cache <- c else t.g_cache <- c
-
-let note_cache t ~gp ~v0 ~v1 ~touched ~removed =
-  match cache_get t ~gp with
+let note_track t ~v0g ~v1g ~v0p ~v1p ~touched ~removed ~gp_touched =
+  match t.track with
   | None -> ()
-  | Some sc ->
-    if sc.version <> v0 || sc.pending > max_pending then cache_set t ~gp None
+  | Some tr ->
+    if tr.vg <> v0g || tr.vgp <> v0p || tr.pending > max_pending || tr.gp_pending > max_pending
+    then t.track <- None
     else begin
-      sc.touched <- List.rev_append touched sc.touched;
-      sc.removed <- List.rev_append removed sc.removed;
-      sc.pending <- sc.pending + List.length touched + List.length removed;
-      sc.version <- v1
+      tr.touched <- List.rev_append touched tr.touched;
+      tr.removed <- List.rev_append removed tr.removed;
+      tr.pending <- tr.pending + List.length touched + List.length removed;
+      tr.gp_touched <- List.rev_append gp_touched tr.gp_touched;
+      tr.gp_pending <- tr.gp_pending + List.length gp_touched;
+      tr.vg <- v1g;
+      tr.vgp <- v1p
     end
 
-let snapshot t ~gp =
-  let g = if gp then t.gprime else Rt.image t.rt in
-  let cur = Adjacency.version g in
-  match cache_get t ~gp with
-  | Some sc when sc.version = cur ->
-    if sc.pending > 0 then begin
+(* Refresh-and-publish: the single writer's path from live state to an
+   immutable snapshot in the store. Incremental ([Csr.apply_delta] per
+   view, skipped entirely for a view with no churn — deletions never touch
+   G') when the ledger covers the live versions; full rebuild otherwise.
+   Re-publishing after an external mutation reuses the current generation
+   number, which the store permits (non-strict monotonicity). *)
+let publish t =
+  let img = Rt.image t.rt in
+  let vg = Adjacency.version img and vgp = Adjacency.version t.gprime in
+  match (t.track, Store.peek t.store) with
+  | Some tr, Some s when tr.vg = vg && tr.vgp = vgp ->
+    let prev = s.Store.value in
+    if s.Store.gen = t.generation && tr.pending = 0 && tr.gp_pending = 0 then prev
+    else begin
       let t_apply = Fg_obs.Profile.start () in
-      sc.csr <- Csr.apply_delta sc.csr ~touched:sc.touched ~removed:sc.removed g;
+      let csr =
+        if tr.pending = 0 then prev.csr
+        else Csr.apply_delta prev.csr ~touched:tr.touched ~removed:tr.removed img
+      in
+      let gprime_csr =
+        if tr.gp_pending = 0 then prev.gprime_csr
+        else Csr.apply_delta prev.gprime_csr ~touched:tr.gp_touched ~removed:[] t.gprime
+      in
       Fg_obs.Profile.stamp Fg_obs.Profile.Csr_apply t_apply;
-      sc.touched <- [];
-      sc.removed <- [];
-      sc.pending <- 0
-    end;
-    sc.csr
+      tr.touched <- [];
+      tr.removed <- [];
+      tr.gp_touched <- [];
+      tr.pending <- 0;
+      tr.gp_pending <- 0;
+      let snap = { csr; gprime_csr } in
+      Store.publish t.store ~gen:t.generation snap;
+      snap
+    end
   | _ ->
     let t_rebuild = Fg_obs.Profile.start () in
-    let csr = Csr.of_adjacency g in
+    let csr = Csr.of_adjacency img in
+    let gprime_csr = Csr.of_adjacency t.gprime in
     Fg_obs.Profile.stamp Fg_obs.Profile.Csr_rebuild t_rebuild;
-    cache_set t ~gp
-      (Some { csr; version = cur; touched = []; removed = []; pending = 0 });
-    csr
+    let snap = { csr; gprime_csr } in
+    Store.publish t.store ~gen:t.generation snap;
+    t.track <-
+      Some
+        {
+          vg;
+          vgp;
+          touched = [];
+          removed = [];
+          gp_touched = [];
+          pending = 0;
+          gp_pending = 0;
+        };
+    snap
 
-let csr t = snapshot t ~gp:false
-let gprime_csr t = snapshot t ~gp:true
+let csr t = (publish t).csr
+let gprime_csr t = (publish t).gprime_csr
 
 (* ---- the delta choke point ----
 
@@ -92,8 +136,8 @@ let gprime_csr t = snapshot t ~gp:true
    [fg.delta] trace point.
 
    The plain [insert]/[delete]/[delete_batch] wrappers instead go through
-   [run_event]: when nothing would consume the delta — no snapshot cache
-   installed and tracing off — the event body runs with no recorder at all,
+   [run_event]: when nothing would consume the delta — no churn ledger
+   live and tracing off — the event body runs with no recorder at all,
    so the delta machinery (builder tables, net edge lists, sorts) costs
    nothing on the undecorated heal path. *)
 
@@ -117,32 +161,29 @@ let with_event t event f =
     try f (Some b)
     with e ->
       Rt.set_recorder t.rt None;
-      t.g_cache <- None;
-      t.gp_cache <- None;
+      (* drop the ledger, keep the store: the published snapshot is still a
+         faithful image of its own generation *)
+      t.track <- None;
       raise e
   in
   Rt.set_recorder t.rt None;
   t.generation <- t.generation + 1;
   let d = Delta.build ~gen:t.generation b in
-  if t.g_cache <> None then
-    note_cache t ~gp:false ~v0:v0g ~v1:(Adjacency.version img)
-      ~touched:(Delta.touched d) ~removed:(Delta.removed d);
-  if t.gp_cache <> None then
-    note_cache t ~gp:true ~v0:v0p ~v1:(Adjacency.version t.gprime)
-      ~touched:(gp_touched d) ~removed:[];
+  if Option.is_some t.track then
+    note_track t ~v0g ~v1g:(Adjacency.version img) ~v0p ~v1p:(Adjacency.version t.gprime)
+      ~touched:(Delta.touched d) ~removed:(Delta.removed d) ~gp_touched:(gp_touched d);
   if Fg_obs.Trace.enabled () then
     Fg_obs.Trace.point "fg.delta" ~attrs:(Delta.to_attrs d);
   (d, result)
 
 let run_event t event f =
-  if t.g_cache <> None || t.gp_cache <> None || Fg_obs.Trace.enabled () then
+  if Option.is_some t.track || Fg_obs.Trace.enabled () then
     ignore (with_event t event f : Delta.t * _)
   else begin
     (* no recorder: Rt's choke points see [None] and record nothing *)
     (try ignore (f None)
      with e ->
-       t.g_cache <- None;
-       t.gp_cache <- None;
+       t.track <- None;
        raise e);
     t.generation <- t.generation + 1
   end

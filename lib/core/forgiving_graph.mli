@@ -39,7 +39,7 @@ val insert : t -> Node_id.t -> Node_id.t list -> unit
     replayed from [G_0], reproduces [graph t]/[gprime t] exactly.
 
     The plain entry points only build a delta when something consumes it —
-    a live {!csr}/{!gprime_csr} snapshot cache or an enabled trace sink;
+    a live churn ledger feeding {!publish} or an enabled trace sink;
     otherwise the event runs with no recorder installed and the delta
     machinery costs nothing. *)
 val insert_delta : t -> Node_id.t -> Node_id.t list -> Delta.t
@@ -90,17 +90,45 @@ val gprime : t -> Fg_graph.Adjacency.t
     produced. [of_graph] starts at 0. *)
 val generation : t -> int
 
-(** [csr t] is a CSR snapshot of [graph t], cached per generation: the
-    first call after an event refreshes the previous snapshot via
-    {!Fg_graph.Csr.apply_delta} with the pending deltas (O(n + Δ) array
-    work) instead of rebuilding, and repeated calls within a generation are
-    free. The result is structurally identical to
-    [Csr.of_adjacency (graph t)] — reports are byte-identical either way.
-    If the underlying graph was mutated externally (see {!Fg_graph.Adjacency.version}),
-    the cache notices and rebuilds from scratch. *)
+(** {2 Snapshots}
+
+    The engine no longer caches CSR views internally: it {e publishes}
+    them into a {!Fg_graph.Snapshot_store} — an atomic generation-tagged
+    cell with epoch-based reclamation — and every former cache consumer is
+    a view over that store. The store is what makes the paper's
+    repair-vs-usage concurrency real: reader domains pin a published
+    generation and answer queries against it while this (single-writer)
+    engine keeps healing and publishing (see {!Fg_serve}). *)
+
+(** One published unit: CSR views of [graph t] {e and} [gprime t] built
+    from the same generation, so cross-graph metrics (stretch = distance
+    ratio) never mix generations. *)
+type snapshot = { csr : Fg_graph.Csr.t; gprime_csr : Fg_graph.Csr.t }
+
+(** [publish t] brings the store's snapshot up to the current generation
+    and returns it: the first call after an event refreshes the previous
+    snapshot via {!Fg_graph.Csr.apply_delta} with the accumulated churn
+    (O(n + Δ) array work, and a view with no churn — G' under deletions —
+    is reused as is) instead of rebuilding; repeated calls within a
+    generation are free. The result is structurally identical to
+    [Csr.of_adjacency] of the live graphs — reports are byte-identical
+    either way. If an underlying graph was mutated externally (see
+    {!Fg_graph.Adjacency.version}), the publish notices and rebuilds from
+    scratch. {b Writer-side only}: call from the domain that mutates [t];
+    concurrent readers go through {!snapshot_store} pins. *)
+val publish : t -> snapshot
+
+(** The store [publish] feeds. Readers on other domains register a
+    {!Fg_graph.Snapshot_store.reader} and pin/unpin around queries; the
+    writer retires superseded snapshots only once every reader epoch has
+    advanced past them. *)
+val snapshot_store : t -> snapshot Fg_graph.Snapshot_store.t
+
+(** [csr t] is [(publish t).csr] — the historical accessor, now a thin
+    view over the store. Writer-side only, like {!publish}. *)
 val csr : t -> Fg_graph.Csr.t
 
-(** [gprime_csr t] is the same cache for [gprime t]. *)
+(** [gprime_csr t] is [(publish t).gprime_csr]. *)
 val gprime_csr : t -> Fg_graph.Csr.t
 
 val is_alive : t -> Node_id.t -> bool

@@ -19,23 +19,35 @@ type t = {
   fg : Forgiving_graph.t;
   initial : P.t;
   g0 : Adjacency.t;  (* private copy of G_0, the replay base *)
+  publish : bool;  (* publish a store snapshot after every event *)
   mutable deltas : Delta.t list;  (* reversed *)
   mutable n : int;
   mutable cursor_k : int;
   mutable cursor_p : P.t;
 }
 
-let create g0 =
+let create ?(publish_snapshots = false) g0 =
   (* copy: the caller keeps ownership of its graph, and replays stay
      anchored to the G_0 that was actually adopted *)
   let g0 = Adjacency.copy g0 in
   let fg = Forgiving_graph.of_graph g0 in
+  if publish_snapshots then ignore (Forgiving_graph.publish fg : Forgiving_graph.snapshot);
   let initial = P.of_adjacency g0 in
-  { fg; initial; g0; deltas = []; n = 0; cursor_k = 0; cursor_p = initial }
+  {
+    fg;
+    initial;
+    g0;
+    publish = publish_snapshots;
+    deltas = [];
+    n = 0;
+    cursor_k = 0;
+    cursor_p = initial;
+  }
 
 let push t d =
   t.deltas <- d :: t.deltas;
-  t.n <- t.n + 1
+  t.n <- t.n + 1;
+  if t.publish then ignore (Forgiving_graph.publish t.fg : Forgiving_graph.snapshot)
 
 let insert t v nbrs = push t (Forgiving_graph.insert_delta t.fg v nbrs)
 let delete t v = push t (fst (Forgiving_graph.delete_delta t.fg v))

@@ -23,8 +23,14 @@ val pp_event : Format.formatter -> event -> unit
 
 type t
 
-(** [create g0] snapshots the initial network as event 0. *)
-val create : Fg_graph.Adjacency.t -> t
+(** [create g0] snapshots the initial network as event 0. With
+    [~publish_snapshots:true] the wrapped engine also publishes a CSR
+    snapshot into its {!Fg_graph.Snapshot_store} after {e every} recorded
+    event, so concurrent readers can pin each intermediate generation —
+    the recorded history and the served generations then correspond
+    one-to-one. (Default off: publication builds CSRs the pure recorder
+    does not need.) *)
+val create : ?publish_snapshots:bool -> Fg_graph.Adjacency.t -> t
 
 val insert : t -> Node_id.t -> Node_id.t list -> unit
 val delete : t -> Node_id.t -> unit

@@ -306,8 +306,11 @@ let check_stretch_bound ?domains t =
   let bound = Forgiving_graph.stretch_bound t in
   let live = Array.of_list (List.sort Node_id.compare (Forgiving_graph.live_nodes t)) in
   let n = Array.length live in
-  let cg = Forgiving_graph.csr t in
-  let cgp = Forgiving_graph.gprime_csr t in
+  (* one publish: a consistent (G, G') pair of the current generation from
+     the snapshot store, not two independent cache reads *)
+  let snap = Forgiving_graph.publish t in
+  let cg = snap.Forgiving_graph.csr in
+  let cgp = snap.Forgiving_graph.gprime_csr in
   let idx csr = Array.map (fun v -> Option.value (Fg_graph.Csr.index csr v) ~default:(-1)) live in
   let live_g = idx cg and live_gp = idx cgp in
   let word = Fg_graph.Bfs_kernel.word_bits in

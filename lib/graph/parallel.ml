@@ -23,6 +23,20 @@ let resolve = function None -> !default_domains | Some d -> clamp d
    workers — surplus workers take no ticket, skip the job's [init], and go
    straight back to sleep. *)
 
+exception Stopped
+
+(* Detached tasks ([submit]/[await]) ride on the same parked workers as
+   barrier jobs. Each task carries its own mutex/condvar so awaiters
+   never contend on the pool lock. *)
+type task_state = Pending | Done | Failed of exn
+
+type task = {
+  t_mu : Mutex.t;
+  t_cond : Condition.t;
+  mutable t_state : task_state;
+  t_fn : unit -> unit;
+}
+
 type pool = {
   mu : Mutex.t;
   work : Condition.t;  (* workers park here between jobs *)
@@ -32,21 +46,28 @@ type pool = {
   mutable busy : int;  (* workers that have not finished the current job *)
   mutable stop : bool;
   mutable workers : unit Domain.t array;
+  tasks : task Queue.t;  (* detached tasks awaiting a free worker *)
 }
+
+let finish_task t st =
+  Mutex.lock t.t_mu;
+  t.t_state <- st;
+  Condition.broadcast t.t_cond;
+  Mutex.unlock t.t_mu
 
 let worker p =
   let last = ref 0 in
   let running = ref true in
   while !running do
     Mutex.lock p.mu;
-    while (not p.stop) && p.seq = !last do
+    while (not p.stop) && p.seq = !last && Queue.is_empty p.tasks do
       Condition.wait p.work p.mu
     done;
     if p.stop then begin
       Mutex.unlock p.mu;
       running := false
     end
-    else begin
+    else if p.seq <> !last then begin
       last := p.seq;
       let job = p.job in
       Mutex.unlock p.mu;
@@ -58,6 +79,12 @@ let worker p =
       if p.busy = 0 then Condition.signal p.idle;
       Mutex.unlock p.mu
     end
+    else begin
+      let t = Queue.pop p.tasks in
+      Mutex.unlock p.mu;
+      let st = try t.t_fn (); Done with e -> Failed e in
+      finish_task t st
+    end
   done
 
 let pool : pool option ref = ref None
@@ -68,7 +95,12 @@ let shutdown_pool p =
   p.stop <- true;
   Condition.broadcast p.work;
   Mutex.unlock p.mu;
-  Array.iter Domain.join p.workers
+  Array.iter Domain.join p.workers;
+  (* Workers are joined, so nobody will ever pop the queue again: fail the
+     stranded tasks so their awaiters are released instead of hanging. *)
+  let orphans = Queue.fold (fun acc t -> t :: acc) [] p.tasks in
+  Queue.clear p.tasks;
+  List.iter (fun t -> finish_task t (Failed Stopped)) orphans
 
 let get_pool () =
   Mutex.lock pool_mu;
@@ -86,6 +118,7 @@ let get_pool () =
           busy = 0;
           stop = false;
           workers = [||];
+          tasks = Queue.create ();
         }
       in
       p.workers <- Array.init (max_domains () - 1) (fun _ -> Domain.spawn (fun () -> worker p));
@@ -177,3 +210,38 @@ let map ?domains ~init ~f n =
   end
 
 let iter ?domains ~init ~f n = ignore (map ?domains ~init ~f n)
+
+(* ---- detached tasks ---- *)
+
+let pool_size () = max_domains () - 1
+
+let submit fn =
+  let t = { t_mu = Mutex.create (); t_cond = Condition.create (); t_state = Pending; t_fn = fn } in
+  let p = get_pool () in
+  Mutex.lock p.mu;
+  if p.stop then begin
+    (* raced with [shutdown]: this pool's workers are gone (or going) and
+       will never pop the queue, so fail fast rather than strand [await] *)
+    Mutex.unlock p.mu;
+    finish_task t (Failed Stopped)
+  end
+  else begin
+    Queue.add t p.tasks;
+    Condition.signal p.work;
+    Mutex.unlock p.mu
+  end;
+  t
+
+let await t =
+  Mutex.lock t.t_mu;
+  let rec wait () =
+    match t.t_state with
+    | Pending ->
+      Condition.wait t.t_cond t.t_mu;
+      wait ()
+    | Done -> Mutex.unlock t.t_mu
+    | Failed e ->
+      Mutex.unlock t.t_mu;
+      raise e
+  in
+  wait ()

@@ -57,3 +57,40 @@ val map : ?domains:int -> init:(unit -> 's) -> f:('s -> int -> 'a) -> int -> 'a 
 
 (** [iter ?domains ~init ~f n] is {!map} without collecting results. *)
 val iter : ?domains:int -> init:(unit -> 's) -> f:('s -> int -> unit) -> int -> unit
+
+(** {1 Detached tasks}
+
+    Long-lived work — e.g. the serving tier's reader loops — does not fit
+    the barrier-style {!map}: it should occupy one worker until told to
+    stop, while the calling domain keeps doing its own (writer) work.
+    {!submit} hands a thunk to the first free pool worker; {!await} blocks
+    until it finishes and re-raises its exception, if any.
+
+    Caveats (by design, to keep the pool simple):
+    - A barrier job ({!map}/{!iter} with [domains > 1]) counts {e every}
+      worker, so it will wait for long-running submitted tasks to finish
+      before returning. Don't mix a multi-domain {!map} with long-lived
+      tasks in flight.
+    - Don't {!await} from inside a pool task: with every worker occupied
+      the awaited task may never be scheduled.
+    - Stop long-lived task loops (via your own flag) before calling
+      {!shutdown}; shutdown joins workers, which waits for running tasks
+      to return. *)
+
+type task
+
+exception Stopped
+(** Raised by {!await} when the task was discarded because the pool shut
+    down before a worker picked it up. *)
+
+(** [submit fn] enqueues [fn] for the first free pool worker (spawning the
+    pool if needed) and returns immediately. *)
+val submit : (unit -> unit) -> task
+
+(** [await t] blocks until [t] finishes; re-raises the task's exception if
+    it failed, raises {!Stopped} if the pool shut down before running it. *)
+val await : task -> unit
+
+(** Number of pool worker domains ([max 2 (available ()) - 1], so always
+    ≥ 1): the concurrency ceiling for submitted tasks. *)
+val pool_size : unit -> int

@@ -1,0 +1,135 @@
+(* Single-writer publication cell with epoch-based reclamation.
+
+   Memory-safety argument, in full, because everything else in the serving
+   tier leans on it:
+
+   - The store keeps an epoch counter E, bumped by one per publish (after
+     the new snapshot is installed). A snapshot replaced by a publish that
+     bumped E to e is "retired at e" and parked on a writer-private list.
+   - A reader slot holds either [quiescent] (= max_int) or the epoch the
+     reader announced. [pin] first stores the observed epoch a into the
+     slot, then loads the current snapshot. OCaml [Atomic] operations are
+     seq_cst, so the slot store is globally ordered before the snapshot
+     load: whatever snapshot the reader obtains was the current snapshot
+     at some point after the announcement became visible. A snapshot
+     retired at e stopped being current strictly before E reached e, so a
+     reader announcing a >= e can never obtain it, i.e. any snapshot a
+     pinned reader can reference was retired at an epoch > its announced
+     value (or not retired at all).
+   - The writer reclaims retired entries with retire epoch <= the minimum
+     announced epoch across all slots. By the above no pinned reader can
+     reference such an entry. Announcing "too old" a value (the reader was
+     preempted between the epoch load and the slot store, or a nested pin
+     keeps the outer announcement) is merely conservative: reclamation is
+     delayed, never unsound.
+   - [pin] is two atomic loads + one atomic store, [unpin] one atomic
+     store; no loops, no CAS, no mutex — wait-free, and reader progress is
+     independent of writer activity. The writer's bookkeeping (retired
+     list, stats) is plain mutable state because there is exactly one
+     writer; only [current], [epoch] and the slots are shared. *)
+
+type 'a snapshot = { gen : int; value : 'a }
+
+let quiescent = max_int
+
+(* Registered reader slots, as a Treiber-style push-only list: readers
+   register by CAS-ing a new cons cell onto the head, the writer only
+   traverses. Slots are never removed — a handful of long-lived workers,
+   not per-query churn. *)
+type 'a t = {
+  current : 'a snapshot option Atomic.t;
+  epoch : int Atomic.t;
+  slots : int Atomic.t list Atomic.t;
+  (* Writer-private from here on. *)
+  mutable retired : (int * 'a snapshot) list;
+  mutable published : int;
+  mutable reclaimed : int;
+  mutable max_lag : int;
+}
+
+let create () =
+  {
+    current = Atomic.make None;
+    epoch = Atomic.make 0;
+    slots = Atomic.make [];
+    retired = [];
+    published = 0;
+    reclaimed = 0;
+    max_lag = 0;
+  }
+
+let peek t = Atomic.get t.current
+let current_gen t = match Atomic.get t.current with Some s -> s.gen | None -> -1
+
+let min_announced t =
+  List.fold_left (fun acc slot -> min acc (Atomic.get slot)) quiescent (Atomic.get t.slots)
+
+let reclaim t =
+  match t.retired with
+  | [] -> 0
+  | retired ->
+    let horizon = min_announced t in
+    let keep, drop = List.partition (fun (e, _) -> e > horizon) retired in
+    t.retired <- keep;
+    let n = List.length drop in
+    t.reclaimed <- t.reclaimed + n;
+    n
+
+let publish t ~gen value =
+  (match Atomic.get t.current with
+  | Some s when gen < s.gen ->
+    invalid_arg
+      (Printf.sprintf "Snapshot_store.publish: generation went backwards (%d after %d)" gen s.gen)
+  | _ -> ());
+  let prev = Atomic.get t.current in
+  Atomic.set t.current (Some { gen; value });
+  let e = 1 + Atomic.fetch_and_add t.epoch 1 in
+  t.published <- t.published + 1;
+  (match prev with None -> () | Some s -> t.retired <- (e, s) :: t.retired);
+  ignore (reclaim t);
+  let lag = List.length t.retired in
+  if lag > t.max_lag then t.max_lag <- lag
+
+type 'a reader = { slot : int Atomic.t; store : 'a t; mutable depth : int }
+
+let reader t =
+  let slot = Atomic.make quiescent in
+  let rec push () =
+    let head = Atomic.get t.slots in
+    if not (Atomic.compare_and_set t.slots head (slot :: head)) then push ()
+  in
+  push ();
+  { slot; store = t; depth = 0 }
+
+let pin r =
+  if r.depth = 0 then Atomic.set r.slot (Atomic.get r.store.epoch);
+  match Atomic.get r.store.current with
+  | Some s ->
+    r.depth <- r.depth + 1;
+    s
+  | None ->
+    if r.depth = 0 then Atomic.set r.slot quiescent;
+    invalid_arg "Snapshot_store.pin: nothing published"
+
+let unpin r =
+  if r.depth <= 0 then invalid_arg "Snapshot_store.unpin: not pinned";
+  r.depth <- r.depth - 1;
+  if r.depth = 0 then Atomic.set r.slot quiescent
+
+let with_pin r f =
+  let s = pin r in
+  Fun.protect ~finally:(fun () -> unpin r) (fun () -> f s)
+
+type stats = { published : int; retired : int; reclaimed : int; max_lag : int }
+
+let stats (t : _ t) =
+  {
+    published = t.published;
+    retired = List.length t.retired;
+    reclaimed = t.reclaimed;
+    max_lag = t.max_lag;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "published=%d retired=%d reclaimed=%d max_lag=%d" s.published s.retired
+    s.reclaimed s.max_lag

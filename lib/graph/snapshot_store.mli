@@ -1,0 +1,102 @@
+(** Wait-free single-writer publication cell with epoch-based reclamation
+    — the serving tier's snapshot store.
+
+    The paper's model runs repair and usage {e concurrently}: the network
+    keeps answering low-stretch path queries while the adversary deletes
+    and the healer repairs. This cell is the synchronization primitive
+    that makes that real in one address space: a single writer (the heal
+    loop) publishes generation-tagged immutable snapshots with one
+    [Atomic.set]; any number of readers pin the current epoch, read the
+    snapshot, run whatever kernel they like against it, and unpin —
+    {b no locks, no CAS loops, no blocking} on the read side. A reader
+    executes a bounded number of atomic loads/stores per {!pin}/{!unpin}
+    regardless of writer activity, so readers are wait-free by
+    construction and a reader can never delay a heal.
+
+    {2 Reclamation protocol}
+
+    Publishing generation [k+1] retires the generation-[k] snapshot, but a
+    reader may still be computing against it. Retired snapshots are kept
+    on a writer-side list tagged with the epoch at which they were
+    retired; the store's epoch counter advances by one per publication.
+    A reader {e announces} the epoch it observed before loading the
+    current snapshot ({!pin} stores it into the reader's slot); the
+    announcement is ordered before the snapshot load, so a reader whose
+    slot holds epoch [a] can only ever reference snapshots retired at
+    epochs strictly above [a]. The writer therefore reclaims a retired
+    snapshot once its retire epoch is [<=] the minimum announced epoch
+    over all reader slots (quiescent slots announce [max_int]). In OCaml
+    "reclaim" means dropping the store's reference so the GC can free the
+    snapshot — for {!Csr.t} payloads that releases the off-heap Bigarray
+    rows — and, as importantly, it bounds the {e reclamation lag}: the
+    number of dead generations pinned live by stalled readers, which
+    {!stats} exposes and the serve bench reports.
+
+    Payloads must be immutable (or at least never mutated after
+    {!publish}); the store shares them across domains without copies.
+    All [reader] operations are single-owner: one reader handle per
+    domain, created once and reused. {!publish} and {!stats} must only be
+    called from the (single) writer. *)
+
+type 'a snapshot = private { gen : int; value : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [publish t ~gen v] atomically replaces the current snapshot, retires
+    the previous one, and reclaims every retired snapshot no announced
+    reader epoch still covers. Generations must be non-decreasing
+    (re-publishing the same generation is allowed: the cache-rebuild path
+    after an external mutation does exactly that); raises
+    [Invalid_argument] on a decrease. Writer-side only. *)
+val publish : 'a t -> gen:int -> 'a -> unit
+
+(** The current snapshot without pinning — for the writer (which never
+    races itself) and for opportunistic peeks where a torn generation is
+    acceptable. [None] until the first {!publish}. *)
+val peek : 'a t -> 'a snapshot option
+
+(** Generation of the current snapshot, [-1] if nothing is published. *)
+val current_gen : 'a t -> int
+
+(** [reclaim t] runs a reclamation scan outside {!publish} (e.g. from an
+    idle writer) and returns how many retired snapshots were dropped. *)
+val reclaim : 'a t -> int
+
+(** {1 Readers} *)
+
+type 'a reader
+
+(** [reader t] registers a new announcement slot. Slots are never
+    deregistered — create one reader per long-lived worker, not one per
+    query. Safe to call from any domain (lock-free registration). *)
+val reader : 'a t -> 'a reader
+
+(** [pin r] announces the current epoch and returns the current snapshot,
+    which is guaranteed not to be reclaimed until the matching {!unpin}.
+    Wait-free: two atomic loads and one atomic store. Pins nest; the
+    outermost pin's epoch protects (inner pins may observe newer
+    snapshots, which the older announcement also covers). Raises
+    [Invalid_argument] if nothing is published yet. *)
+val pin : 'a reader -> 'a snapshot
+
+(** [unpin r] releases the innermost {!pin}; the outermost release marks
+    the slot quiescent (one atomic store). Raises [Invalid_argument] if
+    not pinned. *)
+val unpin : 'a reader -> unit
+
+(** [with_pin r f] pins around [f] (unpins on exception too). *)
+val with_pin : 'a reader -> ('a snapshot -> 'b) -> 'b
+
+(** {1 Accounting (writer-side reads)} *)
+
+type stats = {
+  published : int;  (** snapshots published since [create] *)
+  retired : int;  (** retired but not yet reclaimed — the current lag *)
+  reclaimed : int;  (** retired snapshots dropped so far *)
+  max_lag : int;  (** worst [retired] observed right after a publish *)
+}
+
+val stats : 'a t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -16,8 +16,9 @@ type summary = { rows : row list; steps_checked : int; violations : int }
 
 let measure_now fg =
   let live = Fg.live_nodes fg in
+  let snap = Fg.publish fg in
   let stretch =
-    Fg_metrics.Stretch.exact ~graph_csr:(Fg.csr fg) ~reference_csr:(Fg.gprime_csr fg)
+    Fg_metrics.Stretch.exact ~graph_csr:snap.Fg.csr ~reference_csr:snap.Fg.gprime_csr
       ~graph:(Fg.graph fg) ~reference:(Fg.gprime fg) live
   in
   let degree =

@@ -10,17 +10,24 @@ let default_seed = 42
 
 (* One-slot memo for CSR snapshots: experiment code often computes several
    metrics over the same graph back to back (e.g. diameter then average
-   path length in E0). Keyed by physical identity and [Adjacency.version],
-   so an in-place mutation of the memoized graph invalidates the slot. *)
-let csr_slot : (Fg_graph.Adjacency.t * int * Fg_graph.Csr.t) option ref = ref None
+   path length in E0). The snapshot itself lives in a [Snapshot_store]
+   (same publication cell as the serving tier, with its own monotone
+   generation counter since this memo spans unrelated graphs); the key —
+   physical identity plus [Adjacency.version], so an in-place mutation of
+   the memoized graph invalidates the slot — stays writer-side. *)
+let csr_store : Fg_graph.Csr.t Fg_graph.Snapshot_store.t = Fg_graph.Snapshot_store.create ()
+let csr_key : (Fg_graph.Adjacency.t * int) option ref = ref None
 
 let csr_of g =
   let v = Fg_graph.Adjacency.version g in
-  match !csr_slot with
-  | Some (g0, v0, c) when g0 == g && v0 = v -> c
+  match (!csr_key, Fg_graph.Snapshot_store.peek csr_store) with
+  | Some (g0, v0), Some s when g0 == g && v0 = v -> s.Fg_graph.Snapshot_store.value
   | _ ->
     let c = Fg_graph.Csr.of_adjacency g in
-    csr_slot := Some (g, v, c);
+    Fg_graph.Snapshot_store.publish csr_store
+      ~gen:(Fg_graph.Snapshot_store.current_gen csr_store + 1)
+      c;
+    csr_key := Some (g, v);
     c
 
 let families =

@@ -1,0 +1,144 @@
+module Csr = Fg_graph.Csr
+module Rng = Fg_graph.Rng
+module Store = Fg_graph.Snapshot_store
+module Fg = Fg_core.Forgiving_graph
+
+type query =
+  | Distance of Fg_graph.Node_id.t * Fg_graph.Node_id.t
+  | Path of Fg_graph.Node_id.t * Fg_graph.Node_id.t
+  | Stretch_sample of { seed : int; pairs : int }
+  | Degree_check of Fg_graph.Node_id.t
+
+type answer =
+  | Dist of int option
+  | Route of Fg_graph.Node_id.t list option
+  | Stretch of { max_stretch : float; pairs : int }
+  | Degree of { degree : int; bound : int; ok : bool }
+
+type result = { gen : int; answer : answer }
+
+let class_of = function
+  | Distance _ -> "distance"
+  | Path _ -> "path"
+  | Stretch_sample _ -> "stretch"
+  | Degree_check _ -> "degree"
+
+(* Registered once at module initialization; recording into them is gated
+   on [Metrics.is_recording] at the emission site (fg_lint R4). *)
+let hdr_distance = Fg_obs.Metrics.hdr "serve.distance_ns"
+let hdr_path = Fg_obs.Metrics.hdr "serve.path_ns"
+let hdr_stretch = Fg_obs.Metrics.hdr "serve.stretch_ns"
+let hdr_degree = Fg_obs.Metrics.hdr "serve.degree_ns"
+
+let hdr_of = function
+  | Distance _ -> hdr_distance
+  | Path _ -> hdr_path
+  | Stretch_sample _ -> hdr_stretch
+  | Degree_check _ -> hdr_degree
+
+(* One scratch per CSR, keyed by physical identity: snapshots are
+   immutable and a new generation is a new CSR value, so a worker pays
+   one scratch allocation per published generation, not per query. *)
+type cached = { key : Csr.t; scratch : Csr.scratch }
+type worker = { mutable g : cached option; mutable gp : cached option }
+
+let worker () = { g = None; gp = None }
+
+let scratch_of slot set csr =
+  match slot with
+  | Some c when c.key == csr -> c.scratch
+  | _ ->
+    let s = Csr.scratch csr in
+    set { key = csr; scratch = s };
+    s
+
+let g_scratch w csr = scratch_of w.g (fun c -> w.g <- Some c) csr
+let gp_scratch w csr = scratch_of w.gp (fun c -> w.gp <- Some c) csr
+
+let eval w (snap : Fg.snapshot) q =
+  match q with
+  | Distance (a, b) -> (
+    let g = snap.Fg.csr in
+    match (Csr.index g a, Csr.index g b) with
+    | Some ia, Some ib ->
+      let d = Csr.bfs g (g_scratch w g) ia in
+      Dist (if d.(ib) < 0 then None else Some d.(ib))
+    | _ -> Dist None)
+  | Path (a, b) -> (
+    let g = snap.Fg.csr in
+    match (Csr.index g a, Csr.index g b) with
+    | Some ia, Some ib ->
+      (* BFS from the destination, then walk downhill from the source:
+         each hop goes to the first (ascending) neighbor one closer to
+         [b], which is deterministic and yields a shortest path. *)
+      let d = Csr.bfs g (g_scratch w g) ib in
+      if d.(ia) < 0 then Route None
+      else begin
+        let rev = ref [ Csr.id g ia ] and cur = ref ia in
+        while d.(!cur) > 0 do
+          let next = ref (-1) in
+          Csr.iter_row (fun nb -> if !next < 0 && d.(nb) = d.(!cur) - 1 then next := nb) g !cur;
+          assert (!next >= 0);
+          cur := !next;
+          rev := Csr.id g !cur :: !rev
+        done;
+        Route (Some (List.rev !rev))
+      end
+    | _ -> Route None)
+  | Degree_check v ->
+    let deg =
+      match Csr.index snap.Fg.csr v with Some i -> Csr.degree snap.Fg.csr i | None -> 0
+    in
+    let gdeg =
+      match Csr.index snap.Fg.gprime_csr v with
+      | Some i -> Csr.degree snap.Fg.gprime_csr i
+      | None -> 0
+    in
+    let bound = 3 * gdeg in
+    Degree { degree = deg; bound; ok = deg <= bound }
+  | Stretch_sample { seed; pairs } ->
+    let g = snap.Fg.csr and gp = snap.Fg.gprime_csr in
+    let n = Csr.num_nodes g in
+    if n = 0 || pairs <= 0 then Stretch { max_stretch = 0.; pairs = 0 }
+    else begin
+      let rng = Rng.create seed in
+      let sg = g_scratch w g and sgp = gp_scratch w gp in
+      let max_st = ref 0. and count = ref 0 in
+      for _ = 1 to pairs do
+        let src = Rng.int rng n in
+        let dg = Csr.bfs g sg src in
+        (* every node of G is live, hence present in G'; defensive skip
+           if a foreign snapshot pair ever violates that *)
+        match Csr.index gp (Csr.id g src) with
+        | None -> ()
+        | Some src_gp ->
+          let dgp = Csr.bfs gp sgp src_gp in
+          let k = Csr.visited_count sg in
+          for j = 1 to k - 1 do
+            let tgt = Csr.visited sg j in
+            match Csr.index gp (Csr.id g tgt) with
+            | None -> ()
+            | Some tgt_gp ->
+              let dp = dgp.(tgt_gp) in
+              if dp > 0 then begin
+                incr count;
+                let st = float_of_int dg.(tgt) /. float_of_int dp in
+                if st > !max_st then max_st := st
+              end
+          done
+      done;
+      Stretch { max_stretch = !max_st; pairs = !count }
+    end
+
+let answer w (s : Fg.snapshot Store.snapshot) q = { gen = s.Store.gen; answer = eval w s.Store.value q }
+let serve w r q = Store.with_pin r (fun s -> answer w s q)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let serve_timed w r local q =
+  let t0 = now_ns () in
+  let res = serve w r q in
+  let dt = now_ns () - t0 in
+  Fg_obs.Hdr.record local dt;
+  if Fg_obs.Metrics.is_recording () then Fg_obs.Hdr.record_sharded (hdr_of q) dt;
+  res

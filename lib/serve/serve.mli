@@ -1,0 +1,82 @@
+(** Query front-end of the serving tier: the kernels a reader domain runs
+    against a pinned snapshot while the writer keeps healing.
+
+    The paper's network serves {e paths} under attack; this module is the
+    in-process version of that service. Every query executes purely
+    against one {!Fg_core.Forgiving_graph.snapshot} — an immutable
+    (CSR of G, CSR of G') pair of a single generation — obtained by
+    pinning the engine's {!Fg_graph.Snapshot_store}. Queries never touch
+    the live {!Fg_graph.Adjacency} (the writer mutates it concurrently),
+    never take a lock, and never block a heal: the only synchronization
+    is the store's wait-free pin.
+
+    Per-query-class latency histograms ([serve.distance_ns],
+    [serve.path_ns], [serve.stretch_ns], [serve.degree_ns]) are
+    registered in {!Fg_obs.Metrics.global} at module initialization;
+    {!serve_timed} records into them when metrics recording is on (and
+    into a caller-supplied always-on histogram regardless), so a
+    [--metrics] run exports them through OpenMetrics like every other
+    telemetry stream. *)
+
+module Node_id := Fg_graph.Node_id
+
+type query =
+  | Distance of Node_id.t * Node_id.t
+      (** hop distance in the healed graph [G]; [Dist None] if either
+          endpoint is dead/unseen or they are disconnected *)
+  | Path of Node_id.t * Node_id.t
+      (** an actual shortest path in [G] (endpoint ids inclusive) *)
+  | Stretch_sample of { seed : int; pairs : int }
+      (** sampled max/observed stretch: for [pairs] random live sources,
+          BFS in both [G] and [G'] and compare distances over every
+          target reachable in [G] *)
+  | Degree_check of Node_id.t
+      (** Theorem 1.1 spot check: [deg_G v <= 3 * deg_G' v] *)
+
+type answer =
+  | Dist of int option
+  | Route of Node_id.t list option
+  | Stretch of { max_stretch : float; pairs : int }
+      (** [pairs] = (source, target) pairs actually compared; 0 pairs
+          reports [max_stretch = 0.] *)
+  | Degree of { degree : int; bound : int; ok : bool }
+
+(** Every result carries the generation it was computed against — the
+    torture test's handle for "exact for {e some} published generation
+    ≥ the pin". *)
+type result = { gen : int; answer : answer }
+
+(** Query-class label ("distance", "path", "stretch", "degree") — keys
+    the latency histograms and the load generator's mix. *)
+val class_of : query -> string
+
+(** Per-domain scratch owner: caches one {!Fg_graph.Csr.scratch} per CSR
+    (by physical identity), so a worker allocates once per published
+    generation, not once per query. Single-owner mutable state — one per
+    reader domain. *)
+type worker
+
+val worker : unit -> worker
+
+(** [answer w snap q] evaluates [q] against the already-pinned [snap].
+    Exposed for oracles and tests; normal readers use {!serve}. *)
+val answer :
+  worker -> Fg_core.Forgiving_graph.snapshot Fg_graph.Snapshot_store.snapshot -> query -> result
+
+(** [serve w reader q] pins, evaluates, unpins. *)
+val serve :
+  worker ->
+  Fg_core.Forgiving_graph.snapshot Fg_graph.Snapshot_store.reader ->
+  query ->
+  result
+
+(** [serve_timed w reader local q] is {!serve}, recording the query's
+    wall latency (ns) into [local] (always — it is the caller's own
+    unshared histogram) and into the query class's global sharded
+    histogram when {!Fg_obs.Metrics.is_recording}. *)
+val serve_timed :
+  worker ->
+  Fg_core.Forgiving_graph.snapshot Fg_graph.Snapshot_store.reader ->
+  Fg_obs.Hdr.t ->
+  query ->
+  result

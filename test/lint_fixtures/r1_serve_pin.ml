@@ -1,0 +1,7 @@
+(* Fixture: R1 — a serve-style query handler folding over the
+   list-returning neighbours accessor while holding a snapshot pin. The
+   serving tier must read through the pinned CSR rows instead. *)
+
+let degree_under_pin store v =
+  Snapshot_store.with_pin store (fun snap ->
+      List.fold_left (fun acc _ -> acc + 1) 0 (Adjacency.neighbors snap v))

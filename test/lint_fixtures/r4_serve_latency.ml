@@ -1,0 +1,4 @@
+(* Fixture: R4 — serve-style latency emission with a computed argument
+   and no [Metrics.is_recording] guard around the sharded global sink. *)
+
+let record_latency hdr t0 = Fg_obs.Hdr.record_sharded hdr (Fg_obs.Hdr.now_ns () - t0)

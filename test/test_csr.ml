@@ -381,6 +381,46 @@ let test_invariant_stretch_domain_independent () =
   Alcotest.(check (list string)) "same violations" v1 v2;
   Alcotest.(check (list string)) "bound holds" [] v1
 
+(* ---- apply_delta determinism ---- *)
+
+(* The delta-apply path is deterministic: applying the identical delta
+   twice from the same base yields two structurally equal snapshots, both
+   equal to a from-scratch rebuild. PR 8 leans on this — the snapshot
+   store may publish, discard, and re-derive a generation (e.g. after an
+   aborted heal) and readers must never be able to tell which copy they
+   pinned. *)
+let test_apply_delta_twice_synthetic () =
+  let g = Adjacency.of_edges [ (0, 1); (1, 2); (2, 3); (3, 0); (2, 4); (4, 5) ] in
+  let base = Csr.of_adjacency g in
+  Adjacency.remove_node g 4;
+  Adjacency.add_edge g 3 5;
+  let touched = [ 2; 3; 5 ] and removed = [ 4 ] in
+  let a = Csr.apply_delta base ~touched ~removed g in
+  let b = Csr.apply_delta base ~touched ~removed g in
+  let rebuilt = Csr.of_adjacency g in
+  Alcotest.(check bool) "first apply = rebuild" true (Csr.equal a rebuilt);
+  Alcotest.(check bool) "second apply = rebuild" true (Csr.equal b rebuilt);
+  Alcotest.(check bool) "applies agree with each other" true (Csr.equal a b);
+  (* the base snapshot was not mutated by either apply *)
+  Alcotest.(check int) "base node count intact" 6 (Csr.num_nodes base);
+  Alcotest.(check int) "base edge count intact" 6 (Csr.num_edges base)
+
+let prop_apply_delta_twice_engine =
+  QCheck2.Test.make ~name:"Csr.apply_delta twice from same base = rebuild" ~count:25
+    QCheck2.Gen.(tup2 (int_range 0 9999) (int_range 8 40))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let g0 = Generators.erdos_renyi rng n (4.0 /. float_of_int n) in
+      let fg = Fg.of_graph g0 in
+      let base = Csr.of_adjacency (Fg.graph fg) in
+      let d, _healed = Fg.delete_delta fg (Rng.pick rng (Fg.live_nodes fg)) in
+      let touched = Fg_core.Delta.touched d and removed = Fg_core.Delta.removed d in
+      let g = Fg.graph fg in
+      let a = Csr.apply_delta base ~touched ~removed g in
+      let b = Csr.apply_delta base ~touched ~removed g in
+      let rebuilt = Csr.of_adjacency g in
+      Csr.equal a rebuilt && Csr.equal b rebuilt && Csr.equal a b)
+
 (* ---- Diameter / centrality over CSR ---- *)
 
 let test_diameter_domain_independent () =
@@ -422,6 +462,8 @@ let suite =
       test_invariant_stretch_domain_independent;
     Alcotest.test_case "diameter: domain-independent" `Quick
       test_diameter_domain_independent;
+    Alcotest.test_case "csr: apply_delta twice = rebuild (synthetic)" `Quick
+      test_apply_delta_twice_synthetic;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [
@@ -439,4 +481,5 @@ let suite =
         prop_stretch_batched_equals_sweep;
         prop_stretch_domain_independent;
         prop_diameter_matches_oracle;
+        prop_apply_delta_twice_engine;
       ]

@@ -26,6 +26,8 @@ let () =
       ("delta", Test_delta.suite);
       ("batch", Test_batch.suite);
       ("harness", Test_harness.suite);
+      ("parallel", Test_parallel.suite);
+      ("serve", Test_serve.suite);
       ("lint", Test_lint.suite);
       ("alloc", Test_alloc.suite);
       ("soak", Test_soak.suite);

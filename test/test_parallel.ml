@@ -1,0 +1,149 @@
+(* Lifecycle and detached-task tests for the Parallel worker pool.
+
+   PR 8 makes the pool load-bearing for the serving tier: reader loops
+   occupy workers via submit/await while the writer heals, and
+   shutdown→reuse→shutdown transitions happen every time an
+   Exp_common.with_observability scope with raised domains exits. These
+   tests pin that lifecycle and the detached-task semantics (exception
+   propagation, queueing beyond the worker count, no stranded awaiters
+   across shutdown). *)
+
+open Fg_graph
+
+let map_sum domains n =
+  Array.fold_left ( + ) 0
+    (Parallel.map ~domains ~init:(fun () -> ()) ~f:(fun () i -> (i * i) + 1) n)
+
+(* ---- shutdown → reuse → shutdown ---- *)
+
+let test_shutdown_reuse_shutdown () =
+  let expected = map_sum 1 200 in
+  for _cycle = 1 to 3 do
+    Alcotest.(check int) "map on respawned pool" expected (map_sum 2 200);
+    Parallel.shutdown ();
+    (* idempotent: a second shutdown with no pool is a no-op *)
+    Parallel.shutdown ()
+  done;
+  Parallel.warm ();
+  Alcotest.(check int) "map after warm" expected (map_sum 2 200);
+  Parallel.shutdown ()
+
+(* Property: any interleaving of warm / shutdown / map / submit+await
+   behaves as if the pool were always fresh — results equal the serial
+   run, awaited tasks always ran. *)
+let prop_lifecycle =
+  QCheck2.Test.make ~name:"Parallel lifecycle: shutdown/reuse interleavings" ~count:25
+    QCheck2.Gen.(list_size (int_range 1 10) (int_range 0 3))
+    (fun ops ->
+      let ok =
+        List.for_all
+          (fun op ->
+            match op with
+            | 0 ->
+              Parallel.shutdown ();
+              true
+            | 1 ->
+              Parallel.warm ();
+              true
+            | 2 -> map_sum 2 37 = map_sum 1 37
+            | _ ->
+              let cell = ref 0 in
+              let t = Parallel.submit (fun () -> cell := 42) in
+              Parallel.await t;
+              !cell = 42)
+          ops
+      in
+      Parallel.shutdown ();
+      ok)
+
+(* ---- detached tasks ---- *)
+
+let test_submit_await_basic () =
+  let cell = ref 0 in
+  Parallel.await (Parallel.submit (fun () -> cell := 7));
+  Alcotest.(check int) "task ran" 7 !cell;
+  (* await is idempotent once finished *)
+  let t = Parallel.submit (fun () -> incr cell) in
+  Parallel.await t;
+  Parallel.await t;
+  Alcotest.(check int) "ran exactly once" 8 !cell
+
+let test_submit_more_than_workers () =
+  let n = (4 * Parallel.pool_size ()) + 3 in
+  let hits = Atomic.make 0 in
+  let tasks = List.init n (fun _ -> Parallel.submit (fun () -> Atomic.incr hits)) in
+  List.iter Parallel.await tasks;
+  Alcotest.(check int) "all queued tasks completed" n (Atomic.get hits)
+
+exception Boom
+
+let test_submit_exception_propagates () =
+  let t = Parallel.submit (fun () -> raise Boom) in
+  (match Parallel.await t with
+  | () -> Alcotest.fail "await should re-raise the task's exception"
+  | exception Boom -> ());
+  (* the pool survives a failed task *)
+  let cell = ref 0 in
+  Parallel.await (Parallel.submit (fun () -> cell := 1));
+  Alcotest.(check int) "pool alive after failure" 1 !cell
+
+let test_submit_after_shutdown_respawns () =
+  Parallel.shutdown ();
+  let cell = ref 0 in
+  Parallel.await (Parallel.submit (fun () -> cell := 5));
+  Alcotest.(check int) "submit respawned the pool" 5 !cell;
+  Parallel.shutdown ()
+
+(* Shutdown with long-lived tasks in flight and more queued: the running
+   tasks finish (join waits for them), queued tasks either ran or were
+   failed with [Stopped] — in every case await terminates and the pool
+   comes back clean. The release flag flips from a raw helper domain so
+   the blockers cannot outlive the join. *)
+let test_shutdown_drains_queue () =
+  let workers = Parallel.pool_size () in
+  let release = Atomic.make false in
+  let started = Atomic.make 0 in
+  let blockers =
+    List.init workers (fun _ ->
+        Parallel.submit (fun () ->
+            Atomic.incr started;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done))
+  in
+  (* wait until every worker is inside a blocker, so shutdown observes
+     them as running (not merely queued, where flushing with Stopped is
+     also legal) *)
+  while Atomic.get started < workers do
+    Domain.cpu_relax ()
+  done;
+  let extra_ran = Atomic.make 0 in
+  let extras = List.init 3 (fun _ -> Parallel.submit (fun () -> Atomic.incr extra_ran)) in
+  let helper =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Atomic.set release true)
+  in
+  Parallel.shutdown ();
+  Domain.join helper;
+  List.iter Parallel.await blockers;
+  let stopped = ref 0 in
+  List.iter
+    (fun t -> match Parallel.await t with () -> () | exception Parallel.Stopped -> incr stopped)
+    extras;
+  Alcotest.(check int) "every extra ran or was Stopped, none stranded" 3
+    (Atomic.get extra_ran + !stopped);
+  Alcotest.(check int) "pool restarts after drain" (map_sum 1 50) (map_sum 2 50)
+
+let suite =
+  [
+    Alcotest.test_case "shutdown -> reuse -> shutdown" `Quick test_shutdown_reuse_shutdown;
+    Alcotest.test_case "submit/await basic" `Quick test_submit_await_basic;
+    Alcotest.test_case "submit beyond worker count" `Quick test_submit_more_than_workers;
+    Alcotest.test_case "submit exception re-raised at await" `Quick
+      test_submit_exception_propagates;
+    Alcotest.test_case "submit after shutdown respawns" `Quick
+      test_submit_after_shutdown_respawns;
+    Alcotest.test_case "shutdown drains queued tasks" `Quick test_shutdown_drains_queue;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_lifecycle ]
