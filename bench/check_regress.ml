@@ -16,7 +16,8 @@
 
 module J = Fg_obs.Json
 
-let gated_groups = [ "/heal."; "/dist."; "/csr."; "/obs."; "/bfs."; "/serve." ]
+let gated_groups =
+  [ "/heal."; "/dist."; "/csr."; "/obs."; "/bfs."; "/serve."; "/shard." ]
 
 let contains ~sub s =
   let n = String.length s and m = String.length sub in

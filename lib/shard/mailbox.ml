@@ -1,0 +1,66 @@
+(* Single-producer single-consumer ring buffer: the per-shard mailbox.
+   Unbounded monotonic head/tail counters index a power-of-two buffer;
+   the producer writes the slot then publishes with an atomic tail store,
+   the consumer reads the tail before touching the slot — the classic
+   SPSC protocol, race-free under the OCaml memory model. Capacity is
+   fixed while both sides run; [reserve] may grow it only at a quiescent
+   point (the coordinator sizes inboxes to the round's group count before
+   the parallel phase starts). *)
+
+type 'a t = {
+  mutable buf : 'a option array;  (* length is a power of two *)
+  head : int Atomic.t;  (* consumer cursor *)
+  tail : int Atomic.t;  (* producer cursor *)
+  mutable high_water : int;  (* max occupancy ever seen (producer side) *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (2 * k)
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
+  {
+    buf = Array.make (pow2 capacity 1) None;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    high_water = 0;
+  }
+
+let capacity t = Array.length t.buf
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0
+let high_water t = t.high_water
+
+(* quiescent-only: no concurrent push/pop may be in flight *)
+let reserve t n =
+  if n > Array.length t.buf then begin
+    let cap = pow2 n (Array.length t.buf) in
+    let nbuf = Array.make cap None in
+    let h = Atomic.get t.head and tl = Atomic.get t.tail in
+    let omask = Array.length t.buf - 1 in
+    for i = h to tl - 1 do
+      nbuf.(i land (cap - 1)) <- t.buf.(i land omask)
+    done;
+    t.buf <- nbuf
+  end
+
+let push t x =
+  let tl = Atomic.get t.tail in
+  let occupancy = tl - Atomic.get t.head + 1 in
+  if occupancy > Array.length t.buf then false
+  else begin
+    t.buf.(tl land (Array.length t.buf - 1)) <- Some x;
+    Atomic.set t.tail (tl + 1);
+    if occupancy > t.high_water then t.high_water <- occupancy;
+    true
+  end
+
+let pop t =
+  let h = Atomic.get t.head in
+  if h = Atomic.get t.tail then None
+  else begin
+    let i = h land (Array.length t.buf - 1) in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    Atomic.set t.head (h + 1);
+    x
+  end

@@ -1,0 +1,31 @@
+(** Single-producer single-consumer mailbox: the typed channel between
+    the round coordinator and each shard domain. Lock-free and
+    allocation-free per transfer (one atomic store each side); the
+    occupancy high-water mark feeds the per-shard [mbox] telemetry.
+
+    The SPSC contract: at most one domain pushes and at most one domain
+    pops at any time. {!reserve} may only run at a quiescent point. *)
+
+type 'a t
+
+(** [create ?capacity ()] (default 64; rounded up to a power of two). *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** [push t x] is [false] when the mailbox is full (producer only). *)
+val push : 'a t -> 'a -> bool
+
+(** [pop t] is [None] when empty (consumer only). *)
+val pop : 'a t -> 'a option
+
+(** Current occupancy (either side; a racy snapshot while both run). *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+val capacity : 'a t -> int
+
+(** Maximum occupancy ever reached. *)
+val high_water : 'a t -> int
+
+(** Grow to hold at least [n] items, preserving queued entries. Both
+    sides must be quiescent. *)
+val reserve : 'a t -> int -> unit

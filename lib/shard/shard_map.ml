@@ -1,0 +1,38 @@
+module Im = Fg_graph.Interval_map
+
+type t = {
+  shards : int;
+  block : int;
+  mutable map : int Im.t;  (* id -> owning shard, canonical runs *)
+}
+
+let owner_formula ~block ~shards id = id / block mod shards
+
+let build ~block ~shards len =
+  Im.init ~equal:Int.equal ~len (owner_formula ~block ~shards)
+
+let create ?(block = 64) ~shards ~capacity () =
+  if shards < 1 then invalid_arg "Shard_map.create: shards must be >= 1";
+  if block < 1 then invalid_arg "Shard_map.create: block must be >= 1";
+  let len = max block (max capacity 1) in
+  { shards; block; map = build ~block ~shards len }
+
+let shards t = t.shards
+let block t = t.block
+let length t = Im.length t.map
+
+let ensure t n =
+  if n > Im.length t.map then
+    (* geometric growth keeps rebuilds (O(len) each) amortised O(1) per
+       inserted id under churn; the rebuild re-tabulates, so the runs stay
+       canonical by construction *)
+    t.map <- build ~block:t.block ~shards:t.shards (max n (2 * Im.length t.map))
+
+let owner t id =
+  if id < 0 then invalid_arg "Shard_map.owner: negative id";
+  ensure t (id + 1);
+  Im.get t.map id
+
+let interval_map t = t.map
+let run_count t = Im.run_count t.map
+let iter_runs f t = Im.iter_runs f t.map

@@ -1,0 +1,37 @@
+(** Shard ownership of the node-id space.
+
+    Ids are partitioned block-cyclically: id [i] belongs to shard
+    [(i / block) mod shards], so consecutive ids share a shard (heals of
+    clustered victims stay local) while blocks interleave across shards
+    (load balance under adversaries that target an id range). The
+    materialised lookup is a {!Fg_graph.Interval_map} — one run per
+    block, O(log runs) lookup, no per-node array — and grows on demand
+    as insertions push the id frontier ("ownership under node churn"):
+    growth re-tabulates, so the run encoding stays canonical. *)
+
+type t
+
+(** [create ?block ~shards ~capacity ()] covers ids [0 .. capacity-1]
+    (at least one block). Default [block] is 64 ids. Raises
+    [Invalid_argument] when [shards] or [block] is non-positive. *)
+val create : ?block:int -> shards:int -> capacity:int -> unit -> t
+
+val shards : t -> int
+val block : t -> int
+
+(** Ids currently covered; {!owner} grows this on demand. *)
+val length : t -> int
+
+(** [owner t id] is the shard owning [id], growing the map if [id] lies
+    beyond the current frontier. Raises [Invalid_argument] on a negative
+    id. *)
+val owner : t -> int -> int
+
+(** [ensure t n] pre-grows the map to cover ids [0 .. n-1]. *)
+val ensure : t -> int -> unit
+
+(** The underlying run-length map (tests, canonical-runs property). *)
+val interval_map : t -> int Fg_graph.Interval_map.t
+
+val run_count : t -> int
+val iter_runs : (lo:int -> hi:int -> int -> unit) -> t -> unit

@@ -1,0 +1,143 @@
+(* Chord-lite over a fixed shard population: hashed ring positions,
+   successor lists, heartbeat-driven suspicion. Time is a logical tick —
+   [tick] is one heartbeat-plus-stabilize round — so membership behaviour
+   is deterministic and testable, and the same state machine later drives
+   real multi-process shards off a wall clock. *)
+
+let ring_bits = 30
+let ring_mask = (1 lsl ring_bits) - 1
+
+(* splitmix64-style finalizer: well-spread, deterministic positions *)
+let hash_to_ring seed x =
+  let h = ref (((x + 1) * 0x9E3779B97F4A7C1) lxor (seed * 0xBF58476D1CE4E5B)) in
+  h := (!h lxor (!h lsr 30)) * 0x3F58476D1CE4E5B9;
+  h := (!h lxor (!h lsr 27)) * 0x94D049BB133111E;
+  h := !h lxor (!h lsr 31);
+  !h land ring_mask
+
+type t = {
+  shards : int;
+  seed : int;
+  pos : int array;  (* shard -> ring position (distinct) *)
+  order : int array;  (* shard indices sorted by position *)
+  rank : int array;  (* shard -> index into [order] *)
+  nsucc : int;
+  timeout : int;
+  frozen : bool array;  (* fault injection: a frozen shard stops heartbeating *)
+  missed : int array;  (* consecutive missed heartbeats *)
+  susp : bool array;
+  mutable hooks : (int -> unit) list;
+  mutable ticks : int;
+  mutable stabilizations : int;
+}
+
+let create ?(successors = 2) ?(timeout = 3) ~shards ~seed () =
+  if shards < 1 then invalid_arg "Shard_ring.create: shards must be >= 1";
+  if successors < 1 then invalid_arg "Shard_ring.create: successors must be >= 1";
+  if timeout < 1 then invalid_arg "Shard_ring.create: timeout must be >= 1";
+  let pos = Array.make shards 0 in
+  let used = Hashtbl.create shards in
+  for s = 0 to shards - 1 do
+    let p = ref (hash_to_ring seed s) in
+    while Hashtbl.mem used !p do
+      p := (!p + 1) land ring_mask
+    done;
+    Hashtbl.replace used !p ();
+    pos.(s) <- !p
+  done;
+  let order = Array.init shards Fun.id in
+  Array.sort (fun a b -> compare pos.(a) pos.(b)) order;
+  let rank = Array.make shards 0 in
+  Array.iteri (fun i s -> rank.(s) <- i) order;
+  {
+    shards;
+    seed;
+    pos;
+    order;
+    rank;
+    nsucc = min successors (max 1 (shards - 1));
+    timeout;
+    frozen = Array.make shards false;
+    missed = Array.make shards 0;
+    susp = Array.make shards false;
+    hooks = [];
+    ticks = 0;
+    stabilizations = 0;
+  }
+
+let shards t = t.shards
+let position t s = t.pos.(s)
+let suspected t s = t.susp.(s)
+let frozen t s = t.frozen.(s)
+let ticks t = t.ticks
+let stabilizations t = t.stabilizations
+let on_suspect t f = t.hooks <- f :: t.hooks
+
+let suspect t s =
+  if not t.susp.(s) then begin
+    t.susp.(s) <- true;
+    List.iter (fun f -> f s) t.hooks
+  end
+
+(* immediate failure evidence (e.g. a dispatch that found the shard dead):
+   no need to wait out the heartbeat timeout *)
+let report t s = suspect t s
+
+let freeze t s = t.frozen.(s) <- true
+
+let unfreeze t s =
+  t.frozen.(s) <- false;
+  t.missed.(s) <- 0
+
+(* One heartbeat-plus-stabilize round: live shards heartbeat (clearing
+   suspicion — the rejoin path), frozen shards miss, and a shard missing
+   [timeout] consecutive beats becomes suspected. The stabilize pass is
+   counted; with a static population the successor lists it would refresh
+   are already exact. *)
+let tick t =
+  t.ticks <- t.ticks + 1;
+  for s = 0 to t.shards - 1 do
+    if t.frozen.(s) then begin
+      t.missed.(s) <- t.missed.(s) + 1;
+      if t.missed.(s) >= t.timeout then suspect t s
+    end
+    else begin
+      t.missed.(s) <- 0;
+      t.susp.(s) <- false
+    end
+  done;
+  t.stabilizations <- t.stabilizations + 1
+
+let successors t s =
+  let r = t.rank.(s) in
+  List.init t.nsucc (fun i -> t.order.((r + 1 + i) mod t.shards))
+
+(* first non-suspected shard at or clockwise from ring position [h] *)
+let live_at t h =
+  let n = t.shards in
+  (* binary search: first rank with pos >= h, else wrap to 0 *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.pos.(t.order.(mid)) < h then lo := mid + 1 else hi := mid
+  done;
+  let start = if !lo = n then 0 else !lo in
+  let rec walk i steps =
+    if steps = n then t.order.(start) (* every shard suspected: degenerate *)
+    else
+      let s = t.order.(i mod n) in
+      if t.susp.(s) then walk (i + 1) (steps + 1) else s
+  in
+  walk start 0
+
+let route t key = live_at t (hash_to_ring t.seed key)
+
+(* the successor-list failover: first live successor of [s], or [s] when
+   the whole list is down *)
+let delegate t s =
+  let rec go = function
+    | [] -> s
+    | x :: rest -> if t.susp.(x) || x = s then go rest else x
+  in
+  if not t.susp.(s) then s
+  else go (List.init (t.shards - 1) (fun i -> t.order.((t.rank.(s) + 1 + i) mod t.shards)))

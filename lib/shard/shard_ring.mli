@@ -1,0 +1,60 @@
+(** Chord-style membership ring over the shard population (Stoica et al.,
+    SIGCOMM'01, reduced to what a fixed in-process population needs):
+    every shard owns a hashed position on a 2^30 ring, routing maps a
+    hashed key to the first live shard clockwise, successor lists give
+    each shard its failover order, and a heartbeat/timeout state machine
+    drives {e suspicion} — the engine's [freeze_shard] fault hook.
+
+    Time is logical: {!tick} is one heartbeat-plus-stabilize round, so
+    every membership transition is deterministic under test. A {e frozen}
+    shard stops heartbeating; after [timeout] missed beats it becomes
+    {e suspected} and routing/delegation skip it. An unfrozen shard's
+    next heartbeat clears suspicion (the rejoin path). *)
+
+type t
+
+(** [create ?successors ?timeout ~shards ~seed ()]. [successors] is the
+    failover-list length (default 2, clamped to the population);
+    [timeout] the number of consecutive missed heartbeats before
+    suspicion (default 3). Positions are derived from [seed]. *)
+val create : ?successors:int -> ?timeout:int -> shards:int -> seed:int -> unit -> t
+
+val shards : t -> int
+
+(** Ring position of a shard (distinct across shards). *)
+val position : t -> int -> int
+
+(** One heartbeat + stabilize round. *)
+val tick : t -> unit
+
+(** [route t key] hashes [key] onto the ring and walks clockwise to the
+    first non-suspected shard. *)
+val route : t -> int -> int
+
+(** [delegate t s] is [s] itself when live, else its first live
+    successor — the successor-list failover used to re-home work of a
+    suspected shard. *)
+val delegate : t -> int -> int
+
+(** The successor list of [s] (clockwise, excluding [s]). *)
+val successors : t -> int -> int list
+
+(** Fault injection: a frozen shard misses every heartbeat. *)
+val freeze : t -> int -> unit
+
+(** Heartbeats resume; suspicion clears on the next {!tick}. *)
+val unfreeze : t -> int -> unit
+
+(** Direct failure evidence (a dispatch found the shard dead): suspect
+    immediately, without waiting out the timeout. *)
+val report : t -> int -> unit
+
+val suspected : t -> int -> bool
+val frozen : t -> int -> bool
+
+(** [on_suspect t f] registers [f], called with the shard index whenever
+    a shard {e becomes} suspected. *)
+val on_suspect : t -> (int -> unit) -> unit
+
+val ticks : t -> int
+val stabilizations : t -> int

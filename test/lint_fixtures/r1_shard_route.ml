@@ -1,0 +1,12 @@
+(* Fixture: R1 — shard-engine-style routing that walks the
+   list-returning neighbours accessor to find a group's cross-shard
+   edges. The round path must scan the CSR rows (or the staged overlay)
+   instead of allocating a neighbour list per member. *)
+
+let cross_shard_edges map graph members =
+  List.concat_map
+    (fun v ->
+      List.filter
+        (fun u -> Shard_map.owner map u <> Shard_map.owner map v)
+        (Adjacency.neighbors graph v))
+    members

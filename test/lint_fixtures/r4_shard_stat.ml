@@ -1,0 +1,6 @@
+(* Fixture: R4 — shard-engine-style per-heal latency emission with a
+   computed argument and no [Metrics.is_recording] guard around the
+   sharded global sink. *)
+
+let note_heal hdr shard t0 =
+  Fg_obs.Hdr.record_sharded hdr ~shard (Fg_obs.Hdr.now_ns () - t0)

@@ -79,12 +79,12 @@ let test_directory_sweep () =
   Alcotest.(check int) "sweep exits 1" 1 rc;
   let fs = findings_of text in
   let count r = List.length (List.filter (String.equal r) fs) in
-  Alcotest.(check int) "R1 findings" 3 (count "R1");
+  Alcotest.(check int) "R1 findings" 4 (count "R1");
   Alcotest.(check int) "R2 findings" 1 (count "R2");
   Alcotest.(check int) "R3 findings" 1 (count "R3");
-  Alcotest.(check int) "R4 findings" 4 (count "R4");
-  Alcotest.(check int) "R5 findings" 11 (count "R5");
-  Alcotest.(check int) "total" 20 (List.length fs)
+  Alcotest.(check int) "R4 findings" 5 (count "R4");
+  Alcotest.(check int) "R5 findings" 13 (count "R5");
+  Alcotest.(check int) "total" 24 (List.length fs)
 
 let test_repo_is_clean () =
   (* the tree itself must lint clean with the repo configuration — the
@@ -116,6 +116,10 @@ let suite =
       (check_fixture ~rule:"R1" ~file:"r1_serve_pin.ml");
     Alcotest.test_case "R4 serve fixture" `Quick
       (check_fixture ~rule:"R4" ~file:"r4_serve_latency.ml");
+    Alcotest.test_case "R1 shard fixture" `Quick
+      (check_fixture ~rule:"R1" ~file:"r1_shard_route.ml");
+    Alcotest.test_case "R4 shard fixture" `Quick
+      (check_fixture ~rule:"R4" ~file:"r4_shard_stat.ml");
     Alcotest.test_case "R5 fixture" `Quick
       (check_fixture ~rule:"R5" ~file:"r5_no_mli.ml");
     Alcotest.test_case "clean module" `Quick test_clean;

@@ -28,6 +28,7 @@ let () =
       ("harness", Test_harness.suite);
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
+      ("shard", Test_shard.suite);
       ("lint", Test_lint.suite);
       ("alloc", Test_alloc.suite);
       ("soak", Test_soak.suite);

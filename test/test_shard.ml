@@ -1,0 +1,405 @@
+(* Sharded heal engine: ownership map, membership ring, SPSC mailbox,
+   and the PR's core acceptance property — a K-shard run is
+   byte-identical to the flat engine (same graphs, same G' image, same
+   delta stream, same RT root ids) on random attack scripts, including
+   forced cross-shard repair groups and frozen-shard recovery. *)
+
+open Fg_graph
+module Fg = Fg_core.Forgiving_graph
+module Rt = Fg_core.Rt
+module Map = Fg_shard.Shard_map
+module Ring = Fg_shard.Shard_ring
+module Mailbox = Fg_shard.Mailbox
+module Engine = Fg_shard.Shard_engine
+module Check = Fg_shard.Shard_check
+
+(* ---- Shard_map ---- *)
+
+let test_map_formula () =
+  let t = Map.create ~block:8 ~shards:3 ~capacity:100 () in
+  for id = 0 to 400 do
+    Alcotest.(check int)
+      (Printf.sprintf "owner %d" id)
+      (id / 8 mod 3) (Map.owner t id)
+  done;
+  Alcotest.(check bool) "grew past capacity" true (Map.length t > 100)
+
+let test_map_rejects () =
+  (match Map.create ~shards:0 ~capacity:1 () with
+  | _ -> Alcotest.fail "shards=0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  let t = Map.create ~shards:2 ~capacity:4 () in
+  match Map.owner t (-1) with
+  | _ -> Alcotest.fail "negative id must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* canonical runs under churn: grow the frontier in random hops; the run
+   encoding must stay canonical (maximal runs, full cover, formula
+   agreement at every boundary) after every growth step *)
+let prop_map_canonical_runs =
+  QCheck2.Test.make ~name:"Shard_map runs stay canonical under churn" ~count:100
+    QCheck2.Gen.(
+      tup4 (int_range 1 5) (int_range 1 9) (int_range 1 32)
+        (list_size (int_range 1 12) (int_range 0 500)))
+    (fun (shards, block, capacity, hops) ->
+      let t = Map.create ~block ~shards ~capacity () in
+      List.iter
+        (fun id ->
+          let o = Map.owner t id in
+          if o <> id / block mod shards then
+            Alcotest.failf "owner %d: %d" id o;
+          (* runs: contiguous cover, no adjacent duplicates, formula *)
+          let prev_hi = ref 0 and prev_v = ref (-1) and runs = ref 0 in
+          Map.iter_runs
+            (fun ~lo ~hi v ->
+              incr runs;
+              if lo <> !prev_hi then Alcotest.failf "gap at %d" lo;
+              if hi <= lo then Alcotest.failf "empty run at %d" lo;
+              if v = !prev_v then Alcotest.failf "unmerged runs at %d" lo;
+              if v <> lo / block mod shards then
+                Alcotest.failf "run value at %d" lo;
+              if v <> (hi - 1) / block mod shards then
+                Alcotest.failf "run value at %d" (hi - 1);
+              prev_hi := hi;
+              prev_v := v)
+            t;
+          if !prev_hi <> Map.length t then Alcotest.fail "cover short";
+          if !runs <> Map.run_count t then Alcotest.fail "run_count";
+          (* single shard must compress to a single run *)
+          if shards = 1 && !runs <> 1 then Alcotest.fail "1-shard runs")
+        hops;
+      true)
+
+(* ---- Shard_ring ---- *)
+
+let test_ring_route_live () =
+  let r = Ring.create ~shards:4 ~seed:7 () in
+  for key = 0 to 200 do
+    let s = Ring.route r key in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 4);
+    Alcotest.(check int) "route is deterministic" s (Ring.route r key)
+  done;
+  for s = 0 to 3 do
+    Alcotest.(check int) "live delegate is itself" s (Ring.delegate r s);
+    Alcotest.(check int) "successor list length" 2
+      (List.length (Ring.successors r s))
+  done
+
+let test_ring_suspicion_lifecycle () =
+  let r = Ring.create ~timeout:3 ~shards:4 ~seed:7 () in
+  let fired = ref [] in
+  Ring.on_suspect r (fun s -> fired := s :: !fired);
+  Ring.freeze r 1;
+  Ring.tick r;
+  Ring.tick r;
+  Alcotest.(check bool) "below timeout: live" false (Ring.suspected r 1);
+  Ring.tick r;
+  Alcotest.(check bool) "at timeout: suspected" true (Ring.suspected r 1);
+  Alcotest.(check (list int)) "hook fired once" [ 1 ] !fired;
+  Ring.tick r;
+  Alcotest.(check (list int)) "no refire" [ 1 ] !fired;
+  (* routing and delegation now avoid shard 1 *)
+  for key = 0 to 100 do
+    Alcotest.(check bool) "route avoids suspect" true (Ring.route r key <> 1)
+  done;
+  let d = Ring.delegate r 1 in
+  Alcotest.(check bool) "delegate moved" true (d <> 1);
+  Alcotest.(check bool) "delegate live" false (Ring.suspected r d);
+  (* rejoin: unfreeze + one heartbeat clears suspicion *)
+  Ring.unfreeze r 1;
+  Ring.tick r;
+  Alcotest.(check bool) "rejoined" false (Ring.suspected r 1);
+  Alcotest.(check int) "delegate restored" 1 (Ring.delegate r 1)
+
+let test_ring_report_immediate () =
+  let r = Ring.create ~shards:3 ~seed:11 () in
+  Ring.report r 2;
+  Alcotest.(check bool) "reported => suspected" true (Ring.suspected r 2);
+  Alcotest.(check bool) "delegate avoids it" true (Ring.delegate r 2 <> 2)
+
+let test_ring_positions_distinct () =
+  let r = Ring.create ~shards:64 ~seed:3 () in
+  let seen = Hashtbl.create 64 in
+  for s = 0 to 63 do
+    let p = Ring.position r s in
+    Alcotest.(check bool) "distinct position" false (Hashtbl.mem seen p);
+    Hashtbl.replace seen p ()
+  done
+
+(* ---- Mailbox ---- *)
+
+let test_mailbox_fifo_and_growth () =
+  let mb = Mailbox.create ~capacity:2 () in
+  Alcotest.(check bool) "push a" true (Mailbox.push mb 'a');
+  Alcotest.(check bool) "push b" true (Mailbox.push mb 'b');
+  Alcotest.(check bool) "full" false (Mailbox.push mb 'x');
+  Alcotest.(check (option char)) "fifo 1" (Some 'a') (Mailbox.pop mb);
+  (* grow while non-empty (quiescent): queued entry survives in order *)
+  Mailbox.reserve mb 8;
+  Alcotest.(check bool) "cap grew" true (Mailbox.capacity mb >= 8);
+  List.iter (fun c -> assert (Mailbox.push mb c)) [ 'c'; 'd' ];
+  Alcotest.(check (option char)) "fifo 2" (Some 'b') (Mailbox.pop mb);
+  Alcotest.(check (option char)) "fifo 3" (Some 'c') (Mailbox.pop mb);
+  Alcotest.(check (option char)) "fifo 4" (Some 'd') (Mailbox.pop mb);
+  Alcotest.(check (option char)) "empty" None (Mailbox.pop mb);
+  Alcotest.(check int) "high water" 3 (Mailbox.high_water mb)
+
+(* ---- byte-identity with the flat engine ---- *)
+
+type ev = Ins of int * int list | Del of int list
+
+(* Build a random attack script by running it against a flat engine:
+   inserts of fresh ids wired to live nodes, round-deletes of up to [k]
+   simultaneous victims. Returns the script and the flat engine's
+   per-event deltas plus its final state. *)
+let gen_script seed g0 ~events ~k =
+  let rng = Rng.create seed in
+  let fg = Fg.of_graph (Adjacency.copy g0) in
+  let script = ref [] and deltas = ref [] in
+  for _ = 1 to events do
+    let live = Fg.live_nodes fg in
+    let n_live = List.length live in
+    if n_live > 8 && Rng.float rng 1.0 < 0.75 then begin
+      let nv = 1 + Rng.int rng (min k (n_live - 2)) in
+      let victims =
+        Array.to_list (Rng.sample rng nv (Array.of_list live))
+      in
+      let d, _ = Fg.delete_batch_delta fg victims in
+      script := Del victims :: !script;
+      deltas := d :: !deltas
+    end
+    else begin
+      let id = Fg.num_seen fg in
+      let nn = 1 + Rng.int rng 3 in
+      let nbrs = Array.to_list (Rng.sample rng nn (Array.of_list live)) in
+      let d = Fg.insert_delta fg id nbrs in
+      script := Ins (id, nbrs) :: !script;
+      deltas := d :: !deltas
+    end
+  done;
+  (List.rev !script, List.rev !deltas, fg)
+
+let root_ids fg =
+  List.sort compare (List.map (fun v -> v.Rt.id) (Rt.rt_roots (Fg.ctx fg)))
+
+let check_same_state label flat eng =
+  let fg = Engine.fg eng in
+  Alcotest.(check bool)
+    (label ^ ": graph identical") true
+    (Adjacency.equal (Fg.graph flat) (Fg.graph fg));
+  Alcotest.(check bool)
+    (label ^ ": gprime identical") true
+    (Adjacency.equal (Fg.gprime flat) (Fg.gprime fg));
+  Alcotest.(check (list int)) (label ^ ": RT root ids") (root_ids flat) (root_ids fg);
+  Alcotest.(check int) (label ^ ": generation") (Fg.generation flat) (Fg.generation fg)
+
+(* Replay [script] on a K-shard engine; every per-event delta must be
+   structurally equal to the flat engine's, and every round must pass
+   the sharded audit. [block] is tiny so repair groups straddle shards
+   (forced cross-shard deletes). *)
+let replay_and_check ?(audit = true) ~shards ~block g0 script flat_deltas flat =
+  let eng = Engine.create ~shards ~block ~seed:42 (Adjacency.copy g0) in
+  List.iter2
+    (fun ev flat_d ->
+      let d =
+        match ev with
+        | Ins (id, nbrs) -> Engine.insert_delta eng id nbrs
+        | Del victims ->
+            let d, _ = Engine.delete_round_delta eng victims in
+            if audit then begin
+              match
+                Check.check_round (Engine.fg eng) ~delta:d
+                  ~info:(Engine.last_round eng)
+              with
+              | [] -> ()
+              | e :: _ -> Alcotest.failf "audit (K=%d): %s" shards e
+            end;
+            d
+      in
+      if d <> flat_d then
+        Alcotest.failf "delta diverged (K=%d) at gen %d" shards d.Fg_core.Delta.gen)
+    script flat_deltas;
+  check_same_state (Printf.sprintf "K=%d" shards) flat eng;
+  (match Fg_core.Invariants.check (Engine.fg eng) with
+  | [] -> ()
+  | e :: _ -> Alcotest.failf "invariants (K=%d): %s" shards e);
+  eng
+
+let test_identity_er () =
+  let rng = Rng.create 905 in
+  let g0 = Generators.erdos_renyi rng 80 0.08 in
+  let script, deltas, flat = gen_script 31 g0 ~events:40 ~k:4 in
+  List.iter
+    (fun shards -> ignore (replay_and_check ~shards ~block:2 g0 script deltas flat))
+    [ 1; 2; 4 ]
+
+let test_identity_ba () =
+  let rng = Rng.create 906 in
+  let g0 = Generators.barabasi_albert rng 70 3 in
+  let script, deltas, flat = gen_script 77 g0 ~events:30 ~k:5 in
+  List.iter
+    (fun shards -> ignore (replay_and_check ~shards ~block:4 g0 script deltas flat))
+    [ 2; 4 ]
+
+(* cross-shard groups actually occurred: with block=2 over 80 nodes and
+   multi-victim rounds, some group must span owners *)
+let test_cross_shard_groups_exercised () =
+  let rng = Rng.create 907 in
+  let g0 = Generators.erdos_renyi rng 60 0.1 in
+  let script, deltas, flat = gen_script 13 g0 ~events:25 ~k:6 in
+  let eng = replay_and_check ~shards:4 ~block:2 g0 script deltas flat in
+  let stats = Engine.stats eng in
+  let cross = Array.fold_left (fun a s -> a + s.Engine.cross_groups) 0 stats in
+  let heals = Array.fold_left (fun a s -> a + s.Engine.heals) 0 stats in
+  Alcotest.(check bool) "some groups were cross-shard" true (cross > 0);
+  Alcotest.(check bool) "heals happened" true (heals > 0);
+  Alcotest.(check bool) "work spread beyond one shard" true
+    (Array.to_list stats |> List.filter (fun s -> s.Engine.heals > 0) |> List.length > 1)
+
+(* frozen-shard recovery: freeze mid-script, keep attacking (groups
+   re-home through the ring's retry path), unfreeze, finish — the result
+   must still be byte-identical to the flat engine *)
+let test_frozen_shard_recovery () =
+  let rng = Rng.create 908 in
+  let g0 = Generators.erdos_renyi rng 90 0.08 in
+  let script, deltas, flat = gen_script 55 g0 ~events:36 ~k:4 in
+  let eng = Engine.create ~shards:4 ~block:2 ~seed:42 (Adjacency.copy g0) in
+  let n = List.length script in
+  let retried = ref 0 in
+  List.iteri
+    (fun i ev ->
+      if i = n / 3 then Engine.freeze_shard eng 1;
+      if i = 2 * n / 3 then Engine.unfreeze_shard eng 1;
+      let d =
+        match ev with
+        | Ins (id, nbrs) -> Engine.insert_delta eng id nbrs
+        | Del victims ->
+            let d, _ = Engine.delete_round_delta eng victims in
+            retried := !retried + (Engine.last_round eng).Engine.ri_retried;
+            d
+      in
+      if d <> List.nth deltas i then
+        Alcotest.failf "delta diverged under freeze at event %d" i)
+    script;
+  Alcotest.(check bool) "retry path exercised" true (!retried > 0);
+  Alcotest.(check bool) "suspicion raised" true (Engine.suspicions eng >= 1);
+  Alcotest.(check bool) "shard healthy again" false (Ring.suspected (Engine.ring eng) 1);
+  check_same_state "frozen/recovered" flat eng;
+  match Fg_core.Invariants.check (Engine.fg eng) with
+  | [] -> ()
+  | e :: _ -> Alcotest.failf "invariants after recovery: %s" e
+
+(* the staged round machinery on the core API: healing groups in reverse
+   order on two executors must equal delete_batch *)
+let test_core_round_reverse_equals_batch () =
+  let rng = Rng.create 909 in
+  let g0 = Generators.erdos_renyi rng 50 0.12 in
+  let fg_a = Fg.of_graph (Adjacency.copy g0) in
+  let fg_b = Fg.of_graph (Adjacency.copy g0) in
+  let wrng = Rng.create 4242 in
+  for _ = 1 to 10 do
+    let live = Fg.live_nodes fg_a in
+    if List.length live > 10 then begin
+      let victims =
+        Array.to_list (Rng.sample wrng 4 (Array.of_list live))
+      in
+      Fg.delete_batch fg_a victims;
+      let ex0 = Fg.round_executor ~slot:0 fg_b in
+      let ex1 = Fg.round_executor ~slot:1 fg_b in
+      Fg.delete_round fg_b victims ~exec:(fun groups ->
+          for i = Array.length groups - 1 downto 0 do
+            let ex = if i mod 2 = 0 then ex0 else ex1 in
+            Fg.heal_group_staged fg_b ~executor:ex groups.(i)
+          done)
+    end
+  done;
+  Alcotest.(check bool) "graph identical" true
+    (Adjacency.equal (Fg.graph fg_a) (Fg.graph fg_b));
+  Alcotest.(check bool) "gprime identical" true
+    (Adjacency.equal (Fg.gprime fg_a) (Fg.gprime fg_b));
+  Alcotest.(check (list int)) "RT root ids" (root_ids fg_a) (root_ids fg_b)
+
+(* ---- per-shard serving stores ---- *)
+
+let csr_edges csr =
+  (* iter_row works in dense indices; map back to node ids *)
+  let acc = ref [] in
+  for i = 0 to Fg_graph.Csr.num_nodes csr - 1 do
+    let u = Fg_graph.Csr.id csr i in
+    Fg_graph.Csr.iter_row
+      (fun j ->
+        let v = Fg_graph.Csr.id csr j in
+        if u < v then acc := (u, v) :: !acc)
+      csr i
+  done;
+  List.sort compare !acc
+
+let graph_edges g =
+  let acc = ref [] in
+  Adjacency.iter_edges (fun u v -> acc := (min u v, max u v) :: !acc) g;
+  List.sort compare !acc
+
+let test_publish_shards () =
+  let rng = Rng.create 910 in
+  let g0 = Generators.erdos_renyi rng 60 0.1 in
+  let eng = Engine.create ~shards:3 ~block:4 ~seed:42 (Adjacency.copy g0) in
+  let arng = Rng.create 5 in
+  for _ = 1 to 6 do
+    let live = Fg.live_nodes (Engine.fg eng) in
+    Engine.delete_round eng [ Rng.pick arng live ]
+  done;
+  Engine.publish_shards eng;
+  let gen = Fg.generation (Engine.fg eng) in
+  let union = ref [] in
+  for s = 0 to 2 do
+    let store = Engine.shard_store eng s in
+    Alcotest.(check int)
+      (Printf.sprintf "store %d at engine gen" s)
+      gen
+      (Fg_graph.Snapshot_store.current_gen store);
+    match Fg_graph.Snapshot_store.peek store with
+    | None -> Alcotest.fail "no snapshot"
+    | Some snap ->
+        let edges = csr_edges snap.Fg_graph.Snapshot_store.value.Engine.s_csr in
+        let m = Engine.map eng in
+        List.iter
+          (fun (u, v) ->
+            if Map.owner m u <> s && Map.owner m v <> s then
+              Alcotest.failf "shard %d stores foreign edge (%d,%d)" s u v)
+          edges;
+        union := edges @ !union
+  done;
+  Alcotest.(check bool) "shard union covers the graph" true
+    (List.sort_uniq compare !union = graph_edges (Fg.graph (Engine.fg eng)));
+  (* a frozen shard keeps serving its last generation *)
+  Engine.freeze_shard eng 0;
+  let live = Fg.live_nodes (Engine.fg eng) in
+  Engine.delete_round eng [ Rng.pick arng live ];
+  Engine.publish_shards eng;
+  let gen' = Fg.generation (Engine.fg eng) in
+  Alcotest.(check bool) "engine advanced" true (gen' > gen);
+  Alcotest.(check int) "frozen store is stale" gen
+    (Fg_graph.Snapshot_store.current_gen (Engine.shard_store eng 0));
+  Alcotest.(check int) "live store advanced" gen'
+    (Fg_graph.Snapshot_store.current_gen (Engine.shard_store eng 1))
+
+let suite =
+  [
+    Alcotest.test_case "map: block-cyclic formula" `Quick test_map_formula;
+    Alcotest.test_case "map: rejects bad args" `Quick test_map_rejects;
+    Alcotest.test_case "ring: route + delegates live" `Quick test_ring_route_live;
+    Alcotest.test_case "ring: suspicion lifecycle" `Quick test_ring_suspicion_lifecycle;
+    Alcotest.test_case "ring: report is immediate" `Quick test_ring_report_immediate;
+    Alcotest.test_case "ring: positions distinct" `Quick test_ring_positions_distinct;
+    Alcotest.test_case "mailbox: fifo + growth" `Quick test_mailbox_fifo_and_growth;
+    Alcotest.test_case "identity: ER script, K in {1,2,4}" `Quick test_identity_er;
+    Alcotest.test_case "identity: BA script, K in {2,4}" `Quick test_identity_ba;
+    Alcotest.test_case "identity: cross-shard groups occur" `Quick
+      test_cross_shard_groups_exercised;
+    Alcotest.test_case "identity: frozen-shard recovery" `Quick
+      test_frozen_shard_recovery;
+    Alcotest.test_case "core: reverse staged round = batch" `Quick
+      test_core_round_reverse_equals_batch;
+    Alcotest.test_case "stores: per-shard publish" `Quick test_publish_shards;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_map_canonical_runs ]
