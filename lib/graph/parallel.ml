@@ -5,7 +5,7 @@ let available () = Domain.recommended_domain_count ()
    multi-domain code path exercisable by tests on any machine. *)
 let max_domains () = max 2 (available ())
 let clamp d = max 1 (min d (max_domains ()))
-let default_domains = ref 1
+let default_domains = ref 1 (* fg-lint: single-writer main — set once at CLI parse *)
 let default () = !default_domains
 let set_default d = default_domains := clamp d
 
@@ -25,6 +25,42 @@ let resolve = function None -> !default_domains | Some d -> clamp d
 
 exception Stopped
 
+(* ---- the work-ticket protocol ----
+
+   The lock-free heart of a barrier job: an atomic ticket counter gates
+   which workers participate (a call resolved to [d] domains hands out
+   [d - 1] tickets; surplus parked workers take none and go back to
+   sleep), an atomic item counter deals out work indices, and a CAS cell
+   keeps the first exception. Factored out as a functor over
+   {!Atomic_intf.S} so fg_race can drive this exact claim protocol
+   through a traced scheduler and assert no index is ever dealt twice or
+   lost. *)
+
+module Ticket = struct
+  module Make (A : Atomic_intf.S) = struct
+    type t = { tickets : int A.t; next : int A.t; err : exn option A.t }
+
+    let create ~participants =
+      if participants < 0 then invalid_arg "Parallel.Ticket.create: participants < 0";
+      { tickets = A.make participants; next = A.make 0; err = A.make None }
+
+    (* one ticket per extra participant; the caller's domain never takes
+       one (it always participates) *)
+    let join t = A.fetch_and_add t.tickets (-1) > 0
+
+    let next_index t ~limit =
+      let i = A.fetch_and_add t.next 1 in
+      if i < limit then Some i else None
+
+    (* first failure wins; later ones are dropped (their indices are
+       already consumed, so the caller re-raises exactly one) *)
+    let fail t e = ignore (A.compare_and_set t.err None (Some e))
+    let failure t = A.get t.err
+  end
+
+  include Make (Atomic)
+end
+
 (* Detached tasks ([submit]/[await]) ride on the same parked workers as
    barrier jobs. Each task carries its own mutex/condvar so awaiters
    never contend on the pool lock. *)
@@ -33,7 +69,7 @@ type task_state = Pending | Done | Failed of exn
 type task = {
   t_mu : Mutex.t;
   t_cond : Condition.t;
-  mutable t_state : task_state;
+  mutable t_state : task_state; (* fg-lint: guarded-by t_mu *)
   t_fn : unit -> unit;
 }
 
@@ -41,11 +77,11 @@ type pool = {
   mu : Mutex.t;
   work : Condition.t;  (* workers park here between jobs *)
   idle : Condition.t;  (* the submitter parks here until [busy] drains *)
-  mutable job : (unit -> unit) option;
-  mutable seq : int;  (* job sequence number; workers wake on change *)
-  mutable busy : int;  (* workers that have not finished the current job *)
-  mutable stop : bool;
-  mutable workers : unit Domain.t array;
+  mutable job : (unit -> unit) option; (* fg-lint: guarded-by mu *)
+  mutable seq : int; (* fg-lint: guarded-by mu *)
+  mutable busy : int; (* fg-lint: guarded-by mu *)
+  mutable stop : bool; (* fg-lint: guarded-by mu *)
+  mutable workers : unit Domain.t array; (* fg-lint: single-writer pool-creator *)
   tasks : task Queue.t;  (* detached tasks awaiting a free worker *)
 }
 
@@ -87,7 +123,7 @@ let worker p =
     end
   done
 
-let pool : pool option ref = ref None
+let pool : pool option ref = ref None (* fg-lint: guarded-by pool_mu *)
 let pool_mu = Mutex.create ()
 
 let shutdown_pool p =
@@ -186,26 +222,24 @@ let map ?domains ~init ~f n =
   end
   else begin
     let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let err : exn option Atomic.t = Atomic.make None in
+    let gate = Ticket.create ~participants:(d - 1) in
     let body () =
       try
         let s = init () in
         let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
+          match Ticket.next_index gate ~limit:n with
+          | Some i ->
             results.(i) <- Some (f s i);
             loop ()
-          end
+          | None -> ()
         in
         loop ()
-      with e -> ignore (Atomic.compare_and_set err None (Some e))
+      with e -> Ticket.fail gate e
     in
     (* d - 1 tickets: surplus pool workers skip the job entirely *)
-    let tickets = Atomic.make (d - 1) in
-    let job () = if Atomic.fetch_and_add tickets (-1) > 0 then body () in
+    let job () = if Ticket.join gate then body () in
     run_pooled job body;
-    (match Atomic.get err with Some e -> raise e | None -> ());
+    (match Ticket.failure gate with Some e -> raise e | None -> ());
     Array.map (function Some x -> x | None -> assert false) results
   end
 

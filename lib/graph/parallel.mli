@@ -94,3 +94,35 @@ val await : task -> unit
 (** Number of pool worker domains ([max 2 (available ()) - 1], so always
     ≥ 1): the concurrency ceiling for submitted tasks. *)
 val pool_size : unit -> int
+
+(** {1 The work-ticket protocol}
+
+    The lock-free core of a barrier job, factored out so the fg_race
+    interleaving checker can drive it over traced atomics: a ticket
+    counter gating which workers participate, an item counter dealing
+    out indices, and a first-exception CAS cell. {!map} runs on the
+    production instantiation below. *)
+
+module Ticket : sig
+  module Make (A : Atomic_intf.S) : sig
+    type t
+
+    (** [create ~participants] hands out [participants] tickets (the
+        calling domain participates ticket-free on top). *)
+    val create : participants:int -> t
+
+    (** Worker-side: take a ticket; [false] means sit this job out. *)
+    val join : t -> bool
+
+    (** Deal the next work index; [None] once [limit] is exhausted.
+        Every index in [0, limit) is dealt to exactly one caller. *)
+    val next_index : t -> limit:int -> int option
+
+    (** Record a participant's exception; the first one wins. *)
+    val fail : t -> exn -> unit
+
+    val failure : t -> exn option
+  end
+
+  include module type of Make (Atomic)
+end

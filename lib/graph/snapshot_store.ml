@@ -26,110 +26,167 @@
      store; no loops, no CAS, no mutex — wait-free, and reader progress is
      independent of writer activity. The writer's bookkeeping (retired
      list, stats) is plain mutable state because there is exactly one
-     writer; only [current], [epoch] and the slots are shared. *)
+     writer; only [current], [epoch] and the slots are shared.
 
-type 'a snapshot = { gen : int; value : 'a }
+   The whole protocol is a functor over {!Atomic_intf.S} so tools/fg_race
+   can instantiate it over a traced-atomics scheduler and explore
+   interleavings of this exact code; [include Make (Atomic)] at the bottom
+   is the production instantiation. [create ~unsafe_no_epoch_check:true]
+   deliberately reintroduces the reclaim-while-pinned bug (it drops the
+   announced-epoch horizon) so the checker's power is itself testable. *)
 
-let quiescent = max_int
+module type S = sig
+  type 'a snapshot = private { gen : int; value : 'a }
+  type 'a t
 
-(* Registered reader slots, as a Treiber-style push-only list: readers
-   register by CAS-ing a new cons cell onto the head, the writer only
-   traverses. Slots are never removed — a handful of long-lived workers,
-   not per-query churn. *)
-type 'a t = {
-  current : 'a snapshot option Atomic.t;
-  epoch : int Atomic.t;
-  slots : int Atomic.t list Atomic.t;
-  (* Writer-private from here on. *)
-  mutable retired : (int * 'a snapshot) list;
-  mutable published : int;
-  mutable reclaimed : int;
-  mutable max_lag : int;
-}
+  val create : ?unsafe_no_epoch_check:bool -> ?log_reclaims:bool -> unit -> 'a t
+  val publish : 'a t -> gen:int -> 'a -> unit
+  val peek : 'a t -> 'a snapshot option
+  val current_gen : 'a t -> int
+  val reclaim : 'a t -> int
 
-let create () =
-  {
-    current = Atomic.make None;
-    epoch = Atomic.make 0;
-    slots = Atomic.make [];
-    retired = [];
-    published = 0;
-    reclaimed = 0;
-    max_lag = 0;
+  type 'a reader
+
+  val reader : 'a t -> 'a reader
+  val pin : 'a reader -> 'a snapshot
+  val unpin : 'a reader -> unit
+  val with_pin : 'a reader -> ('a snapshot -> 'b) -> 'b
+
+  type stats = { published : int; retired : int; reclaimed : int; max_lag : int }
+
+  val stats : 'a t -> stats
+  val retired_gens : 'a t -> int list
+  val reclaim_log : 'a t -> int list
+  val pp_stats : Format.formatter -> stats -> unit
+end
+
+module Make (A : Atomic_intf.S) = struct
+  module Atomic = A
+  (* shadowing [Stdlib.Atomic]: the protocol below must compile against
+     the functor argument only, so a traced instantiation traces
+     everything *)
+
+  type 'a snapshot = { gen : int; value : 'a }
+
+  let quiescent = max_int
+
+  (* Registered reader slots, as a Treiber-style push-only list: readers
+     register by CAS-ing a new cons cell onto the head, the writer only
+     traverses. Slots are never removed — a handful of long-lived workers,
+     not per-query churn. *)
+  type 'a t = {
+    current : 'a snapshot option Atomic.t;
+    epoch : int Atomic.t;
+    slots : int Atomic.t list Atomic.t;
+    check_epochs : bool;
+    log_reclaims : bool;
+    (* Writer-private from here on. *)
+    mutable retired : (int * 'a snapshot) list; (* fg-lint: single-writer publisher *)
+    mutable published : int; (* fg-lint: single-writer publisher *)
+    mutable reclaimed : int; (* fg-lint: single-writer publisher *)
+    mutable max_lag : int; (* fg-lint: single-writer publisher *)
+    mutable dropped : int list; (* fg-lint: single-writer publisher — test-only gen log *)
   }
 
-let peek t = Atomic.get t.current
-let current_gen t = match Atomic.get t.current with Some s -> s.gen | None -> -1
+  let create ?(unsafe_no_epoch_check = false) ?(log_reclaims = false) () =
+    {
+      current = Atomic.make None;
+      epoch = Atomic.make 0;
+      slots = Atomic.make [];
+      check_epochs = not unsafe_no_epoch_check;
+      log_reclaims;
+      retired = [];
+      published = 0;
+      reclaimed = 0;
+      max_lag = 0;
+      dropped = [];
+    }
 
-let min_announced t =
-  List.fold_left (fun acc slot -> min acc (Atomic.get slot)) quiescent (Atomic.get t.slots)
+  let peek t = Atomic.get t.current
+  let current_gen t = match Atomic.get t.current with Some s -> s.gen | None -> -1
 
-let reclaim t =
-  match t.retired with
-  | [] -> 0
-  | retired ->
-    let horizon = min_announced t in
-    let keep, drop = List.partition (fun (e, _) -> e > horizon) retired in
-    t.retired <- keep;
-    let n = List.length drop in
-    t.reclaimed <- t.reclaimed + n;
-    n
+  let min_announced t =
+    List.fold_left (fun acc slot -> min acc (Atomic.get slot)) quiescent (Atomic.get t.slots)
 
-let publish t ~gen value =
-  (match Atomic.get t.current with
-  | Some s when gen < s.gen ->
-    invalid_arg
-      (Printf.sprintf "Snapshot_store.publish: generation went backwards (%d after %d)" gen s.gen)
-  | _ -> ());
-  let prev = Atomic.get t.current in
-  Atomic.set t.current (Some { gen; value });
-  let e = 1 + Atomic.fetch_and_add t.epoch 1 in
-  t.published <- t.published + 1;
-  (match prev with None -> () | Some s -> t.retired <- (e, s) :: t.retired);
-  ignore (reclaim t);
-  let lag = List.length t.retired in
-  if lag > t.max_lag then t.max_lag <- lag
+  let reclaim t =
+    match t.retired with
+    | [] -> 0
+    | retired ->
+      let horizon = if t.check_epochs then min_announced t else quiescent in
+      let keep, drop = List.partition (fun (e, _) -> e > horizon) retired in
+      t.retired <- keep;
+      let n = List.length drop in
+      t.reclaimed <- t.reclaimed + n;
+      if t.log_reclaims && n > 0 then
+        t.dropped <- List.fold_left (fun acc (_, s) -> s.gen :: acc) t.dropped drop;
+      n
 
-type 'a reader = { slot : int Atomic.t; store : 'a t; mutable depth : int }
+  let publish t ~gen value =
+    (match Atomic.get t.current with
+    | Some s when gen < s.gen ->
+      invalid_arg
+        (Printf.sprintf "Snapshot_store.publish: generation went backwards (%d after %d)" gen
+           s.gen)
+    | _ -> ());
+    let prev = Atomic.get t.current in
+    Atomic.set t.current (Some { gen; value });
+    let e = 1 + Atomic.fetch_and_add t.epoch 1 in
+    t.published <- t.published + 1;
+    (match prev with None -> () | Some s -> t.retired <- (e, s) :: t.retired);
+    ignore (reclaim t);
+    let lag = List.length t.retired in
+    if lag > t.max_lag then t.max_lag <- lag
 
-let reader t =
-  let slot = Atomic.make quiescent in
-  let rec push () =
-    let head = Atomic.get t.slots in
-    if not (Atomic.compare_and_set t.slots head (slot :: head)) then push ()
-  in
-  push ();
-  { slot; store = t; depth = 0 }
-
-let pin r =
-  if r.depth = 0 then Atomic.set r.slot (Atomic.get r.store.epoch);
-  match Atomic.get r.store.current with
-  | Some s ->
-    r.depth <- r.depth + 1;
-    s
-  | None ->
-    if r.depth = 0 then Atomic.set r.slot quiescent;
-    invalid_arg "Snapshot_store.pin: nothing published"
-
-let unpin r =
-  if r.depth <= 0 then invalid_arg "Snapshot_store.unpin: not pinned";
-  r.depth <- r.depth - 1;
-  if r.depth = 0 then Atomic.set r.slot quiescent
-
-let with_pin r f =
-  let s = pin r in
-  Fun.protect ~finally:(fun () -> unpin r) (fun () -> f s)
-
-type stats = { published : int; retired : int; reclaimed : int; max_lag : int }
-
-let stats (t : _ t) =
-  {
-    published = t.published;
-    retired = List.length t.retired;
-    reclaimed = t.reclaimed;
-    max_lag = t.max_lag;
+  type 'a reader = {
+    slot : int Atomic.t;
+    store : 'a t;
+    mutable depth : int; (* fg-lint: single-writer owning-reader *)
   }
 
-let pp_stats ppf s =
-  Format.fprintf ppf "published=%d retired=%d reclaimed=%d max_lag=%d" s.published s.retired
-    s.reclaimed s.max_lag
+  let reader t =
+    let slot = Atomic.make quiescent in
+    let rec push () =
+      let head = Atomic.get t.slots in
+      if not (Atomic.compare_and_set t.slots head (slot :: head)) then push ()
+    in
+    push ();
+    { slot; store = t; depth = 0 }
+
+  let pin r =
+    if r.depth = 0 then Atomic.set r.slot (Atomic.get r.store.epoch);
+    match Atomic.get r.store.current with
+    | Some s ->
+      r.depth <- r.depth + 1;
+      s
+    | None ->
+      if r.depth = 0 then Atomic.set r.slot quiescent;
+      invalid_arg "Snapshot_store.pin: nothing published"
+
+  let unpin r =
+    if r.depth <= 0 then invalid_arg "Snapshot_store.unpin: not pinned";
+    r.depth <- r.depth - 1;
+    if r.depth = 0 then Atomic.set r.slot quiescent
+
+  let with_pin r f =
+    let s = pin r in
+    Fun.protect ~finally:(fun () -> unpin r) (fun () -> f s)
+
+  type stats = { published : int; retired : int; reclaimed : int; max_lag : int }
+
+  let stats (t : _ t) =
+    {
+      published = t.published;
+      retired = List.length t.retired;
+      reclaimed = t.reclaimed;
+      max_lag = t.max_lag;
+    }
+
+  let retired_gens (t : _ t) = List.map (fun (_, s) -> s.gen) t.retired
+  let reclaim_log (t : _ t) = t.dropped
+
+  let pp_stats ppf s =
+    Format.fprintf ppf "published=%d retired=%d reclaimed=%d max_lag=%d" s.published s.retired
+      s.reclaimed s.max_lag
+end
+
+include Make (Atomic)

@@ -30,73 +30,107 @@
     snapshot — for {!Csr.t} payloads that releases the off-heap Bigarray
     rows — and, as importantly, it bounds the {e reclamation lag}: the
     number of dead generations pinned live by stalled readers, which
-    {!stats} exposes and the serve bench reports.
+    [stats] exposes and the serve bench reports.
 
     Payloads must be immutable (or at least never mutated after
-    {!publish}); the store shares them across domains without copies.
+    [publish]); the store shares them across domains without copies.
     All [reader] operations are single-owner: one reader handle per
-    domain, created once and reused. {!publish} and {!stats} must only be
-    called from the (single) writer. *)
+    domain, created once and reused. [publish] and [stats] must only be
+    called from the (single) writer.
 
-type 'a snapshot = private { gen : int; value : 'a }
+    {2 Model checking}
 
-type 'a t
+    The protocol is a functor, {!Make}, over {!Atomic_intf.S}; the module
+    itself is the production instantiation over [Stdlib.Atomic].
+    [tools/fg_race] instantiates {!Make} over a traced-atomics scheduler
+    and explores thread interleavings of this exact code, asserting the
+    conservation law [published = reclaimed + retired + 1] at every step
+    and that no pinned snapshot is ever dropped. *)
 
-val create : unit -> 'a t
+(** The store's full interface, shared by every instantiation. *)
+module type S = sig
+  type 'a snapshot = private { gen : int; value : 'a }
+  type 'a t
 
-(** [publish t ~gen v] atomically replaces the current snapshot, retires
-    the previous one, and reclaims every retired snapshot no announced
-    reader epoch still covers. Generations must be non-decreasing
-    (re-publishing the same generation is allowed: the cache-rebuild path
-    after an external mutation does exactly that); raises
-    [Invalid_argument] on a decrease. Writer-side only. *)
-val publish : 'a t -> gen:int -> 'a -> unit
+  (** [create ()] makes an empty store. The two flags are {b test-only}:
+      [~unsafe_no_epoch_check:true] makes {!reclaim} ignore announced
+      reader epochs — the canonical use-after-reclaim bug — so the
+      fg_race interleaving checker can prove it would catch a broken
+      reclamation horizon (mutation testing the checker, not the store);
+      [~log_reclaims:true] records every dropped generation for
+      {!reclaim_log} (unbounded, so never in production). *)
+  val create : ?unsafe_no_epoch_check:bool -> ?log_reclaims:bool -> unit -> 'a t
 
-(** The current snapshot without pinning — for the writer (which never
-    races itself) and for opportunistic peeks where a torn generation is
-    acceptable. [None] until the first {!publish}. *)
-val peek : 'a t -> 'a snapshot option
+  (** [publish t ~gen v] atomically replaces the current snapshot, retires
+      the previous one, and reclaims every retired snapshot no announced
+      reader epoch still covers. Generations must be non-decreasing
+      (re-publishing the same generation is allowed: the cache-rebuild
+      path after an external mutation does exactly that); raises
+      [Invalid_argument] on a decrease. Writer-side only. *)
+  val publish : 'a t -> gen:int -> 'a -> unit
 
-(** Generation of the current snapshot, [-1] if nothing is published. *)
-val current_gen : 'a t -> int
+  (** The current snapshot without pinning — for the writer (which never
+      races itself) and for opportunistic peeks where a torn generation is
+      acceptable. [None] until the first {!publish}. *)
+  val peek : 'a t -> 'a snapshot option
 
-(** [reclaim t] runs a reclamation scan outside {!publish} (e.g. from an
-    idle writer) and returns how many retired snapshots were dropped. *)
-val reclaim : 'a t -> int
+  (** Generation of the current snapshot, [-1] if nothing is published. *)
+  val current_gen : 'a t -> int
 
-(** {1 Readers} *)
+  (** [reclaim t] runs a reclamation scan outside {!publish} (e.g. from an
+      idle writer) and returns how many retired snapshots were dropped. *)
+  val reclaim : 'a t -> int
 
-type 'a reader
+  (** {1 Readers} *)
 
-(** [reader t] registers a new announcement slot. Slots are never
-    deregistered — create one reader per long-lived worker, not one per
-    query. Safe to call from any domain (lock-free registration). *)
-val reader : 'a t -> 'a reader
+  type 'a reader
 
-(** [pin r] announces the current epoch and returns the current snapshot,
-    which is guaranteed not to be reclaimed until the matching {!unpin}.
-    Wait-free: two atomic loads and one atomic store. Pins nest; the
-    outermost pin's epoch protects (inner pins may observe newer
-    snapshots, which the older announcement also covers). Raises
-    [Invalid_argument] if nothing is published yet. *)
-val pin : 'a reader -> 'a snapshot
+  (** [reader t] registers a new announcement slot. Slots are never
+      deregistered — create one reader per long-lived worker, not one per
+      query. Safe to call from any domain (lock-free registration). *)
+  val reader : 'a t -> 'a reader
 
-(** [unpin r] releases the innermost {!pin}; the outermost release marks
-    the slot quiescent (one atomic store). Raises [Invalid_argument] if
-    not pinned. *)
-val unpin : 'a reader -> unit
+  (** [pin r] announces the current epoch and returns the current snapshot,
+      which is guaranteed not to be reclaimed until the matching {!unpin}.
+      Wait-free: two atomic loads and one atomic store. Pins nest; the
+      outermost pin's epoch protects (inner pins may observe newer
+      snapshots, which the older announcement also covers). Raises
+      [Invalid_argument] if nothing is published yet. *)
+  val pin : 'a reader -> 'a snapshot
 
-(** [with_pin r f] pins around [f] (unpins on exception too). *)
-val with_pin : 'a reader -> ('a snapshot -> 'b) -> 'b
+  (** [unpin r] releases the innermost {!pin}; the outermost release marks
+      the slot quiescent (one atomic store). Raises [Invalid_argument] if
+      not pinned. *)
+  val unpin : 'a reader -> unit
 
-(** {1 Accounting (writer-side reads)} *)
+  (** [with_pin r f] pins around [f] (unpins on exception too). *)
+  val with_pin : 'a reader -> ('a snapshot -> 'b) -> 'b
 
-type stats = {
-  published : int;  (** snapshots published since [create] *)
-  retired : int;  (** retired but not yet reclaimed — the current lag *)
-  reclaimed : int;  (** retired snapshots dropped so far *)
-  max_lag : int;  (** worst [retired] observed right after a publish *)
-}
+  (** {1 Accounting (writer-side reads)} *)
 
-val stats : 'a t -> stats
-val pp_stats : Format.formatter -> stats -> unit
+  type stats = {
+    published : int;  (** snapshots published since [create] *)
+    retired : int;  (** retired but not yet reclaimed — the current lag *)
+    reclaimed : int;  (** retired snapshots dropped so far *)
+    max_lag : int;  (** worst [retired] observed right after a publish *)
+  }
+
+  val stats : 'a t -> stats
+
+  (** Generations still parked on the retired list, newest first —
+      writer-side only; the interleaving checker uses it to assert a
+      pinned generation is never dropped. *)
+  val retired_gens : 'a t -> int list
+
+  (** Every generation dropped by {!reclaim} so far, newest first; always
+      [[]] unless the store was created with [~log_reclaims:true]. *)
+  val reclaim_log : 'a t -> int list
+
+  val pp_stats : Format.formatter -> stats -> unit
+end
+
+(** The protocol over any atomics implementation. *)
+module Make (A : Atomic_intf.S) : S
+
+(** @inline *)
+include S

@@ -40,7 +40,7 @@ let mix_of_string s =
 (* Per-reader results: written by the reader task, read by the driver
    strictly after [Parallel.await] (the task's completion handshake is
    the happens-before edge). *)
-type reader_out = { mutable queries : int; hists : (string * Hdr.t) list }
+type reader_out = { mutable queries : int; hists : (string * Hdr.t) list } (* fg-lint: single-writer reader-task *)
 
 type report = {
   wall_s : float;

@@ -40,7 +40,7 @@ let hdr_of = function
    immutable and a new generation is a new CSR value, so a worker pays
    one scratch allocation per published generation, not per query. *)
 type cached = { key : Csr.t; scratch : Csr.scratch }
-type worker = { mutable g : cached option; mutable gp : cached option }
+type worker = { mutable g : cached option; mutable gp : cached option } (* fg-lint: single-writer owning-worker *)
 
 let worker () = { g = None; gp = None }
 

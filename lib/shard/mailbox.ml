@@ -3,64 +3,128 @@
    the producer writes the slot then publishes with an atomic tail store,
    the consumer reads the tail before touching the slot — the classic
    SPSC protocol, race-free under the OCaml memory model. Capacity is
-   fixed while both sides run; [reserve] may grow it only at a quiescent
-   point (the coordinator sizes inboxes to the round's group count before
-   the parallel phase starts). *)
+   fixed while both sides run; [ensure_capacity] may grow it only at a
+   quiescent point (the coordinator sizes inboxes to the round's group
+   count before the parallel phase starts).
 
-type 'a t = {
-  mutable buf : 'a option array;  (* length is a power of two *)
-  head : int Atomic.t;  (* consumer cursor *)
-  tail : int Atomic.t;  (* producer cursor *)
-  mutable high_water : int;  (* max occupancy ever seen (producer side) *)
-}
+   The produce side is two-phase — [reserve] claims the tail slot,
+   [commit] writes it and publishes — so the slot-write/tail-publish
+   ordering that makes the protocol safe is an explicit protocol object
+   the fg_race interleaving checker can drive: the consumer must never
+   observe a reserved-but-uncommitted slot. [push] is reserve+commit.
+   Like the snapshot store, the whole protocol is a functor over
+   {!Fg_graph.Atomic_intf.S}; the bottom [include] is the production
+   instantiation. *)
 
-let rec pow2 n k = if k >= n then k else pow2 n (2 * k)
+module type S = sig
+  type 'a t
 
-let create ?(capacity = 64) () =
-  if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
-  {
-    buf = Array.make (pow2 capacity 1) None;
-    head = Atomic.make 0;
-    tail = Atomic.make 0;
-    high_water = 0;
+  val create : ?capacity:int -> unit -> 'a t
+  val push : 'a t -> 'a -> bool
+  val pop : 'a t -> 'a option
+  val reserve : 'a t -> int option
+  val commit : 'a t -> int -> 'a -> unit
+  val abort : 'a t -> int -> unit
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val capacity : 'a t -> int
+  val high_water : 'a t -> int
+  val ensure_capacity : 'a t -> int -> unit
+end
+
+module Make (A : Fg_graph.Atomic_intf.S) = struct
+  module Atomic = A
+  (* shadowing [Stdlib.Atomic]: everything below must go through the
+     functor argument so a traced instantiation sees every operation *)
+
+  type 'a t = {
+    mutable buf : 'a option array; (* fg-lint: single-writer producer — grown at quiescence only *)
+    head : int Atomic.t;  (* consumer cursor *)
+    tail : int Atomic.t;  (* producer cursor *)
+    mutable pending : bool; (* fg-lint: single-writer producer — reserve/commit bracket *)
+    mutable high_water : int; (* fg-lint: single-writer producer *)
   }
 
-let capacity t = Array.length t.buf
-let length t = Atomic.get t.tail - Atomic.get t.head
-let is_empty t = length t = 0
-let high_water t = t.high_water
+  let rec pow2 n k = if k >= n then k else pow2 n (2 * k)
 
-(* quiescent-only: no concurrent push/pop may be in flight *)
-let reserve t n =
-  if n > Array.length t.buf then begin
-    let cap = pow2 n (Array.length t.buf) in
-    let nbuf = Array.make cap None in
-    let h = Atomic.get t.head and tl = Atomic.get t.tail in
-    let omask = Array.length t.buf - 1 in
-    for i = h to tl - 1 do
-      nbuf.(i land (cap - 1)) <- t.buf.(i land omask)
-    done;
-    t.buf <- nbuf
-  end
+  let create ?(capacity = 64) () =
+    if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
+    {
+      buf = Array.make (pow2 capacity 1) None;
+      head = Atomic.make 0;
+      tail = Atomic.make 0;
+      pending = false;
+      high_water = 0;
+    }
 
-let push t x =
-  let tl = Atomic.get t.tail in
-  let occupancy = tl - Atomic.get t.head + 1 in
-  if occupancy > Array.length t.buf then false
-  else begin
-    t.buf.(tl land (Array.length t.buf - 1)) <- Some x;
-    Atomic.set t.tail (tl + 1);
-    if occupancy > t.high_water then t.high_water <- occupancy;
-    true
-  end
+  let capacity t = Array.length t.buf
+  let length t = Atomic.get t.tail - Atomic.get t.head
+  let is_empty t = length t = 0
+  let high_water t = t.high_water
 
-let pop t =
-  let h = Atomic.get t.head in
-  if h = Atomic.get t.tail then None
-  else begin
-    let i = h land (Array.length t.buf - 1) in
-    let x = t.buf.(i) in
-    t.buf.(i) <- None;
-    Atomic.set t.head (h + 1);
-    x
-  end
+  (* quiescent-only: no concurrent push/pop may be in flight *)
+  let ensure_capacity t n =
+    if t.pending then invalid_arg "Mailbox.ensure_capacity: a slot is reserved";
+    if n > Array.length t.buf then begin
+      let cap = pow2 n (Array.length t.buf) in
+      let nbuf = Array.make cap None in
+      let h = Atomic.get t.head and tl = Atomic.get t.tail in
+      let omask = Array.length t.buf - 1 in
+      for i = h to tl - 1 do
+        nbuf.(i land (cap - 1)) <- t.buf.(i land omask)
+      done;
+      t.buf <- nbuf
+    end
+
+  (* producer-only: claim the next slot without publishing it. The tail
+     store in [commit] is what makes the value visible to the consumer;
+     between reserve and commit the slot is producer-private. *)
+  let reserve t =
+    if t.pending then invalid_arg "Mailbox.reserve: slot already reserved";
+    let tl = Atomic.get t.tail in
+    let occupancy = tl - Atomic.get t.head + 1 in
+    if occupancy > Array.length t.buf then None
+    else begin
+      t.pending <- true;
+      Some tl
+    end
+
+  let check_reserved t slot op =
+    if not t.pending then invalid_arg ("Mailbox." ^ op ^ ": no reserved slot");
+    if slot <> Atomic.get t.tail then invalid_arg ("Mailbox." ^ op ^ ": stale slot")
+
+  (* producer-only: write the reserved slot, then publish it with the
+     atomic tail store (the SPSC happens-before edge). *)
+  let commit t slot x =
+    check_reserved t slot "commit";
+    t.buf.(slot land (Array.length t.buf - 1)) <- Some x;
+    t.pending <- false;
+    Atomic.set t.tail (slot + 1);
+    let occupancy = slot + 1 - Atomic.get t.head in
+    if occupancy > t.high_water then t.high_water <- occupancy
+
+  (* producer-only: release a reserved slot without publishing anything *)
+  let abort t slot =
+    check_reserved t slot "abort";
+    t.pending <- false
+
+  let push t x =
+    match reserve t with
+    | None -> false
+    | Some slot ->
+      commit t slot x;
+      true
+
+  let pop t =
+    let h = Atomic.get t.head in
+    if h = Atomic.get t.tail then None
+    else begin
+      let i = h land (Array.length t.buf - 1) in
+      let x = t.buf.(i) in
+      t.buf.(i) <- None;
+      Atomic.set t.head (h + 1);
+      x
+    end
+end
+
+include Make (Atomic)

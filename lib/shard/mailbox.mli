@@ -4,28 +4,63 @@
     occupancy high-water mark feeds the per-shard [mbox] telemetry.
 
     The SPSC contract: at most one domain pushes and at most one domain
-    pops at any time. {!reserve} may only run at a quiescent point. *)
+    pops at any time. {!ensure_capacity} may only run at a quiescent
+    point.
 
-type 'a t
+    The produce side is exposed as a two-phase protocol — {!reserve}
+    claims the tail slot, {!commit} writes it and publishes the atomic
+    tail store that hands it to the consumer — so the ordering argument
+    ("write the slot, then publish") is a checkable protocol rather than
+    a comment. {!push} is the one-shot composition. The protocol is a
+    functor, {!Make}, over {!Fg_graph.Atomic_intf.S}; this module is its
+    production instantiation over [Stdlib.Atomic], and [tools/fg_race]
+    instantiates it over a traced scheduler to verify FIFO order and
+    no-uncommitted-slot-read across interleavings. *)
 
-(** [create ?capacity ()] (default 64; rounded up to a power of two). *)
-val create : ?capacity:int -> unit -> 'a t
+module type S = sig
+  type 'a t
 
-(** [push t x] is [false] when the mailbox is full (producer only). *)
-val push : 'a t -> 'a -> bool
+  (** [create ?capacity ()] (default 64; rounded up to a power of two). *)
+  val create : ?capacity:int -> unit -> 'a t
 
-(** [pop t] is [None] when empty (consumer only). *)
-val pop : 'a t -> 'a option
+  (** [push t x] is [false] when the mailbox is full (producer only).
+      Equivalent to {!reserve} + {!commit}. *)
+  val push : 'a t -> 'a -> bool
 
-(** Current occupancy (either side; a racy snapshot while both run). *)
-val length : 'a t -> int
+  (** [pop t] is [None] when empty (consumer only). *)
+  val pop : 'a t -> 'a option
 
-val is_empty : 'a t -> bool
-val capacity : 'a t -> int
+  (** [reserve t] claims the next tail slot without making it visible to
+      the consumer; [None] when full. Producer only; at most one slot may
+      be reserved at a time (raises [Invalid_argument] otherwise). Do not
+      block or allocate unboundedly while holding a reservation — commit
+      or abort promptly (lint rule R9). *)
+  val reserve : 'a t -> int option
 
-(** Maximum occupancy ever reached. *)
-val high_water : 'a t -> int
+  (** [commit t slot x] writes [x] into the reserved [slot] and publishes
+      it with the atomic tail store. Raises [Invalid_argument] if [slot]
+      is not the currently reserved slot. *)
+  val commit : 'a t -> int -> 'a -> unit
 
-(** Grow to hold at least [n] items, preserving queued entries. Both
-    sides must be quiescent. *)
-val reserve : 'a t -> int -> unit
+  (** [abort t slot] releases a reserved slot without publishing. *)
+  val abort : 'a t -> int -> unit
+
+  (** Current occupancy (either side; a racy snapshot while both run). *)
+  val length : 'a t -> int
+
+  val is_empty : 'a t -> bool
+  val capacity : 'a t -> int
+
+  (** Maximum occupancy ever reached. *)
+  val high_water : 'a t -> int
+
+  (** Grow to hold at least [n] items, preserving queued entries. Both
+      sides must be quiescent and no slot reserved. *)
+  val ensure_capacity : 'a t -> int -> unit
+end
+
+(** The protocol over any atomics implementation. *)
+module Make (A : Fg_graph.Atomic_intf.S) : S
+
+(** @inline *)
+include S

@@ -35,13 +35,13 @@ module Hdr = Fg_obs.Hdr
 module Event = Fg_obs.Event
 
 type shard_stat = {
-  mutable heals : int;  (* repair groups healed by this shard *)
-  mutable local_groups : int;  (* every member + fresh proc home-owned *)
-  mutable cross_groups : int;
-  mutable retries : int;  (* groups re-homed here by the retry sweep *)
-  mutable heal_ns : int;  (* cumulative heal wall time *)
-  mutable mbox_depth : int;  (* groups assigned in the last round *)
-  mutable mbox_hw : int;  (* lifetime max of the above *)
+  mutable heals : int;  (* fg-lint: single-writer shard-worker — repair groups healed by this shard *)
+  mutable local_groups : int;  (* fg-lint: single-writer shard-worker — every member + fresh proc home-owned *)
+  mutable cross_groups : int; (* fg-lint: single-writer shard-worker *)
+  mutable retries : int;  (* fg-lint: single-writer shard-worker — groups re-homed here by the retry sweep *)
+  mutable heal_ns : int;  (* fg-lint: single-writer shard-worker — cumulative heal wall time *)
+  mutable mbox_depth : int;  (* fg-lint: single-writer shard-worker — groups assigned in the last round *)
+  mutable mbox_hw : int;  (* fg-lint: single-writer shard-worker — lifetime max of the above *)
 }
 
 type round_info = {
@@ -64,10 +64,10 @@ type t = {
   stores : shard_snapshot Store.t array;
   heal_hdr : Hdr.sharded;  (* shard.heal_ns *)
   depth_hdr : Hdr.sharded;  (* shard.mailbox_depth *)
-  mutable rounds : int;
-  mutable suspicions : int;  (* shards that became suspected, cumulative *)
-  mutable serial_only : bool;  (* never spawn worker domains *)
-  mutable last : round_info;
+  mutable rounds : int; (* fg-lint: single-writer coordinator *)
+  mutable suspicions : int;  (* fg-lint: single-writer coordinator — shards that became suspected, cumulative *)
+  mutable serial_only : bool;  (* fg-lint: single-writer coordinator — never spawn worker domains *)
+  mutable last : round_info; (* fg-lint: single-writer coordinator *)
 }
 
 let no_round = { ri_groups = 0; ri_serial = true; ri_retried = 0; ri_staged = [||] }
@@ -193,7 +193,7 @@ let run_serial t groups targets retried =
    group on the delegate's executor. *)
 let run_parallel t groups targets retried =
   let n = Array.length groups in
-  Array.iter (fun mb -> Mailbox.reserve mb n) t.inbox;
+  Array.iter (fun mb -> Mailbox.ensure_capacity mb n) t.inbox;
   Array.iteri
     (fun i g ->
       if not (Mailbox.push t.inbox.(targets.(i)) g) then

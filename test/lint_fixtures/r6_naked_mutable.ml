@@ -1,0 +1,17 @@
+(* Fixture: R6 — a mutable record field in a concurrency-scoped module
+   with no atomic type and no ownership pragma. The sibling fields show
+   the three accepted forms: an Atomic.t cell, a Bigarray payload, and a
+   declared single-writer. *)
+
+type state = {
+  mutable hits : int; (* violation: naked shared mutability *)
+  epoch : int Atomic.t;
+  rows : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mutable high_water : int; (* fg-lint: single-writer collector *)
+}
+
+let bump s =
+  s.hits <- s.hits + 1;
+  if s.hits > s.high_water then s.high_water <- s.hits
+
+let observed s = Atomic.get s.epoch + Bigarray.Array1.dim s.rows

@@ -1,0 +1,14 @@
+(* Fixture: R6 — a module-level ref in a concurrency-scoped module with
+   no ownership pragma. The pragma'd sibling and the function-local ref
+   are both fine: the first has a declared owner, the second never leaves
+   one stack. *)
+
+let total = ref 0 (* violation: shared cell, no declared owner *)
+let calls = ref 0 (* fg-lint: single-writer main *)
+
+let count xs =
+  let n = ref 0 in
+  List.iter (fun _ -> incr n) xs;
+  incr calls;
+  total := !total + !n;
+  !n

@@ -1,0 +1,13 @@
+(* Fixture: R7 — a pin that escapes its binding: the reader announces an
+   epoch and loads the snapshot but no path unpins, so the slot never goes
+   quiescent and reclamation stalls forever. The balanced siblings show
+   the two accepted shapes: with_pin, and explicit pin/unpin under
+   Fun.protect. *)
+
+let leak_pin r = ignore (Snapshot_store.pin r)
+
+let balanced r f = Snapshot_store.with_pin r f
+
+let explicit r f =
+  let s = Snapshot_store.pin r in
+  Fun.protect ~finally:(fun () -> Snapshot_store.unpin r) (fun () -> f s)

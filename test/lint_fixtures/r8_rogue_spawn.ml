@@ -1,0 +1,6 @@
+(* Fixture: R8 — raw domain lifecycle outside the sanctioned modules.
+   Worker fan-out must go through Parallel (pool reuse, first-error-wins
+   propagation, bounded domain count); a rogue Domain.spawn bypasses all
+   three. *)
+
+let spawn_worker f = Domain.spawn f (* violation *)

@@ -1,0 +1,9 @@
+(* Fixture: R9 — sleeping while holding a snapshot pin. The announced
+   epoch stays live for the whole nap, so the writer cannot reclaim
+   anything retired since, and the reclamation lag grows unboundedly.
+   (The pin itself is balanced — with_pin — so this is R9-only.) *)
+
+let slow_read r =
+  Snapshot_store.with_pin r (fun snap ->
+      Unix.sleepf 0.001 (* violation: blocking while pinned *);
+      snap)

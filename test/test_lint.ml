@@ -83,18 +83,50 @@ let test_directory_sweep () =
   Alcotest.(check int) "R2 findings" 1 (count "R2");
   Alcotest.(check int) "R3 findings" 1 (count "R3");
   Alcotest.(check int) "R4 findings" 5 (count "R4");
-  Alcotest.(check int) "R5 findings" 13 (count "R5");
-  Alcotest.(check int) "total" 24 (List.length fs)
+  Alcotest.(check int) "R5 findings" 18 (count "R5");
+  Alcotest.(check int) "R6 findings" 2 (count "R6");
+  Alcotest.(check int) "R7 findings" 1 (count "R7");
+  Alcotest.(check int) "R8 findings" 1 (count "R8");
+  Alcotest.(check int) "R9 findings" 1 (count "R9");
+  Alcotest.(check int) "total" 34 (List.length fs)
 
 let test_repo_is_clean () =
   (* the tree itself must lint clean with the repo configuration — the
-     same check `dune build @lint` gates in CI *)
+     same check `dune build @lint` gates in CI. Note this covers the
+     whole rule set including R6-R9 over the concurrency-scoped modules
+     and R5 over tools/. *)
   let rc =
     Sys.command
-      (Printf.sprintf "cd %s && tools/fg_lint/fg_lint.exe --conf fg_lint.conf lib > /dev/null 2>&1"
+      (Printf.sprintf
+         "cd %s && tools/fg_lint/fg_lint.exe --conf fg_lint.conf lib tools > /dev/null 2>&1"
          (Filename.quote root_dir))
   in
-  Alcotest.(check int) "lib/ lints clean" 0 rc
+  Alcotest.(check int) "lib/ and tools/ lint clean" 0 rc
+
+let test_github_mode () =
+  (* --github renders one ::error workflow command per finding *)
+  let out = Filename.temp_file "fg_lint_gh" ".txt" in
+  let cmd =
+    Printf.sprintf "%s --conf %s --github --only R8 %s > %s 2>/dev/null" exe conf
+      (Filename.quote (fixture "r8_rogue_spawn.ml"))
+      (Filename.quote out)
+  in
+  let rc = Sys.command cmd in
+  let text = read_file out in
+  Sys.remove out;
+  Alcotest.(check int) "github mode exits 1" 1 rc;
+  let has_annotation =
+    String.length text >= 13 && String.sub text 0 13 = "::error file="
+  in
+  if not has_annotation then
+    Alcotest.failf "no ::error annotation in --github output: %s" text;
+  let mentions_rule =
+    let needle = "[R8]" in
+    let n = String.length needle and l = String.length text in
+    let rec find i = i + n <= l && (String.sub text i n = needle || find (i + 1)) in
+    find 0
+  in
+  Alcotest.(check bool) "annotation names the rule" true mentions_rule
 
 let suite =
   [
@@ -122,8 +154,19 @@ let suite =
       (check_fixture ~rule:"R4" ~file:"r4_shard_stat.ml");
     Alcotest.test_case "R5 fixture" `Quick
       (check_fixture ~rule:"R5" ~file:"r5_no_mli.ml");
+    Alcotest.test_case "R6 mutable-field fixture" `Quick
+      (check_fixture ~rule:"R6" ~file:"r6_naked_mutable.ml");
+    Alcotest.test_case "R6 module-ref fixture" `Quick
+      (check_fixture ~rule:"R6" ~file:"r6_rogue_ref.ml");
+    Alcotest.test_case "R7 fixture" `Quick
+      (check_fixture ~rule:"R7" ~file:"r7_unbalanced_pin.ml");
+    Alcotest.test_case "R8 fixture" `Quick
+      (check_fixture ~rule:"R8" ~file:"r8_rogue_spawn.ml");
+    Alcotest.test_case "R9 fixture" `Quick
+      (check_fixture ~rule:"R9" ~file:"r9_blocking_pinned.ml");
     Alcotest.test_case "clean module" `Quick test_clean;
     Alcotest.test_case "pragma suppression" `Quick test_pragma;
+    Alcotest.test_case "github annotations" `Quick test_github_mode;
     Alcotest.test_case "directory sweep" `Quick test_directory_sweep;
     Alcotest.test_case "repo lints clean" `Quick test_repo_is_clean;
   ]

@@ -30,6 +30,7 @@ let () =
       ("serve", Test_serve.suite);
       ("shard", Test_shard.suite);
       ("lint", Test_lint.suite);
+      ("race", Test_race.suite);
       ("alloc", Test_alloc.suite);
       ("soak", Test_soak.suite);
     ]

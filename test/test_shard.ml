@@ -135,7 +135,7 @@ let test_mailbox_fifo_and_growth () =
   Alcotest.(check bool) "full" false (Mailbox.push mb 'x');
   Alcotest.(check (option char)) "fifo 1" (Some 'a') (Mailbox.pop mb);
   (* grow while non-empty (quiescent): queued entry survives in order *)
-  Mailbox.reserve mb 8;
+  Mailbox.ensure_capacity mb 8;
   Alcotest.(check bool) "cap grew" true (Mailbox.capacity mb >= 8);
   List.iter (fun c -> assert (Mailbox.push mb c)) [ 'c'; 'd' ];
   Alcotest.(check (option char)) "fifo 2" (Some 'b') (Mailbox.pop mb);

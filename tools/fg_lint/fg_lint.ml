@@ -64,6 +64,37 @@ let rules : rule list =
          check";
     };
     { id = "R5"; severity = Error; summary = "module has no matching .mli" };
+    {
+      id = "R6";
+      severity = Error;
+      summary =
+        "naked mutable state in a concurrency-scoped module (make it Atomic.t \
+         / Bigarray, or declare ownership with a (* fg-lint: single-writer \
+         <role> *) / guarded-by pragma)";
+    };
+    {
+      id = "R7";
+      severity = Error;
+      summary =
+        "unbalanced paired protocol calls (pin/unpin, reserve/commit, \
+         stage/commit_stage) within a top-level binding, or a pin that can \
+         escape on an exception path (use with_pin or Fun.protect)";
+    };
+    {
+      id = "R8";
+      severity = Error;
+      summary =
+        "Domain.spawn/Domain.join/Mutex/Condition outside the sanctioned \
+         domain-management modules (route concurrency through Parallel)";
+    };
+    {
+      id = "R9";
+      severity = Error;
+      summary =
+        "blocking call (Unix.sleep*, Condition.wait, Mutex.lock, \
+         Parallel.await) while a snapshot is pinned or a mailbox slot is \
+         reserved";
+    };
   ]
 
 let rule_by_id id = List.find_opt (fun r -> r.id = id) rules
@@ -104,6 +135,8 @@ type conf = {
   mutable hot_modules : string list; (* R1 scope: path prefixes *)
   mutable obs_modules : string list; (* R4 scope *)
   mutable mli_required : string list; (* R5 scope *)
+  mutable conc_modules : string list; (* R6/R7/R9 scope *)
+  mutable domain_sanctioned : string list; (* modules exempt from R8 *)
 }
 
 let default_conf () =
@@ -112,6 +145,15 @@ let default_conf () =
     hot_modules = [ "lib/core"; "lib/graph/csr.ml"; "lib/graph/bfs.ml"; "lib/sim" ];
     obs_modules = [ "lib/core"; "lib/sim" ];
     mli_required = [ "lib" ];
+    conc_modules =
+      [
+        "lib/graph/snapshot_store.ml";
+        "lib/graph/parallel.ml";
+        "lib/shard/mailbox.ml";
+        "lib/shard/shard_engine.ml";
+        "lib/serve";
+      ];
+    domain_sanctioned = [ "lib/graph/parallel.ml" ];
   }
 
 let split_ws s =
@@ -142,6 +184,8 @@ let load_conf path =
          | "hot_modules" -> conf.hot_modules <- vals
          | "obs_modules" -> conf.obs_modules <- vals
          | "mli_required" -> conf.mli_required <- vals
+         | "conc_modules" -> conf.conc_modules <- vals
+         | "domain_sanctioned" -> conf.domain_sanctioned <- vals
          | _ ->
            Printf.eprintf "fg_lint: %s: unknown key %S (ignored)\n" path key)
      done
@@ -223,6 +267,27 @@ let suppressed pragmas rule line =
   match Hashtbl.find_opt pragmas line with
   | None -> false
   | Some ids -> List.mem "all" ids || List.mem rule ids
+
+(* Ownership pragmas for R6: a mutable field / module-level ref whose line
+   carries [(* fg-lint: single-writer <role> *)] or
+   [(* fg-lint: guarded-by <lock> *)] declares who may write it, which is
+   what the rule is really after — undocumented shared mutability. *)
+let scan_ownership text =
+  let tbl = Hashtbl.create 8 in
+  let has_needle line needle =
+    let nlen = String.length needle and llen = String.length line in
+    let rec find j =
+      if j + nlen > llen then false
+      else String.sub line j nlen = needle || find (j + 1)
+    in
+    find 0
+  in
+  List.iteri
+    (fun i line ->
+      if has_needle line "fg-lint: single-writer" || has_needle line "fg-lint: guarded-by" then
+        Hashtbl.replace tbl (i + 1) ())
+    (String.split_on_char '\n' text);
+  tbl
 
 (* ---------------- Longident helpers ---------------- *)
 
@@ -429,14 +494,170 @@ let mentions_recorder (e : expression) =
   it.expr it e;
   !found
 
+(* ---------------- R6 helpers ---------------- *)
+
+(* a type that is intrinsically safe to share: an atomic cell, or an
+   off-heap Bigarray (written through a published index protocol the lint
+   cannot see, but racing on which cannot corrupt the OCaml heap) *)
+let rec r6_safe_core_type (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, args) ->
+    let path = flatten txt in
+    (match last_two path with Some ("Atomic", "t") -> true | _ -> List.mem "Bigarray" path)
+    || List.exists r6_safe_core_type args
+  | _ -> false
+
+(* module-level [let x = ref e] (possibly under a type constraint) *)
+let rec is_ref_binding (e : expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident "ref"; _ }; _ }, _) -> true
+  | Pexp_constraint (e', _) -> is_ref_binding e'
+  | _ -> false
+
+(* ---------------- R8 classification ---------------- *)
+
+(* Domain.self / recommended_domain_count are pure queries and stay legal
+   everywhere (the sharded HDR histograms key on Domain.self); only
+   lifecycle and lock primitives are corralled into sanctioned modules. *)
+let r8_target lid =
+  match last_two (flatten lid) with
+  | Some ("Domain", (("spawn" | "join") as f)) -> Some ("Domain." ^ f)
+  | Some ("Mutex", f) -> Some ("Mutex." ^ f)
+  | Some ("Condition", f) -> Some ("Condition." ^ f)
+  | _ -> None
+
+(* ---------------- R7/R9 protocol-pair events ---------------- *)
+
+(* The paired protocols the serving tier leans on. Matching is by the
+   distinctive final name: [pin]/[unpin]/[with_pin] bind tightly enough to
+   match bare, the generic names ([reserve], [commit], [abort], [stage],
+   [commit_stage]) only count module-qualified. [Rt.stage]/[commit_stage]
+   is registered for completeness but commits are usually cross-function
+   (the stage lives in a record field), which per-binding analysis cannot
+   see — conservative, never a false positive. *)
+type pair = Pin | Slot | Stage
+
+let pair_count = 3
+let pair_idx = function Pin -> 0 | Slot -> 1 | Stage -> 2
+let pair_name = function
+  | Pin -> "Snapshot_store.pin/unpin"
+  | Slot -> "Mailbox.reserve/commit"
+  | Stage -> "Rt.stage/commit_stage"
+
+type pair_class = POpen of pair | PClose of pair | PWith_pin | PNone
+
+let classify_pair path =
+  match List.rev path with
+  | "pin" :: _ -> POpen Pin
+  | "unpin" :: _ -> PClose Pin
+  | "with_pin" :: _ -> PWith_pin
+  | "reserve" :: _ :: _ -> POpen Slot
+  | ("commit" | "abort") :: _ :: _ -> PClose Slot
+  | "stage" :: _ :: _ -> POpen Stage
+  | "commit_stage" :: _ :: _ -> PClose Stage
+  | _ -> PNone
+
+(* calls that park the calling domain (or sleep it): poison while holding
+   a pin or a reserved slot — a stalled reader stalls reclamation for
+   everyone, a stalled producer wedges the SPSC ring *)
+let classify_blocking path =
+  match last_two path with
+  | Some ("Unix", (("sleep" | "sleepf") as f)) -> Some ("Unix." ^ f)
+  | Some ("Condition", "wait") -> Some "Condition.wait"
+  | Some ("Mutex", "lock") -> Some "Mutex.lock"
+  | Some ("Parallel", "await") -> Some "Parallel.await"
+  | _ -> ( match path with [ "await" ] -> Some "await" | _ -> None)
+
+let is_raise_name path =
+  match last path with
+  | Some ("raise" | "raise_notrace" | "failwith" | "invalid_arg") -> true
+  | None | Some _ -> false
+
+type pevent =
+  | Ev_open of pair * Location.t
+  | Ev_close of pair * Location.t
+  | Ev_block of string * Location.t
+  | Ev_raise of Location.t
+
+let rec has_exception_pat (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_exception _ -> true
+  | Ppat_or (a, b) -> has_exception_pat a || has_exception_pat b
+  | _ -> false
+
+(* Linearize one top-level binding into protocol events, in source order.
+   [sr] ("suppress raises") is set inside exception-safe regions — the
+   body of [Fun.protect ~finally] and the body of a [try]/[match ... with
+   exception ...] — where an escaping exception still runs the close. *)
+let collect_pevents (top : expression) =
+  let acc = ref [] in
+  let push ev = acc := ev :: !acc in
+  let rec go ~sr (e : expression) =
+    match e.pexp_desc with
+    | Pexp_apply (fn, args) -> (
+      match fn.pexp_desc with
+      | Pexp_ident { txt; _ } when ends_in txt ("Fun", "protect") ->
+        let fin, rest =
+          List.partition (fun (l, _) -> l = Asttypes.Labelled "finally") args
+        in
+        List.iter (fun (_, a) -> go ~sr:true a) rest;
+        List.iter (fun (_, a) -> go ~sr a) fin
+      | Pexp_ident { txt; _ } -> (
+        let path = flatten txt in
+        if (not sr) && is_raise_name path then push (Ev_raise e.pexp_loc);
+        match classify_pair path with
+        | PWith_pin ->
+          push (Ev_open (Pin, e.pexp_loc));
+          List.iter (fun (_, a) -> go ~sr a) args;
+          push (Ev_close (Pin, e.pexp_loc))
+        | POpen p ->
+          push (Ev_open (p, e.pexp_loc));
+          List.iter (fun (_, a) -> go ~sr a) args
+        | PClose p ->
+          push (Ev_close (p, e.pexp_loc));
+          List.iter (fun (_, a) -> go ~sr a) args
+        | PNone ->
+          (match classify_blocking path with
+          | Some name -> push (Ev_block (name, e.pexp_loc))
+          | None -> ());
+          List.iter (fun (_, a) -> go ~sr a) args)
+      | _ ->
+        go ~sr fn;
+        List.iter (fun (_, a) -> go ~sr a) args)
+    | Pexp_try (body, cases) ->
+      go ~sr:true body;
+      List.iter
+        (fun c ->
+          Option.iter (go ~sr) c.pc_guard;
+          go ~sr c.pc_rhs)
+        cases
+    | Pexp_match (scrut, cases) when List.exists (fun c -> has_exception_pat c.pc_lhs) cases
+      ->
+      go ~sr:true scrut;
+      List.iter
+        (fun c ->
+          Option.iter (go ~sr) c.pc_guard;
+          go ~sr c.pc_rhs)
+        cases
+    | _ ->
+      let open Ast_iterator in
+      let it = { default_iterator with expr = (fun _ e' -> go ~sr e') } in
+      default_iterator.expr it e
+  in
+  go ~sr:false top;
+  List.rev !acc
+
 (* ---------------- per-file lint context ---------------- *)
 
 type lint_ctx = {
   file : string;
   conf : conf;
   pragmas : (int, string list) Hashtbl.t;
+  ownership : (int, unit) Hashtbl.t; (* lines with single-writer/guarded-by *)
   hot : bool; (* R1 applies *)
   obs : bool; (* R4 applies *)
+  conc : bool; (* R6/R7/R9 apply *)
+  sanctioned : bool; (* exempt from R8 *)
 }
 
 let rule_on ctx id = List.mem id ctx.conf.enabled
@@ -445,6 +666,93 @@ let emit ctx ~rule ~loc msg =
   let line = loc.Location.loc_start.Lexing.pos_lnum in
   if rule_on ctx rule && not (suppressed ctx.pragmas rule line) then
     report ~rule ~loc msg
+
+let owned ctx loc = Hashtbl.mem ctx.ownership loc.Location.loc_start.Lexing.pos_lnum
+
+(* R7/R9 over one binding's linearized events: walk the sequence tracking
+   per-pair depth; a blocking call at positive depth is R9, a raise at
+   positive pin depth (outside an exception-safe region — those raises
+   were already suppressed by the collector) is R7, and any depth left
+   open at the end of the binding is R7. Extra closes are legal: a
+   release-helper binding closes a pair its caller opened. *)
+let analyze_pevents ctx ~(binding_loc : Location.t) events =
+  if ctx.conc && (rule_on ctx "R7" || rule_on ctx "R9") then begin
+    let depth = Array.make pair_count 0 in
+    let last_open = Array.make pair_count binding_loc in
+    let held () =
+      let h = ref [] in
+      List.iter
+        (fun p -> if depth.(pair_idx p) > 0 then h := pair_name p :: !h)
+        [ Stage; Slot; Pin ];
+      !h
+    in
+    List.iter
+      (function
+        | Ev_open (p, loc) ->
+          depth.(pair_idx p) <- depth.(pair_idx p) + 1;
+          last_open.(pair_idx p) <- loc
+        | Ev_close (p, _) -> depth.(pair_idx p) <- max 0 (depth.(pair_idx p) - 1)
+        | Ev_block (name, loc) -> (
+          match held () with
+          | [] -> ()
+          | hs ->
+            emit ctx ~rule:"R9" ~loc
+              (Printf.sprintf
+                 "blocking call %s while holding %s; release before blocking (a parked \
+                  holder stalls reclamation / wedges the ring)"
+                 name (String.concat ", " hs)))
+        | Ev_raise loc ->
+          if depth.(pair_idx Pin) > 0 then
+            emit ctx ~rule:"R7" ~loc
+              "exception raised while a snapshot is pinned: the pin escapes if this \
+               path is taken; use with_pin or Fun.protect ~finally:unpin")
+      events;
+    List.iter
+      (fun p ->
+        let i = pair_idx p in
+        if depth.(i) > 0 then
+          emit ctx ~rule:"R7" ~loc:last_open.(i)
+            (Printf.sprintf
+               "%d %s open(s) without a matching close in this binding (the resource \
+                escapes; close on every path)"
+               depth.(i) (pair_name p)))
+      [ Pin; Slot; Stage ]
+  end
+
+(* R6 over one type declaration: every mutable field in a
+   concurrency-scoped module must be atomically typed, a Bigarray, or
+   carry an ownership pragma on its line *)
+let check_type_decl ctx (td : type_declaration) =
+  if ctx.conc && rule_on ctx "R6" then
+    match td.ptype_kind with
+    | Ptype_record labels ->
+      List.iter
+        (fun ld ->
+          if
+            ld.pld_mutable = Asttypes.Mutable
+            && (not (r6_safe_core_type ld.pld_type))
+            && not (owned ctx ld.pld_loc)
+          then
+            emit ctx ~rule:"R6" ~loc:ld.pld_loc
+              (Printf.sprintf
+                 "mutable field %s.%s in a concurrency-scoped module: make it Atomic.t \
+                  / Bigarray-backed, or document ownership with (* fg-lint: \
+                  single-writer <role> *) / (* fg-lint: guarded-by <lock> *)"
+                 td.ptype_name.txt ld.pld_name.txt))
+        labels
+    | _ -> ()
+
+(* R6 over one module-level value binding: [let x = ref e] is shared
+   mutable state with no stated owner (function-local refs are fine —
+   they do not escape a single domain's stack without also tripping R6
+   at their destination) *)
+let check_value_binding_ref ctx (vb : value_binding) =
+  if ctx.conc && rule_on ctx "R6" && is_ref_binding vb.pvb_expr && not (owned ctx vb.pvb_loc)
+  then
+    emit ctx ~rule:"R6" ~loc:vb.pvb_loc
+      "module-level ref in a concurrency-scoped module: make it Atomic.t, or document \
+       ownership with (* fg-lint: single-writer <role> *) / (* fg-lint: guarded-by \
+       <lock> *)"
 
 (* ---------------- the walker ---------------- *)
 
@@ -515,6 +823,17 @@ let check_apply ctx env ~guarded fn args loc =
 
 let rec walk ctx (env : env) ~guarded (e : expression) =
   match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    (* R8: even a mention (partial application, callback) counts — the
+       primitive is escaping into unsanctioned code *)
+    match r8_target txt with
+    | Some name when not ctx.sanctioned ->
+      emit ctx ~rule:"R8" ~loc:e.pexp_loc
+        (Printf.sprintf
+           "%s outside the sanctioned domain-management modules; route domain \
+            lifecycle and locking through Parallel"
+           name)
+    | _ -> ())
   | Pexp_let (_, vbs, body) ->
     List.iter (fun vb -> walk ctx env ~guarded vb.pvb_expr) vbs;
     let env' =
@@ -567,11 +886,17 @@ let walk_structure ctx (str : structure) =
         (fun it item ->
           match item.pstr_desc with
           | Pstr_value (_, vbs) ->
-            List.iter (fun vb -> walk ctx !env ~guarded:false vb.pvb_expr) vbs;
+            List.iter
+              (fun vb ->
+                walk ctx !env ~guarded:false vb.pvb_expr;
+                check_value_binding_ref ctx vb;
+                analyze_pevents ctx ~binding_loc:vb.pvb_loc (collect_pevents vb.pvb_expr))
+              vbs;
             env :=
               List.fold_left
                 (fun acc vb -> bind_pat acc vb.pvb_pat (ty_of !env vb.pvb_expr))
                 !env vbs
+          | Pstr_type (_, tds) -> List.iter (check_type_decl ctx) tds
           | _ -> default_iterator.structure_item it item);
     }
   in
@@ -593,8 +918,11 @@ let lint_file conf path =
       file = path;
       conf;
       pragmas = scan_pragmas text;
+      ownership = scan_ownership text;
       hot = in_scope conf.hot_modules path;
       obs = in_scope conf.obs_modules path;
+      conc = in_scope conf.conc_modules path;
+      sanctioned = in_scope conf.domain_sanctioned path;
     }
   in
   (* R5: interface discipline *)
@@ -669,6 +997,18 @@ let print_json fs =
     fs;
   Printf.printf "],\"count\":%d}\n" (List.length fs)
 
+(* GitHub Actions workflow-command annotations: one ::error/::warning per
+   finding, shown inline on the PR diff. Columns are 1-based there. *)
+let print_github fs =
+  List.iter
+    (fun f ->
+      Printf.printf "::%s file=%s,line=%d,col=%d::[%s] %s\n"
+        (severity_name f.f_severity)
+        f.f_file f.f_line (f.f_col + 1) f.f_rule f.f_msg)
+    fs;
+  Printf.printf "fg_lint: %d finding%s\n" (List.length fs)
+    (if List.length fs = 1 then "" else "s")
+
 let print_text fs =
   List.iter
     (fun f ->
@@ -684,11 +1024,13 @@ let print_text fs =
 let () =
   let conf_file = ref None
   and json = ref false
+  and github = ref false
   and only = ref None
   and paths = ref [] in
   let usage () =
     prerr_endline
-      "usage: fg_lint [--conf FILE] [--json] [--only R1,R3] [--list-rules] PATH...";
+      "usage: fg_lint [--conf FILE] [--json] [--github] [--only R1,R3] [--list-rules] \
+       PATH...";
     exit 2
   in
   let rec parse = function
@@ -697,6 +1039,9 @@ let () =
       parse rest
     | "--json" :: rest ->
       json := true;
+      parse rest
+    | "--github" :: rest ->
+      github := true;
       parse rest
     | "--only" :: ids :: rest ->
       only := Some (split_ws ids);
@@ -735,11 +1080,19 @@ let () =
     |> List.sort compare
   in
   List.iter (fun f -> lint_file conf f) files;
+  (* fully deterministic order — (file, line, rule, col) — so --json
+     output is byte-stable for CI diffing *)
   let fs =
     List.sort
       (fun a b ->
-        match compare a.f_file b.f_file with 0 -> compare a.f_line b.f_line | c -> c)
+        match compare a.f_file b.f_file with
+        | 0 -> (
+          match compare a.f_line b.f_line with
+          | 0 -> (
+            match compare a.f_rule b.f_rule with 0 -> compare a.f_col b.f_col | c -> c)
+          | c -> c)
+        | c -> c)
       !findings
   in
-  if !json then print_json fs else print_text fs;
+  if !json then print_json fs else if !github then print_github fs else print_text fs;
   if List.exists (fun f -> f.f_severity = Error) fs then exit 1

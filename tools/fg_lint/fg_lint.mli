@@ -1,0 +1,2 @@
+(* fg_lint is a standalone executable (see the module header in
+   fg_lint.ml for the rule registry and usage); nothing is exported. *)

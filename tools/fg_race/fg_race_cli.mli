@@ -1,0 +1,2 @@
+(* fg_race_cli is a standalone executable (see the module header in
+   fg_race_cli.ml for the exploration modes); nothing is exported. *)

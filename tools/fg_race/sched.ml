@@ -1,0 +1,197 @@
+(* The fg_race scheduler: bounded-exhaustive + randomized exploration of
+   thread interleavings over traced atomics.
+
+   Model: a scenario is a set of cooperative threads (plain thunks) whose
+   only preemption points are atomic operations — the traced shim
+   ({!Traced_atomic}) calls {!yield} immediately before each operation,
+   which performs an effect that suspends the thread and returns control
+   here. Everything runs on ONE domain, so between two yields a thread's
+   code is a single indivisible step, exactly the granularity of the
+   OCaml memory model's interleaving semantics for a program whose only
+   shared state is atomics (plus single-writer fields, whose ownership
+   the lint layer enforces separately).
+
+   Exploration re-executes the scenario from scratch once per schedule
+   (threads must therefore be deterministic given a schedule). Exhaustive
+   mode enumerates decision vectors in lexicographic order: each run
+   records, at every step, which live thread was chosen out of how many;
+   the next run flips the deepest decision that still has an untried
+   alternative. This visits every distinct schedule exactly once, up to
+   the schedule budget. Random mode samples uniform schedules from a
+   seeded generator — cheap extra coverage beyond the depth the
+   exhaustive frontier reaches within its budget. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+(* Traced operations only suspend while the scheduler is mid-step, so
+   invariant checks (and any code outside an exploration) can call traced
+   code without performing an unhandled effect. *)
+let stepping = ref false (* fg-lint: single-writer scheduler — exploration is single-domain *)
+
+let yield () = if !stepping then Effect.perform Yield
+
+exception
+  Violation of {
+    schedule : int list;  (* thread ids chosen, oldest first *)
+    step : int;  (* 1-based step at which the error surfaced *)
+    error : exn;
+  }
+
+exception Step_budget_exceeded
+
+let () =
+  Printexc.register_printer (function
+    | Violation { schedule; step; error } ->
+      Some
+        (Printf.sprintf "fg_race violation at step %d of schedule [%s]: %s" step
+           (String.concat ";" (List.map string_of_int schedule))
+           (Printexc.to_string error))
+    | _ -> None)
+
+type stats = { schedules : int; steps : int; exhausted : bool }
+
+type scenario = unit -> (unit -> unit) array * (unit -> unit)
+
+type thread_state =
+  | Ready of (unit -> unit)
+  | Paused of (unit, unit) Effect.Deep.continuation
+  | Finished
+
+(* Run one schedule. [choose ~nth ~live] picks an index into [live] (the
+   ids of unfinished threads, ascending) at decision point [nth]. Returns
+   the decision trace [(choice, nchoices, thread_id)] oldest first; an
+   out-of-range choice is clamped to 0. *)
+let run_one ?(max_steps = 20_000) ~choose scenario =
+  let threads, check = scenario () in
+  let n = Array.length threads in
+  let state = Array.init n (fun i -> Ready threads.(i)) in
+  let trace = ref [] in
+  let nsteps = ref 0 in
+  let handler i : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> state.(i) <- Finished);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some (fun (k : (a, unit) Effect.Deep.continuation) -> state.(i) <- Paused k)
+          | _ -> None);
+    }
+  in
+  let step i =
+    match state.(i) with
+    | Ready f -> Effect.Deep.match_with f () (handler i)
+    | Paused k ->
+      (* consume the continuation before resuming: if the thread yields
+         again the handler re-parks it, otherwise it stays finished *)
+      state.(i) <- Finished;
+      Effect.Deep.continue k ()
+    | Finished -> invalid_arg "Sched.run_one: stepping a finished thread"
+  in
+  let live () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      match state.(i) with Finished -> () | _ -> acc := i :: !acc
+    done;
+    !acc
+  in
+  let rec loop nth =
+    match live () with
+    | [] -> List.rev !trace
+    | l ->
+      let choices = List.length l in
+      let c = choose ~nth ~live:l in
+      let c = if c < 0 || c >= choices then 0 else c in
+      let i = List.nth l c in
+      incr nsteps;
+      if !nsteps > max_steps then raise Step_budget_exceeded;
+      trace := (c, choices, i) :: !trace;
+      (try
+         stepping := true;
+         Fun.protect ~finally:(fun () -> stepping := false) (fun () -> step i);
+         check ()
+       with e ->
+         let schedule = List.rev_map (fun (_, _, id) -> id) !trace in
+         raise (Violation { schedule; step = !nsteps; error = e }));
+      loop (nth + 1)
+  in
+  loop 0
+
+let index_of x l =
+  let rec go i = function [] -> None | y :: tl -> if y = x then Some i else go (i + 1) tl in
+  go 0 l
+
+(* Replay a recorded schedule of thread ids (e.g. from a Violation);
+   beyond the prefix, or if the named thread already finished, run the
+   first live thread. *)
+let replay ?max_steps ~schedule scenario =
+  let arr = Array.of_list schedule in
+  ignore
+    (run_one ?max_steps
+       ~choose:(fun ~nth ~live ->
+         if nth >= Array.length arr then 0
+         else match index_of arr.(nth) live with Some i -> i | None -> 0)
+       scenario
+      : (int * int * int) list)
+
+(* Run threads strictly one after another (thread 0 to completion, then
+   thread 1, ...): the no-concurrency baseline schedule. *)
+let run_sequential ?max_steps scenario =
+  ignore (run_one ?max_steps ~choose:(fun ~nth:_ ~live:_ -> 0) scenario : (int * int * int) list)
+
+let deadline_of = function
+  | None -> None
+  | Some q -> Some (Unix.gettimeofday () +. q)
+
+let over_deadline = function
+  | None -> false
+  | Some d -> Unix.gettimeofday () > d
+
+let explore ?(max_schedules = 10_000) ?max_steps ?quota_seconds scenario =
+  let deadline = deadline_of quota_seconds in
+  let schedules = ref 0 and steps = ref 0 in
+  let rec go prefix =
+    if !schedules >= max_schedules || over_deadline deadline then
+      { schedules = !schedules; steps = !steps; exhausted = false }
+    else begin
+      let parr = Array.of_list prefix in
+      let trace =
+        run_one ?max_steps
+          ~choose:(fun ~nth ~live:_ -> if nth < Array.length parr then parr.(nth) else 0)
+          scenario
+      in
+      incr schedules;
+      steps := !steps + List.length trace;
+      (* lexicographic successor: flip the deepest decision that still
+         has an untried alternative, drop everything after it *)
+      let rec next rev_trace =
+        match rev_trace with
+        | [] -> None
+        | (c, k, _) :: rest ->
+          if c + 1 < k then
+            (* [rest] is deepest-first; rev_map flips it back to oldest-first *)
+            Some (List.rev_map (fun (c, _, _) -> c) rest @ [ c + 1 ])
+          else next rest
+      in
+      match next (List.rev trace) with
+      | None -> { schedules = !schedules; steps = !steps; exhausted = true }
+      | Some prefix' -> go prefix'
+    end
+  in
+  go []
+
+let sample ?(samples = 1_000) ?max_steps ?quota_seconds ~seed scenario =
+  let deadline = deadline_of quota_seconds in
+  let st = Random.State.make [| seed; 0x5EED |] in
+  let schedules = ref 0 and steps = ref 0 in
+  while !schedules < samples && not (over_deadline deadline) do
+    let trace =
+      run_one ?max_steps
+        ~choose:(fun ~nth:_ ~live -> Random.State.int st (List.length live))
+        scenario
+    in
+    incr schedules;
+    steps := !steps + List.length trace
+  done;
+  { schedules = !schedules; steps = !steps; exhausted = false }

@@ -1,0 +1,53 @@
+(** The fg_race interleaving scheduler.
+
+    Threads are cooperative thunks whose only preemption points are
+    traced atomic operations ({!Traced_atomic} calls {!yield} before each
+    one); a schedule is the sequence of which-thread-steps-next choices.
+    Exploration re-runs the scenario from scratch per schedule —
+    exhaustively in lexicographic order up to a budget ({!explore}), or
+    by seeded uniform sampling ({!sample}). The per-step [check] callback
+    asserts protocol invariants between any two atomic operations; its
+    failure is wrapped in {!Violation} together with the offending
+    schedule, which {!replay} re-executes deterministically. *)
+
+(** Suspend the calling thread at a scheduling point. No-op outside an
+    exploration step, so invariant checks can call traced code freely. *)
+val yield : unit -> unit
+
+exception
+  Violation of {
+    schedule : int list;  (** thread ids stepped, oldest first *)
+    step : int;  (** 1-based step at which the error surfaced *)
+    error : exn;  (** the underlying assertion/exception *)
+  }
+
+(** Raised (inside {!Violation}) when one run exceeds [max_steps] —
+    almost always a livelock (a spin loop that only another thread can
+    release) exposed by an adversarial schedule. *)
+exception Step_budget_exceeded
+
+type stats = {
+  schedules : int;  (** distinct schedules executed *)
+  steps : int;  (** total atomic steps across all runs *)
+  exhausted : bool;  (** true iff the whole space was covered *)
+}
+
+(** A fresh instance per run: [(threads, check)]. Threads must be
+    deterministic given a schedule; [check] runs after every step. *)
+type scenario = unit -> (unit -> unit) array * (unit -> unit)
+
+(** Depth-first lexicographic enumeration of distinct schedules, stopping
+    at [max_schedules] (default 10_000), [quota_seconds], or full
+    coverage. [max_steps] (default 20_000) bounds a single run. *)
+val explore : ?max_schedules:int -> ?max_steps:int -> ?quota_seconds:float -> scenario -> stats
+
+(** [sample ~seed] runs uniformly random schedules ([samples] of them,
+    default 1_000). *)
+val sample : ?samples:int -> ?max_steps:int -> ?quota_seconds:float -> seed:int -> scenario -> stats
+
+(** Re-execute one recorded schedule (from {!Violation.schedule}). *)
+val replay : ?max_steps:int -> schedule:int list -> scenario -> unit
+
+(** Thread 0 to completion, then thread 1, ... — the no-concurrency
+    baseline the QCheck differential test compares against. *)
+val run_sequential : ?max_steps:int -> scenario -> unit

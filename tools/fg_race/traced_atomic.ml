@@ -1,0 +1,43 @@
+(* The recording atomics shim: same signature as Stdlib.Atomic
+   (Fg_graph.Atomic_intf.S), but every operation is a scheduling point.
+   All exploration runs on one domain, so a plain ref is a sound backing
+   store; [Sched.yield] before the access makes the access itself the
+   atomic step, giving exactly the interleavings a seq_cst execution of
+   the real program could produce at atomic-op granularity. *)
+
+type 'a t = 'a ref
+
+let make v = ref v
+
+let get r =
+  Sched.yield ();
+  !r
+
+let set r v =
+  Sched.yield ();
+  r := v
+
+let exchange r v =
+  Sched.yield ();
+  let old = !r in
+  r := v;
+  old
+
+let compare_and_set r expected v =
+  Sched.yield ();
+  (* physical equality, like Stdlib.Atomic.compare_and_set (value
+     equality for immediates) *)
+  if !r == expected then begin
+    r := v;
+    true
+  end
+  else false
+
+let fetch_and_add r n =
+  Sched.yield ();
+  let old = !r in
+  r := old + n;
+  old
+
+let incr r = ignore (fetch_and_add r 1)
+let decr r = ignore (fetch_and_add r (-1))
